@@ -1,0 +1,332 @@
+(* waveidx: command-line driver for the Wave-Indices reproduction.
+
+   Subcommands:
+     list            enumerate the reproduction experiments
+     run <id>...     run specific experiments (table3, fig6, thm2, ...)
+     all             run every experiment
+     sim             simulate a scheme over a workload with chosen
+                     geometry, technique and query mix                 *)
+
+open Cmdliner
+open Wave_core
+
+let list_cmd =
+  let doc = "List the reproduction experiments (one per paper artifact)." in
+  let run () =
+    List.iter
+      (fun e ->
+        Printf.printf "%-10s %-55s [%s]\n" e.Wave_experiments.Experiment.id
+          e.Wave_experiments.Experiment.title
+          e.Wave_experiments.Experiment.paper_claim)
+      Wave_experiments.Experiment.all
+  in
+  Cmd.v (Cmd.info "list" ~doc) Term.(const run $ const ())
+
+let run_cmd =
+  let doc = "Run one or more experiments by id." in
+  let ids =
+    Arg.(non_empty & pos_all string [] & info [] ~docv:"ID" ~doc:"experiment id")
+  in
+  let run ids =
+    let missing =
+      List.filter (fun id -> Wave_experiments.Experiment.find id = None) ids
+    in
+    if missing <> [] then begin
+      Printf.eprintf "unknown experiment(s): %s\nuse 'waveidx list'\n"
+        (String.concat ", " missing);
+      exit 1
+    end;
+    List.iter
+      (fun id ->
+        match Wave_experiments.Experiment.find id with
+        | Some e ->
+          Printf.printf "=== %s: %s ===\npaper: %s\n\n%s\n"
+            e.Wave_experiments.Experiment.id e.Wave_experiments.Experiment.title
+            e.Wave_experiments.Experiment.paper_claim
+            (e.Wave_experiments.Experiment.run ())
+        | None -> assert false)
+      ids
+  in
+  Cmd.v (Cmd.info "run" ~doc) Term.(const run $ ids)
+
+let all_cmd =
+  let doc = "Run every reproduction experiment." in
+  let run () = print_string (Wave_experiments.Experiment.run_all ()) in
+  Cmd.v (Cmd.info "all" ~doc) Term.(const run $ const ())
+
+let scheme_conv =
+  let parse s =
+    match Scheme.of_name s with
+    | Some k -> Ok k
+    | None -> Error (`Msg (Printf.sprintf "unknown scheme %S" s))
+  in
+  let print ppf k = Format.pp_print_string ppf (Scheme.name k) in
+  Arg.conv (parse, print)
+
+let technique_conv =
+  let parse s =
+    match String.lowercase_ascii s with
+    | "in-place" | "inplace" | "ip" -> Ok Env.In_place
+    | "simple-shadow" | "simple" | "ss" -> Ok Env.Simple_shadow
+    | "packed-shadow" | "packed" | "ps" -> Ok Env.Packed_shadow
+    | _ -> Error (`Msg (Printf.sprintf "unknown technique %S" s))
+  in
+  let print ppf t = Format.pp_print_string ppf (Env.technique_name t) in
+  Arg.conv (parse, print)
+
+let sim_cmd =
+  let doc = "Simulate a maintenance scheme over a synthetic workload." in
+  let scheme =
+    Arg.(
+      value
+      & opt scheme_conv Scheme.Del
+      & info [ "scheme" ] ~docv:"SCHEME"
+          ~doc:"DEL | REINDEX | REINDEX+ | REINDEX++ | WATA | RATA")
+  in
+  let technique =
+    Arg.(
+      value
+      & opt technique_conv Env.In_place
+      & info [ "technique" ] ~docv:"TECH" ~doc:"in-place | simple-shadow | packed-shadow")
+  in
+  let w = Arg.(value & opt int 7 & info [ "w"; "window" ] ~doc:"window length in days") in
+  let n = Arg.(value & opt int 2 & info [ "n"; "indexes" ] ~doc:"constituent indexes") in
+  let days = Arg.(value & opt int 30 & info [ "days" ] ~doc:"days to simulate") in
+  let postings =
+    Arg.(value & opt int 500 & info [ "postings" ] ~doc:"mean postings per day")
+  in
+  let workload =
+    Arg.(
+      value
+      & opt (enum [ ("netnews", `Netnews); ("tpcd", `Tpcd) ]) `Netnews
+      & info [ "workload" ] ~doc:"netnews | tpcd")
+  in
+  let probes =
+    Arg.(value & opt int 50 & info [ "probes" ] ~doc:"timed probes per day")
+  in
+  let scans = Arg.(value & opt int 2 & info [ "scans" ] ~doc:"timed scans per day") in
+  let run scheme technique w n days postings workload probes scans =
+    let store, dist =
+      match workload with
+      | `Netnews ->
+        ( Wave_workload.Netnews.store
+            {
+              Wave_workload.Netnews.default_config with
+              Wave_workload.Netnews.mean_postings = postings;
+            },
+          Wave_workload.Query_gen.Zipfian { vocab = 5_000; s = 1.0 } )
+      | `Tpcd ->
+        ( Wave_workload.Tpcd.store
+            {
+              Wave_workload.Tpcd.default_config with
+              Wave_workload.Tpcd.mean_rows = postings;
+            },
+          Wave_workload.Query_gen.Uniform 1_000 )
+    in
+    let queries =
+      {
+        Wave_workload.Query_gen.seed = 99;
+        probes_per_day = probes;
+        probe_range = Wave_workload.Query_gen.Whole_window;
+        scans_per_day = scans;
+        scan_range = Wave_workload.Query_gen.Whole_window;
+        value_dist = dist;
+      }
+    in
+    let r =
+      Wave_sim.Runner.run
+        {
+          (Wave_sim.Runner.default_config ~scheme ~store ~w ~n) with
+          Wave_sim.Runner.technique;
+          run_days = days;
+          queries = Some queries;
+        }
+    in
+    Printf.printf "scheme=%s technique=%s W=%d n=%d days=%d\n" (Scheme.name scheme)
+      (Env.technique_name technique) w n days;
+    Printf.printf "total maintenance  %10.4f model-seconds\n"
+      r.Wave_sim.Runner.total_maintenance_seconds;
+    Printf.printf "total queries      %10.4f model-seconds\n"
+      r.Wave_sim.Runner.total_query_seconds;
+    Printf.printf "total work         %10.4f model-seconds\n"
+      r.Wave_sim.Runner.total_work_seconds;
+    Printf.printf "avg space          %10.0f bytes\n" r.Wave_sim.Runner.avg_space_bytes;
+    Printf.printf "peak space         %10d bytes\n" r.Wave_sim.Runner.max_space_bytes;
+    let avg f =
+      List.fold_left (fun a d -> a +. f d) 0.0 r.Wave_sim.Runner.days
+      /. float_of_int (List.length r.Wave_sim.Runner.days)
+    in
+    Printf.printf "avg transition     %10.4f model-seconds/day\n"
+      (avg (fun d -> d.Wave_sim.Runner.transition_seconds));
+    Printf.printf "avg pre-compute    %10.4f model-seconds/day\n"
+      (avg (fun d -> d.Wave_sim.Runner.precompute_seconds));
+    Printf.printf "avg wave length    %10.1f days\n"
+      (avg (fun d -> float_of_int d.Wave_sim.Runner.wave_length))
+  in
+  Cmd.v (Cmd.info "sim" ~doc)
+    Term.(
+      const run $ scheme $ technique $ w $ n $ days $ postings $ workload
+      $ probes $ scans)
+
+let model_cmd =
+  let doc =
+    "Evaluate the analytic cost model (Tables 8-11) for a scenario and geometry."
+  in
+  let scenario =
+    Arg.(
+      value
+      & opt (enum [ ("scam", `Scam); ("wse", `Wse); ("tpcd", `Tpcd) ]) `Scam
+      & info [ "scenario" ] ~doc:"scam | wse | tpcd")
+  in
+  let technique =
+    Arg.(
+      value
+      & opt technique_conv Env.Simple_shadow
+      & info [ "technique" ] ~docv:"TECH" ~doc:"in-place | simple-shadow | packed-shadow")
+  in
+  let w = Arg.(value & opt (some int) None & info [ "window" ] ~doc:"window length (defaults to the scenario's)") in
+  let n = Arg.(value & opt int 2 & info [ "indexes"; "n" ] ~doc:"constituent indexes") in
+  let sf = Arg.(value & opt float 1.0 & info [ "sf" ] ~doc:"data scale factor") in
+  let run scenario technique w n sf =
+    let sc =
+      match scenario with
+      | `Scam -> Wave_model.Scenario.scam
+      | `Wse -> Wave_model.Scenario.wse
+      | `Tpcd -> Wave_model.Scenario.tpcd
+    in
+    let w = Option.value ~default:sc.Wave_model.Scenario.w w in
+    let p = Wave_model.Params.scale sc.Wave_model.Scenario.params sf in
+    Printf.printf "%s: W=%d n=%d SF=%.2f %s\n\n" sc.Wave_model.Scenario.name w n
+      sf (Env.technique_name technique);
+    Printf.printf "%-10s %14s %14s %14s %14s %12s %12s\n" "scheme" "pre(s)"
+      "transition(s)" "space avg(MB)" "space max(MB)" "probe(s)" "work/day(s)";
+    List.iter
+      (fun scheme ->
+        if Scheme.min_indexes scheme <= n then begin
+          let s = Wave_model.Cost.evaluate p ~scheme ~technique ~w ~n in
+          Printf.printf "%-10s %14.1f %14.1f %14.1f %14.1f %12.4f %12.0f\n"
+            (Scheme.name scheme) s.Wave_model.Cost.pre_avg
+            s.Wave_model.Cost.trans_avg
+            (s.Wave_model.Cost.space_avg /. 1048576.0)
+            (s.Wave_model.Cost.space_max /. 1048576.0)
+            s.Wave_model.Cost.probe_seconds s.Wave_model.Cost.work_per_day
+        end)
+      Scheme.all
+  in
+  Cmd.v (Cmd.info "model" ~doc)
+    Term.(const run $ scenario $ technique $ w $ n $ sf)
+
+let trace_cmd =
+  let doc = "Print a scheme's transition trace (like the paper's Tables 1-7)." in
+  let scheme =
+    Arg.(
+      value
+      & opt scheme_conv Scheme.Del
+      & info [ "scheme" ] ~docv:"SCHEME" ~doc:"scheme to trace")
+  in
+  let w = Arg.(value & opt int 10 & info [ "window" ] ~doc:"window length") in
+  let n = Arg.(value & opt int 2 & info [ "indexes"; "n" ] ~doc:"constituent indexes") in
+  let days = Arg.(value & opt int 8 & info [ "days" ] ~doc:"transitions to trace") in
+  let run scheme w n days =
+    let store day =
+      Wave_storage.Entry.batch_create ~day
+        [|
+          {
+            Wave_storage.Entry.value = 1;
+            entry = { Wave_storage.Entry.rid = day; day; info = 0 };
+          };
+        |]
+    in
+    let env = Env.create ~store ~w ~n () in
+    let s = Scheme.start scheme env in
+    let show () =
+      Printf.printf "day %3d: " (Scheme.current_day s);
+      for j = 1 to n do
+        Printf.printf "I%d=%s  " j
+          (Dayset.to_string (Frame.slot_days (Scheme.frame s) j))
+      done;
+      let temps = Scheme.temp_days s in
+      if temps <> [] then
+        Printf.printf "temps=%s"
+          (String.concat " " (List.map Dayset.to_string temps));
+      print_newline ()
+    in
+    Printf.printf "%s, W=%d, n=%d\n" (Scheme.name scheme) w n;
+    show ();
+    for _ = 1 to days do
+      Scheme.transition s;
+      show ()
+    done
+  in
+  Cmd.v (Cmd.info "trace" ~doc) Term.(const run $ scheme $ w $ n $ days)
+
+(* The checkpoint/recover pair demonstrates the manifest flow: the day
+   store is the system of record, so a wave can be rebuilt anywhere the
+   store is reachable.  Both commands use the deterministic Netnews
+   store with a fixed seed, standing in for a shared data feed. *)
+let demo_store postings =
+  Wave_workload.Netnews.store
+    {
+      Wave_workload.Netnews.default_config with
+      Wave_workload.Netnews.mean_postings = postings;
+    }
+
+let checkpoint_cmd =
+  let doc = "Run a scheme for some days, then write its manifest to a file." in
+  let scheme =
+    Arg.(value & opt scheme_conv Scheme.Wata_star & info [ "scheme" ] ~docv:"SCHEME" ~doc:"scheme")
+  in
+  let w = Arg.(value & opt int 7 & info [ "window" ] ~doc:"window length") in
+  let n = Arg.(value & opt int 3 & info [ "indexes"; "n" ] ~doc:"constituents") in
+  let days = Arg.(value & opt int 20 & info [ "days" ] ~doc:"days to run") in
+  let out =
+    Arg.(required & opt (some string) None & info [ "out" ] ~docv:"FILE" ~doc:"manifest path")
+  in
+  let run scheme w n days out =
+    let env = Env.create ~store:(demo_store 200) ~w ~n () in
+    let s = Scheme.start scheme env in
+    Scheme.advance_to s (w + days);
+    let m = Manifest.capture s in
+    let oc = open_out out in
+    output_string oc (Manifest.to_string m);
+    close_out oc;
+    Printf.printf "checkpointed %s at day %d into %s\n" (Scheme.name scheme)
+      (Scheme.current_day s) out
+  in
+  Cmd.v (Cmd.info "checkpoint" ~doc) Term.(const run $ scheme $ w $ n $ days $ out)
+
+let recover_cmd =
+  let doc = "Rebuild a wave index from a manifest file and report its state." in
+  let file =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"MANIFEST" ~doc:"manifest path")
+  in
+  let run file =
+    let ic = open_in file in
+    let len = in_channel_length ic in
+    let contents = really_input_string ic len in
+    close_in ic;
+    match Manifest.of_string contents with
+    | Error e ->
+      Printf.eprintf "bad manifest: %s\n" e;
+      exit 1
+    | Ok m ->
+      let env = Env.create ~store:(demo_store 200) ~w:m.Manifest.w ~n:m.Manifest.n () in
+      let frame = Manifest.restore_frame m env in
+      Frame.validate frame;
+      Printf.printf "recovered %s wave at day %d: %d constituents, %d entries, days %s\n"
+        (Scheme.name m.Manifest.scheme) m.Manifest.day (Frame.n frame)
+        (Frame.entry_count frame)
+        (Dayset.to_string (Frame.covered_days frame))
+  in
+  Cmd.v (Cmd.info "recover" ~doc) Term.(const run $ file)
+
+let () =
+  let doc = "Wave-Indices (SIGMOD 1997) reproduction driver" in
+  let info = Cmd.info "waveidx" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            list_cmd; run_cmd; all_cmd; sim_cmd; model_cmd; trace_cmd;
+            checkpoint_cmd; recover_cmd;
+          ]))

@@ -1,0 +1,1 @@
+examples/netnews_search.ml: Array Dayset Entry Env Frame Hashtbl Index Int List Netnews Printf Scheme Set Wave_core Wave_storage Wave_util Wave_workload

@@ -1,0 +1,1 @@
+examples/netnews_search.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Dayset Entry Env Frame List Printf Scheme Wave_core Wave_disk Wave_storage

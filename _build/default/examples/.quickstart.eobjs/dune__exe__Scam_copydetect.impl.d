@@ -1,0 +1,1 @@
+examples/scam_copydetect.ml: Array Dayset Entry Env Frame Hashtbl Index List Option Printf Scheme Wave_core Wave_disk Wave_storage Wave_util

@@ -1,0 +1,1 @@
+examples/scam_copydetect.mli:

@@ -1,0 +1,1 @@
+examples/text_search.ml: Array Corpus Dayset Env Format Frame Hashtbl List Option Printf Query Scheme Vocab Wave_core Wave_disk Wave_storage Wave_text

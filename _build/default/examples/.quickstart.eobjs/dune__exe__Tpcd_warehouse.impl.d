@@ -1,0 +1,1 @@
+examples/tpcd_warehouse.ml: Env Frame List Printf Scheme Tpcd Wave_core Wave_workload

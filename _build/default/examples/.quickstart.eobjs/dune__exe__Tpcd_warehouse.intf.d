@@ -1,0 +1,1 @@
+examples/tpcd_warehouse.mli:

@@ -1,0 +1,1 @@
+lib/core/dayset.ml: Format Int Set

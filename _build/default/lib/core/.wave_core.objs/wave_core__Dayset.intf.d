@@ -1,0 +1,1 @@
+lib/core/dayset.mli: Format Set

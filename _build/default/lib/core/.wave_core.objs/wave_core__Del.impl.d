@@ -1,0 +1,1 @@
+lib/core/del.ml: Dayset Env Frame List Scheme_base Split Update

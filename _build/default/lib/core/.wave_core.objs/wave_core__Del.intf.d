@@ -1,0 +1,1 @@
+lib/core/del.mli: Env Frame Scheme_base

@@ -1,0 +1,1 @@
+lib/core/env.ml: Disk Entry Index Wave_disk Wave_storage

@@ -1,0 +1,1 @@
+lib/core/env.mli: Disk Entry Index Wave_disk Wave_storage

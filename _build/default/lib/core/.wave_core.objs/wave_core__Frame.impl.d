@@ -1,0 +1,1 @@
+lib/core/frame.ml: Array Dayset Entry Env Format Index List Printf Wave_storage

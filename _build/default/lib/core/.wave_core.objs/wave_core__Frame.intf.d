@@ -1,0 +1,1 @@
+lib/core/frame.mli: Dayset Entry Env Format Index Wave_storage

@@ -1,0 +1,1 @@
+lib/core/manifest.ml: Buffer Dayset Env Frame List Option Printf Scheme String Update

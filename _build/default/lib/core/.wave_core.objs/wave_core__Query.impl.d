@@ -1,0 +1,1 @@
+lib/core/query.ml: Entry Env Format Frame Hashtbl Int List Scheme Set Wave_storage

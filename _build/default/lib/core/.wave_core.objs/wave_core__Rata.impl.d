@@ -1,0 +1,1 @@
+lib/core/rata.ml: Array Dayset Env Frame Index List Scheme_base Split Update Wave_storage

@@ -1,0 +1,1 @@
+lib/core/rata.mli: Dayset Env Frame Scheme_base Wave_storage

@@ -1,0 +1,1 @@
+lib/core/reindex.mli: Env Frame Scheme_base

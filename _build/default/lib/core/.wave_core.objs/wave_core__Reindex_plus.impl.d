@@ -1,0 +1,1 @@
+lib/core/reindex_plus.ml: Dayset Env Frame Index List Scheme_base Split Update Wave_storage

@@ -1,0 +1,1 @@
+lib/core/reindex_plus.mli: Dayset Env Frame Scheme_base Wave_storage

@@ -1,0 +1,1 @@
+lib/core/reindex_pp.mli: Dayset Env Frame Scheme_base Wave_storage

@@ -1,0 +1,1 @@
+lib/core/scheme.ml: Dayset Del Env Frame List Option Printf Rata Reindex Reindex_plus Reindex_pp Scheme_base String Wata Wave_disk Wave_storage

@@ -1,0 +1,1 @@
+lib/core/scheme.mli: Dayset Env Frame Wave_storage

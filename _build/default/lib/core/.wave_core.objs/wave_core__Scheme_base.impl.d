@@ -1,0 +1,1 @@
+lib/core/scheme_base.ml: Dayset Env Frame Wave_disk

@@ -1,0 +1,1 @@
+lib/core/scheme_base.mli: Dayset Env Frame Wave_storage

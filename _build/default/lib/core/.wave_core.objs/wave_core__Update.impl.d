@@ -1,0 +1,1 @@
+lib/core/update.ml: Env Index List Printf Wave_storage

@@ -1,0 +1,1 @@
+lib/core/wata.ml: Dayset Env Frame List Scheme_base Split Update Wave_storage

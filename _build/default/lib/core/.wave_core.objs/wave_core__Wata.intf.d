@@ -1,0 +1,1 @@
+lib/core/wata.mli: Env Frame Scheme_base

@@ -1,0 +1,22 @@
+include Set.Make (Int)
+
+let range lo hi =
+  let rec go acc d = if d > hi then acc else go (add d acc) (d + 1) in
+  go empty lo
+
+let of_int_list = of_list
+
+let is_contiguous t =
+  is_empty t || cardinal t = max_elt t - min_elt t + 1
+
+let pp ppf t =
+  Format.fprintf ppf "{";
+  let first = ref true in
+  iter
+    (fun d ->
+      if !first then first := false else Format.fprintf ppf ", ";
+      Format.fprintf ppf "d%d" d)
+    t;
+  Format.fprintf ppf "}"
+
+let to_string t = Format.asprintf "%a" pp t

@@ -1,0 +1,21 @@
+(** Time-sets: the set of days covered by a constituent index.
+
+    The paper represents the days indexed by each constituent as a set
+    of integers (Section 2.2).  This is [Set.Make (Int)] plus the
+    helpers the maintenance algorithms need. *)
+
+include Set.S with type elt = int
+
+val range : int -> int -> t
+(** [range lo hi] is [{lo, lo+1, ..., hi}]; empty when [lo > hi]. *)
+
+val of_int_list : int list -> t
+
+val is_contiguous : t -> bool
+(** Whether the set is a run of consecutive integers (or empty).  Every
+    cluster the paper's algorithms form is contiguous. *)
+
+val pp : Format.formatter -> t -> unit
+(** Prints as [{d2, d3, d4}], matching the paper's tables. *)
+
+val to_string : t -> string

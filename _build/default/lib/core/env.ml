@@ -1,0 +1,28 @@
+open Wave_disk
+open Wave_storage
+
+type technique = In_place | Simple_shadow | Packed_shadow
+
+let technique_name = function
+  | In_place -> "in-place"
+  | Simple_shadow -> "simple-shadow"
+  | Packed_shadow -> "packed-shadow"
+
+type day_store = int -> Entry.batch
+
+type t = {
+  disk : Disk.t;
+  icfg : Index.config;
+  technique : technique;
+  store : day_store;
+  w : int;
+  n : int;
+  allow_deletes : bool;
+}
+
+let create ?disk ?(icfg = Index.default_config) ?(technique = In_place)
+    ?(allow_deletes = true) ~store ~w ~n () =
+  if n < 1 then invalid_arg "Env.create: n must be >= 1";
+  if w < n then invalid_arg "Env.create: need n <= w";
+  let disk = match disk with Some d -> d | None -> Index.make_disk icfg in
+  { disk; icfg; technique; store; w; n; allow_deletes }

@@ -1,0 +1,59 @@
+(** Shared environment for wave-index maintenance.
+
+    Bundles everything a scheme needs: the simulated disk, the
+    constituent-index configuration, the chosen update technique
+    (Section 2.1), the day store supplying historical batches (schemes
+    like REINDEX re-read past days when rebuilding), and the window
+    geometry [(W, n)]. *)
+
+open Wave_disk
+open Wave_storage
+
+type technique =
+  | In_place
+      (** Modify directory/buckets directly; needs concurrency control;
+          result not packed. *)
+  | Simple_shadow
+      (** Copy the index, update the copy in place, swap; extra space
+          during transitions; result not packed. *)
+  | Packed_shadow
+      (** Stream old + temporary new into a fresh packed index; result
+          packed; deletes ride along with the smart copy. *)
+
+val technique_name : technique -> string
+
+type day_store = int -> Entry.batch
+(** [store d] returns day [d]'s batch.  Must be deterministic: schemes
+    may fetch the same day several times (e.g. REINDEX re-reads W/n
+    days per rebuild). *)
+
+type t = {
+  disk : Disk.t;
+  icfg : Index.config;
+  technique : technique;
+  store : day_store;
+  w : int;  (** required window length in days *)
+  n : int;  (** number of constituent indexes *)
+  allow_deletes : bool;
+      (** Whether the underlying index package implements incremental
+          deletion.  The paper motivates REINDEX/WATA/RATA partly by
+          legacy packages (WAIS, SMART) that "do not implement deletes
+          at all"; with [false], any scheme x technique combination
+          that needs [DeleteFromIndex] (DEL under in-place or simple
+          shadowing) raises {!Update.Deletes_not_supported}, while
+          packed shadowing remains legal since expiry rides the smart
+          copy. *)
+}
+
+val create :
+  ?disk:Disk.t ->
+  ?icfg:Index.config ->
+  ?technique:technique ->
+  ?allow_deletes:bool ->
+  store:day_store ->
+  w:int ->
+  n:int ->
+  unit ->
+  t
+(** Validates [1 <= n <= w].  When [disk] is omitted a fresh compatible
+    disk is created via {!Wave_storage.Index.make_disk}. *)

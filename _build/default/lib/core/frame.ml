@@ -1,0 +1,113 @@
+open Wave_storage
+
+type slot = { mutable index : Index.t; mutable days : Dayset.t }
+
+type t = { env : Env.t; slots : slot array }
+
+let create env =
+  {
+    env;
+    slots =
+      Array.init env.Env.n (fun _ ->
+          {
+            index = Index.create_empty env.Env.disk env.Env.icfg;
+            days = Dayset.empty;
+          });
+  }
+
+let env t = t.env
+let n t = Array.length t.slots
+
+let slot t j =
+  if j < 1 || j > Array.length t.slots then
+    invalid_arg (Printf.sprintf "Frame: slot %d out of range" j);
+  t.slots.(j - 1)
+
+let set_slot t j idx days =
+  let s = slot t j in
+  s.index <- idx;
+  s.days <- days
+
+let slot_index t j = (slot t j).index
+let slot_days t j = (slot t j).days
+let update_days t j days = (slot t j).days <- days
+
+let find_slot_with_day t day =
+  let rec go j =
+    if j > Array.length t.slots then raise Not_found
+    else if Dayset.mem day (slot t j).days then j
+    else go (j + 1)
+  in
+  go 1
+
+let covered_days t =
+  Array.fold_left (fun acc s -> Dayset.union acc s.days) Dayset.empty t.slots
+
+let length t =
+  Array.fold_left (fun acc s -> acc + Dayset.cardinal s.days) 0 t.slots
+
+let slot_in_range s ~t1 ~t2 =
+  Dayset.exists (fun d -> d >= t1 && d <= t2) s.days
+
+let timed_index_probe t ~t1 ~t2 ~value =
+  Array.fold_left
+    (fun acc s ->
+      if slot_in_range s ~t1 ~t2 then
+        acc @ Index.probe_timed s.index value ~t1 ~t2
+      else acc)
+    [] t.slots
+
+let index_probe t ~value = timed_index_probe t ~t1:min_int ~t2:max_int ~value
+
+let timed_segment_scan t ~t1 ~t2 =
+  Array.fold_left
+    (fun acc s ->
+      if slot_in_range s ~t1 ~t2 then acc @ Index.scan_timed s.index ~t1 ~t2
+      else acc)
+    [] t.slots
+
+let segment_scan t = timed_segment_scan t ~t1:min_int ~t2:max_int
+
+type aggregate = Count | Sum_info | Min_info | Max_info
+
+let timed_aggregate t ~t1 ~t2 ~op =
+  let entries = timed_segment_scan t ~t1 ~t2 in
+  let fold f init =
+    List.fold_left (fun acc (e : Entry.t) -> f acc e.Entry.info) init entries
+  in
+  match op with
+  | Count -> Some (List.length entries)
+  | Sum_info -> Some (fold ( + ) 0)
+  | Min_info -> (
+    match entries with [] -> None | _ -> Some (fold min max_int))
+  | Max_info -> (
+    match entries with [] -> None | _ -> Some (fold max min_int))
+
+let allocated_bytes t =
+  Array.fold_left (fun acc s -> acc + Index.allocated_bytes s.index) 0 t.slots
+
+let used_bytes t =
+  Array.fold_left (fun acc s -> acc + Index.used_bytes s.index) 0 t.slots
+
+let entry_count t =
+  Array.fold_left (fun acc s -> acc + Index.entry_count s.index) 0 t.slots
+
+let validate t =
+  Array.iteri
+    (fun i s ->
+      Index.validate s.index;
+      let present = Dayset.of_int_list (Index.days s.index) in
+      (* Days whose batch happened to be empty leave no trace in the
+         index, so the recorded time-set may be a superset. *)
+      if not (Dayset.subset present s.days) then
+        failwith
+          (Printf.sprintf "Frame: slot %d time-set %s but index holds %s"
+             (i + 1)
+             (Dayset.to_string s.days)
+             (Dayset.to_string present)))
+    t.slots
+
+let pp ppf t =
+  Array.iteri
+    (fun i s -> Format.fprintf ppf "I%d -> %a@." (i + 1) Dayset.pp s.days)
+    t.slots

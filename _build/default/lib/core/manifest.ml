@@ -1,0 +1,133 @@
+type t = {
+  scheme : Scheme.kind;
+  technique : Env.technique;
+  w : int;
+  n : int;
+  day : int;
+  slots : Dayset.t list;
+}
+
+let capture s =
+  let env = Scheme.env s in
+  let frame = Scheme.frame s in
+  {
+    scheme = Scheme.kind s;
+    technique = env.Env.technique;
+    w = env.Env.w;
+    n = env.Env.n;
+    day = Scheme.current_day s;
+    slots =
+      List.init (Frame.n frame) (fun i -> Frame.slot_days frame (i + 1));
+  }
+
+let technique_token = function
+  | Env.In_place -> "in-place"
+  | Env.Simple_shadow -> "simple-shadow"
+  | Env.Packed_shadow -> "packed-shadow"
+
+let technique_of_token = function
+  | "in-place" -> Some Env.In_place
+  | "simple-shadow" -> Some Env.Simple_shadow
+  | "packed-shadow" -> Some Env.Packed_shadow
+  | _ -> None
+
+let to_string t =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "wave-manifest v1\n";
+  Printf.bprintf buf "scheme %s\n" (Scheme.name t.scheme);
+  Printf.bprintf buf "technique %s\n" (technique_token t.technique);
+  Printf.bprintf buf "w %d\n" t.w;
+  Printf.bprintf buf "n %d\n" t.n;
+  Printf.bprintf buf "day %d\n" t.day;
+  List.iteri
+    (fun i ds ->
+      Printf.bprintf buf "slot %d %s\n" (i + 1)
+        (String.concat "," (List.map string_of_int (Dayset.elements ds))))
+    t.slots;
+  Buffer.contents buf
+
+let of_string s =
+  let lines = String.split_on_char '\n' s |> List.filter (fun l -> l <> "") in
+  let err m = Error m in
+  match lines with
+  | header :: rest when header = "wave-manifest v1" -> (
+    let field name =
+      List.find_map
+        (fun l ->
+          let prefix = name ^ " " in
+          if String.starts_with ~prefix l then
+            Some (String.sub l (String.length prefix)
+                    (String.length l - String.length prefix))
+          else None)
+        rest
+    in
+    let int_field name =
+      match field name with
+      | None -> Error (Printf.sprintf "missing field %s" name)
+      | Some v -> (
+        match int_of_string_opt (String.trim v) with
+        | Some i -> Ok i
+        | None -> Error (Printf.sprintf "bad integer for %s" name))
+    in
+    match (field "scheme", field "technique", int_field "w", int_field "n",
+           int_field "day") with
+    | Some sch, Some tech, Ok w, Ok n, Ok day -> (
+      match (Scheme.of_name sch, technique_of_token (String.trim tech)) with
+      | Some scheme, Some technique -> (
+        let slots =
+          List.filter_map
+            (fun l ->
+              if String.starts_with ~prefix:"slot " l then
+                match String.split_on_char ' ' l with
+                | [ _; _; days ] ->
+                  let parsed =
+                    if days = "" then Some Dayset.empty
+                    else
+                      String.split_on_char ',' days
+                      |> List.map int_of_string_opt
+                      |> List.fold_left
+                           (fun acc d ->
+                             match (acc, d) with
+                             | Some s, Some d -> Some (Dayset.add d s)
+                             | _ -> None)
+                           (Some Dayset.empty)
+                  in
+                  Some parsed
+                | [ _; _ ] -> Some (Some Dayset.empty)
+                | _ -> Some None
+              else None)
+            rest
+        in
+        if List.exists Option.is_none slots then err "malformed slot line"
+        else
+          let slots = List.map Option.get slots in
+          if List.length slots <> n then err "slot count does not match n"
+          else Ok { scheme; technique; w; n; day; slots })
+      | None, _ -> err "unknown scheme"
+      | _, None -> err "unknown technique")
+    | None, _, _, _, _ -> err "missing field scheme"
+    | _, None, _, _, _ -> err "missing field technique"
+    | _, _, (Error _ as e), _, _ -> e
+    | _, _, _, (Error _ as e), _ -> e
+    | _, _, _, _, (Error _ as e) -> e)
+  | _ -> err "bad or missing manifest header"
+
+let restore_frame t env =
+  if env.Env.w <> t.w || env.Env.n <> t.n then
+    invalid_arg "Manifest.restore_frame: geometry mismatch";
+  let frame = Frame.create env in
+  List.iteri
+    (fun i ds ->
+      if not (Dayset.is_empty ds) then
+        Frame.set_slot frame (i + 1)
+          (Update.build_days env (Dayset.elements ds))
+          ds)
+    t.slots;
+  frame
+
+let restart t env =
+  if env.Env.w <> t.w || env.Env.n <> t.n then
+    invalid_arg "Manifest.restart: geometry mismatch";
+  let s = Scheme.start t.scheme env in
+  Scheme.advance_to s t.day;
+  s

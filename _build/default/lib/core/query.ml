@@ -1,0 +1,62 @@
+open Wave_storage
+
+module Rid_set = Set.Make (Int)
+
+type t = Word of int | And of t list | Or of t list | Diff of t * t
+
+let words q =
+  let rec go acc = function
+    | Word v -> v :: acc
+    | And qs | Or qs -> List.fold_left go acc qs
+    | Diff (a, b) -> go (go acc a) b
+  in
+  List.sort_uniq Int.compare (go [] q)
+
+let eval frame ~t1 ~t2 q =
+  (* One probe per distinct value, shared across the expression. *)
+  let cache = Hashtbl.create 16 in
+  let posting v =
+    match Hashtbl.find_opt cache v with
+    | Some s -> s
+    | None ->
+      let s =
+        List.fold_left
+          (fun acc (e : Entry.t) -> Rid_set.add e.Entry.rid acc)
+          Rid_set.empty
+          (Frame.timed_index_probe frame ~t1 ~t2 ~value:v)
+      in
+      Hashtbl.add cache v s;
+      s
+  in
+  let rec go = function
+    | Word v -> posting v
+    | And [] -> invalid_arg "Query.eval: And []"
+    | And (q :: qs) -> List.fold_left (fun acc q -> Rid_set.inter acc (go q)) (go q) qs
+    | Or qs -> List.fold_left (fun acc q -> Rid_set.union acc (go q)) Rid_set.empty qs
+    | Diff (a, b) -> Rid_set.diff (go a) (go b)
+  in
+  (* Warm the cache in a deterministic order so disk charges do not
+     depend on expression shape. *)
+  List.iter (fun v -> ignore (posting v)) (words q);
+  go q
+
+let eval_window s q =
+  let d = Scheme.current_day s in
+  let w = (Scheme.env s).Env.w in
+  eval (Scheme.frame s) ~t1:(d - w + 1) ~t2:d q
+
+let rec pp ppf = function
+  | Word v -> Format.fprintf ppf "w%d" v
+  | And qs ->
+    Format.fprintf ppf "(%a)"
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.fprintf ppf " AND ")
+         pp)
+      qs
+  | Or qs ->
+    Format.fprintf ppf "(%a)"
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.fprintf ppf " OR ")
+         pp)
+      qs
+  | Diff (a, b) -> Format.fprintf ppf "(%a \\ %a)" pp a pp b

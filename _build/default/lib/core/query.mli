@@ -1,0 +1,32 @@
+(** Boolean queries over a wave index.
+
+    Search engines front their indexes with boolean retrieval — the
+    paper's WSE case study measures two-word (conjunctive) AltaVista
+    queries.  This module evaluates a boolean combination of search
+    values over a day range by issuing one [TimedIndexProbe] per
+    distinct value and combining the resulting record-id sets; the
+    simulated disk is charged for exactly those probes. *)
+
+
+module Rid_set : Set.S with type elt = int
+
+type t =
+  | Word of int  (** records posting this search value in range *)
+  | And of t list  (** intersection; [And []] is invalid *)
+  | Or of t list  (** union; [Or []] is the empty set *)
+  | Diff of t * t  (** [Diff (a, b)]: results of [a] without those of [b] *)
+
+val words : t -> int list
+(** Distinct search values mentioned, ascending. *)
+
+val eval : Frame.t -> t1:int -> t2:int -> t -> Rid_set.t
+(** Record ids matching the query among entries timestamped in
+    [\[t1, t2\]].  Each distinct value is probed once (probes are
+    memoised across the whole query).  Raises [Invalid_argument] on
+    [And \[\]]. *)
+
+val eval_window : Scheme.t -> t -> Rid_set.t
+(** Evaluate over the scheme's current required window. *)
+
+val pp : Format.formatter -> t -> unit
+(** e.g. [(w3 AND (w1 OR w2)) \ w9]. *)

@@ -1,0 +1,43 @@
+type t = Scheme_base.t
+
+let name = "REINDEX"
+let hard_window = true
+let min_indexes = 1
+
+(* Start is identical to DEL's. *)
+let start env =
+  let b = Scheme_base.create env in
+  let parts = Split.contiguous ~first_day:1 ~days:env.Env.w ~parts:env.Env.n in
+  List.iteri
+    (fun i (lo, hi) ->
+      let days = Dayset.range lo hi in
+      Scheme_base.install b (i + 1)
+        (Update.build_days env (Dayset.elements days))
+        days)
+    parts;
+  b.Scheme_base.day <- env.Env.w;
+  Scheme_base.mark_visible b;
+  b
+
+let transition (b : t) =
+  let env = b.Scheme_base.env in
+  Scheme_base.begin_transition b;
+  let new_day = b.Scheme_base.day + 1 in
+  let expired = new_day - env.Env.w in
+  let j = Frame.find_slot_with_day b.Scheme_base.frame expired in
+  let days =
+    Dayset.add new_day (Dayset.remove expired (Frame.slot_days b.Scheme_base.frame j))
+  in
+  (* Days[j] <- Days[j] - {new-W} + {new}; I_j <- BuildIndex(Days[j]). *)
+  let fresh = Update.build_days env (Dayset.elements days) in
+  let old = Frame.slot_index b.Scheme_base.frame j in
+  Scheme_base.install b j fresh days;
+  Wave_storage.Index.drop old;
+  Scheme_base.mark_visible b;
+  b.Scheme_base.day <- new_day
+
+let frame (b : t) = b.Scheme_base.frame
+let current_day (b : t) = b.Scheme_base.day
+let last_mark (b : t) = b.Scheme_base.mark
+
+let base (b : t) = (b : Scheme_base.t)

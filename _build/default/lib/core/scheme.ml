@@ -1,0 +1,155 @@
+type kind = Del | Reindex | Reindex_plus | Reindex_pp | Wata_star | Rata_star
+
+let all = [ Del; Reindex; Reindex_plus; Reindex_pp; Wata_star; Rata_star ]
+
+let name = function
+  | Del -> "DEL"
+  | Reindex -> "REINDEX"
+  | Reindex_plus -> "REINDEX+"
+  | Reindex_pp -> "REINDEX++"
+  | Wata_star -> "WATA*"
+  | Rata_star -> "RATA*"
+
+let of_name s =
+  match String.uppercase_ascii (String.trim s) with
+  | "DEL" -> Some Del
+  | "REINDEX" -> Some Reindex
+  | "REINDEX+" -> Some Reindex_plus
+  | "REINDEX++" -> Some Reindex_pp
+  | "WATA" | "WATA*" -> Some Wata_star
+  | "RATA" | "RATA*" -> Some Rata_star
+  | _ -> None
+
+let hard_window = function Wata_star -> false | _ -> true
+
+let min_indexes = function Wata_star | Rata_star -> 2 | _ -> 1
+
+type t =
+  | S_del of Del.t
+  | S_reindex of Reindex.t
+  | S_rplus of Reindex_plus.t
+  | S_rpp of Reindex_pp.t
+  | S_wata of Wata.t
+  | S_rata of Rata.t
+
+let start k env =
+  match k with
+  | Del -> S_del (Del.start env)
+  | Reindex -> S_reindex (Reindex.start env)
+  | Reindex_plus -> S_rplus (Reindex_plus.start env)
+  | Reindex_pp -> S_rpp (Reindex_pp.start env)
+  | Wata_star -> S_wata (Wata.start env)
+  | Rata_star -> S_rata (Rata.start env)
+
+let transition = function
+  | S_del s -> Del.transition s
+  | S_reindex s -> Reindex.transition s
+  | S_rplus s -> Reindex_plus.transition s
+  | S_rpp s -> Reindex_pp.transition s
+  | S_wata s -> Wata.transition s
+  | S_rata s -> Rata.transition s
+
+let kind = function
+  | S_del _ -> Del
+  | S_reindex _ -> Reindex
+  | S_rplus _ -> Reindex_plus
+  | S_rpp _ -> Reindex_pp
+  | S_wata _ -> Wata_star
+  | S_rata _ -> Rata_star
+
+let frame = function
+  | S_del s -> Del.frame s
+  | S_reindex s -> Reindex.frame s
+  | S_rplus s -> Reindex_plus.frame s
+  | S_rpp s -> Reindex_pp.frame s
+  | S_wata s -> Wata.frame s
+  | S_rata s -> Rata.frame s
+
+let current_day = function
+  | S_del s -> Del.current_day s
+  | S_reindex s -> Reindex.current_day s
+  | S_rplus s -> Reindex_plus.current_day s
+  | S_rpp s -> Reindex_pp.current_day s
+  | S_wata s -> Wata.current_day s
+  | S_rata s -> Rata.current_day s
+
+let last_mark = function
+  | S_del s -> Del.last_mark s
+  | S_reindex s -> Reindex.last_mark s
+  | S_rplus s -> Reindex_plus.last_mark s
+  | S_rpp s -> Reindex_pp.last_mark s
+  | S_wata s -> Wata.last_mark s
+  | S_rata s -> Rata.last_mark s
+
+let env t = Frame.env (frame t)
+
+let advance_to t day =
+  while current_day t < day do
+    transition t
+  done
+
+let window t =
+  let d = current_day t in
+  Dayset.range (d - (env t).Env.w + 1) d
+
+let temp_days = function
+  | S_del _ | S_reindex _ | S_wata _ -> []
+  | S_rplus s ->
+    let d = Reindex_plus.temp_days s in
+    if Dayset.is_empty d then [] else [ d ]
+  | S_rpp s -> Reindex_pp.temps_days s
+  | S_rata s -> Rata.temps_days s
+
+let check_window_invariant t =
+  let covered = Frame.covered_days (frame t) in
+  let required = window t in
+  if hard_window (kind t) then begin
+    if not (Dayset.equal covered required) then
+      failwith
+        (Printf.sprintf "%s: hard window violated: covered %s, required %s"
+           (name (kind t))
+           (Dayset.to_string covered)
+           (Dayset.to_string required))
+  end
+  else begin
+    if not (Dayset.subset required covered) then
+      failwith
+        (Printf.sprintf "%s: soft window missing days: covered %s, required %s"
+           (name (kind t))
+           (Dayset.to_string covered)
+           (Dayset.to_string required));
+    let e = env t in
+    let bound = Wata.length_bound ~w:e.Env.w ~n:e.Env.n in
+    let len = Frame.length (frame t) in
+    if len > bound then
+      failwith
+        (Printf.sprintf "WATA*: length %d exceeds Theorem 2 bound %d" len bound)
+  end
+
+let temp_indexes = function
+  | S_del _ | S_reindex _ | S_wata _ -> []
+  | S_rplus s -> Option.to_list (Reindex_plus.temp_index s)
+  | S_rpp s -> Reindex_pp.temp_indexes s
+  | S_rata s -> Rata.temp_indexes s
+
+let allocated_bytes t =
+  Frame.allocated_bytes (frame t)
+  + List.fold_left
+      (fun acc i -> acc + Wave_storage.Index.allocated_bytes i)
+      0 (temp_indexes t)
+
+let base_of = function
+  | S_del s -> Del.base s
+  | S_reindex s -> Reindex.base s
+  | S_rplus s -> Reindex_plus.base s
+  | S_rpp s -> Reindex_pp.base s
+  | S_wata s -> Wata.base s
+  | S_rata s -> Rata.base s
+
+let last_transition_seconds t =
+  let b = base_of t in
+  b.Scheme_base.mark -. b.Scheme_base.arrived
+
+let last_total_seconds t =
+  let b = base_of t in
+  Wave_disk.Disk.elapsed (Frame.env (frame t)).Env.disk -. b.Scheme_base.started

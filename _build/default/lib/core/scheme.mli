@@ -1,0 +1,70 @@
+(** Uniform driver over the six wave-index maintenance algorithms. *)
+
+type kind = Del | Reindex | Reindex_plus | Reindex_pp | Wata_star | Rata_star
+
+val all : kind list
+(** All six, in the paper's order. *)
+
+val name : kind -> string
+val of_name : string -> kind option
+(** Case-insensitive; accepts "DEL", "REINDEX", "REINDEX+", "REINDEX++",
+    "WATA*"/"WATA", "RATA*"/"RATA". *)
+
+val hard_window : kind -> bool
+(** Whether the scheme maintains hard windows (exactly the last W
+    days); WATA* is the only soft one. *)
+
+val min_indexes : kind -> int
+(** 1 for the DEL/REINDEX family, 2 for WATA*/RATA*. *)
+
+type t
+(** A running scheme instance. *)
+
+val start : kind -> Env.t -> t
+(** Execute the algorithm's Start phase: builds the wave over days
+    [1..env.w] fetched from the store. *)
+
+val transition : t -> unit
+(** Absorb the next day. *)
+
+val advance_to : t -> int -> unit
+(** Transition repeatedly until [current_day] reaches the given day. *)
+
+val kind : t -> kind
+val env : t -> Env.t
+val frame : t -> Frame.t
+val current_day : t -> int
+
+val last_mark : t -> float
+(** Disk-clock instant during the most recent transition at which the
+    new day's data became queryable (Section 5's Transition Time is
+    [last_mark - clock at transition start]). *)
+
+val window : t -> Dayset.t
+(** The required window [{current_day - w + 1 .. current_day}]. *)
+
+val temp_days : t -> Dayset.t list
+(** Time-sets of scheme-private temporary indexes currently held
+    (empty list for DEL, REINDEX and WATA). *)
+
+val check_window_invariant : t -> unit
+(** Hard schemes: coverage equals the required window.  WATA*:
+    coverage includes the window and total length never exceeds
+    Theorem 2's bound.  Raises [Failure] with a diagnostic. *)
+
+val temp_indexes : t -> Wave_storage.Index.t list
+(** Scheme-private temporary indexes currently alive; with the frame's
+    constituents these account for all disk space the scheme holds. *)
+
+val allocated_bytes : t -> int
+(** Total disk bytes held: constituents plus temporaries — the paper's
+    space-utilisation measure during operation. *)
+
+val last_transition_seconds : t -> float
+(** Model seconds between the new day's data arriving and it becoming
+    queryable during the most recent transition — Section 5's
+    Transition Time. *)
+
+val last_total_seconds : t -> float
+(** Model seconds consumed by the whole most recent maintenance step
+    (pre-computation + transition + post-install work). *)

@@ -1,0 +1,14 @@
+let sizes ~days ~parts =
+  if parts <= 0 then invalid_arg "Split.sizes: parts must be positive";
+  if days < parts then invalid_arg "Split.sizes: need parts <= days";
+  let base = days / parts and extra = days mod parts in
+  List.init parts (fun i -> if i < extra then base + 1 else base)
+
+let contiguous ~first_day ~days ~parts =
+  let szs = sizes ~days ~parts in
+  let _, ranges =
+    List.fold_left
+      (fun (lo, acc) sz -> (lo + sz, (lo, lo + sz - 1) :: acc))
+      (first_day, []) szs
+  in
+  List.rev ranges

@@ -1,0 +1,14 @@
+(** Initial partitioning of days across constituent indexes.
+
+    The Start phase of every algorithm in Appendix A splits a run of
+    days into [parts] contiguous clusters, giving the first
+    [days mod parts] clusters one extra day (so cluster sizes are
+    either ⌈days/parts⌉ or ⌊days/parts⌋). *)
+
+val contiguous : first_day:int -> days:int -> parts:int -> (int * int) list
+(** [contiguous ~first_day ~days ~parts] returns [parts] inclusive
+    [(lo, hi)] ranges covering [first_day .. first_day + days - 1] in
+    order.  Requires [0 < parts <= days]. *)
+
+val sizes : days:int -> parts:int -> int list
+(** Just the cluster cardinalities. *)

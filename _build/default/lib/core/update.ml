@@ -1,0 +1,112 @@
+open Wave_storage
+
+exception Deletes_not_supported of string
+
+let require_deletes env op =
+  if (not env.Env.allow_deletes) && env.Env.technique <> Env.Packed_shadow then
+    raise
+      (Deletes_not_supported
+         (Printf.sprintf
+            "%s needs incremental deletion, but the index package does not              support deletes (use packed shadowing or a rebuild/throw-away              scheme)"
+            op))
+
+let fetch env days = List.map env.Env.store days
+
+let build_days env days = Index.build env.Env.disk env.Env.icfg (fetch env days)
+
+let add_in_place env idx days =
+  List.iter (fun b -> Index.add_batch idx b) (fetch env days);
+  idx
+
+let add_days env idx days =
+  match env.Env.technique with
+  | Env.In_place -> add_in_place env idx days
+  | Env.Simple_shadow ->
+    let shadow = Index.copy idx in
+    let shadow = add_in_place env shadow days in
+    Index.drop idx;
+    shadow
+  | Env.Packed_shadow ->
+    let fresh = Index.pack idx ~drop_days:(fun _ -> false) ~extra:(fetch env days) in
+    Index.drop idx;
+    fresh
+
+let delete_days env idx expire =
+  require_deletes env "DeleteFromIndex";
+  match env.Env.technique with
+  | Env.In_place ->
+    ignore (Index.delete_days idx expire);
+    idx
+  | Env.Simple_shadow ->
+    let shadow = Index.copy idx in
+    ignore (Index.delete_days shadow expire);
+    Index.drop idx;
+    shadow
+  | Env.Packed_shadow ->
+    let fresh = Index.pack idx ~drop_days:expire ~extra:[] in
+    Index.drop idx;
+    fresh
+
+let replace_days env idx ~expire ~add =
+  require_deletes env "DeleteFromIndex";
+  match env.Env.technique with
+  | Env.In_place ->
+    ignore (Index.delete_days idx expire);
+    add_in_place env idx add
+  | Env.Simple_shadow ->
+    let shadow = Index.copy idx in
+    ignore (Index.delete_days shadow expire);
+    let shadow = add_in_place env shadow add in
+    Index.drop idx;
+    shadow
+  | Env.Packed_shadow ->
+    let fresh = Index.pack idx ~drop_days:expire ~extra:(fetch env add) in
+    Index.drop idx;
+    fresh
+
+let copy _env idx = Index.copy idx
+
+let add_days_fresh env idx days =
+  match env.Env.technique with
+  | Env.In_place | Env.Simple_shadow -> add_in_place env idx days
+  | Env.Packed_shadow ->
+    let fresh = Index.pack idx ~drop_days:(fun _ -> false) ~extra:(fetch env days) in
+    Index.drop idx;
+    fresh
+
+type pending = {
+  old_idx : Index.t;
+  staged : Index.t option; (* None: work deferred to completion (packed shadow) *)
+  expire : int -> bool;
+}
+
+let prepare_replace env idx ~expire =
+  require_deletes env "DeleteFromIndex";
+  match env.Env.technique with
+  | Env.In_place ->
+    ignore (Index.delete_days idx expire);
+    { old_idx = idx; staged = Some idx; expire }
+  | Env.Simple_shadow ->
+    let shadow = Index.copy idx in
+    ignore (Index.delete_days shadow expire);
+    { old_idx = idx; staged = Some shadow; expire }
+  | Env.Packed_shadow -> { old_idx = idx; staged = None; expire }
+
+let prepare_add env idx =
+  (* No expiry: skip the legacy-deletes guard and the delete pass. *)
+  match env.Env.technique with
+  | Env.In_place -> { old_idx = idx; staged = Some idx; expire = (fun _ -> false) }
+  | Env.Simple_shadow ->
+    { old_idx = idx; staged = Some (Index.copy idx); expire = (fun _ -> false) }
+  | Env.Packed_shadow -> { old_idx = idx; staged = None; expire = (fun _ -> false) }
+
+let complete_replace env p ~add =
+  match p.staged with
+  | Some staged ->
+    let staged = add_in_place env staged add in
+    if staged != p.old_idx then Index.drop p.old_idx;
+    staged
+  | None ->
+    let fresh = Index.pack p.old_idx ~drop_days:p.expire ~extra:(fetch env add) in
+    Index.drop p.old_idx;
+    fresh

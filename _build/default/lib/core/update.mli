@@ -1,0 +1,64 @@
+(** Constituent-index update operations under the three techniques.
+
+    These are the paper's [BuildIndex], [AddToIndex] and
+    [DeleteFromIndex] (Section 2.2), parameterised by the update
+    technique of Section 2.1.  Shadow techniques replace the index, so
+    every mutator returns the index to install in the wave; the old
+    one has already been dropped (its space reclaimed). *)
+
+open Wave_storage
+
+exception Deletes_not_supported of string
+(** Raised when a scheme needs incremental [DeleteFromIndex] but the
+    environment declares the index package cannot delete
+    ([Env.allow_deletes = false]) and the technique is not packed
+    shadowing.  Models the paper's WAIS/SMART legacy constraint. *)
+
+val build_days : Env.t -> int list -> Index.t
+(** [BuildIndex (Days)]: a packed index over the given days' batches,
+    fetched from the store. *)
+
+val add_days : Env.t -> Index.t -> int list -> Index.t
+(** [AddToIndex (Days, I)].  In-place: incremental CONTIGUOUS inserts,
+    result unpacked.  Simple shadow: copy, insert into the copy, swap.
+    Packed shadow: smart-copy into a fresh packed index. *)
+
+val delete_days : Env.t -> Index.t -> (int -> bool) -> Index.t
+(** [DeleteFromIndex (Days, I)] for all days satisfying the predicate. *)
+
+val replace_days : Env.t -> Index.t -> expire:(int -> bool) -> add:int list -> Index.t
+(** Delete + add in one maintenance step (what DEL does daily).  Under
+    packed shadowing both ride a single smart copy, which is where that
+    technique's saving comes from. *)
+
+val copy : Env.t -> Index.t -> Index.t
+(** Plain duplication (the paper's [CP]); used for [I_j <- Temp] steps
+    where the temporary must survive. *)
+
+val add_days_fresh : Env.t -> Index.t -> int list -> Index.t
+(** Like {!add_days} but for an index that is not yet visible to
+    queries (a temporary or a replacement under construction): no
+    shadow copy is ever needed, so [In_place] and [Simple_shadow]
+    coincide; [Packed_shadow] still packs, since that technique's
+    point is that every produced index is packed. *)
+
+type pending
+(** A replacement prepared by {!prepare_replace}: all the daily
+    maintenance work that does not need the new day's data (shadow
+    copy, expiry deletion).  Completing it with the new day is the
+    paper's Transition; preparing it is Pre-computation. *)
+
+val prepare_replace : Env.t -> Index.t -> expire:(int -> bool) -> pending
+(** Prepare a delete+add maintenance step.  Raises
+    {!Deletes_not_supported} under the legacy constraint (see
+    {!Env.t.allow_deletes}). *)
+
+val prepare_add : Env.t -> Index.t -> pending
+(** Like {!prepare_replace} with no expiry — pure insertion (what WATA
+    and RATA do), legal even without delete support. *)
+
+val complete_replace : Env.t -> pending -> add:int list -> Index.t
+(** [complete_replace env p ~add] finishes the maintenance step begun
+    by {!prepare_replace} once the new data exists, returning the index
+    to install.  The old index has been dropped where the technique
+    replaces it. *)

@@ -1,0 +1,1 @@
+lib/disk/disk.ml: Format Int List Map

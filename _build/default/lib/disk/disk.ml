@@ -1,0 +1,207 @@
+type params = {
+  seek_time : float;
+  transfer_rate : float;
+  block_size : int;
+}
+
+let default_params =
+  { seek_time = 0.014; transfer_rate = 10e6; block_size = 4096 }
+
+type extent = { start : int; length : int }
+
+type counters = {
+  seeks : int;
+  blocks_read : int;
+  blocks_written : int;
+  elapsed : float;
+}
+
+exception Disk_error of string
+
+module Extent_key = struct
+  type t = int (* start block; extents never overlap, so start is a key *)
+
+  let compare = Int.compare
+end
+
+module Live = Map.Make (Extent_key)
+
+type t = {
+  params : params;
+  mutable free_list : (int * int) list; (* (start, length), address-sorted *)
+  mutable live : int Live.t; (* start -> length *)
+  mutable frontier : int;
+  mutable live_blocks : int;
+  mutable peak_blocks : int;
+  mutable seeks : int;
+  mutable blocks_read : int;
+  mutable blocks_written : int;
+  mutable elapsed : float;
+  mutable fault_in : int; (* 0 = disarmed; k = fail on the k-th next seek *)
+}
+
+let create ?(params = default_params) () =
+  if params.seek_time < 0.0 || params.transfer_rate <= 0.0 || params.block_size <= 0
+  then raise (Disk_error "invalid parameters");
+  {
+    params;
+    free_list = [];
+    live = Live.empty;
+    frontier = 0;
+    live_blocks = 0;
+    peak_blocks = 0;
+    seeks = 0;
+    blocks_read = 0;
+    blocks_written = 0;
+    elapsed = 0.0;
+    fault_in = 0;
+  }
+
+let params t = t.params
+
+let block_seconds t blocks =
+  float_of_int (blocks * t.params.block_size) /. t.params.transfer_rate
+
+let charge_seek t =
+  if t.fault_in > 0 then begin
+    t.fault_in <- t.fault_in - 1;
+    if t.fault_in = 0 then raise (Disk_error "injected fault")
+  end;
+  t.seeks <- t.seeks + 1;
+  t.elapsed <- t.elapsed +. t.params.seek_time
+
+let charge_delay t seconds =
+  if seconds < 0.0 then raise (Disk_error "negative delay");
+  t.elapsed <- t.elapsed +. seconds
+
+let charge_transfer_bytes t bytes =
+  if bytes < 0 then raise (Disk_error "negative transfer");
+  t.elapsed <- t.elapsed +. (float_of_int bytes /. t.params.transfer_rate)
+
+let note_alloc t blocks =
+  t.live_blocks <- t.live_blocks + blocks;
+  if t.live_blocks > t.peak_blocks then t.peak_blocks <- t.live_blocks
+
+let alloc t ~blocks =
+  if blocks <= 0 then raise (Disk_error "alloc: non-positive size");
+  (* First fit over the address-sorted free list. *)
+  let rec fit acc = function
+    | [] -> None
+    | (start, len) :: rest when len >= blocks ->
+      let remainder =
+        if len = blocks then [] else [ (start + blocks, len - blocks) ]
+      in
+      Some (start, List.rev_append acc (remainder @ rest))
+    | hole :: rest -> fit (hole :: acc) rest
+  in
+  let start =
+    match fit [] t.free_list with
+    | Some (start, free_list) ->
+      t.free_list <- free_list;
+      start
+    | None ->
+      let start = t.frontier in
+      t.frontier <- t.frontier + blocks;
+      start
+  in
+  t.live <- Live.add start blocks t.live;
+  note_alloc t blocks;
+  { start; length = blocks }
+
+let lookup_live t ext =
+  match Live.find_opt ext.start t.live with
+  | Some len when len = ext.length -> ()
+  | Some _ -> raise (Disk_error "extent shape mismatch (stale handle?)")
+  | None -> raise (Disk_error "extent is not live")
+
+let is_live t ext =
+  match Live.find_opt ext.start t.live with
+  | Some len -> len = ext.length
+  | None -> false
+
+(* Insert (start, len) into the address-sorted free list, merging with
+   adjacent holes so repeated alloc/free cycles do not fragment forever. *)
+let insert_free free_list (start, len) =
+  let rec go = function
+    | [] -> [ (start, len) ]
+    | (s, l) :: rest when s + l = start -> go_merge (s, l + len) rest
+    | (s, l) :: rest when start + len = s -> (start, len + l) :: rest
+    | (s, l) :: rest when s > start -> (start, len) :: (s, l) :: rest
+    | hole :: rest -> hole :: go rest
+  and go_merge (s, l) = function
+    | (s2, l2) :: rest when s + l = s2 -> (s, l + l2) :: rest
+    | rest -> (s, l) :: rest
+  in
+  go free_list
+
+let free t ext =
+  lookup_live t ext;
+  t.live <- Live.remove ext.start t.live;
+  t.live_blocks <- t.live_blocks - ext.length;
+  t.free_list <- insert_free t.free_list (ext.start, ext.length)
+
+let read_blocks t ext ~blocks =
+  lookup_live t ext;
+  if blocks < 0 || blocks > ext.length then
+    raise (Disk_error "read_blocks: out of extent bounds");
+  charge_seek t;
+  t.blocks_read <- t.blocks_read + blocks;
+  t.elapsed <- t.elapsed +. block_seconds t blocks
+
+let read t ext = read_blocks t ext ~blocks:ext.length
+
+let write_blocks t ext ~blocks =
+  lookup_live t ext;
+  if blocks < 0 || blocks > ext.length then
+    raise (Disk_error "write_blocks: out of extent bounds");
+  charge_seek t;
+  t.blocks_written <- t.blocks_written + blocks;
+  t.elapsed <- t.elapsed +. block_seconds t blocks
+
+let write t ext = write_blocks t ext ~blocks:ext.length
+
+let sequential_read t exts =
+  List.iter (lookup_live t) exts;
+  charge_seek t;
+  List.iter
+    (fun ext ->
+      t.blocks_read <- t.blocks_read + ext.length;
+      t.elapsed <- t.elapsed +. block_seconds t ext.length)
+    exts
+
+let counters t =
+  {
+    seeks = t.seeks;
+    blocks_read = t.blocks_read;
+    blocks_written = t.blocks_written;
+    elapsed = t.elapsed;
+  }
+
+let elapsed t = t.elapsed
+
+let reset_counters t =
+  t.seeks <- 0;
+  t.blocks_read <- 0;
+  t.blocks_written <- 0;
+  t.elapsed <- 0.0
+
+let live_blocks t = t.live_blocks
+let peak_blocks t = t.peak_blocks
+let reset_peak t = t.peak_blocks <- t.live_blocks
+let high_water t = t.frontier
+
+let fragmentation t =
+  if t.frontier = 0 then 0.0
+  else 1.0 -. (float_of_int t.live_blocks /. float_of_int t.frontier)
+
+let pp_counters ppf (c : counters) =
+  Format.fprintf ppf
+    "seeks=%d read=%d blocks written=%d blocks elapsed=%.4fs" c.seeks
+    c.blocks_read c.blocks_written c.elapsed
+
+let set_fault t ~after_seeks =
+  if after_seeks < 1 then raise (Disk_error "set_fault: need after_seeks >= 1");
+  t.fault_in <- after_seeks
+
+let clear_fault t = t.fault_in <- 0
+let fault_armed t = t.fault_in > 0

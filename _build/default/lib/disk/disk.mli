@@ -1,0 +1,133 @@
+(** Simulated disk substrate.
+
+    The paper evaluates every scheme on a single disk characterised by
+    two hardware parameters: the time for one [seek] and the transfer
+    rate [trans] (Section 5, "Disk Parameters").  This module supplies
+    that substrate as a simulator: an extent allocator over a block
+    address space plus per-operation cost accounting in model seconds.
+    The storage layer above charges exactly the accesses the paper's
+    algorithms perform — one seek followed by a contiguous transfer per
+    probe or scan — so relative performance trends are preserved even
+    though absolute numbers belong to the simulator, not a DEC 3000.
+
+    Invariants enforced (and tested): extents never overlap, reads and
+    frees of unallocated extents are errors, and frees coalesce so that
+    space is actually reclaimed. *)
+
+type params = {
+  seek_time : float;  (** seconds per seek, e.g. 0.014 *)
+  transfer_rate : float;  (** bytes per second, e.g. 10e6 *)
+  block_size : int;  (** bytes per block, e.g. 4096 *)
+}
+
+val default_params : params
+(** The paper's Table 12 hardware: 14 ms seek, 10 MB/s transfer, with a
+    4 KiB block. *)
+
+type t
+(** A simulated disk: allocator state, clock and counters. *)
+
+type extent = private { start : int; length : int }
+(** A contiguous run of [length] blocks beginning at block [start].
+    Obtained from {!alloc} only. *)
+
+exception Disk_error of string
+(** Raised on protocol violations: double free, foreign extent, etc. *)
+
+val create : ?params:params -> unit -> t
+
+val params : t -> params
+
+(** {1 Allocation} *)
+
+val alloc : t -> blocks:int -> extent
+(** [alloc t ~blocks] reserves a contiguous extent.  First-fit over the
+    free list, falling back to extending the high-water frontier; the
+    address space is unbounded.  [blocks] must be positive. *)
+
+val free : t -> extent -> unit
+(** Returns an extent to the free list, coalescing with neighbours.
+    Freeing an extent twice or one not produced by this disk raises
+    {!Disk_error}. *)
+
+val is_live : t -> extent -> bool
+(** Whether the extent is currently allocated on this disk. *)
+
+(** {1 Access costing} *)
+
+val read : t -> extent -> unit
+(** Charge one seek plus the transfer of the whole extent.  The extent
+    must be live. *)
+
+val read_blocks : t -> extent -> blocks:int -> unit
+(** Charge one seek plus the transfer of [blocks] (<= extent length)
+    from a live extent; models reading a prefix such as one bucket. *)
+
+val write : t -> extent -> unit
+(** Charge one seek plus the transfer of the whole extent. *)
+
+val write_blocks : t -> extent -> blocks:int -> unit
+
+val sequential_read : t -> extent list -> unit
+(** Charge one seek, then transfer every extent in the list without
+    further seeks — the paper's packed segment scan, which reads "from
+    the first bucket until the last bucket" with a single seek.  All
+    extents must be live. *)
+
+val charge_seek : t -> unit
+val charge_transfer_bytes : t -> int -> unit
+
+val charge_delay : t -> float -> unit
+(** Advance the model clock by a non-disk cost (e.g. CPU time spent
+    parsing and sorting a batch while building an index).  The paper's
+    measured [Build]/[Add] parameters are dominated by such processing,
+    so the simulator can be configured to charge it too. *)
+
+(** {1 Metrics} *)
+
+type counters = {
+  seeks : int;
+  blocks_read : int;
+  blocks_written : int;
+  elapsed : float;  (** model seconds consumed so far *)
+}
+
+val counters : t -> counters
+
+val elapsed : t -> float
+(** Model seconds consumed since creation. *)
+
+val reset_counters : t -> unit
+(** Zero the counters; allocation state is untouched. *)
+
+val live_blocks : t -> int
+(** Blocks currently allocated. *)
+
+val peak_blocks : t -> int
+(** Maximum of {!live_blocks} ever observed — the paper's "maximum
+    storage required". *)
+
+val reset_peak : t -> unit
+(** Restart peak tracking from the current live size. *)
+
+val high_water : t -> int
+(** Frontier of the address space (largest block index ever used + 1). *)
+
+val fragmentation : t -> float
+(** 1 - live/high_water: share of the touched address space that is
+    currently free.  0 when nothing was ever allocated. *)
+
+val pp_counters : Format.formatter -> counters -> unit
+
+(** {1 Fault injection}
+
+    For crash-consistency testing: arm a fault and the disk raises
+    {!Disk_error} ["injected fault"] on the k-th subsequent seek,
+    simulating a mid-transition failure.  Allocator state stays
+    consistent (the failing operation charges nothing). *)
+
+val set_fault : t -> after_seeks:int -> unit
+(** [set_fault t ~after_seeks:k] makes the k-th next seek fail (k >= 1). *)
+
+val clear_fault : t -> unit
+val fault_armed : t -> bool

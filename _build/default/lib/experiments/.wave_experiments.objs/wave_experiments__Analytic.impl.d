@@ -1,0 +1,1 @@
+lib/experiments/analytic.ml: Cost Env Float List Params Printf Scenario Scheme Table_print Wave_core Wave_model Wave_util

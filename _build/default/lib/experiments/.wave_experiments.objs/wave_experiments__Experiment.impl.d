@@ -1,0 +1,1 @@
+lib/experiments/experiment.ml: Analytic Empirical List Printf String Traces

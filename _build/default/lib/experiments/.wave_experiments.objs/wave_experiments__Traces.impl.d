@@ -1,0 +1,1 @@
+lib/experiments/traces.ml: Dayset Env Frame Hashtbl List Printf Rata Reindex_plus Reindex_pp Scheme String Table_print Update Wata Wave_core Wave_storage Wave_util

@@ -1,0 +1,247 @@
+open Wave_core
+open Wave_model
+open Wave_util
+
+let mb x = x /. (1024.0 *. 1024.0)
+
+let schemes_for n = List.filter (fun k -> Scheme.min_indexes k <= n) Scheme.all
+
+let eval p ~scheme ~technique ~w ~n = Cost.evaluate p ~scheme ~technique ~w ~n
+
+(* --- Tables 8-11 (evaluated instances) ----------------------------- *)
+
+let running_example = (Scenario.scam.Scenario.params, 10, 2)
+
+let table8 () =
+  let p, w, n = running_example in
+  let rows =
+    List.map
+      (fun scheme ->
+        let s = eval p ~scheme ~technique:Env.Simple_shadow ~w ~n in
+        [
+          Scheme.name scheme;
+          Printf.sprintf "%.0f" (mb s.Cost.space_avg);
+          Printf.sprintf "%.0f" (mb s.Cost.space_max);
+          Printf.sprintf "%.0f" (mb s.Cost.shadow_avg);
+          Printf.sprintf "%.0f" (mb s.Cost.shadow_max);
+        ])
+      (schemes_for n)
+  in
+  Printf.sprintf
+    "# Table 8: space utilisation, simple shadowing (SCAM parameters, W=%d n=%d; MB)\n%s"
+    w n
+    (Table_print.render
+       ~header:
+         [ "Scheme"; "op space avg"; "op space max"; "trans extra avg"; "trans extra max" ]
+       ~rows)
+
+let table9 () =
+  let p, w, n = running_example in
+  let rows =
+    List.map
+      (fun scheme ->
+        let s = eval p ~scheme ~technique:Env.Simple_shadow ~w ~n in
+        [
+          Scheme.name scheme;
+          Printf.sprintf "%.4f" s.Cost.probe_seconds;
+          Printf.sprintf "%.2f" s.Cost.scan_seconds;
+        ])
+      (schemes_for n)
+  in
+  Printf.sprintf
+    "# Table 9: query performance, simple shadowing (W=%d n=%d; seconds)\n%s" w n
+    (Table_print.render
+       ~header:[ "Scheme"; "TimedIndexProbe"; "TimedSegmentScan" ]
+       ~rows)
+
+let maintenance_table ~title technique =
+  let p, w, n = running_example in
+  let rows =
+    List.map
+      (fun scheme ->
+        let s = eval p ~scheme ~technique ~w ~n in
+        [
+          Scheme.name scheme;
+          Printf.sprintf "%.0f" s.Cost.pre_avg;
+          Printf.sprintf "%.0f" s.Cost.trans_avg;
+          Printf.sprintf "%.0f" s.Cost.trans_max;
+        ])
+      (schemes_for n)
+  in
+  Printf.sprintf "# %s (W=%d n=%d; seconds)\n%s" title w n
+    (Table_print.render
+       ~header:[ "Scheme"; "pre-computation avg"; "transition avg"; "transition max" ]
+       ~rows)
+
+let table10 () =
+  maintenance_table ~title:"Table 10: maintenance, simple shadowing"
+    Env.Simple_shadow
+
+let table11 () =
+  maintenance_table ~title:"Table 11: maintenance, packed shadowing"
+    Env.Packed_shadow
+
+let table12 () =
+  let row (sc : Scenario.t) =
+    let p = sc.Scenario.params in
+    [
+      sc.Scenario.name;
+      string_of_int sc.Scenario.w;
+      Printf.sprintf "%.3f" p.Params.seek;
+      Printf.sprintf "%.0f" (mb p.Params.trans);
+      Printf.sprintf "%.1f" (mb p.Params.s_packed);
+      Printf.sprintf "%.1f" (mb p.Params.s_unpacked);
+      Printf.sprintf "%.0f" p.Params.c_bucket;
+      Printf.sprintf "%.0f" p.Params.probe_num;
+      Printf.sprintf "%.0f" p.Params.scan_num;
+      Printf.sprintf "%.2f" p.Params.g;
+      Printf.sprintf "%.0f" p.Params.build;
+      Printf.sprintf "%.0f" p.Params.add;
+      Printf.sprintf "%.0f" p.Params.del;
+    ]
+  in
+  Printf.sprintf "# Table 12: case-study parameters\n%s"
+    (Table_print.render
+       ~header:
+         [
+           "Scenario"; "W"; "seek(s)"; "Trans(MB/s)"; "S(MB)"; "S'(MB)"; "c(B)";
+           "Probe_num"; "Scan_num"; "g"; "Build(s)"; "Add(s)"; "Del(s)";
+         ]
+       ~rows:(List.map row Scenario.all))
+
+(* --- Figures ------------------------------------------------------- *)
+
+let series_over_n ~title ~p ~w ~technique ~ns ~measure =
+  let series =
+    List.map
+      (fun scheme ->
+        ( Scheme.name scheme,
+          List.map
+            (fun n ->
+              let y =
+                if Scheme.min_indexes scheme <= n then
+                  measure (eval p ~scheme ~technique ~w ~n)
+                else Float.nan
+              in
+              (float_of_int n, y))
+            ns ))
+      Scheme.all
+  in
+  Table_print.render_series ~title ~x_label:"n" ~series
+
+let fig3 () =
+  let p = Scenario.scam.Scenario.params in
+  series_over_n
+    ~title:"Figure 3: SCAM average space during operation+transition (MB), W=7"
+    ~p ~w:7 ~technique:Env.Simple_shadow
+    ~ns:[ 1; 2; 3; 4; 5; 6; 7 ]
+    ~measure:(fun s -> mb (s.Cost.space_avg +. s.Cost.shadow_avg))
+
+let fig4 () =
+  let p = Scenario.scam.Scenario.params in
+  series_over_n ~title:"Figure 4: SCAM transition time (s), W=7" ~p ~w:7
+    ~technique:Env.Simple_shadow
+    ~ns:[ 1; 2; 3; 4; 5; 6; 7 ]
+    ~measure:(fun s -> s.Cost.trans_avg)
+
+let fig5 () =
+  let p = Scenario.scam.Scenario.params in
+  series_over_n ~title:"Figure 5: SCAM total daily work (s), W=7, simple shadowing"
+    ~p ~w:7 ~technique:Env.Simple_shadow
+    ~ns:[ 1; 2; 3; 4; 5; 6; 7 ]
+    ~measure:(fun s -> s.Cost.work_per_day)
+
+let fig6 () =
+  let p = Scenario.wse.Scenario.params in
+  series_over_n ~title:"Figure 6: WSE total daily work (s), W=35, packed shadowing"
+    ~p ~w:35 ~technique:Env.Packed_shadow
+    ~ns:[ 1; 2; 3; 4; 5; 7; 10; 15 ]
+    ~measure:(fun s -> s.Cost.work_per_day)
+
+let fig7 () =
+  let p = Scenario.tpcd.Scenario.params in
+  series_over_n ~title:"Figure 7: TPC-D total daily work (s), W=100, packed shadowing"
+    ~p ~w:100 ~technique:Env.Packed_shadow
+    ~ns:[ 1; 2; 4; 6; 8; 10; 15; 20 ]
+    ~measure:(fun s -> s.Cost.work_per_day)
+
+let fig8 () =
+  let p = Scenario.tpcd.Scenario.params in
+  series_over_n ~title:"Figure 8: TPC-D total daily work (s), W=100, simple shadowing"
+    ~p ~w:100 ~technique:Env.Simple_shadow
+    ~ns:[ 1; 2; 4; 6; 8; 10; 15; 20 ]
+    ~measure:(fun s -> s.Cost.work_per_day)
+
+let fig9 () =
+  let p = Scenario.scam.Scenario.params in
+  let ws = [ 4; 7; 14; 21; 28; 35; 42 ] in
+  let series =
+    List.map
+      (fun scheme ->
+        ( Scheme.name scheme,
+          List.map
+            (fun w ->
+              let y =
+                if Scheme.min_indexes scheme <= 4 && w >= 4 then
+                  (eval p ~scheme ~technique:Env.Simple_shadow ~w ~n:4)
+                    .Cost.work_per_day
+                else Float.nan
+              in
+              (float_of_int w, y))
+            ws ))
+      Scheme.all
+  in
+  Table_print.render_series
+    ~title:"Figure 9: SCAM total daily work (s) vs window W, n=4" ~x_label:"W"
+    ~series
+
+let fig10 () =
+  let base = Scenario.scam.Scenario.params in
+  let sfs = [ 0.5; 1.0; 1.5; 2.0; 2.5; 3.0; 3.5; 4.0; 4.5; 5.0 ] in
+  let series =
+    List.map
+      (fun scheme ->
+        ( Scheme.name scheme,
+          List.map
+            (fun sf ->
+              let p = Params.scale base sf in
+              ( sf,
+                (eval p ~scheme ~technique:Env.Simple_shadow ~w:14 ~n:4)
+                  .Cost.work_per_day ))
+            sfs ))
+      Scheme.all
+  in
+  Table_print.render_series
+    ~title:
+      "Figure 10: SCAM total daily work (s) vs data scale factor SF, W=14, n=4"
+    ~x_label:"SF" ~series
+
+let ext_techniques () =
+  let p = Scenario.scam.Scenario.params in
+  let w = 7 and n = 4 in
+  let rows =
+    List.concat_map
+      (fun scheme ->
+        List.map
+          (fun technique ->
+            let s = eval p ~scheme ~technique ~w ~n in
+            [
+              Scheme.name scheme;
+              Env.technique_name technique;
+              Printf.sprintf "%.0f" s.Cost.pre_avg;
+              Printf.sprintf "%.0f" s.Cost.trans_avg;
+              Printf.sprintf "%.0f" (mb (s.Cost.space_avg +. s.Cost.shadow_avg));
+              Printf.sprintf "%.0f" s.Cost.work_per_day;
+              (if Cost.constituents_packed ~scheme ~technique then "packed"
+               else "unpacked");
+            ])
+          [ Env.In_place; Env.Simple_shadow; Env.Packed_shadow ])
+      (schemes_for n)
+  in
+  Printf.sprintf
+    "# Ablation: scheme x update technique (SCAM, W=%d, n=%d)\n%s" w n
+    (Wave_util.Table_print.render
+       ~header:
+         [ "scheme"; "technique"; "pre(s)"; "trans(s)"; "space(MB)";
+           "work/day(s)"; "layout" ]
+       ~rows)

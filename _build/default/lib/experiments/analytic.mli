@@ -1,0 +1,48 @@
+(** Analytic-model experiments: evaluated versions of Tables 8-11 and
+    the data series behind Figures 3-10. *)
+
+val table8 : unit -> string
+(** Space utilisation per scheme under simple shadowing, evaluated for
+    the paper's running example (W = 10, n = 2) with SCAM parameters:
+    the concrete instance of Table 8. *)
+
+val table9 : unit -> string
+(** Query performance per scheme (Table 9's instance). *)
+
+val table10 : unit -> string
+(** Maintenance (pre-computation / transition) under simple shadowing
+    (Table 10's instance). *)
+
+val table11 : unit -> string
+(** Maintenance under packed shadowing (Table 11's instance). *)
+
+val table12 : unit -> string
+(** The case-study parameter values (Table 12). *)
+
+val fig3 : unit -> string
+(** SCAM: average space (operation + transition) vs n, W = 7. *)
+
+val fig4 : unit -> string
+(** SCAM: transition time vs n, W = 7. *)
+
+val fig5 : unit -> string
+(** SCAM: total daily work vs n, W = 7, simple shadowing. *)
+
+val fig6 : unit -> string
+(** WSE: total daily work vs n, W = 35, packed shadowing. *)
+
+val fig7 : unit -> string
+(** TPC-D: total daily work vs n, W = 100, packed shadowing. *)
+
+val fig8 : unit -> string
+(** TPC-D: total daily work vs n, W = 100, simple shadowing. *)
+
+val fig9 : unit -> string
+(** SCAM: total daily work vs W (4 days to 6 weeks), n = 4. *)
+
+val fig10 : unit -> string
+(** SCAM: total daily work vs data scale factor SF, W = 14, n = 4. *)
+
+val ext_techniques : unit -> string
+(** Ablation: every scheme x update technique at the SCAM operating
+    point — the paper's Section 5 trade-off grid in one table. *)

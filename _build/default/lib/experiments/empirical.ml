@@ -1,0 +1,251 @@
+open Wave_core
+open Wave_util
+open Wave_workload
+open Wave_sim
+
+let fig2 () =
+  let cfg =
+    { Netnews.default_config with Netnews.mean_postings = 70_000; jitter = 0.08 }
+  in
+  let series = Netnews.volume_series cfg ~days:30 in
+  let weekday d = [| "Mon"; "Tue"; "Wed"; "Thu"; "Fri"; "Sat"; "Sun" |].((d - 1) mod 7) in
+  let rows =
+    List.map
+      (fun (d, v) -> [ string_of_int d; weekday d; string_of_int v ])
+      series
+  in
+  Printf.sprintf
+    "# Figure 2: Usenet-like postings per day (September, 70k/day mean)\n%s\n\
+     paper: ~110,000 midweek peak, ~30,000 Sunday trough\n"
+    (Table_print.render ~header:[ "day"; "weekday"; "postings" ] ~rows)
+
+let seasonal_sizes ~days =
+  let cfg =
+    { Netnews.default_config with Netnews.mean_postings = 70_000; jitter = 0.08 }
+  in
+  Array.init days (fun i -> Netnews.daily_volume cfg (i + 1))
+
+let fig11 () =
+  let sizes = seasonal_sizes ~days:200 in
+  let paper = [ (2, "<= 1.6"); (3, "-"); (4, "1.24"); (5, "-"); (6, "-"); (7, "-") ] in
+  let rows =
+    List.map
+      (fun (n, paper_val) ->
+        let s = Wata_size.replay ~w:7 ~n ~sizes in
+        [
+          string_of_int n;
+          Printf.sprintf "%.3f" s.Wata_size.ratio;
+          paper_val;
+          string_of_int s.Wata_size.wata_max_length;
+        ])
+      paper
+  in
+  Printf.sprintf
+    "# Figure 11: WATA* index-size ratio vs n (W=7, 200-day seasonal trace)\n%s\n\
+     paper: ratio tolerable (<= 1.6) and decreasing with n; 1.24 at n=4\n"
+    (Table_print.render
+       ~header:[ "n"; "size ratio"; "paper"; "max length (days)" ]
+       ~rows)
+
+let thm2 () =
+  let sizes = Array.make 400 1 in
+  let rows = ref [] in
+  List.iter
+    (fun w ->
+      List.iter
+        (fun n ->
+          if n <= w then begin
+            let s = Wata_size.replay ~w ~n ~sizes in
+            let bound = Wata.length_bound ~w ~n in
+            rows :=
+              [
+                string_of_int w;
+                string_of_int n;
+                string_of_int s.Wata_size.wata_max_length;
+                string_of_int bound;
+                (if s.Wata_size.wata_max_length = bound then "=" else "VIOLATION");
+              ]
+              :: !rows
+          end)
+        [ 2; 3; 4; 6; 8 ])
+    [ 5; 7; 10; 14; 30 ];
+  Printf.sprintf
+    "# Theorem 2: WATA* maximum wave length vs the W + ceil((W-1)/(n-1)) - 1 bound\n%s"
+    (Table_print.render
+       ~header:[ "W"; "n"; "measured max"; "bound"; "status" ]
+       ~rows:(List.rev !rows))
+
+let thm3 () =
+  let traces =
+    [
+      ("uniform", Array.make 200 100);
+      ("seasonal", seasonal_sizes ~days:200);
+      ("spike", Array.init 200 (fun i -> if i mod 37 = 0 then 100_000 else 10));
+      ("ramp", Array.init 200 (fun i -> 1 + (i * i)));
+      ("alternating", Array.init 200 (fun i -> if i mod 2 = 0 then 1 else 1_000));
+    ]
+  in
+  let geoms = [ (7, 2); (7, 4); (14, 3); (30, 5) ] in
+  let rows =
+    List.concat_map
+      (fun (name, sizes) ->
+        List.map
+          (fun (w, n) ->
+            let s = Wata_size.replay ~w ~n ~sizes in
+            [
+              name;
+              string_of_int w;
+              string_of_int n;
+              Printf.sprintf "%.3f" s.Wata_size.ratio;
+              (if s.Wata_size.ratio <= 2.0 +. 1e-9 then "<= 2.0" else "VIOLATION");
+            ])
+          geoms)
+      traces
+  in
+  Printf.sprintf
+    "# Theorem 3: WATA* index-size competitive ratio across trace families\n%s"
+    (Table_print.render ~header:[ "trace"; "W"; "n"; "ratio"; "status" ] ~rows)
+
+let crosscheck () =
+  let store =
+    Netnews.store { Netnews.default_config with Netnews.mean_postings = 150 }
+  in
+  (* Charge per-entry CPU in the paper's measured proportions: SCAM's
+     Add (3341 s/day) is twice its Build (1686 s/day), because
+     incremental CONTIGUOUS indexing costs more per entry than a bulk
+     packed build.  Without this, maintenance is disk-only and rebuilds
+     look unrealistically cheap. *)
+  let icfg =
+    {
+      Wave_storage.Index.default_config with
+      Wave_storage.Index.build_cpu_per_entry = 0.01;
+      add_cpu_per_entry = 0.02;
+    }
+  in
+  let run scheme technique =
+    Runner.run
+      {
+        (Runner.default_config ~scheme ~store ~w:8 ~n:2) with
+        Runner.technique;
+        icfg;
+        run_days = 24;
+        queries = Some { Query_gen.scam_spec with Query_gen.probes_per_day = 20 };
+      }
+  in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    "# Cross-check: simulated implementation vs analytic-model claims (W=8, n=2)\n";
+  let avg f (r : Runner.result) =
+    List.fold_left (fun a d -> a +. f d) 0.0 r.Runner.days
+    /. float_of_int (List.length r.Runner.days)
+  in
+  let claim name ok = Printf.bprintf buf "%-64s %s\n" name (if ok then "OK" else "FAILED") in
+  let del_ip = run Scheme.Del Env.In_place in
+  let del_ps = run Scheme.Del Env.Packed_shadow in
+  let reindex = run Scheme.Reindex Env.In_place in
+  let rpp = run Scheme.Reindex_pp Env.In_place in
+  let rplus = run Scheme.Reindex_plus Env.In_place in
+  let wata = run Scheme.Wata_star Env.In_place in
+  claim "REINDEX++ transition below REINDEX+'s (ladder pays off)"
+    (avg (fun d -> d.Runner.transition_seconds) rpp
+    < avg (fun d -> d.Runner.transition_seconds) rplus);
+  claim "REINDEX space below DEL in-place (packed beats CONTIGUOUS slack)"
+    (reindex.Runner.avg_space_bytes < del_ip.Runner.avg_space_bytes);
+  claim "packed shadowing shrinks DEL's steady-state space"
+    (del_ps.Runner.avg_space_bytes < del_ip.Runner.avg_space_bytes);
+  claim "WATA holds more days than the window (soft) at some point"
+    (List.exists (fun d -> d.Runner.wave_length > 8) wata.Runner.days);
+  claim "hard schemes hold exactly W days"
+    (List.for_all (fun d -> d.Runner.wave_length = 8) del_ip.Runner.days
+    && List.for_all (fun d -> d.Runner.wave_length = 8) reindex.Runner.days);
+  claim "WATA daily maintenance below REINDEX's"
+    (wata.Runner.total_maintenance_seconds < reindex.Runner.total_maintenance_seconds);
+  Buffer.contents buf
+
+let ext_offline () =
+  let sizes = seasonal_sizes ~days:150 in
+  let rows =
+    List.map
+      (fun (w, n) ->
+        let opt = Wata_offline.optimal ~w ~n ~sizes in
+        let star = Wata_size.replay ~w ~n ~sizes in
+        let m = Wata_size.window_max ~w ~sizes in
+        let bounded = Wata_bounded.replay ~w ~n ~m ~sizes in
+        let r x = float_of_int x /. float_of_int opt.Wata_offline.max_size in
+        [
+          string_of_int w;
+          string_of_int n;
+          string_of_int opt.Wata_offline.max_size;
+          Printf.sprintf "%.3f" (r star.Wata_size.wata_max_size);
+          Printf.sprintf "%.3f" (r bounded.Wata_bounded.max_size);
+          Printf.sprintf "%.3f" (Wata_bounded.guaranteed_ratio ~n);
+        ])
+      [ (7, 2); (7, 3); (7, 4); (7, 6); (14, 4) ]
+  in
+  Printf.sprintf
+    "# Extension: index-size ratios vs the OFFLINE OPTIMUM (150-day seasonal trace)\n%s\n\
+     WATA* stays within its factor-2 guarantee of the true optimum; the\n\
+     size-hinted online variant approaches n/(n-1) [KMRV97].\n"
+    (Table_print.render
+       ~header:[ "W"; "n"; "OPT size"; "WATA*/OPT"; "bounded/OPT"; "n/(n-1)" ]
+       ~rows)
+
+let ext_multidisk () =
+  let store =
+    Netnews.store { Netnews.default_config with Netnews.mean_postings = 200 }
+  in
+  Multi_disk.speedup_table ~store ~w:12 ~n:6 ~disks:[ 1; 2; 3; 6 ]
+
+let ext_gsweep () =
+  let sweep name store =
+    List.map
+      (fun g ->
+        let icfg =
+          { Wave_storage.Index.default_config with Wave_storage.Index.growth_factor = g }
+        in
+        let env =
+          Env.create ~icfg ~technique:Env.In_place ~store ~w:7 ~n:2 ()
+        in
+        let s = Scheme.start Scheme.Del env in
+        let start_clock = Wave_disk.Disk.elapsed env.Env.disk in
+        let slack_samples = ref [] in
+        for _ = 1 to 21 do
+          Scheme.transition s;
+          let frame = Scheme.frame s in
+          slack_samples :=
+            (float_of_int (Frame.allocated_bytes frame)
+            /. float_of_int (max 1 (Frame.used_bytes frame)))
+            :: !slack_samples
+        done;
+        let work = Wave_disk.Disk.elapsed env.Env.disk -. start_clock in
+        let slack = Stats.mean (Array.of_list !slack_samples) in
+        [
+          name;
+          Printf.sprintf "%.2f" g;
+          Printf.sprintf "%.3f" slack;
+          Printf.sprintf "%.3f" (work /. 21.0);
+        ])
+      [ 1.08; 1.25; 1.5; 2.0; 3.0 ]
+  in
+  let zipf =
+    Netnews.store { Netnews.default_config with Netnews.mean_postings = 300 }
+  in
+  let uniform =
+    Tpcd.store { Tpcd.default_config with Tpcd.mean_rows = 300; suppliers = 150 }
+  in
+  Printf.sprintf
+    "# Ablation: CONTIGUOUS growth factor g (DEL in-place, W=7, n=2, 21 days)\n%s\n\
+     paper: g trades bucket-copy time against slack space; SCAM's Zipfian\n\
+     words picked g = 2.0, TPC-D's uniform SUPPKEYs g = 1.08.\n"
+    (Table_print.render
+       ~header:[ "workload"; "g"; "slack S'/S"; "maintenance s/day" ]
+       ~rows:(sweep "netnews(zipf)" zipf @ sweep "tpcd(uniform)" uniform))
+
+let ext_contention () =
+  let store =
+    Netnews.store { Netnews.default_config with Netnews.mean_postings = 250 }
+  in
+  (* day_seconds chosen so the lock occupies ~5%% of the day, the
+     paper's SCAM proportion (Add = 3341 s of 86,400). *)
+  Contention.compare_table ~day_seconds:100.0 ~scheme:Scheme.Del ~store ~w:7
+    ~n:2 ~days:20 ~queries_per_day:200 ()

@@ -1,0 +1,47 @@
+(** Empirical (simulated) experiments: the figure and theorem artifacts
+    that require running actual index structures or trace replays
+    rather than evaluating the cost model. *)
+
+val fig2 : unit -> string
+(** Daily Usenet-like posting volumes for a September (30 days) at the
+    paper's 70k/day scale — Figure 2's series. *)
+
+val fig11 : unit -> string
+(** WATA* index-size ratio vs n (W = 7) over a 200-day seasonal volume
+    trace — Figure 11, with the paper's reported values alongside. *)
+
+val thm2 : unit -> string
+(** Empirical check of Theorem 2: WATA*'s maximum wave length equals
+    [W + ceil((W-1)/(n-1)) - 1] across a (W, n) grid. *)
+
+val thm3 : unit -> string
+(** Empirical check of Theorem 3: WATA*'s index-size competitive ratio
+    stays at or below 2.0 across trace families, and how close each
+    family pushes it. *)
+
+val crosscheck : unit -> string
+(** Simulated implementation vs analytic model: run every scheme over
+    the same workload with real index structures and verify the
+    model's headline orderings (REINDEX++'s transition smallest,
+    REINDEX space minimal, packed scans cheapest, WATA soft-window
+    overhead) hold in the measured system too. *)
+
+val ext_offline : unit -> string
+(** Extension: WATA* vs the size-bounded online variant (KMRV97) vs the
+    offline optimum, as index-size ratios over the true optimum —
+    tightening Theorem 3's evaluation. *)
+
+val ext_multidisk : unit -> string
+(** Extension (Section 8 future work): query speedups when constituents
+    are spread over multiple disks. *)
+
+val ext_gsweep : unit -> string
+(** Ablation: the CONTIGUOUS growth factor g, re-running the tuning the
+    paper did to pick g = 2.0 for Zipfian Netnews and g = 1.08 for
+    uniform TPC-D keys (Table 12's implementation parameters): space
+    slack (S'/S) vs incremental-add work, per workload. *)
+
+val ext_contention : unit -> string
+(** Extension: query blocking under concurrency control — in-place
+    updating locks the constituent for the whole maintenance interval,
+    shadowing only for the swap (Section 2.1's trade-off quantified). *)

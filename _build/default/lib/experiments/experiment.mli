@@ -1,0 +1,21 @@
+(** Registry of reproduction experiments: one per table and figure of
+    the paper, plus the theorem checks and the model-vs-implementation
+    cross-check.  Each produces printable output regenerating the
+    corresponding artifact. *)
+
+type t = {
+  id : string;  (** e.g. "table3", "fig6", "thm2" *)
+  title : string;
+  paper_claim : string;  (** what the paper's artifact shows *)
+  run : unit -> string;
+}
+
+val all : t list
+(** In paper order: table1-7, table8-12, fig2-11, thm2, thm3,
+    crosscheck. *)
+
+val find : string -> t option
+(** Case-insensitive lookup by id. *)
+
+val run_all : unit -> string
+(** Concatenated output of every experiment. *)

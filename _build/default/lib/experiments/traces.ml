@@ -1,0 +1,166 @@
+open Wave_core
+open Wave_util
+
+(* A tiny deterministic store: trace tables only care about time-sets,
+   not contents. *)
+let store =
+  let cache = Hashtbl.create 64 in
+  fun day ->
+    match Hashtbl.find_opt cache day with
+    | Some b -> b
+    | None ->
+      let b =
+        Wave_storage.Entry.batch_create ~day
+          [|
+            {
+              Wave_storage.Entry.value = 1 + (day mod 5);
+              entry = { Wave_storage.Entry.rid = day; day; info = 0 };
+            };
+          |]
+      in
+      Hashtbl.add cache day b;
+      b
+
+let render_trace ~title ~n ~days ~slots_of ~temps_of ~advance =
+  let header =
+    "Day"
+    :: List.init n (fun i -> Printf.sprintf "Index I%d" (i + 1))
+    @ (if temps_of = None then [] else [ "Temp" ])
+  in
+  let rows =
+    List.map
+      (fun day ->
+        advance day;
+        let slots = slots_of () in
+        string_of_int day
+        :: List.map Dayset.to_string slots
+        @
+        match temps_of with
+        | None -> []
+        | Some f -> [ String.concat " " (List.map Dayset.to_string (f ())) ])
+      days
+  in
+  Printf.sprintf "# %s\n%s" title (Table_print.render ~header ~rows)
+
+let scheme_trace kind ~title ~w ~n ~days ~temps =
+  let env = Env.create ~store ~w ~n () in
+  let s = Scheme.start kind env in
+  ignore w;
+  render_trace ~title ~n ~days
+    ~slots_of:(fun () ->
+      List.init n (fun i -> Frame.slot_days (Scheme.frame s) (i + 1)))
+    ~temps_of:(if temps then Some (fun () -> Scheme.temp_days s) else None)
+    ~advance:(fun day -> Scheme.advance_to s day)
+
+let table1 () =
+  scheme_trace Scheme.Del ~title:"Table 1: DEL (W=10, n=2)" ~w:10 ~n:2
+    ~days:[ 10; 11; 12; 13; 14; 15; 16 ] ~temps:false
+
+let table2 () =
+  scheme_trace Scheme.Reindex ~title:"Table 2: REINDEX (W=10, n=2)" ~w:10 ~n:2
+    ~days:[ 10; 11; 12; 13; 14; 15; 16 ] ~temps:false
+
+let table3 () =
+  scheme_trace Scheme.Wata_star ~title:"Table 3: WATA* (W=10, n=4)" ~w:10 ~n:4
+    ~days:[ 10; 11; 12; 13; 14 ] ~temps:false
+
+(* Table 4: a WATA variant whose Start packs days 1-4 into I_1, leaving
+   I_4 empty; same Wait/ThrowAway rules.  Scripted directly with the
+   frame and update primitives to show its index length reaches 13
+   where Table 3's reaches 12. *)
+let table4 () =
+  let w = 10 and n = 4 in
+  let env = Env.create ~store ~w ~n () in
+  let frame = Frame.create env in
+  let install j lo hi =
+    Frame.set_slot frame j
+      (Update.build_days env (Dayset.elements (Dayset.range lo hi)))
+      (Dayset.range lo hi)
+  in
+  install 1 1 4;
+  install 2 5 7;
+  install 3 8 10;
+  (* slot 4 left empty *)
+  let last = ref 3 in
+  let lengths = ref [ (10, Frame.length frame) ] in
+  let rows = ref [] in
+  let snapshot day =
+    rows :=
+      (string_of_int day
+      :: List.init n (fun i -> Dayset.to_string (Frame.slot_days frame (i + 1))))
+      :: !rows
+  in
+  snapshot 10;
+  for day = 11 to 14 do
+    let expired = day - w in
+    let j = Frame.find_slot_with_day frame expired in
+    let others =
+      List.fold_left ( + ) 0
+        (List.init n (fun i ->
+             if i + 1 = j then 0 else Dayset.cardinal (Frame.slot_days frame (i + 1))))
+    in
+    if others = w - 1 then begin
+      Wave_storage.Index.drop (Frame.slot_index frame j);
+      Frame.set_slot frame j
+        (Update.build_days env [ day ])
+        (Dayset.singleton day);
+      last := j
+    end
+    else begin
+      (* first new day lands in the empty slot 4, as in the paper *)
+      let target = if Dayset.is_empty (Frame.slot_days frame 4) then 4 else !last in
+      last := target;
+      let idx = Update.add_days env (Frame.slot_index frame target) [ day ] in
+      Frame.set_slot frame target idx
+        (Dayset.add day (Frame.slot_days frame target))
+    end;
+    lengths := (day, Frame.length frame) :: !lengths;
+    snapshot day
+  done;
+  let max_len = List.fold_left (fun acc (_, l) -> max acc l) 0 !lengths in
+  let header = "Day" :: List.init n (fun i -> Printf.sprintf "Index I%d" (i + 1)) in
+  Printf.sprintf
+    "# Table 4: greedy-start WATA (W=10, n=4)\n%s\nmax index length = %d \
+     (Table 3's WATA* start reaches %d = Theorem 2 bound)\n"
+    (Table_print.render ~header ~rows:(List.rev !rows))
+    max_len
+    (Wata.length_bound ~w ~n)
+
+let table5 () =
+  let env = Env.create ~store ~w:10 ~n:2 () in
+  let s = Reindex_plus.start env in
+  render_trace ~title:"Table 5: REINDEX+ (W=10, n=2)" ~n:2
+    ~days:[ 10; 11; 12; 13; 14; 15; 16 ]
+    ~slots_of:(fun () ->
+      [ Frame.slot_days (Reindex_plus.frame s) 1; Frame.slot_days (Reindex_plus.frame s) 2 ])
+    ~temps_of:(Some (fun () -> [ Reindex_plus.temp_days s ]))
+    ~advance:(fun day ->
+      while Reindex_plus.current_day s < day do
+        Reindex_plus.transition s
+      done)
+
+let table6 () =
+  let env = Env.create ~store ~w:10 ~n:2 () in
+  let s = Reindex_pp.start env in
+  render_trace ~title:"Table 6: REINDEX++ (W=10, n=2)" ~n:2
+    ~days:[ 10; 11; 12; 13; 14; 15; 16 ]
+    ~slots_of:(fun () ->
+      [ Frame.slot_days (Reindex_pp.frame s) 1; Frame.slot_days (Reindex_pp.frame s) 2 ])
+    ~temps_of:(Some (fun () -> Reindex_pp.temps_days s))
+    ~advance:(fun day ->
+      while Reindex_pp.current_day s < day do
+        Reindex_pp.transition s
+      done)
+
+let table7 () =
+  let env = Env.create ~store ~w:10 ~n:4 () in
+  let s = Rata.start env in
+  render_trace ~title:"Table 7: RATA* (W=10, n=4)" ~n:4
+    ~days:[ 10; 11; 12; 13; 14 ]
+    ~slots_of:(fun () ->
+      List.init 4 (fun i -> Frame.slot_days (Rata.frame s) (i + 1)))
+    ~temps_of:(Some (fun () -> Rata.temps_days s))
+    ~advance:(fun day ->
+      while Rata.current_day s < day do
+        Rata.transition s
+      done)

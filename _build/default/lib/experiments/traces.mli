@@ -1,0 +1,26 @@
+(** Reproduction of the paper's example transition tables (Tables 1-7):
+    run each scheme at the table's (W, n) and render the per-day
+    constituent (and temporary) time-sets. *)
+
+val table1 : unit -> string
+(** DEL, W = 10, n = 2. *)
+
+val table2 : unit -> string
+(** REINDEX, W = 10, n = 2. *)
+
+val table3 : unit -> string
+(** WATA*, W = 10, n = 4 (the paper's Table 3 layout). *)
+
+val table4 : unit -> string
+(** The alternative greedy-start WATA of Table 4, scripted with the
+    wave-index primitives, showing its longer index length (13 vs
+    Table 3's 12). *)
+
+val table5 : unit -> string
+(** REINDEX+, W = 10, n = 2, with the Temp column. *)
+
+val table6 : unit -> string
+(** REINDEX++, W = 10, n = 2, with the temporaries column. *)
+
+val table7 : unit -> string
+(** RATA*, W = 10, n = 4, with the temporaries column. *)

@@ -1,0 +1,1 @@
+lib/model/cost.ml: Env Float List Params Printf Scheme Split Wave_core

@@ -1,0 +1,1 @@
+lib/model/cost.mli: Env Params Scheme Wave_core

@@ -1,0 +1,1 @@
+lib/model/scenario.ml: List Params String Wave_core

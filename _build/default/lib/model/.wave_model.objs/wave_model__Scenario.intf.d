@@ -1,0 +1,1 @@
+lib/model/scenario.mli: Params Wave_core

@@ -1,0 +1,44 @@
+(** Closed-form / cycle-exact evaluation of the paper's analytic model
+    (Section 5, Tables 8-11), for every scheme x update technique.
+
+    Rather than hard-coding the tables' simplified averages, each
+    scheme's daily maintenance is replayed symbolically over one full
+    replacement super-cycle (W days — every cluster expiring once),
+    charging the paper's cost parameters ([Build], [Add], [Del], [CP],
+    [SMCP]) per operation.  Averages and maxima over the cycle then
+    reproduce the tables exactly where they are simple (DEL, REINDEX)
+    and exactly-by-construction where the paper rounds (the temporary
+    ladders of REINDEX+/++ and RATA). *)
+
+open Wave_core
+
+type summary = {
+  pre_avg : float;  (** avg pre-computation seconds per day *)
+  pre_max : float;
+  trans_avg : float;  (** avg transition seconds per day *)
+  trans_max : float;
+  space_avg : float;  (** avg bytes held during operation *)
+  space_max : float;  (** max bytes held during operation *)
+  shadow_avg : float;  (** avg extra bytes during transitions *)
+  shadow_max : float;
+  probe_seconds : float;  (** one TimedIndexProbe *)
+  scan_seconds : float;  (** one TimedSegmentScan *)
+  work_per_day : float;
+      (** Section 5's Total Work: pre + transition + all queries of a
+          day executed serially. *)
+}
+
+val evaluate :
+  Params.t ->
+  scheme:Scheme.kind ->
+  technique:Env.technique ->
+  w:int ->
+  n:int ->
+  summary
+(** Raises [Invalid_argument] when the scheme cannot run with the given
+    [n] (WATA*/RATA* need [n >= 2]; all need [1 <= n <= w]). *)
+
+val constituents_packed :
+  scheme:Scheme.kind -> technique:Env.technique -> bool
+(** Whether the scheme x technique combination keeps constituent
+    indexes packed (REINDEX always; anything under packed shadowing). *)

@@ -1,0 +1,44 @@
+type scan_breadth = Scan_all | Scan_one
+
+type t = {
+  seek : float;
+  trans : float;
+  s_packed : float;
+  s_unpacked : float;
+  c_bucket : float;
+  probe_num : float;
+  probe_all_indexes : bool;
+  scan_num : float;
+  scan_breadth : scan_breadth;
+  g : float;
+  build : float;
+  add : float;
+  del : float;
+  add_scaling_exponent : float;
+}
+
+let scale p sf =
+  if sf <= 0.0 then invalid_arg "Params.scale: non-positive scale factor";
+  let super = sf ** p.add_scaling_exponent in
+  {
+    p with
+    s_packed = p.s_packed *. sf;
+    s_unpacked = p.s_unpacked *. sf;
+    c_bucket = p.c_bucket *. sf;
+    build = p.build *. sf;
+    add = p.add *. super;
+    del = p.del *. super;
+  }
+
+let cp_day p ~packed =
+  let bytes = if packed then p.s_packed else p.s_unpacked in
+  2.0 *. bytes /. p.trans
+
+let smcp_day p = (p.s_unpacked +. p.s_packed) /. p.trans
+
+let pp ppf p =
+  Format.fprintf ppf
+    "seek=%.3fs trans=%.0fB/s S=%.0fB S'=%.0fB c=%.0fB probes=%.0f \
+     scans=%.0f g=%.2f build=%.0fs add=%.0fs del=%.0fs"
+    p.seek p.trans p.s_packed p.s_unpacked p.c_bucket p.probe_num p.scan_num
+    p.g p.build p.add p.del

@@ -1,0 +1,86 @@
+type t = {
+  name : string;
+  params : Params.t;
+  w : int;
+  default_technique : Wave_core.Env.technique;
+}
+
+let mb x = x *. 1024.0 *. 1024.0
+
+let scam =
+  {
+    name = "SCAM";
+    w = 7;
+    default_technique = Wave_core.Env.Simple_shadow;
+    params =
+      {
+        Params.seek = 0.014;
+        trans = 10.0 *. 1024.0 *. 1024.0;
+        s_packed = mb 56.0;
+        s_unpacked = mb 78.4;
+        c_bucket = 100.0;
+        probe_num = 100_000.0;
+        probe_all_indexes = true;
+        scan_num = 10.0;
+        scan_breadth = Params.Scan_one;
+        g = 2.0;
+        build = 1686.0;
+        add = 3341.0;
+        del = 3341.0;
+        add_scaling_exponent = 1.7;
+      };
+  }
+
+let wse =
+  {
+    name = "WSE";
+    w = 35;
+    default_technique = Wave_core.Env.Packed_shadow;
+    params =
+      {
+        Params.seek = 0.014;
+        trans = 10.0 *. 1024.0 *. 1024.0;
+        s_packed = mb 75.0;
+        s_unpacked = mb 105.0;
+        c_bucket = 100.0;
+        probe_num = 340_000.0;
+        probe_all_indexes = true;
+        scan_num = 0.0;
+        scan_breadth = Params.Scan_one;
+        g = 2.0;
+        build = 2276.0;
+        add = 4678.0;
+        del = 4678.0;
+        add_scaling_exponent = 1.7;
+      };
+  }
+
+let tpcd =
+  {
+    name = "TPC-D";
+    w = 100;
+    default_technique = Wave_core.Env.Packed_shadow;
+    params =
+      {
+        Params.seek = 0.014;
+        trans = 10.0 *. 1024.0 *. 1024.0;
+        s_packed = mb 600.0;
+        s_unpacked = mb 627.0;
+        c_bucket = 100.0;
+        probe_num = 0.0;
+        probe_all_indexes = true;
+        scan_num = 10.0;
+        scan_breadth = Params.Scan_all;
+        g = 1.08;
+        build = 8406.0;
+        add = 11431.0;
+        del = 11431.0;
+        add_scaling_exponent = 1.2;
+      };
+  }
+
+let all = [ scam; wse; tpcd ]
+
+let find name =
+  let up = String.uppercase_ascii name in
+  List.find_opt (fun s -> String.uppercase_ascii s.name = up) all

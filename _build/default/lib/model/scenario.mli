@@ -1,0 +1,35 @@
+(** The paper's three case studies (Section 6, Table 12).
+
+    SCAM — copy detection over a week of Netnews; WSE — a Web search
+    engine over 35 days of Netnews; TPC-D — a warehouse wave index on
+    [LINEITEM.SUPPKEY] over 100 days.  Parameter values are the paper's
+    measured/estimated ones, so the analytic model regenerates the
+    figures' absolute magnitudes as well as their shapes. *)
+
+type t = {
+  name : string;
+  params : Params.t;
+  w : int;  (** the scenario's window, days *)
+  default_technique : Wave_core.Env.technique;
+      (** the technique the paper reports for this scenario *)
+}
+
+val scam : t
+(** W = 7; 70k articles/day; g = 2.0; Build 1686 s, Add/Del 3341 s;
+    100k probes/day over all indexes; 10 scans/day over one index;
+    simple shadowing.  [add_scaling_exponent] is calibrated (to 1.7) so
+    Figure 10's WATA-vs-REINDEX crossover lands at SF = 3. *)
+
+val wse : t
+(** W = 35; 100k articles/day; Build 2276 s, Add/Del 4678 s; 340k
+    probes/day; no scans; packed shadowing. *)
+
+val tpcd : t
+(** W = 100; TPC-D LINEITEM daily batch; g = 1.08; Build 8406 s,
+    Add/Del 11431 s; no probes; 10 whole-window scans/day. *)
+
+val all : t list
+val find : string -> t option
+
+val mb : float -> float
+(** Megabytes to bytes. *)

@@ -1,0 +1,1 @@
+lib/sim/contention.ml: Array Env List Printf Scheme Wave_core Wave_disk Wave_util

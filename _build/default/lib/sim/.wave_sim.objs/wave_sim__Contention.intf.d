@@ -1,0 +1,1 @@
+lib/sim/contention.mli: Env Scheme Wave_core

@@ -1,0 +1,1 @@
+lib/sim/multi_disk.ml: Array Dayset Disk Env Float Index List Printf Split Wave_core Wave_disk Wave_storage Wave_util

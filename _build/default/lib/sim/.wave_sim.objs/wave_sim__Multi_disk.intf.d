@@ -1,0 +1,1 @@
+lib/sim/multi_disk.mli: Entry Env Index Wave_core Wave_storage

@@ -1,0 +1,1 @@
+lib/sim/runner.ml: Disk Env Float Frame List Scheme Wave_core Wave_disk Wave_storage Wave_workload

@@ -1,0 +1,1 @@
+lib/sim/runner.mli: Env Scheme Wave_core Wave_storage Wave_workload

@@ -1,0 +1,1 @@
+lib/sim/wata_bounded.ml: Array List Wata_size

@@ -1,0 +1,1 @@
+lib/sim/wata_offline.ml: Array Hashtbl List Wata_size

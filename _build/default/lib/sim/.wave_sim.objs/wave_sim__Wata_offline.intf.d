@@ -1,0 +1,1 @@
+lib/sim/wata_offline.mli:

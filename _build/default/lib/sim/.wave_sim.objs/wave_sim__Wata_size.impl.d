@@ -1,0 +1,1 @@
+lib/sim/wata_size.ml: Array Dayset List Split Wave_core

@@ -1,0 +1,126 @@
+open Wave_core
+open Wave_disk
+
+type day_metrics = {
+  day : int;
+  precompute_seconds : float;
+  transition_seconds : float;
+  maintenance_seconds : float;
+  query_seconds : float;
+  probe_entries : int;
+  scan_entries : int;
+  space_bytes : int;
+  wave_length : int;
+}
+
+type result = {
+  scheme : Scheme.kind;
+  technique : Env.technique;
+  w : int;
+  n : int;
+  days : day_metrics list;
+  max_space_bytes : int;
+  avg_space_bytes : float;
+  total_maintenance_seconds : float;
+  total_query_seconds : float;
+  total_work_seconds : float;
+}
+
+type config = {
+  scheme : Scheme.kind;
+  technique : Env.technique;
+  w : int;
+  n : int;
+  run_days : int;
+  store : Env.day_store;
+  queries : Wave_workload.Query_gen.spec option;
+  icfg : Wave_storage.Index.config;
+  validate : bool;
+}
+
+let default_config ~scheme ~store ~w ~n =
+  {
+    scheme;
+    technique = Env.In_place;
+    w;
+    n;
+    run_days = 2 * w;
+    store;
+    queries = None;
+    icfg = Wave_storage.Index.default_config;
+    validate = true;
+  }
+
+let run_queries env frame spec ~day =
+  let open Wave_workload.Query_gen in
+  let disk = env.Env.disk in
+  let before = Disk.elapsed disk in
+  let probe_entries = ref 0 and scan_entries = ref 0 in
+  List.iter
+    (fun q ->
+      match q with
+      | Probe { value; t1; t2 } ->
+        probe_entries :=
+          !probe_entries + List.length (Frame.timed_index_probe frame ~t1 ~t2 ~value)
+      | Scan { t1; t2 } ->
+        scan_entries :=
+          !scan_entries + List.length (Frame.timed_segment_scan frame ~t1 ~t2))
+    (day_queries spec ~day ~w:env.Env.w);
+  (Disk.elapsed disk -. before, !probe_entries, !scan_entries)
+
+let run config =
+  let disk = Wave_storage.Index.make_disk config.icfg in
+  let env =
+    Env.create ~disk ~icfg:config.icfg ~technique:config.technique
+      ~store:config.store ~w:config.w ~n:config.n ()
+  in
+  let s = Scheme.start config.scheme env in
+  Disk.reset_peak disk;
+  let days = ref [] in
+  for _ = 1 to config.run_days do
+    let before = Disk.elapsed disk in
+    Scheme.transition s;
+    let maintenance = Disk.elapsed disk -. before in
+    let transition = Scheme.last_transition_seconds s in
+    if config.validate then begin
+      Scheme.check_window_invariant s;
+      Frame.validate (Scheme.frame s)
+    end;
+    let day = Scheme.current_day s in
+    let query_seconds, probe_entries, scan_entries =
+      match config.queries with
+      | None -> (0.0, 0, 0)
+      | Some spec -> run_queries env (Scheme.frame s) spec ~day
+    in
+    days :=
+      {
+        day;
+        precompute_seconds = Float.max 0.0 (maintenance -. transition);
+        transition_seconds = transition;
+        maintenance_seconds = maintenance;
+        query_seconds;
+        probe_entries;
+        scan_entries;
+        space_bytes = Scheme.allocated_bytes s;
+        wave_length = Frame.length (Scheme.frame s);
+      }
+      :: !days
+  done;
+  let days = List.rev !days in
+  let nd = float_of_int (max 1 (List.length days)) in
+  let sum f = List.fold_left (fun acc d -> acc +. f d) 0.0 days in
+  let maintenance = sum (fun d -> d.maintenance_seconds) in
+  let queries = sum (fun d -> d.query_seconds) in
+  {
+    scheme = config.scheme;
+    technique = config.technique;
+    w = config.w;
+    n = config.n;
+    days;
+    max_space_bytes =
+      Disk.peak_blocks disk * (Disk.params disk).Disk.block_size;
+    avg_space_bytes = sum (fun d -> float_of_int d.space_bytes) /. nd;
+    total_maintenance_seconds = maintenance;
+    total_query_seconds = queries;
+    total_work_seconds = maintenance +. queries;
+  }

@@ -1,0 +1,58 @@
+(** End-to-end simulation: drive a maintenance scheme over a stream of
+    days against the simulated disk, serving a daily query mix, and
+    collect the paper's Section 5 measures per day.
+
+    The simulator complements the analytic model ({!Wave_model.Cost}):
+    the model evaluates the paper's parameter formulas; the runner
+    measures what the actual implementation does (every seek and block
+    this library's index structures perform), so trends can be
+    cross-checked against real data structures rather than formulas. *)
+
+open Wave_core
+
+type day_metrics = {
+  day : int;
+  precompute_seconds : float;
+      (** maintenance work not between data arrival and visibility *)
+  transition_seconds : float;  (** data arrival -> queryable *)
+  maintenance_seconds : float;  (** whole daily maintenance step *)
+  query_seconds : float;
+  probe_entries : int;  (** entries returned by the day's probes *)
+  scan_entries : int;
+  space_bytes : int;  (** constituents + temporaries at end of day *)
+  wave_length : int;  (** days indexed (soft windows exceed w) *)
+}
+
+type result = {
+  scheme : Scheme.kind;
+  technique : Env.technique;
+  w : int;
+  n : int;
+  days : day_metrics list;
+  max_space_bytes : int;
+      (** peak disk footprint ever held, including mid-transition
+          shadows — the paper's space-during-transition measure *)
+  avg_space_bytes : float;
+  total_maintenance_seconds : float;
+  total_query_seconds : float;
+  total_work_seconds : float;
+}
+
+type config = {
+  scheme : Scheme.kind;
+  technique : Env.technique;
+  w : int;
+  n : int;
+  run_days : int;  (** transitions to simulate after the Start phase *)
+  store : Env.day_store;
+  queries : Wave_workload.Query_gen.spec option;
+  icfg : Wave_storage.Index.config;
+  validate : bool;  (** check window invariants after every day *)
+}
+
+val default_config :
+  scheme:Scheme.kind -> store:Env.day_store -> w:int -> n:int -> config
+(** 2w run days, in-place updating, default index config, no queries,
+    validation on. *)
+
+val run : config -> result

@@ -1,0 +1,32 @@
+(** Size-bounded online WATA (the Kleinberg et al. [KMRV97] variant the
+    paper discusses in Section 3.3).
+
+    WATA* is "purely online" and 2-competitive for index size.  KMRV97
+    showed that if the algorithm is told [m] — the largest storage any
+    window will ever need — ahead of time, a better ratio of
+    [n/(n-1)] is achievable: cap every cluster's volume near
+    [m/(n-1)], so the expired residue lingering in the oldest cluster
+    never exceeds one cluster cap.
+
+    This module implements that policy as a size-only replay (like
+    {!Wata_size}): grow the current cluster until its volume would pass
+    the cap {e and} a slot is free (some older cluster fully expired),
+    then close it and start a new cluster in the freed slot. *)
+
+type stats = {
+  max_size : int;  (** peak storage, volume units *)
+  window_max_size : int;
+  ratio : float;  (** max_size / window_max_size *)
+  clusters_opened : int;
+}
+
+val replay : w:int -> n:int -> m:int -> sizes:int array -> stats
+(** [replay ~w ~n ~m ~sizes] runs the bounded policy with advertised
+    maximum window size [m] (callers typically pass
+    [Wata_size.window_max]).  Requires [n >= 2], a trace at least [w]
+    days long, and [m >= ] every window's volume (the policy still runs
+    if [m] is a lie, but the ratio guarantee is void). *)
+
+val guaranteed_ratio : n:int -> float
+(** [n /. (n - 1)], the KMRV97 bound — holds up to one day's volume of
+    slack when a single day exceeds [m/(n-1)]. *)

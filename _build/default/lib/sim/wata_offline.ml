@@ -1,0 +1,130 @@
+type schedule = { boundaries : int list; max_size : int }
+
+let prefix sizes =
+  let t = Array.length sizes in
+  let p = Array.make (t + 1) 0 in
+  for i = 1 to t do
+    p.(i) <- p.(i - 1) + sizes.(i - 1)
+  done;
+  p
+
+(* Direct evaluator over a boundary list: storage at day d is the volume
+   from the start of the oldest live cluster (the one containing day
+   d - w + 1) through d. *)
+let size_of_schedule ~w ~sizes ~boundaries =
+  let t = Array.length sizes in
+  let p = prefix sizes in
+  let rec check_sorted prev = function
+    | [] -> ()
+    | b :: rest ->
+      if b <= prev || b > t then
+        invalid_arg "Wata_offline.size_of_schedule: bad boundary list";
+      check_sorted b rest
+  in
+  check_sorted 0 boundaries;
+  let arr = Array.of_list boundaries in
+  let peak = ref 0 in
+  for d = 1 to t do
+    (* largest boundary <= d - w, else 0 *)
+    let rec search lo hi acc =
+      if lo > hi then acc
+      else
+        let mid = (lo + hi) / 2 in
+        if arr.(mid) <= d - w then search (mid + 1) hi arr.(mid)
+        else search lo (mid - 1) acc
+    in
+    let pd = search 0 (Array.length arr - 1) 0 in
+    let cost = p.(d) - p.(pd) in
+    if cost > !peak then peak := cost
+  done;
+  !peak
+
+(* Feasibility for a storage budget, by memoized search.
+
+   A schedule is a boundary sequence 0 = b_0 < b_1 < ... ; the segment
+   after b_k is the oldest live cluster for days up to b_{k+1} + w - 1,
+   so the budget imposes P[min(T, b_{k+1}+w-1)] - P[b_k] <= budget, and
+   the n slots impose that any w-1 consecutive days contain at most
+   n - 1 boundaries.  Only boundaries within the last w - 2 days of the
+   newest can interact with future placements, so that suffix is the
+   whole search state. *)
+let feasible_with ~w ~n ~sizes ~budget =
+  let t = Array.length sizes in
+  let p = prefix sizes in
+  let span b d = p.(min t d) - p.(b) in
+  let memo : (int list, bool) Hashtbl.t = Hashtbl.create 1024 in
+  (* state: boundaries in (b - (w-1), b], newest first; [] = start *)
+  let rec solve state =
+    match Hashtbl.find_opt memo state with
+    | Some r -> r
+    | None ->
+      let b = match state with [] -> 0 | b :: _ -> b in
+      let r =
+        if span b t <= budget then true
+        else begin
+          (* next boundary candidates, newest allowed first *)
+          let rec try_next b' =
+            if b' <= b then false
+            else if span b (b' + w - 1) > budget then try_next (b' - 1)
+            else begin
+              let recent =
+                b' :: List.filter (fun x -> x > b' - (w - 1)) state
+              in
+              if List.length recent <= n - 1 && solve recent then true
+              else try_next (b' - 1)
+            end
+          in
+          try_next t
+        end
+      in
+      Hashtbl.add memo state r;
+      r
+  in
+  if not (solve []) then None
+  else begin
+    (* Reconstruct one witness greedily along the memoized table. *)
+    let boundaries = ref [] in
+    let rec walk state =
+      let b = match state with [] -> 0 | b :: _ -> b in
+      if span b t <= budget then ()
+      else
+        let rec pick b' =
+          if b' <= b then failwith "Wata_offline: reconstruction failed"
+          else if span b (b' + w - 1) > budget then pick (b' - 1)
+          else
+            let recent = b' :: List.filter (fun x -> x > b' - (w - 1)) state in
+            if List.length recent <= n - 1 && solve recent then begin
+              boundaries := b' :: !boundaries;
+              walk recent
+            end
+            else pick (b' - 1)
+        in
+        pick t
+    in
+    walk [];
+    let boundaries = List.rev !boundaries in
+    Some { boundaries; max_size = size_of_schedule ~w ~sizes ~boundaries }
+  end
+
+let optimal ~w ~n ~sizes =
+  if n < 2 then invalid_arg "Wata_offline.optimal: need n >= 2";
+  let t = Array.length sizes in
+  if t < w then invalid_arg "Wata_offline.optimal: trace shorter than window";
+  let p = prefix sizes in
+  let lo = ref (Wata_size.window_max ~w ~sizes) in
+  let hi = ref p.(t) in
+  let best = ref None in
+  (* A single open cluster is always feasible at budget = total volume. *)
+  while !lo <= !hi do
+    let mid = !lo + ((!hi - !lo) / 2) in
+    match feasible_with ~w ~n ~sizes ~budget:mid with
+    | Some s ->
+      best := Some s;
+      hi := mid - 1
+    | None -> lo := mid + 1
+  done;
+  match !best with
+  | Some s -> s
+  | None ->
+    (* unreachable: the total-volume budget is feasible *)
+    { boundaries = []; max_size = p.(t) }

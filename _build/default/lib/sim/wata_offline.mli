@@ -1,0 +1,39 @@
+(** Offline-optimal WATA scheduling for the index-size measure.
+
+    Section 3.3 notes that building a size-optimal WATA index requires
+    "complete information of data sizes of all future days", and cites
+    Kleinberg et al. [KMRV97] for an optimal offline algorithm.  This
+    module computes that offline optimum from a full volume trace, so
+    Theorem 3's competitive ratio can be evaluated against the true
+    adversary rather than the weaker [window_max] lower bound.
+
+    Formulation: a WATA schedule partitions the day line into
+    consecutive clusters; a cluster stays on disk from its first day
+    until its last day leaves the window; at most [n] clusters may be
+    alive at once (equivalently, any [w-1] consecutive days contain at
+    most [n-1] cluster boundaries).  The storage at day [d] is the
+    volume from the start of the oldest live cluster through [d].  We
+    minimise the maximum storage by binary-searching the answer; each
+    candidate budget is checked by a memoized search whose state is the
+    boundary pattern within the last [w-2] days — the only part of the
+    past that can constrain future placements. *)
+
+type schedule = {
+  boundaries : int list;
+      (** cluster-ending days, ascending (the last cluster may still be
+          open at trace end) *)
+  max_size : int;  (** peak storage of the schedule, volume units *)
+}
+
+val optimal : w:int -> n:int -> sizes:int array -> schedule
+(** [optimal ~w ~n ~sizes] is a feasible schedule minimising peak
+    storage.  Requires [n >= 2] and a trace at least [w] days long. *)
+
+val feasible_with : w:int -> n:int -> sizes:int array -> budget:int -> schedule option
+(** Exact feasibility check for a given storage budget, returning a
+    witness schedule; exposed for testing the search's monotonicity. *)
+
+val size_of_schedule : w:int -> sizes:int array -> boundaries:int list -> int
+(** Independent evaluator: peak storage of an arbitrary boundary list
+    (used to validate the optimiser against brute force in tests).
+    Raises [Invalid_argument] if the boundary list violates ordering. *)

@@ -1,0 +1,75 @@
+open Wave_core
+
+type stats = {
+  wata_max_size : int;
+  window_max_size : int;
+  ratio : float;
+  wata_max_length : int;
+}
+
+let window_max ~w ~sizes =
+  let n = Array.length sizes in
+  if n < w then invalid_arg "Wata_size.window_max: trace shorter than window";
+  let sum = ref 0 in
+  for i = 0 to w - 1 do
+    sum := !sum + sizes.(i)
+  done;
+  let best = ref !sum in
+  for i = w to n - 1 do
+    sum := !sum + sizes.(i) - sizes.(i - w);
+    if !sum > !best then best := !sum
+  done;
+  !best
+
+let replay ~w ~n ~sizes =
+  if n < 2 then invalid_arg "Wata_size.replay: WATA needs n >= 2";
+  let total_days = Array.length sizes in
+  if total_days < w then invalid_arg "Wata_size.replay: trace shorter than window";
+  let size_of day = sizes.(day - 1) in
+  (* Start phase: days 1..w-1 over slots 1..n-1, day w in slot n. *)
+  let slots = Array.make (n + 1) Dayset.empty (* 1-based *) in
+  List.iteri
+    (fun i (lo, hi) -> slots.(i + 1) <- Dayset.range lo hi)
+    (Split.contiguous ~first_day:1 ~days:(w - 1) ~parts:(n - 1));
+  slots.(n) <- Dayset.singleton w;
+  let last = ref n in
+  let current_size () =
+    Array.fold_left
+      (fun acc ds -> Dayset.fold (fun d a -> a + size_of d) ds acc)
+      0 slots
+  in
+  let current_length () =
+    Array.fold_left (fun acc ds -> acc + Dayset.cardinal ds) 0 slots
+  in
+  let max_size = ref (current_size ()) in
+  let max_length = ref (current_length ()) in
+  for day = w + 1 to total_days do
+    let expired = day - w in
+    let j = ref 0 in
+    for i = 1 to n do
+      if Dayset.mem expired slots.(i) then j := i
+    done;
+    if !j = 0 then failwith "Wata_size.replay: expired day not found";
+    let others =
+      let t = ref 0 in
+      for i = 1 to n do
+        if i <> !j then t := !t + Dayset.cardinal slots.(i)
+      done;
+      !t
+    in
+    if others = w - 1 then begin
+      slots.(!j) <- Dayset.singleton day;
+      last := !j
+    end
+    else slots.(!last) <- Dayset.add day slots.(!last);
+    let s = current_size () and l = current_length () in
+    if s > !max_size then max_size := s;
+    if l > !max_length then max_length := l
+  done;
+  let wmax = window_max ~w ~sizes in
+  {
+    wata_max_size = !max_size;
+    window_max_size = wmax;
+    ratio = float_of_int !max_size /. float_of_int wmax;
+    wata_max_length = !max_length;
+  }

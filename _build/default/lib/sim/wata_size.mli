@@ -1,0 +1,26 @@
+(** Size-only WATA* dynamics over a day-volume trace.
+
+    Section 3.3 distinguishes index {e length} (days held) from index
+    {e size} (storage held) when day volumes vary, and Section 6's
+    Figure 11 measures the {e index size ratio}: the maximum storage
+    WATA*'s lazy deletion ever requires divided by the maximum an eager
+    hard-window scheme requires over the same trace.  Theorem 3 bounds
+    the ratio by 2.  This module replays WATA*'s cluster dynamics
+    symbolically over a volume sequence — no actual index is built, so
+    200-day traces evaluate instantly. *)
+
+type stats = {
+  wata_max_size : int;  (** peak day-volume units WATA* holds *)
+  window_max_size : int;
+      (** peak any eager scheme must hold: max over sliding windows *)
+  ratio : float;  (** [wata_max_size / window_max_size], Figure 11's y-axis *)
+  wata_max_length : int;  (** peak number of days held *)
+}
+
+val replay : w:int -> n:int -> sizes:int array -> stats
+(** [replay ~w ~n ~sizes] runs WATA* over days [1 .. Array.length
+    sizes] (sizes.(i) is day i+1's volume).  Requires [n >= 2] and
+    [Array.length sizes >= w]. *)
+
+val window_max : w:int -> sizes:int array -> int
+(** Max sum over any [w] consecutive days. *)

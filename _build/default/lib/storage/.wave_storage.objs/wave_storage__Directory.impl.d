@@ -1,0 +1,1 @@
+lib/storage/directory.ml: Btree Hashtbl Int List Option

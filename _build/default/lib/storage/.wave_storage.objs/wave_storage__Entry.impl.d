@@ -1,0 +1,1 @@
+lib/storage/entry.ml: Array Format Hashtbl Int List

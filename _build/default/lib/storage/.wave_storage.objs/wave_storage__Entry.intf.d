@@ -1,0 +1,1 @@
+lib/storage/entry.mli: Format

@@ -1,0 +1,1 @@
+lib/storage/index.ml: Array Directory Disk Entry Hashtbl Int List Printf Seq Wave_disk

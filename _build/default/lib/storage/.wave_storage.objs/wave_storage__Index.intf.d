@@ -1,0 +1,1 @@
+lib/storage/index.mli: Directory Disk Entry Wave_disk

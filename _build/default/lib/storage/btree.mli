@@ -1,0 +1,55 @@
+(** In-memory B+tree over integer keys.
+
+    The paper's index directory is "a search structure (e.g., a B+Tree
+    or a hash table) that given a search value identifies a bucket" and
+    is assumed memory-resident.  This module is the B+tree variant,
+    built from scratch: internal nodes hold only separator keys, all
+    bindings live in linked leaves, so ordered iteration and range
+    queries are cheap.  Nodes are mutable arrays of fixed capacity;
+    insertion splits on overflow and deletion rebalances by borrowing
+    from or merging with siblings, keeping every node (root excepted)
+    at least half full.
+
+    Complexity: [find], [insert], [remove] are O(log n); [iter],
+    [range] are O(result). *)
+
+type 'a t
+
+val create : ?order:int -> unit -> 'a t
+(** [create ~order ()] makes an empty tree.  [order] is the maximum
+    number of keys per node (default 32, minimum 4). *)
+
+val order : 'a t -> int
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+
+val find : 'a t -> int -> 'a option
+val mem : 'a t -> int -> bool
+
+val insert : 'a t -> int -> 'a -> unit
+(** Adds a binding; replaces the value if the key is already present. *)
+
+val remove : 'a t -> int -> bool
+(** [remove t k] deletes the binding for [k]; returns whether a binding
+    was present. *)
+
+val min_binding : 'a t -> (int * 'a) option
+val max_binding : 'a t -> (int * 'a) option
+
+val iter : 'a t -> (int -> 'a -> unit) -> unit
+(** Visits bindings in increasing key order. *)
+
+val fold : 'a t -> init:'b -> f:('b -> int -> 'a -> 'b) -> 'b
+
+val range : 'a t -> lo:int -> hi:int -> (int * 'a) list
+(** Bindings with [lo <= key <= hi], in increasing key order. *)
+
+val to_list : 'a t -> (int * 'a) list
+
+val check_invariants : 'a t -> unit
+(** Validates the structural invariants (key ordering, node fill
+    factors, leaf chaining, depth uniformity); raises [Failure] with a
+    diagnostic if violated.  Used by the test suite. *)
+
+val height : 'a t -> int
+(** Number of levels (0 for an empty tree). *)

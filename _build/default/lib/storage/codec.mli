@@ -1,0 +1,21 @@
+(** Binary serialisation of day batches.
+
+    A deployment checkpoints its day store so the wave can be rebuilt
+    after a restart (every scheme's Start phase, and REINDEX-family
+    maintenance, re-reads past days).  The format is self-describing
+    and safe to read from untrusted files: a magic/version header,
+    LEB128 varints with ZigZag for signed fields, and an additive
+    checksum verified on decode.
+
+    Layout: magic "WVB1" | day | posting-count | postings (value rid
+    info, each delta-free varints) | checksum. *)
+
+val encode_batch : Entry.batch -> string
+val decode_batch : string -> (Entry.batch, string) result
+(** [decode_batch s] fails (with a diagnostic) on bad magic, truncated
+    input, malformed varints, checksum mismatch or trailing bytes. *)
+
+val encode_batches : Entry.batch list -> string
+(** Length-prefixed concatenation, e.g. a whole window. *)
+
+val decode_batches : string -> (Entry.batch list, string) result

@@ -1,0 +1,47 @@
+type kind = Hash | Bplus
+
+type 'a t =
+  | Hash_dir of (int, 'a) Hashtbl.t
+  | Bplus_dir of 'a Btree.t
+
+let create = function
+  | Hash -> Hash_dir (Hashtbl.create 256)
+  | Bplus -> Bplus_dir (Btree.create ())
+
+let kind = function Hash_dir _ -> Hash | Bplus_dir _ -> Bplus
+
+let length = function
+  | Hash_dir h -> Hashtbl.length h
+  | Bplus_dir b -> Btree.length b
+
+let find t v =
+  match t with
+  | Hash_dir h -> Hashtbl.find_opt h v
+  | Bplus_dir b -> Btree.find b v
+
+let mem t v = Option.is_some (find t v)
+
+let set t v x =
+  match t with
+  | Hash_dir h -> Hashtbl.replace h v x
+  | Bplus_dir b -> Btree.insert b v x
+
+let remove t v =
+  match t with
+  | Hash_dir h -> Hashtbl.remove h v
+  | Bplus_dir b -> ignore (Btree.remove b v)
+
+let iter_ordered t f =
+  match t with
+  | Bplus_dir b -> Btree.iter b f
+  | Hash_dir h ->
+    let keys = Hashtbl.fold (fun k _ acc -> k :: acc) h [] in
+    List.iter (fun k -> f k (Hashtbl.find h k)) (List.sort Int.compare keys)
+
+let fold_ordered t ~init ~f =
+  let acc = ref init in
+  iter_ordered t (fun k v -> acc := f !acc k v);
+  !acc
+
+let values_ordered t =
+  List.rev (fold_ordered t ~init:[] ~f:(fun acc k _ -> k :: acc))

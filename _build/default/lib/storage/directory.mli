@@ -1,0 +1,27 @@
+(** Index directory: search value -> bucket.
+
+    Section 2 assumes the directory is memory-resident; only the
+    buckets live on disk.  Two interchangeable implementations are
+    provided — a hash table and the {!Btree} — selected at index
+    creation.  The B+tree keeps values ordered, which the packed
+    builder uses to lay buckets out in value order, and which makes
+    ordered scans deterministic. *)
+
+type kind = Hash | Bplus
+
+type 'a t
+
+val create : kind -> 'a t
+val kind : 'a t -> kind
+val length : 'a t -> int
+val find : 'a t -> int -> 'a option
+val mem : 'a t -> int -> bool
+val set : 'a t -> int -> 'a -> unit
+val remove : 'a t -> int -> unit
+
+val iter_ordered : 'a t -> (int -> 'a -> unit) -> unit
+(** Visits bindings in increasing value order for both implementations
+    (the hash directory sorts its keys first: O(n log n)). *)
+
+val fold_ordered : 'a t -> init:'b -> f:('b -> int -> 'a -> 'b) -> 'b
+val values_ordered : 'a t -> int list

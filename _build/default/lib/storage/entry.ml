@@ -1,0 +1,34 @@
+type t = { rid : int; day : int; info : int }
+
+let compare a b =
+  match Int.compare a.day b.day with
+  | 0 -> ( match Int.compare a.rid b.rid with 0 -> Int.compare a.info b.info | c -> c)
+  | c -> c
+
+let equal a b = compare a b = 0
+
+let pp ppf e = Format.fprintf ppf "{rid=%d; day=%d; info=%d}" e.rid e.day e.info
+
+type posting = { value : int; entry : t }
+type batch = { day : int; postings : posting array }
+
+let batch_create ~day postings =
+  Array.iter
+    (fun p ->
+      if p.entry.day <> day then
+        invalid_arg "Entry.batch_create: posting day mismatch")
+    postings;
+  { day; postings }
+
+let batch_size b = Array.length b.postings
+
+let group_by_value postings =
+  let tbl = Hashtbl.create 64 in
+  Array.iter
+    (fun p ->
+      match Hashtbl.find_opt tbl p.value with
+      | None -> Hashtbl.add tbl p.value [ p.entry ]
+      | Some es -> Hashtbl.replace tbl p.value (p.entry :: es))
+    postings;
+  Hashtbl.fold (fun v es acc -> (v, List.rev es) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> Int.compare a b)

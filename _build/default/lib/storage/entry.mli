@@ -1,0 +1,37 @@
+(** Index entries and day batches.
+
+    Following Section 2 of the paper, the data to index consists of
+    records; each record has one or more values for the search field
+    [F].  An index {e entry} is a record pointer plus associated
+    information, including the {e timestamp} (the day the record was
+    inserted) needed by timed queries and packed-shadow expiry. *)
+
+type t = {
+  rid : int;  (** record identifier (the pointer [p_i]) *)
+  day : int;  (** insertion day — the timestamp in [a_i] *)
+  info : int;  (** extra payload, e.g. byte offset or sale amount *)
+}
+
+val compare : t -> t -> int
+(** Orders by [day], then [rid], then [info]. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+
+type posting = { value : int; entry : t }
+(** One (search value, entry) pair produced by indexing a record. *)
+
+type batch = {
+  day : int;
+  postings : posting array;  (** all postings generated on [day] *)
+}
+(** A day's worth of new data, delivered as a batch (Section 2.1). *)
+
+val batch_create : day:int -> posting array -> batch
+(** Validates that every posting's entry carries [day]. *)
+
+val batch_size : batch -> int
+
+val group_by_value : posting array -> (int * t list) list
+(** Groups postings by search value, values ascending, entries in input
+    order within a value. *)

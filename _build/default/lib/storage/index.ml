@@ -1,0 +1,479 @@
+open Wave_disk
+
+type config = {
+  entry_bytes : int;
+  growth_factor : float;
+  min_alloc_entries : int;
+  dir_kind : Directory.kind;
+  build_cpu_per_entry : float;
+  add_cpu_per_entry : float;
+}
+
+let default_config =
+  {
+    entry_bytes = 100;
+    growth_factor = 2.0;
+    min_alloc_entries = 4;
+    dir_kind = Directory.Bplus;
+    build_cpu_per_entry = 0.0;
+    add_cpu_per_entry = 0.0;
+  }
+
+exception Index_error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Index_error s)) fmt
+
+let make_disk ?(seek_time = 0.014) ?(transfer_rate = 10e6) cfg =
+  Disk.create
+    ~params:
+      { Disk.seek_time; transfer_rate; block_size = cfg.entry_bytes }
+    ()
+
+(* Disk extents are allocated with a granularity of one entry per block,
+   so that packed indexes are charged exactly their minimal size.  The
+   disk's [block_size] must therefore equal [entry_bytes]; [make_disk]
+   (in the mli's companion helpers) builds a consistent disk. *)
+
+type shared_ext = { sext : Disk.extent; mutable refs : int }
+
+type home = Own of Disk.extent | In_shared of shared_ext * int
+
+type bucket = {
+  value : int;
+  mutable entries : Entry.t array; (* length = used, copied on change *)
+  mutable home : home;
+  mutable cap : int; (* capacity in entries *)
+}
+
+type t = {
+  cfg : config;
+  dsk : Disk.t;
+  dir : bucket Directory.t;
+  mutable packed : bool;
+  mutable shared : shared_ext option;
+  mutable total_used : int;
+  mutable total_alloc : int; (* entries of capacity held, incl. dead shared space *)
+}
+
+let config t = t.cfg
+let disk t = t.dsk
+
+let check_disk_compat disk cfg =
+  if (Disk.params disk).Disk.block_size <> cfg.entry_bytes then
+    fail "disk block size %d must equal entry_bytes %d (one entry per block)"
+      (Disk.params disk).Disk.block_size cfg.entry_bytes;
+  if cfg.growth_factor <= 1.0 then fail "growth_factor must exceed 1.0";
+  if cfg.min_alloc_entries < 1 then fail "min_alloc_entries must be >= 1";
+  if cfg.entry_bytes < 1 then fail "entry_bytes must be >= 1"
+
+let create_empty dsk cfg =
+  check_disk_compat dsk cfg;
+  {
+    cfg;
+    dsk;
+    dir = Directory.create cfg.dir_kind;
+    packed = true;
+    shared = None;
+    total_used = 0;
+    total_alloc = 0;
+  }
+
+let used_of b = Array.length b.entries
+
+(* ------------------------------------------------------------------ *)
+(* Shared-extent bookkeeping                                          *)
+(* ------------------------------------------------------------------ *)
+
+let decref_shared t s =
+  s.refs <- s.refs - 1;
+  if s.refs = 0 then begin
+    Disk.free t.dsk s.sext;
+    t.total_alloc <- t.total_alloc - s.sext.Disk.length;
+    match t.shared with
+    | Some s' when s' == s -> t.shared <- None
+    | _ -> ()
+  end
+
+let release_home t b =
+  match b.home with
+  | Own e ->
+    Disk.free t.dsk e;
+    t.total_alloc <- t.total_alloc - e.Disk.length
+  | In_shared (s, _) -> decref_shared t s
+
+(* ------------------------------------------------------------------ *)
+(* Construction                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let grouped_of_batches batches =
+  let tbl = Hashtbl.create 1024 in
+  List.iter
+    (fun (b : Entry.batch) ->
+      Array.iter
+        (fun (p : Entry.posting) ->
+          match Hashtbl.find_opt tbl p.Entry.value with
+          | None -> Hashtbl.add tbl p.Entry.value [ p.Entry.entry ]
+          | Some es -> Hashtbl.replace tbl p.Entry.value (p.Entry.entry :: es))
+        b.Entry.postings)
+    batches;
+  Hashtbl.fold (fun v es acc -> (v, Array.of_list (List.rev es)) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+
+(* Install packed contents: one extent, buckets at cumulative offsets in
+   value order, zero slack.  [charge_read_source] optionally charges the
+   sequential read of some source extents first (used by [pack]). *)
+let install_packed t groups =
+  let total = List.fold_left (fun acc (_, es) -> acc + Array.length es) 0 groups in
+  if total = 0 then begin
+    t.packed <- true;
+    t.shared <- None
+  end
+  else begin
+    let ext = Disk.alloc t.dsk ~blocks:total in
+    Disk.write t.dsk ext;
+    let s = { sext = ext; refs = List.length groups } in
+    let off = ref 0 in
+    List.iter
+      (fun (v, es) ->
+        let b =
+          { value = v; entries = es; home = In_shared (s, !off); cap = Array.length es }
+        in
+        off := !off + Array.length es;
+        Directory.set t.dir v b)
+      groups;
+    t.shared <- Some s;
+    t.total_alloc <- t.total_alloc + total;
+    t.total_used <- total;
+    t.packed <- true
+  end
+
+let build dsk cfg batches =
+  check_disk_compat dsk cfg;
+  let t = create_empty dsk cfg in
+  let groups = grouped_of_batches batches in
+  let total = List.fold_left (fun acc (_, es) -> acc + Array.length es) 0 groups in
+  Disk.charge_delay dsk (cfg.build_cpu_per_entry *. float_of_int total);
+  install_packed t groups;
+  t
+
+(* ------------------------------------------------------------------ *)
+(* Observation                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let entry_count t = t.total_used
+let distinct_values t = Directory.length t.dir
+let is_packed t = t.packed
+
+let days t =
+  let seen = Hashtbl.create 16 in
+  Directory.iter_ordered t.dir (fun _ b ->
+      Array.iter
+        (fun (e : Entry.t) ->
+          if not (Hashtbl.mem seen e.Entry.day) then Hashtbl.add seen e.Entry.day ())
+        b.entries);
+  Hashtbl.fold (fun d () acc -> d :: acc) seen [] |> List.sort Int.compare
+
+let used_bytes t = t.total_used * t.cfg.entry_bytes
+let allocated_bytes t = t.total_alloc * t.cfg.entry_bytes
+let allocated_blocks t = t.total_alloc
+
+(* ------------------------------------------------------------------ *)
+(* Queries                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let bucket_read_charge t b =
+  let used = used_of b in
+  if used > 0 then
+    match b.home with
+    | Own e -> Disk.read_blocks t.dsk e ~blocks:used
+    | In_shared (s, _) ->
+      Disk.read_blocks t.dsk s.sext ~blocks:(min used s.sext.Disk.length)
+
+let probe t v =
+  match Directory.find t.dir v with
+  | None -> []
+  | Some b ->
+    bucket_read_charge t b;
+    Array.to_list b.entries
+
+let probe_timed t v ~t1 ~t2 =
+  List.filter (fun (e : Entry.t) -> e.Entry.day >= t1 && e.Entry.day <= t2) (probe t v)
+
+let scan_extents t =
+  (* Every extent this index holds: the shared home (live part or not —
+     a scan of an unpacked index pays for its slack and dead space, the
+     paper's S' accounting) plus each bucket-owned extent. *)
+  let own =
+    Directory.fold_ordered t.dir ~init:[] ~f:(fun acc _ b ->
+        match b.home with Own e -> e :: acc | In_shared _ -> acc)
+  in
+  match t.shared with Some s -> s.sext :: List.rev own | None -> List.rev own
+
+let scan t =
+  if t.total_used > 0 || t.total_alloc > 0 then
+    Disk.sequential_read t.dsk (scan_extents t);
+  Directory.fold_ordered t.dir ~init:[] ~f:(fun acc _ b ->
+      Array.fold_left (fun acc e -> e :: acc) acc b.entries)
+  |> List.rev
+
+let scan_timed t ~t1 ~t2 =
+  List.filter (fun (e : Entry.t) -> e.Entry.day >= t1 && e.Entry.day <= t2) (scan t)
+
+(* ------------------------------------------------------------------ *)
+(* Mutation                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let grow_target t needed =
+  let g = t.cfg.growth_factor in
+  let by_g = int_of_float (ceil (float_of_int needed *. g)) in
+  max t.cfg.min_alloc_entries (max needed by_g)
+
+(* Move bucket [b] to a fresh extent of capacity [new_cap], charging the
+   copy (read old contents + write them to the new home). *)
+let relocate t b ~new_cap ~extra_entries =
+  let old_used = used_of b in
+  if old_used > 0 then bucket_read_charge t b;
+  let ext = Disk.alloc t.dsk ~blocks:new_cap in
+  let new_used = old_used + Array.length extra_entries in
+  Disk.write_blocks t.dsk ext ~blocks:new_used;
+  release_home t b;
+  b.home <- Own ext;
+  b.cap <- new_cap;
+  t.total_alloc <- t.total_alloc + new_cap;
+  if Array.length extra_entries > 0 then
+    b.entries <- Array.append b.entries extra_entries
+
+let add_group t v es =
+  let n_new = Array.length es in
+  match Directory.find t.dir v with
+  | None ->
+    let cap = grow_target t n_new in
+    let ext = Disk.alloc t.dsk ~blocks:cap in
+    Disk.write_blocks t.dsk ext ~blocks:n_new;
+    t.total_alloc <- t.total_alloc + cap;
+    Directory.set t.dir v { value = v; entries = es; home = Own ext; cap }
+  | Some b ->
+    let used = used_of b in
+    let fits = match b.home with Own _ -> used + n_new <= b.cap | In_shared _ -> false in
+    if fits then begin
+      (* Append into the existing allocation: seek + write of the tail. *)
+      (match b.home with
+      | Own e -> Disk.write_blocks t.dsk e ~blocks:n_new
+      | In_shared _ -> assert false);
+      b.entries <- Array.append b.entries es
+    end
+    else relocate t b ~new_cap:(grow_target t (used + n_new)) ~extra_entries:es
+
+let add_batch t (batch : Entry.batch) =
+  let groups = Entry.group_by_value batch.Entry.postings in
+  Disk.charge_delay t.dsk
+    (t.cfg.add_cpu_per_entry *. float_of_int (Entry.batch_size batch));
+  List.iter (fun (v, es) -> add_group t v (Array.of_list es)) groups;
+  t.total_used <- t.total_used + Entry.batch_size batch;
+  if Entry.batch_size batch > 0 then t.packed <- false
+
+let delete_days t expired =
+  let removed = ref 0 in
+  let to_delete = ref [] in
+  Directory.iter_ordered t.dir (fun v b ->
+      let keep = Array.of_seq (Seq.filter
+        (fun (e : Entry.t) -> not (expired e.Entry.day))
+        (Array.to_seq b.entries))
+      in
+      let dropped = used_of b - Array.length keep in
+      if dropped > 0 then begin
+        removed := !removed + dropped;
+        (* Rewrite the bucket in place: read it, write back survivors. *)
+        bucket_read_charge t b;
+        b.entries <- keep;
+        let used = Array.length keep in
+        if used = 0 then to_delete := v :: !to_delete
+        else begin
+          (match b.home with
+          | Own e -> Disk.write_blocks t.dsk e ~blocks:used
+          | In_shared (s, _) ->
+            Disk.write_blocks t.dsk s.sext
+              ~blocks:(min used s.sext.Disk.length));
+          (* CONTIGUOUS shrink: if mostly empty, move to a tighter home. *)
+          let g = t.cfg.growth_factor in
+          let shrink_below = float_of_int b.cap /. (g *. g) in
+          match b.home with
+          | Own _ when float_of_int used < shrink_below
+                       && grow_target t used < b.cap ->
+            relocate t b ~new_cap:(grow_target t used) ~extra_entries:[||]
+          | _ -> ()
+        end
+      end);
+  List.iter
+    (fun v ->
+      match Directory.find t.dir v with
+      | None -> ()
+      | Some b ->
+        release_home t b;
+        Directory.remove t.dir v)
+    !to_delete;
+  Disk.charge_delay t.dsk (t.cfg.add_cpu_per_entry *. float_of_int !removed);
+  t.total_used <- t.total_used - !removed;
+  if !removed > 0 then t.packed <- false;
+  !removed
+
+let drop t =
+  (* Constant-time unlink: free every extent without transfer charges. *)
+  let seen_shared = ref [] in
+  Directory.iter_ordered t.dir (fun _ b ->
+      match b.home with
+      | Own e ->
+        Disk.free t.dsk e;
+        t.total_alloc <- t.total_alloc - e.Disk.length
+      | In_shared (s, _) ->
+        if not (List.memq s !seen_shared) then seen_shared := s :: !seen_shared);
+  List.iter
+    (fun s ->
+      Disk.free t.dsk s.sext;
+      t.total_alloc <- t.total_alloc - s.sext.Disk.length)
+    !seen_shared;
+  (match t.shared with
+  | Some s when not (List.memq s !seen_shared) ->
+    (* Shared extent with buckets all gone but refcount drained lazily. *)
+    if Disk.is_live t.dsk s.sext then begin
+      Disk.free t.dsk s.sext;
+      t.total_alloc <- t.total_alloc - s.sext.Disk.length
+    end
+  | _ -> ());
+  t.shared <- None;
+  List.iter (fun v -> Directory.remove t.dir v) (Directory.values_ordered t.dir);
+  t.total_used <- 0;
+  t.packed <- true;
+  if t.total_alloc <> 0 then fail "drop: allocation accounting leak (%d)" t.total_alloc
+
+(* ------------------------------------------------------------------ *)
+(* Shadow operations                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let copy t =
+  let t' =
+    {
+      cfg = t.cfg;
+      dsk = t.dsk;
+      dir = Directory.create t.cfg.dir_kind;
+      packed = t.packed;
+      shared = None;
+      total_used = 0;
+      total_alloc = 0;
+    }
+  in
+  (* Charge: stream the source out and the duplicate in. *)
+  let exts = scan_extents t in
+  if exts <> [] then Disk.sequential_read t.dsk exts;
+  if t.packed then begin
+    let groups =
+      Directory.fold_ordered t.dir ~init:[] ~f:(fun acc v b ->
+          (v, Array.copy b.entries) :: acc)
+      |> List.rev
+    in
+    install_packed t' groups
+  end
+  else begin
+    (* Reproduce the unpacked layout bucket by bucket (same caps), but
+       charge the flush as one sequential write: a shadow copy streams
+       to a fresh contiguous region rather than seeking per bucket. *)
+    let written = ref 0 in
+    Directory.iter_ordered t.dir (fun v b ->
+        let cap = b.cap in
+        let ext = Disk.alloc t'.dsk ~blocks:cap in
+        t'.total_alloc <- t'.total_alloc + cap;
+        written := !written + used_of b;
+        Directory.set t'.dir v
+          { value = v; entries = Array.copy b.entries; home = Own ext; cap });
+    if !written > 0 then begin
+      Disk.charge_seek t.dsk;
+      Disk.charge_transfer_bytes t.dsk (!written * t.cfg.entry_bytes)
+    end;
+    t'.total_used <- t.total_used;
+    t'.packed <- false
+  end;
+  t'
+
+let pack t ~drop_days ~extra =
+  (* Packed shadow update (Section 2.1, technique 3): build a temporary
+     packed index for the inserts, then stream the source dropping
+     expired entries while merging the temporary in, producing a fresh
+     packed index.  The source is left untouched. *)
+  let temp = build t.dsk t.cfg extra in
+  let groups_tbl = Hashtbl.create 1024 in
+  let add_entries v es =
+    match Hashtbl.find_opt groups_tbl v with
+    | None -> Hashtbl.add groups_tbl v es
+    | Some old -> Hashtbl.replace groups_tbl v (Array.append old es)
+  in
+  (* Stream the source: one sequential read, dropping expired days. *)
+  let src_exts = scan_extents t in
+  if src_exts <> [] then Disk.sequential_read t.dsk src_exts;
+  Directory.iter_ordered t.dir (fun v b ->
+      let keep =
+        Array.of_seq (Seq.filter
+          (fun (e : Entry.t) -> not (drop_days e.Entry.day))
+          (Array.to_seq b.entries))
+      in
+      if Array.length keep > 0 then add_entries v keep);
+  (* Stream the temporary index in (one sequential read), append its
+     buckets behind the survivors. *)
+  let tmp_exts = scan_extents temp in
+  if tmp_exts <> [] then Disk.sequential_read t.dsk tmp_exts;
+  Directory.iter_ordered temp.dir (fun v b ->
+      if used_of b > 0 then add_entries v (Array.copy b.entries));
+  drop temp;
+  let groups =
+    Hashtbl.fold (fun v es acc -> (v, es) :: acc) groups_tbl []
+    |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+  in
+  let t' = create_empty t.dsk t.cfg in
+  install_packed t' groups;
+  t'
+
+(* ------------------------------------------------------------------ *)
+(* Validation                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let validate t =
+  let used = ref 0 in
+  let alloc = ref 0 in
+  let shared_seen = ref [] in
+  Directory.iter_ordered t.dir (fun v b ->
+      if b.value <> v then fail "bucket value %d filed under %d" b.value v;
+      let u = used_of b in
+      if u = 0 then fail "empty bucket for value %d retained" v;
+      used := !used + u;
+      match b.home with
+      | Own e ->
+        if not (Disk.is_live t.dsk e) then fail "dead extent for value %d" v;
+        if b.cap <> e.Disk.length then
+          fail "cap %d <> extent length %d for value %d" b.cap e.Disk.length v;
+        if u > b.cap then fail "overfull bucket for value %d" v;
+        alloc := !alloc + b.cap
+      | In_shared (s, off) ->
+        if not (Disk.is_live t.dsk s.sext) then fail "dead shared extent";
+        if off < 0 || off + b.cap > s.sext.Disk.length then
+          fail "bucket for value %d overflows shared extent" v;
+        if u > b.cap then fail "overfull shared bucket for value %d" v;
+        if not (List.memq s !shared_seen) then shared_seen := s :: !shared_seen);
+  List.iter (fun s -> alloc := !alloc + s.sext.Disk.length) !shared_seen;
+  (match t.shared with
+  | Some s when not (List.memq s !shared_seen) ->
+    (* A retained shared home with no remaining buckets would be a leak
+       unless still live awaiting decref. *)
+    if Disk.is_live t.dsk s.sext then alloc := !alloc + s.sext.Disk.length
+  | _ -> ());
+  if !used <> t.total_used then
+    fail "used accounting: computed %d, recorded %d" !used t.total_used;
+  if !alloc <> t.total_alloc then
+    fail "alloc accounting: computed %d, recorded %d" !alloc t.total_alloc;
+  if t.packed && t.total_alloc <> t.total_used then
+    fail "packed index with slack: alloc %d <> used %d" t.total_alloc t.total_used;
+  if t.packed then begin
+    (* Packedness also requires a single shared extent (or emptiness). *)
+    match (t.shared, !shared_seen) with
+    | None, [] -> if t.total_used <> 0 then fail "packed, no extent, but entries"
+    | Some _, [ _ ] | Some _, [] -> ()
+    | _ -> fail "packed index with multiple homes"
+  end

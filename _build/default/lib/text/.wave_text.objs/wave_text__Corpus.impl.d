@@ -1,0 +1,1 @@
+lib/text/corpus.ml: Array Buffer Entry Hashtbl List String Tokenizer Vocab Wave_core Wave_storage Wave_util

@@ -1,0 +1,1 @@
+lib/text/corpus.mli: Entry Vocab Wave_core Wave_storage

@@ -1,0 +1,107 @@
+open Wave_storage
+
+type doc = { rid : int; text : string }
+
+let index_documents vocab ~day docs =
+  let postings = ref [] in
+  List.iter
+    (fun d ->
+      (* first offset of each distinct word *)
+      let seen = Hashtbl.create 32 in
+      List.iter
+        (fun (tok : Tokenizer.token) ->
+          if not (Hashtbl.mem seen tok.Tokenizer.word) then begin
+            Hashtbl.add seen tok.Tokenizer.word ();
+            postings :=
+              {
+                Entry.value = Vocab.intern vocab tok.Tokenizer.word;
+                entry = { Entry.rid = d.rid; day; info = tok.Tokenizer.offset };
+              }
+              :: !postings
+          end)
+        (Tokenizer.tokens d.text))
+    docs;
+  Entry.batch_create ~day (Array.of_list (List.rev !postings))
+
+let parse_query vocab text =
+  let parts =
+    String.split_on_char ' ' text
+    |> List.concat_map (String.split_on_char '\t')
+    |> List.filter (fun s -> s <> "")
+  in
+  let positive = ref [] and negative = ref [] in
+  List.iter
+    (fun raw ->
+      let negated = String.length raw > 1 && raw.[0] = '-' in
+      let body = if negated then String.sub raw 1 (String.length raw - 1) else raw in
+      match Tokenizer.tokens ~stopwords:false body with
+      | [] -> ()
+      | tok :: _ -> (
+        match Vocab.find vocab tok.Tokenizer.word with
+        | Some id -> if negated then negative := id :: !negative else positive := id :: !positive
+        | None -> if not negated then positive := -1 :: !positive))
+    parts;
+  if List.mem (-1) !positive || !positive = [] then None
+  else
+    let base = Wave_core.Query.And (List.rev_map (fun v -> Wave_core.Query.Word v) !positive) in
+    match !negative with
+    | [] -> Some base
+    | negs ->
+      Some
+        (Wave_core.Query.Diff
+           (base, Wave_core.Query.Or (List.rev_map (fun v -> Wave_core.Query.Word v) negs)))
+
+(* ------------------------------------------------------------------ *)
+(* Synthetic articles                                                 *)
+(* ------------------------------------------------------------------ *)
+
+type generator = {
+  lexicon : string array; (* rank order: lexicon.(0) is the most frequent *)
+  zipf : Wave_util.Zipf.t;
+  prng : Wave_util.Prng.t;
+}
+
+(* Pronounceable pseudo-words: alternating consonant/vowel syllables,
+   deterministic per rank so lexicons agree across processes. *)
+let make_word rank =
+  let consonants = "bcdfglmnprstvz" and vowels = "aeiou" in
+  let buf = Buffer.create 8 in
+  let r = ref rank in
+  let syllables = 2 + (rank mod 3) in
+  for _ = 1 to syllables do
+    Buffer.add_char buf consonants.[!r mod String.length consonants];
+    r := !r / String.length consonants;
+    Buffer.add_char buf vowels.[!r mod String.length vowels];
+    r := (!r / String.length vowels) + rank
+  done;
+  (* suffix the rank to guarantee uniqueness *)
+  Buffer.add_string buf (string_of_int rank);
+  Buffer.contents buf
+
+let generator ?(seed = 11) ?(vocab_size = 5_000) ?(zipf_s = 1.0) () =
+  {
+    lexicon = Array.init vocab_size (fun i -> make_word (i + 1));
+    zipf = Wave_util.Zipf.create ~n:vocab_size ~s:zipf_s;
+    prng = Wave_util.Prng.create seed;
+  }
+
+let lexicon_word g k =
+  if k < 1 || k > Array.length g.lexicon then invalid_arg "Corpus.lexicon_word";
+  g.lexicon.(k - 1)
+
+let article g ~words =
+  let buf = Buffer.create (words * 8) in
+  let sentence_left = ref (5 + Wave_util.Prng.int g.prng 10) in
+  for i = 1 to words do
+    let rank = Wave_util.Zipf.sample g.zipf g.prng in
+    let w = g.lexicon.(rank - 1) in
+    if Buffer.length buf > 0 then Buffer.add_char buf ' ';
+    Buffer.add_string buf w;
+    decr sentence_left;
+    if !sentence_left = 0 && i < words then begin
+      Buffer.add_char buf '.';
+      sentence_left := 5 + Wave_util.Prng.int g.prng 10
+    end
+  done;
+  Buffer.add_char buf '.';
+  Buffer.contents buf

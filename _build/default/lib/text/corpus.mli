@@ -1,0 +1,38 @@
+(** Documents -> day batches, and document-level search helpers.
+
+    Bridges real text to the wave index: a document becomes one record;
+    each of its distinct words becomes a posting whose [info] carries
+    the word's first byte offset in the document (Figure 1's IR
+    payload).  Also provides a synthetic article generator (Zipfian
+    word choice over a pronounceable vocabulary) so examples and tests
+    can run realistic corpora without shipping data. *)
+
+open Wave_storage
+
+type doc = { rid : int; text : string }
+
+val index_documents : Vocab.t -> day:int -> doc list -> Entry.batch
+(** One posting per distinct word per document. *)
+
+val parse_query : Vocab.t -> string -> Wave_core.Query.t option
+(** Minimal search-box syntax: whitespace-separated words are ANDed; a
+    leading '-' negates ("copyright -notice" = copyright AND NOT
+    notice).  Words never seen by the vocabulary cannot match: if every
+    positive word is unknown the result is [None].  Unknown negated
+    words are dropped. *)
+
+(** {1 Synthetic articles} *)
+
+type generator
+
+val generator : ?seed:int -> ?vocab_size:int -> ?zipf_s:float -> unit -> generator
+(** A deterministic article source: a [vocab_size]-word pronounceable
+    lexicon with Zipfian usage (defaults: seed 11, 5,000 words,
+    s = 1.0). *)
+
+val article : generator -> words:int -> string
+(** The next article, roughly [words] words of generated prose. *)
+
+val lexicon_word : generator -> int -> string
+(** The rank-k word of the generator's lexicon (1-based); useful for
+    building queries that will actually hit. *)

@@ -1,0 +1,91 @@
+type summary = {
+  count : int;
+  mean : float;
+  stddev : float;
+  min : float;
+  max : float;
+  total : float;
+}
+
+let summarize xs =
+  let n = Array.length xs in
+  if n = 0 then invalid_arg "Stats.summarize: empty array";
+  let total = Array.fold_left ( +. ) 0.0 xs in
+  let mean = total /. float_of_int n in
+  let sq = Array.fold_left (fun acc x -> acc +. ((x -. mean) ** 2.0)) 0.0 xs in
+  let stddev = sqrt (sq /. float_of_int n) in
+  let min = Array.fold_left Stdlib.min xs.(0) xs in
+  let max = Array.fold_left Stdlib.max xs.(0) xs in
+  { count = n; mean; stddev; min; max; total }
+
+let mean xs = (summarize xs).mean
+let stddev xs = (summarize xs).stddev
+
+let percentile xs p =
+  let n = Array.length xs in
+  if n = 0 then invalid_arg "Stats.percentile: empty array";
+  if p < 0.0 || p > 100.0 then invalid_arg "Stats.percentile: p out of range";
+  let sorted = Array.copy xs in
+  Array.sort compare sorted;
+  let rank = p /. 100.0 *. float_of_int (n - 1) in
+  let lo = int_of_float (floor rank) in
+  let hi = int_of_float (ceil rank) in
+  if lo = hi then sorted.(lo)
+  else
+    let frac = rank -. float_of_int lo in
+    sorted.(lo) +. (frac *. (sorted.(hi) -. sorted.(lo)))
+
+let median xs = percentile xs 50.0
+
+let histogram ~bins xs =
+  if bins <= 0 then invalid_arg "Stats.histogram: bins must be positive";
+  let s = summarize xs in
+  let width =
+    if s.max > s.min then (s.max -. s.min) /. float_of_int bins else 1.0
+  in
+  let counts = Array.make bins 0 in
+  Array.iter
+    (fun x ->
+      let i = int_of_float ((x -. s.min) /. width) in
+      let i = if i >= bins then bins - 1 else i in
+      counts.(i) <- counts.(i) + 1)
+    xs;
+  Array.mapi
+    (fun i c ->
+      let lo = s.min +. (float_of_int i *. width) in
+      (lo, lo +. width, c))
+    counts
+
+let chi_square_uniform ~observed =
+  let k = Array.length observed in
+  if k = 0 then invalid_arg "Stats.chi_square_uniform: empty";
+  let total = Array.fold_left ( + ) 0 observed in
+  let expected = float_of_int total /. float_of_int k in
+  Array.fold_left
+    (fun acc o ->
+      let d = float_of_int o -. expected in
+      acc +. (d *. d /. expected))
+    0.0 observed
+
+let linear_regression pts =
+  let n = Array.length pts in
+  if n < 2 then invalid_arg "Stats.linear_regression: need >= 2 points";
+  let sx = ref 0.0 and sy = ref 0.0 and sxx = ref 0.0 and sxy = ref 0.0 in
+  Array.iter
+    (fun (x, y) ->
+      sx := !sx +. x;
+      sy := !sy +. y;
+      sxx := !sxx +. (x *. x);
+      sxy := !sxy +. (x *. y))
+    pts;
+  let nf = float_of_int n in
+  let denom = (nf *. !sxx) -. (!sx *. !sx) in
+  if denom = 0.0 then invalid_arg "Stats.linear_regression: degenerate x";
+  let slope = ((nf *. !sxy) -. (!sx *. !sy)) /. denom in
+  let intercept = (!sy -. (slope *. !sx)) /. nf in
+  (slope, intercept)
+
+let ratio_series a b =
+  if Array.length a <> Array.length b then
+    invalid_arg "Stats.ratio_series: length mismatch";
+  Array.mapi (fun i x -> x /. b.(i)) a

@@ -1,0 +1,38 @@
+(** Small descriptive-statistics toolkit used by the experiment drivers
+    and tests (distribution checks, series summaries). *)
+
+type summary = {
+  count : int;
+  mean : float;
+  stddev : float;  (** population standard deviation *)
+  min : float;
+  max : float;
+  total : float;
+}
+
+val summarize : float array -> summary
+(** Single-pass summary.  Raises [Invalid_argument] on an empty array. *)
+
+val mean : float array -> float
+val stddev : float array -> float
+
+val percentile : float array -> float -> float
+(** [percentile xs p] with [p] in [\[0,100\]], linear interpolation
+    between closest ranks.  Sorts a copy; O(n log n). *)
+
+val median : float array -> float
+
+val histogram : bins:int -> float array -> (float * float * int) array
+(** [histogram ~bins xs] returns [(lo, hi, count)] per equal-width bin
+    spanning [\[min xs, max xs\]]. *)
+
+val chi_square_uniform : observed:int array -> float
+(** Chi-square statistic of observed counts against the uniform
+    expectation; used in PRNG/Zipf distribution tests. *)
+
+val linear_regression : (float * float) array -> float * float
+(** [linear_regression pts] is [(slope, intercept)] of the least-squares
+    fit.  Requires at least two points with distinct x. *)
+
+val ratio_series : float array -> float array -> float array
+(** Pointwise [a.(i) /. b.(i)]; arrays must have equal length. *)

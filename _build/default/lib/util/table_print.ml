@@ -1,0 +1,56 @@
+let float_cell x =
+  if Float.is_integer x && Float.abs x < 1e15 then
+    Printf.sprintf "%.0f" x
+  else if Float.abs x >= 1000.0 then Printf.sprintf "%.1f" x
+  else Printf.sprintf "%.4g" x
+
+let render ~header ~rows =
+  let arity = List.length header in
+  List.iter
+    (fun r ->
+      if List.length r <> arity then
+        invalid_arg "Table_print.render: row arity mismatch")
+    rows;
+  let widths = Array.make arity 0 in
+  let note r =
+    List.iteri (fun i c -> widths.(i) <- max widths.(i) (String.length c)) r
+  in
+  note header;
+  List.iter note rows;
+  let buf = Buffer.create 256 in
+  let line row =
+    List.iteri
+      (fun i c ->
+        if i > 0 then Buffer.add_string buf "  ";
+        Buffer.add_string buf c;
+        Buffer.add_string buf (String.make (widths.(i) - String.length c) ' '))
+      row;
+    Buffer.add_char buf '\n'
+  in
+  line header;
+  line (List.map (fun _ -> "") header |> List.mapi (fun i _ -> String.make widths.(i) '-'));
+  List.iter line rows;
+  Buffer.contents buf
+
+let render_series ~title ~x_label ~series =
+  match series with
+  | [] -> invalid_arg "Table_print.render_series: no series"
+  | (_, first) :: _ ->
+    let xs = List.map fst first in
+    List.iter
+      (fun (name, pts) ->
+        if List.map fst pts <> xs then
+          invalid_arg
+            (Printf.sprintf
+               "Table_print.render_series: series %S has a different x grid"
+               name))
+      series;
+    let header = x_label :: List.map fst series in
+    let rows =
+      List.mapi
+        (fun i x ->
+          float_cell x
+          :: List.map (fun (_, pts) -> float_cell (snd (List.nth pts i))) series)
+        xs
+    in
+    Printf.sprintf "# %s\n%s" title (render ~header ~rows)

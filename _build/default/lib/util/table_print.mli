@@ -1,0 +1,18 @@
+(** Plain-text rendering of tables and series, used by the experiment
+    drivers to print the same rows the paper's tables and the same
+    (x, y) series its figures report. *)
+
+val render : header:string list -> rows:string list list -> string
+(** [render ~header ~rows] draws an aligned ASCII table.  Every row must
+    have the same arity as the header. *)
+
+val render_series :
+  title:string -> x_label:string -> series:(string * (float * float) list) list
+  -> string
+(** [render_series ~title ~x_label ~series] prints one column of x values
+    followed by one column per named series, suitable for regenerating a
+    figure's data.  All series must share the same x grid. *)
+
+val float_cell : float -> string
+(** Compact float formatting: integers print without a fraction, other
+    values with up to four significant decimals. *)

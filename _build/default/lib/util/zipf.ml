@@ -1,0 +1,52 @@
+type t = {
+  n : int;
+  s : float;
+  cdf : float array; (* cdf.(k-1) = P(rank <= k), strictly increasing *)
+  harmonic : float;
+}
+
+let create ~n ~s =
+  assert (n > 0);
+  assert (s >= 0.0);
+  let cdf = Array.make n 0.0 in
+  let acc = ref 0.0 in
+  for k = 1 to n do
+    acc := !acc +. (1.0 /. (float_of_int k ** s));
+    cdf.(k - 1) <- !acc
+  done;
+  let h = !acc in
+  for k = 0 to n - 1 do
+    cdf.(k) <- cdf.(k) /. h
+  done;
+  cdf.(n - 1) <- 1.0;
+  { n; s; cdf; harmonic = h }
+
+let n t = t.n
+let s t = t.s
+let harmonic t = t.harmonic
+
+let sample t prng =
+  let u = Prng.float prng 1.0 in
+  (* Smallest index with cdf.(i) > u. *)
+  let rec search lo hi =
+    if lo >= hi then lo + 1
+    else
+      let mid = (lo + hi) / 2 in
+      if t.cdf.(mid) > u then search lo mid else search (mid + 1) hi
+  in
+  search 0 (t.n - 1)
+
+let pmf t k =
+  assert (k >= 1 && k <= t.n);
+  1.0 /. (float_of_int k ** t.s) /. t.harmonic
+
+let expected_distinct t m =
+  let m = float_of_int m in
+  let acc = ref 0.0 in
+  for k = 1 to t.n do
+    let p = pmf t k in
+    (* (1-p)^m via exp/log to avoid underflow for tiny p and huge m. *)
+    let miss = if p >= 1.0 then 0.0 else exp (m *. log (1.0 -. p)) in
+    acc := !acc +. (1.0 -. miss)
+  done;
+  !acc

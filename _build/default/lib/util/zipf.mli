@@ -1,0 +1,37 @@
+(** Zipfian distribution sampling.
+
+    The paper notes that words in SCAM's Netnews articles follow a skewed
+    Zipfian distribution [Zip49], while TPC-D's [SUPPKEY] values are
+    uniform; the CONTIGUOUS growth factor [g] was tuned differently for
+    each (2.0 vs 1.08).  This module provides the Zipf law over ranks
+    [1..n] with exponent [s]: P(rank = k) proportional to 1 / k^s. *)
+
+type t
+(** Immutable sampler for a fixed [(n, s)] pair. *)
+
+val create : n:int -> s:float -> t
+(** [create ~n ~s] prepares a sampler over ranks [1..n] with exponent
+    [s >= 0].  [s = 0] degenerates to the uniform distribution.
+    Preprocessing is O(n) time and memory (cumulative table); intended
+    for vocabularies up to a few million ranks. *)
+
+val n : t -> int
+(** Number of ranks. *)
+
+val s : t -> float
+(** Skew exponent. *)
+
+val sample : t -> Prng.t -> int
+(** [sample t prng] draws a rank in [1..n] by binary search on the
+    cumulative table: O(log n). *)
+
+val pmf : t -> int -> float
+(** [pmf t k] is the probability of rank [k] (1-based). *)
+
+val harmonic : t -> float
+(** The generalised harmonic number H(n, s) normalising the law. *)
+
+val expected_distinct : t -> int -> float
+(** [expected_distinct t m] estimates how many distinct ranks appear in
+    [m] independent draws: sum over k of (1 - (1 - p_k)^m).  Used to
+    predict index directory sizes for a day's batch. *)

@@ -1,0 +1,1 @@
+lib/workload/file_store.ml: Array Filename Hashtbl Int List Printf Scanf Sys Wave_storage

@@ -1,0 +1,1 @@
+lib/workload/file_store.mli: Wave_core

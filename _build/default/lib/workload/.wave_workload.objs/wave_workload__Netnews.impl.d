@@ -1,0 +1,1 @@
+lib/workload/netnews.ml: Array Entry Float Hashtbl List Prng Wave_storage Wave_util Zipf

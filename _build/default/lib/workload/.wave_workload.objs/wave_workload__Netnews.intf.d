@@ -1,0 +1,1 @@
+lib/workload/netnews.mli: Wave_core

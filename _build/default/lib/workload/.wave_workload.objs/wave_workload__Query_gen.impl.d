@@ -1,0 +1,1 @@
+lib/workload/query_gen.ml: List Prng Wave_util Zipf

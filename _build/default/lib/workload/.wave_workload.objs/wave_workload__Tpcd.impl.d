@@ -1,0 +1,1 @@
+lib/workload/tpcd.ml: Array Entry Float Hashtbl List Prng Wave_storage Wave_util

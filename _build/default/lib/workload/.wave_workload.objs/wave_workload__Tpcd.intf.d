@@ -1,0 +1,1 @@
+lib/workload/tpcd.mli: Entry Wave_core Wave_storage

@@ -1,0 +1,43 @@
+let day_filename d = Printf.sprintf "day-%d.wvb" d
+
+let export ~dir ~store ~days =
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  List.iter
+    (fun d ->
+      let path = Filename.concat dir (day_filename d) in
+      let oc = open_out_bin path in
+      output_string oc (Wave_storage.Codec.encode_batch (store d));
+      close_out oc)
+    days
+
+let store ~dir =
+  let cache = Hashtbl.create 64 in
+  fun day ->
+    match Hashtbl.find_opt cache day with
+    | Some b -> b
+    | None ->
+      let path = Filename.concat dir (day_filename day) in
+      if not (Sys.file_exists path) then
+        failwith (Printf.sprintf "File_store: missing %s" path);
+      let ic = open_in_bin path in
+      let len = in_channel_length ic in
+      let contents = really_input_string ic len in
+      close_in ic;
+      (match Wave_storage.Codec.decode_batch contents with
+      | Error e -> failwith (Printf.sprintf "File_store: %s: %s" path e)
+      | Ok b ->
+        if b.Wave_storage.Entry.day <> day then
+          failwith (Printf.sprintf "File_store: %s holds day %d" path
+                      b.Wave_storage.Entry.day);
+        Hashtbl.add cache day b;
+        b)
+
+let available_days ~dir =
+  if not (Sys.file_exists dir) then []
+  else
+    Sys.readdir dir |> Array.to_list
+    |> List.filter_map (fun name ->
+           match Scanf.sscanf_opt name "day-%d.wvb%!" (fun d -> d) with
+           | Some d when day_filename d = name -> Some d
+           | _ -> None)
+    |> List.sort Int.compare

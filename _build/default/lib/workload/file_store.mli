@@ -1,0 +1,22 @@
+(** File-backed day stores.
+
+    A deployment's day batches live on disk as the system of record
+    (schemes re-read past days for rebuilds, and recovery replays
+    them).  This store materialises any day store into a directory of
+    {!Wave_storage.Codec} files — one `day-<d>.wvb` per day — and reads
+    them back on demand with an in-memory cache. *)
+
+val day_filename : int -> string
+(** ["day-<d>.wvb"]. *)
+
+val export : dir:string -> store:Wave_core.Env.day_store -> days:int list -> unit
+(** Write the given days' batches into [dir] (created if missing).
+    Existing files are overwritten. *)
+
+val store : dir:string -> Wave_core.Env.day_store
+(** A day store reading from [dir].  Raises [Failure] with a diagnostic
+    when a day's file is missing or fails to decode — a wave cannot be
+    maintained over holes in the record. *)
+
+val available_days : dir:string -> int list
+(** Days with a well-named file present, ascending. *)

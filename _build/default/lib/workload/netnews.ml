@@ -1,0 +1,56 @@
+open Wave_storage
+open Wave_util
+
+type config = {
+  seed : int;
+  vocab : int;
+  zipf_s : float;
+  mean_postings : int;
+  jitter : float;
+}
+
+let default_config =
+  { seed = 42; vocab = 5_000; zipf_s = 1.0; mean_postings = 1_000; jitter = 0.1 }
+
+(* Monday-first weekly weights, normalised to mean 1.0; Sunday trough
+   at about 0.3x the Wednesday peak, as in Figure 2. *)
+let weekly_profile =
+  let raw = [| 1.15; 1.25; 1.35; 1.25; 1.1; 0.5; 0.4 |] in
+  let mean = Array.fold_left ( +. ) 0.0 raw /. 7.0 in
+  Array.map (fun x -> x /. mean) raw
+
+let day_prng cfg day = Prng.create ((cfg.seed * 1_000_003) + (day * 7919))
+
+let daily_volume cfg day =
+  if day < 1 then invalid_arg "Netnews.daily_volume: days start at 1";
+  let prng = day_prng cfg day in
+  let weekday = (day - 1) mod 7 in
+  let base = float_of_int cfg.mean_postings *. weekly_profile.(weekday) in
+  let noise = 1.0 +. Prng.gaussian prng ~mean:0.0 ~stddev:cfg.jitter in
+  max 1 (int_of_float (base *. Float.max 0.2 noise))
+
+let store cfg =
+  let zipf = Zipf.create ~n:cfg.vocab ~s:cfg.zipf_s in
+  let cache = Hashtbl.create 64 in
+  fun day ->
+    match Hashtbl.find_opt cache day with
+    | Some b -> b
+    | None ->
+      let prng = day_prng cfg day in
+      (* Skip the draws [daily_volume] consumed so value sampling stays
+         independent of the volume path. *)
+      let prng = Prng.split prng in
+      let volume = daily_volume cfg day in
+      let postings =
+        Array.init volume (fun i ->
+            {
+              Entry.value = Zipf.sample zipf prng;
+              entry = { Entry.rid = (day * 1_000_000) + i; day; info = i };
+            })
+      in
+      let b = Entry.batch_create ~day postings in
+      Hashtbl.add cache day b;
+      b
+
+let volume_series cfg ~days =
+  List.init days (fun i -> (i + 1, daily_volume cfg (i + 1)))

@@ -1,0 +1,41 @@
+(** Netnews-like day batches: the SCAM / Web-search-engine workload.
+
+    The paper indexes daily Usenet postings whose volume swings with
+    the day of week — Figure 2 shows September 1997 ranging from about
+    30,000 postings on Sundays to 110,000 midweek — and whose words are
+    Zipf-distributed [Zip49] (which is why SCAM tuned CONTIGUOUS with
+    [g = 2.0]).  This generator reproduces both properties at any
+    scale: a weekly volume wave with multiplicative jitter, and
+    Zipf-ranked values per posting.
+
+    Day numbering starts at 1; day 1 is a Monday (September 1, 1997
+    was a Monday). *)
+
+
+type config = {
+  seed : int;
+  vocab : int;  (** distinct search values (word ranks) *)
+  zipf_s : float;  (** word-frequency skew (about 1.0 for text) *)
+  mean_postings : int;  (** average postings per day across a week *)
+  jitter : float;  (** multiplicative day-to-day noise, e.g. 0.1 *)
+}
+
+val default_config : config
+(** seed 42, 5,000-word vocabulary, s = 1.0, 1,000 postings/day mean,
+    10% jitter — a laptop-scale stand-in for the paper's 70k-article
+    days. *)
+
+val daily_volume : config -> int -> int
+(** [daily_volume cfg day] is the number of postings generated on
+    [day]: deterministic in [(cfg.seed, day)]. *)
+
+val weekly_profile : float array
+(** Seven relative weights, Monday first; Sunday is the trough at
+    roughly 0.3x the midweek peak, matching Figure 2's shape. *)
+
+val store : config -> Wave_core.Env.day_store
+(** Memoized batch supplier.  Each posting carries a fresh record id,
+    the day as timestamp, and its offset as [info]. *)
+
+val volume_series : config -> days:int -> (int * int) list
+(** [(day, postings)] for days [1..days] — the Figure 2 series. *)

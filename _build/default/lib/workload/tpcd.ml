@@ -1,0 +1,41 @@
+open Wave_storage
+open Wave_util
+
+type config = { seed : int; suppliers : int; mean_rows : int; jitter : float }
+
+let default_config = { seed = 7; suppliers = 1_000; mean_rows = 1_000; jitter = 0.05 }
+
+let day_prng cfg day = Prng.create ((cfg.seed * 999_983) + (day * 104_729))
+
+let daily_volume cfg day =
+  if day < 1 then invalid_arg "Tpcd.daily_volume: days start at 1";
+  let prng = day_prng cfg day in
+  let noise = 1.0 +. Prng.gaussian prng ~mean:0.0 ~stddev:cfg.jitter in
+  max 1 (int_of_float (float_of_int cfg.mean_rows *. Float.max 0.2 noise))
+
+let store cfg =
+  let cache = Hashtbl.create 64 in
+  fun day ->
+    match Hashtbl.find_opt cache day with
+    | Some b -> b
+    | None ->
+      let prng = Prng.split (day_prng cfg day) in
+      let volume = daily_volume cfg day in
+      let postings =
+        Array.init volume (fun i ->
+            {
+              Entry.value = 1 + Prng.int prng cfg.suppliers;
+              entry =
+                {
+                  Entry.rid = (day * 1_000_000) + i;
+                  day;
+                  info = 1 + Prng.int prng 10_000 (* sale amount in cents *);
+                };
+            })
+      in
+      let b = Entry.batch_create ~day postings in
+      Hashtbl.add cache day b;
+      b
+
+let revenue entries =
+  List.fold_left (fun acc (e : Entry.t) -> acc + e.Entry.info) 0 entries

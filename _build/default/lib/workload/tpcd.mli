@@ -1,0 +1,28 @@
+(** TPC-D-like day batches: the warehousing workload of Section 6.
+
+    Models daily insertions into [LINEITEM] indexed on [SUPPKEY]: keys
+    are uniformly distributed over the supplier population (which is
+    why the paper tuned CONTIGUOUS with [g = 1.08] instead of SCAM's
+    2.0), and the daily batch size is steady with mild noise —
+    business volume, not the Netnews weekly wave.  Each entry's [info]
+    carries a synthetic sale amount so aggregate scans (TPC-D Q1-style
+    pricing summaries) have something to total. *)
+
+open Wave_storage
+
+type config = {
+  seed : int;
+  suppliers : int;  (** SUPPKEY domain size *)
+  mean_rows : int;  (** average LINEITEM rows per day *)
+  jitter : float;
+}
+
+val default_config : config
+(** seed 7, 1,000 suppliers, 1,000 rows/day, 5% jitter. *)
+
+val daily_volume : config -> int -> int
+val store : config -> Wave_core.Env.day_store
+
+val revenue : Entry.t list -> int
+(** Total of the [info] (sale amount) fields — the aggregate a
+    Q1-style [TimedSegmentScan] computes. *)

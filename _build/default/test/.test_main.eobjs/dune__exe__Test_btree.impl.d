@@ -1,0 +1,1 @@
+test/test_btree.ml: Alcotest Array Btree Int List Map QCheck2 QCheck_alcotest Wave_storage Wave_util

@@ -1,0 +1,1 @@
+test/test_disk.ml: Alcotest Disk List QCheck2 QCheck_alcotest Wave_disk Wave_util

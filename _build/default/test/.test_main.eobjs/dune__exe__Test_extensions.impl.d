@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Array List Printf QCheck2 QCheck_alcotest Wata_bounded Wata_offline Wata_size Wave_sim Wave_workload

@@ -1,0 +1,1 @@
+test/test_features.ml: Alcotest Array Env Frame List Multi_disk Printf Scheme String Update Wave_core Wave_disk Wave_sim Wave_storage

@@ -1,0 +1,1 @@
+test/test_misc.ml: Alcotest Array Dayset Directory Entry Env Frame Index List Scheme Wave_core Wave_storage

@@ -1,0 +1,1 @@
+test/test_model.ml: Alcotest Cost Env Float List Params Printf QCheck2 QCheck_alcotest Scenario Scheme Wata Wave_core Wave_model

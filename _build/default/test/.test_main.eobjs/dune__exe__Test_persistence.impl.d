@@ -1,0 +1,1 @@
+test/test_persistence.ml: Alcotest Array Bytes Char Codec Dayset Entry Env Filename Frame List Manifest Printf QCheck2 QCheck_alcotest Scheme String Sys Wave_core Wave_storage Wave_workload

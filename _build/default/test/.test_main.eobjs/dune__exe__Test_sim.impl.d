@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Env Frame List Printf QCheck2 QCheck_alcotest Runner Scheme Wata Wata_size Wave_core Wave_sim Wave_workload

@@ -1,0 +1,1 @@
+test/test_storage.ml: Alcotest Array Directory Disk Entry Hashtbl Index List Option Printf QCheck2 QCheck_alcotest Wave_disk Wave_storage Wave_util

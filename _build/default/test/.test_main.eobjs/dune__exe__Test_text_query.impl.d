@@ -1,0 +1,1 @@
+test/test_text_query.ml: Alcotest Array Corpus Env Format Hashtbl List Option Printf Query Scheme String Tokenizer Vocab Wata Wave_core Wave_disk Wave_model Wave_sim Wave_storage Wave_text

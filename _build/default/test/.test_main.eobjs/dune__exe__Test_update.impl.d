@@ -1,0 +1,1 @@
+test/test_update.ml: Alcotest Array Entry Env Frame Index List QCheck2 QCheck_alcotest Scheme Update Wave_core Wave_sim Wave_storage

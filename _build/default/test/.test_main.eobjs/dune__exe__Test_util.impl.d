@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Float Fun Int64 List Printf Prng QCheck2 QCheck_alcotest Stats String Table_print Wave_util Zipf

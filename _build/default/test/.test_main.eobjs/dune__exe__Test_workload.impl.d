@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Array Entry Hashtbl List Netnews Option Printf QCheck2 QCheck_alcotest Query_gen Tpcd Wave_storage Wave_util Wave_workload

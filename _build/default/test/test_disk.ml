@@ -1,0 +1,238 @@
+(* Tests for the simulated-disk substrate: allocator invariants, cost
+   accounting against the seek/transfer model, and error protocol. *)
+
+open Wave_disk
+
+let params = { Disk.seek_time = 0.01; transfer_rate = 1e6; block_size = 1000 }
+(* With these numbers one block transfers in exactly 1 ms, so expected
+   elapsed times are easy to state in tests. *)
+
+let fresh () = Disk.create ~params ()
+let check_float = Alcotest.(check (float 1e-9))
+
+let test_alloc_basic () =
+  let d = fresh () in
+  let e = Disk.alloc d ~blocks:10 in
+  Alcotest.(check int) "live" 10 (Disk.live_blocks d);
+  Alcotest.(check bool) "is live" true (Disk.is_live d e);
+  Disk.free d e;
+  Alcotest.(check int) "live after free" 0 (Disk.live_blocks d);
+  Alcotest.(check bool) "not live" false (Disk.is_live d e)
+
+let test_alloc_non_positive () =
+  let d = fresh () in
+  Alcotest.check_raises "zero" (Disk.Disk_error "alloc: non-positive size")
+    (fun () -> ignore (Disk.alloc d ~blocks:0))
+
+let test_double_free () =
+  let d = fresh () in
+  let e = Disk.alloc d ~blocks:4 in
+  Disk.free d e;
+  Alcotest.check_raises "double free" (Disk.Disk_error "extent is not live")
+    (fun () -> Disk.free d e)
+
+let test_extents_disjoint () =
+  let d = fresh () in
+  let es = List.init 50 (fun i -> Disk.alloc d ~blocks:(1 + (i mod 7))) in
+  let ranges =
+    List.map (fun (e : Disk.extent) -> (e.start, e.start + e.length)) es
+  in
+  let sorted = List.sort compare ranges in
+  let rec disjoint = function
+    | (_, hi) :: ((lo, _) :: _ as rest) -> hi <= lo && disjoint rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "no overlap" true (disjoint sorted)
+
+let test_free_reuses_space () =
+  let d = fresh () in
+  let e1 = Disk.alloc d ~blocks:8 in
+  let hw1 = Disk.high_water d in
+  Disk.free d e1;
+  let e2 = Disk.alloc d ~blocks:8 in
+  Alcotest.(check int) "frontier unchanged" hw1 (Disk.high_water d);
+  Alcotest.(check int) "same start reused" e1.Disk.start e2.Disk.start
+
+let test_coalescing () =
+  let d = fresh () in
+  let e1 = Disk.alloc d ~blocks:5 in
+  let e2 = Disk.alloc d ~blocks:5 in
+  let e3 = Disk.alloc d ~blocks:5 in
+  (* Free in an order that requires both-side merging for the middle. *)
+  Disk.free d e1;
+  Disk.free d e3;
+  Disk.free d e2;
+  let big = Disk.alloc d ~blocks:15 in
+  Alcotest.(check int) "coalesced hole fits 15" 0 big.Disk.start;
+  Alcotest.(check int) "frontier unchanged" 15 (Disk.high_water d)
+
+let test_first_fit_skips_small_holes () =
+  let d = fresh () in
+  let small = Disk.alloc d ~blocks:2 in
+  let _keep = Disk.alloc d ~blocks:10 in
+  Disk.free d small;
+  let e = Disk.alloc d ~blocks:5 in
+  (* The 2-block hole cannot hold 5 blocks, so we extend the frontier. *)
+  Alcotest.(check int) "allocated past frontier" 12 e.Disk.start
+
+let test_peak_tracking () =
+  let d = fresh () in
+  let e1 = Disk.alloc d ~blocks:10 in
+  let e2 = Disk.alloc d ~blocks:20 in
+  Disk.free d e1;
+  Disk.free d e2;
+  Alcotest.(check int) "peak is 30" 30 (Disk.peak_blocks d);
+  Alcotest.(check int) "live is 0" 0 (Disk.live_blocks d);
+  Disk.reset_peak d;
+  Alcotest.(check int) "peak reset" 0 (Disk.peak_blocks d)
+
+let test_read_costs () =
+  let d = fresh () in
+  let e = Disk.alloc d ~blocks:10 in
+  Disk.read d e;
+  (* one seek (10 ms) + 10 blocks x 1 ms *)
+  check_float "elapsed" 0.02 (Disk.elapsed d);
+  let c = Disk.counters d in
+  Alcotest.(check int) "seeks" 1 c.Disk.seeks;
+  Alcotest.(check int) "blocks read" 10 c.Disk.blocks_read
+
+let test_partial_read_costs () =
+  let d = fresh () in
+  let e = Disk.alloc d ~blocks:10 in
+  Disk.read_blocks d e ~blocks:3;
+  check_float "elapsed" 0.013 (Disk.elapsed d)
+
+let test_partial_read_bounds () =
+  let d = fresh () in
+  let e = Disk.alloc d ~blocks:10 in
+  Alcotest.check_raises "over-read"
+    (Disk.Disk_error "read_blocks: out of extent bounds") (fun () ->
+      Disk.read_blocks d e ~blocks:11)
+
+let test_write_costs () =
+  let d = fresh () in
+  let e = Disk.alloc d ~blocks:5 in
+  Disk.write d e;
+  check_float "elapsed" 0.015 (Disk.elapsed d);
+  Alcotest.(check int) "blocks written" 5 (Disk.counters d).Disk.blocks_written
+
+let test_sequential_scan_single_seek () =
+  let d = fresh () in
+  let e1 = Disk.alloc d ~blocks:4 in
+  let e2 = Disk.alloc d ~blocks:6 in
+  Disk.sequential_read d [ e1; e2 ];
+  let c = Disk.counters d in
+  Alcotest.(check int) "one seek" 1 c.Disk.seeks;
+  check_float "elapsed" 0.02 (Disk.elapsed d)
+
+let test_read_dead_extent () =
+  let d = fresh () in
+  let e = Disk.alloc d ~blocks:3 in
+  Disk.free d e;
+  Alcotest.check_raises "read freed" (Disk.Disk_error "extent is not live")
+    (fun () -> Disk.read d e)
+
+let test_reset_counters_keeps_allocation () =
+  let d = fresh () in
+  let e = Disk.alloc d ~blocks:6 in
+  Disk.read d e;
+  Disk.reset_counters d;
+  check_float "elapsed zero" 0.0 (Disk.elapsed d);
+  Alcotest.(check int) "still live" 6 (Disk.live_blocks d);
+  Disk.read d e (* still readable *)
+
+let test_fragmentation () =
+  let d = fresh () in
+  let e1 = Disk.alloc d ~blocks:10 in
+  let _e2 = Disk.alloc d ~blocks:10 in
+  Disk.free d e1;
+  check_float "half free" 0.5 (Disk.fragmentation d)
+
+(* Property: a random interleaving of allocs and frees never violates
+   disjointness, never loses blocks, and live accounting matches the sum
+   of live extent sizes. *)
+let prop_allocator_consistent =
+  QCheck2.Test.make ~name:"allocator random workout" ~count:200
+    QCheck2.Gen.(pair small_int (list_size (int_range 1 120) (int_range 1 16)))
+    (fun (seed, sizes) ->
+      let prng = Wave_util.Prng.create seed in
+      let d = fresh () in
+      let live = ref [] in
+      let ok = ref true in
+      List.iter
+        (fun size ->
+          (* Randomly free one live extent before (maybe) allocating. *)
+          (match !live with
+          | [] -> ()
+          | es when Wave_util.Prng.bool prng ->
+            let i = Wave_util.Prng.int prng (List.length es) in
+            let e = List.nth es i in
+            Disk.free d e;
+            live := List.filteri (fun j _ -> j <> i) es
+          | _ -> ());
+          let e = Disk.alloc d ~blocks:size in
+          live := e :: !live;
+          (* Accounting check. *)
+          let sum =
+            List.fold_left (fun acc (e : Disk.extent) -> acc + e.length) 0 !live
+          in
+          if sum <> Disk.live_blocks d then ok := false;
+          (* Disjointness check. *)
+          let ranges =
+            List.sort compare
+              (List.map
+                 (fun (e : Disk.extent) -> (e.Disk.start, e.Disk.start + e.Disk.length))
+                 !live)
+          in
+          let rec disjoint = function
+            | (_, hi) :: ((lo, _) :: _ as rest) -> hi <= lo && disjoint rest
+            | _ -> true
+          in
+          if not (disjoint ranges) then ok := false)
+        sizes;
+      !ok)
+
+let prop_free_all_returns_to_empty =
+  QCheck2.Test.make ~name:"free all -> one coalesced hole" ~count:200
+    QCheck2.Gen.(list_size (int_range 1 60) (int_range 1 12))
+    (fun sizes ->
+      let d = fresh () in
+      let es = List.map (fun b -> Disk.alloc d ~blocks:b) sizes in
+      List.iter (Disk.free d) es;
+      (* After freeing everything, an allocation the size of the whole
+         high-water region must fit at offset 0: the free list coalesced. *)
+      let hw = Disk.high_water d in
+      let e = Disk.alloc d ~blocks:hw in
+      e.Disk.start = 0 && Disk.high_water d = hw)
+
+let qcheck tests = List.map QCheck_alcotest.to_alcotest tests
+
+let suites =
+  [
+    ( "disk.allocator",
+      [
+        Alcotest.test_case "alloc/free basic" `Quick test_alloc_basic;
+        Alcotest.test_case "non-positive alloc" `Quick test_alloc_non_positive;
+        Alcotest.test_case "double free" `Quick test_double_free;
+        Alcotest.test_case "extents disjoint" `Quick test_extents_disjoint;
+        Alcotest.test_case "free reuses space" `Quick test_free_reuses_space;
+        Alcotest.test_case "coalescing" `Quick test_coalescing;
+        Alcotest.test_case "first fit skips small holes" `Quick
+          test_first_fit_skips_small_holes;
+        Alcotest.test_case "peak tracking" `Quick test_peak_tracking;
+        Alcotest.test_case "fragmentation" `Quick test_fragmentation;
+      ]
+      @ qcheck [ prop_allocator_consistent; prop_free_all_returns_to_empty ] );
+    ( "disk.costs",
+      [
+        Alcotest.test_case "read costs" `Quick test_read_costs;
+        Alcotest.test_case "partial read costs" `Quick test_partial_read_costs;
+        Alcotest.test_case "partial read bounds" `Quick test_partial_read_bounds;
+        Alcotest.test_case "write costs" `Quick test_write_costs;
+        Alcotest.test_case "sequential scan single seek" `Quick
+          test_sequential_scan_single_seek;
+        Alcotest.test_case "read dead extent" `Quick test_read_dead_extent;
+        Alcotest.test_case "reset keeps allocation" `Quick
+          test_reset_counters_keeps_allocation;
+      ] );
+  ]

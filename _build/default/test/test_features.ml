@@ -1,0 +1,230 @@
+(* Tests for the feature extensions: multi-disk parallelism (Section 8
+   future work), the legacy no-delete constraint, aggregate scans. *)
+
+open Wave_core
+open Wave_sim
+
+let store day =
+  Wave_storage.Entry.batch_create ~day
+    (Array.init 8 (fun i ->
+         {
+           Wave_storage.Entry.value = 1 + ((day + i) mod 6);
+           entry =
+             { Wave_storage.Entry.rid = (day * 100) + i; day; info = i + 1 };
+         }))
+
+(* --- Multi-disk ---------------------------------------------------- *)
+
+let test_multidisk_basic () =
+  let m = Multi_disk.create ~store ~w:8 ~n:4 ~disks:4 () in
+  Alcotest.(check int) "disks" 4 (Multi_disk.n_disks m);
+  Alcotest.(check int) "constituents" 4 (Multi_disk.n_constituents m);
+  let entries, _ = Multi_disk.scan m in
+  Alcotest.(check int) "all window entries" (8 * 8) (List.length entries)
+
+let test_multidisk_parallel_speedup () =
+  let m = Multi_disk.create ~store ~w:8 ~n:4 ~disks:4 () in
+  let _, t = Multi_disk.scan m in
+  Alcotest.(check bool)
+    (Printf.sprintf "scan speedup %.2f > 2" (t.Multi_disk.serial /. t.Multi_disk.parallel))
+    true
+    (t.Multi_disk.serial > 2.0 *. t.Multi_disk.parallel);
+  (* With a single disk, serial = parallel. *)
+  let m1 = Multi_disk.create ~store ~w:8 ~n:4 ~disks:1 () in
+  let _, t1 = Multi_disk.scan m1 in
+  Alcotest.(check (float 1e-9)) "one disk: no speedup" t1.Multi_disk.serial
+    t1.Multi_disk.parallel
+
+let test_multidisk_advance_isolated () =
+  let m = Multi_disk.create ~store ~w:8 ~n:4 ~disks:4 () in
+  let t = Multi_disk.advance m in
+  (* Daily maintenance touches one constituent, hence one disk: the
+     parallel elapsed equals the serial. *)
+  Alcotest.(check (float 1e-9)) "maintenance on one disk" t.Multi_disk.serial
+    t.Multi_disk.parallel;
+  Alcotest.(check int) "day advanced" 9 (Multi_disk.current_day m)
+
+let test_multidisk_window_maintained () =
+  let m = Multi_disk.create ~store ~w:6 ~n:3 ~disks:2 () in
+  for _ = 1 to 12 do
+    ignore (Multi_disk.advance m)
+  done;
+  let entries, _ = Multi_disk.scan m in
+  let days =
+    List.sort_uniq compare
+      (List.map (fun (e : Wave_storage.Entry.t) -> e.Wave_storage.Entry.day) entries)
+  in
+  Alcotest.(check (list int)) "last 6 days" [ 13; 14; 15; 16; 17; 18 ] days
+
+let test_multidisk_validation () =
+  Alcotest.check_raises "zero disks"
+    (Invalid_argument "Multi_disk.create: need at least one disk") (fun () ->
+      ignore (Multi_disk.create ~store ~w:4 ~n:2 ~disks:0 ()))
+
+let test_multidisk_speedup_table () =
+  let out = Multi_disk.speedup_table ~store ~w:8 ~n:4 ~disks:[ 1; 2; 4 ] in
+  Alcotest.(check bool) "has rows" true (String.length out > 100)
+
+(* --- Legacy no-delete constraint ----------------------------------- *)
+
+let legacy_env technique =
+  Env.create ~store ~technique ~allow_deletes:false ~w:6 ~n:2 ()
+
+let test_legacy_del_rejected () =
+  List.iter
+    (fun technique ->
+      let s = Scheme.start Scheme.Del (legacy_env technique) in
+      Alcotest.(check bool)
+        (Printf.sprintf "DEL %s raises" (Env.technique_name technique))
+        true
+        (try
+           Scheme.transition s;
+           false
+         with Update.Deletes_not_supported _ -> true))
+    [ Env.In_place; Env.Simple_shadow ]
+
+let test_legacy_del_packed_ok () =
+  (* Packed shadowing expires entries inside the smart copy: no
+     deletion code needed, so DEL is legal. *)
+  let s = Scheme.start Scheme.Del (legacy_env Env.Packed_shadow) in
+  for _ = 1 to 8 do
+    Scheme.transition s;
+    Scheme.check_window_invariant s
+  done
+
+let test_legacy_other_schemes_ok () =
+  (* REINDEX/REINDEX+/REINDEX++/WATA*/RATA* never call DeleteFromIndex:
+     they rebuild or throw away. *)
+  List.iter
+    (fun kind ->
+      List.iter
+        (fun technique ->
+          let s = Scheme.start kind (legacy_env technique) in
+          for _ = 1 to 8 do
+            Scheme.transition s;
+            Scheme.check_window_invariant s
+          done)
+        [ Env.In_place; Env.Simple_shadow; Env.Packed_shadow ])
+    [ Scheme.Reindex; Scheme.Reindex_plus; Scheme.Reindex_pp; Scheme.Wata_star;
+      Scheme.Rata_star ]
+
+(* --- Aggregates ----------------------------------------------------- *)
+
+let test_aggregates () =
+  let env = Env.create ~store ~w:6 ~n:2 () in
+  let s = Scheme.start Scheme.Del env in
+  Scheme.advance_to s 10;
+  let frame = Scheme.frame s in
+  (* each day contributes infos 1..8 (sum 36, min 1, max 8) *)
+  Alcotest.(check (option int)) "count" (Some 48)
+    (Frame.timed_aggregate frame ~t1:5 ~t2:10 ~op:Frame.Count);
+  Alcotest.(check (option int)) "sum" (Some (36 * 6))
+    (Frame.timed_aggregate frame ~t1:5 ~t2:10 ~op:Frame.Sum_info);
+  Alcotest.(check (option int)) "min" (Some 1)
+    (Frame.timed_aggregate frame ~t1:5 ~t2:10 ~op:Frame.Min_info);
+  Alcotest.(check (option int)) "max" (Some 8)
+    (Frame.timed_aggregate frame ~t1:5 ~t2:10 ~op:Frame.Max_info);
+  (* empty range *)
+  Alcotest.(check (option int)) "empty count" (Some 0)
+    (Frame.timed_aggregate frame ~t1:100 ~t2:200 ~op:Frame.Count);
+  Alcotest.(check (option int)) "empty min" None
+    (Frame.timed_aggregate frame ~t1:100 ~t2:200 ~op:Frame.Min_info)
+
+let test_aggregate_matches_scan () =
+  let env = Env.create ~store ~w:6 ~n:3 () in
+  let s = Scheme.start Scheme.Wata_star env in
+  Scheme.advance_to s 12;
+  let frame = Scheme.frame s in
+  let entries = Frame.timed_segment_scan frame ~t1:7 ~t2:12 in
+  let sum =
+    List.fold_left
+      (fun acc (e : Wave_storage.Entry.t) -> acc + e.Wave_storage.Entry.info)
+      0 entries
+  in
+  Alcotest.(check (option int)) "sum consistent" (Some sum)
+    (Frame.timed_aggregate frame ~t1:7 ~t2:12 ~op:Frame.Sum_info)
+
+(* --- Crash consistency (failure injection) ------------------------- *)
+
+(* A mid-transition disk fault under shadow techniques must leave the
+   visible wave untouched (queries keep answering the old window) and a
+   retry after recovery must succeed — the swap is atomic.  This is the
+   paper's argument for shadowing made executable. *)
+let sorted_scan frame =
+  List.sort Wave_storage.Entry.compare (Frame.segment_scan frame)
+
+let crash_consistency scheme technique () =
+  let env = Env.create ~store ~technique ~w:6 ~n:2 () in
+  let s = Scheme.start scheme env in
+  for _ = 1 to 4 do
+    Scheme.transition s
+  done;
+  let before_scan = sorted_scan (Scheme.frame s) in
+  let before_day = Scheme.current_day s in
+  (* Fault on the first seek of the next maintenance step. *)
+  Wave_disk.Disk.set_fault env.Env.disk ~after_seeks:1;
+  (try
+     Scheme.transition s;
+     Alcotest.fail "expected injected fault"
+   with Wave_disk.Disk.Disk_error "injected fault" -> ());
+  Wave_disk.Disk.clear_fault env.Env.disk;
+  (* Old window still served, structures intact. *)
+  Alcotest.(check int) "day unchanged" before_day (Scheme.current_day s);
+  Frame.validate (Scheme.frame s);
+  Scheme.check_window_invariant s;
+  Alcotest.(check bool) "old window still answers" true
+    (sorted_scan (Scheme.frame s) = before_scan);
+  (* Recovery: the retry completes and advances the window. *)
+  Scheme.transition s;
+  Alcotest.(check int) "day advanced on retry" (before_day + 1)
+    (Scheme.current_day s);
+  Scheme.check_window_invariant s;
+  Frame.validate (Scheme.frame s)
+
+let crash_cases =
+  [
+    Alcotest.test_case "DEL / simple shadow" `Quick
+      (crash_consistency Scheme.Del Env.Simple_shadow);
+    Alcotest.test_case "DEL / packed shadow" `Quick
+      (crash_consistency Scheme.Del Env.Packed_shadow);
+    Alcotest.test_case "REINDEX (rebuild is naturally atomic)" `Quick
+      (crash_consistency Scheme.Reindex Env.In_place);
+    Alcotest.test_case "WATA* / simple shadow" `Quick
+      (crash_consistency Scheme.Wata_star Env.Simple_shadow);
+  ]
+
+let test_fault_arming () =
+  let d = Wave_disk.Disk.create () in
+  Alcotest.(check bool) "disarmed" false (Wave_disk.Disk.fault_armed d);
+  Wave_disk.Disk.set_fault d ~after_seeks:3;
+  Alcotest.(check bool) "armed" true (Wave_disk.Disk.fault_armed d);
+  Wave_disk.Disk.clear_fault d;
+  Alcotest.(check bool) "cleared" false (Wave_disk.Disk.fault_armed d)
+
+let suites =
+  [
+    ( "ext.multidisk",
+      [
+        Alcotest.test_case "basic" `Quick test_multidisk_basic;
+        Alcotest.test_case "parallel speedup" `Quick test_multidisk_parallel_speedup;
+        Alcotest.test_case "advance isolated" `Quick test_multidisk_advance_isolated;
+        Alcotest.test_case "window maintained" `Quick test_multidisk_window_maintained;
+        Alcotest.test_case "validation" `Quick test_multidisk_validation;
+        Alcotest.test_case "speedup table" `Quick test_multidisk_speedup_table;
+      ] );
+    ( "ext.legacy",
+      [
+        Alcotest.test_case "DEL rejected" `Quick test_legacy_del_rejected;
+        Alcotest.test_case "DEL packed shadow ok" `Quick test_legacy_del_packed_ok;
+        Alcotest.test_case "other schemes ok" `Quick test_legacy_other_schemes_ok;
+      ] );
+    ( "ext.aggregates",
+      [
+        Alcotest.test_case "aggregates" `Quick test_aggregates;
+        Alcotest.test_case "matches scan" `Quick test_aggregate_matches_scan;
+      ] );
+    ( "ext.crash",
+      crash_cases
+      @ [ Alcotest.test_case "fault arming" `Quick test_fault_arming ] );
+  ]
+

@@ -1,0 +1,261 @@
+(* Tests for the batch codec and the wave manifest (checkpoint /
+   restart). *)
+
+open Wave_core
+open Wave_storage
+
+let batch ~day postings = Entry.batch_create ~day (Array.of_list postings)
+
+let posting value rid info day = { Entry.value; entry = { Entry.rid; day; info } }
+
+(* --- Codec --------------------------------------------------------- *)
+
+let test_codec_roundtrip () =
+  let b =
+    batch ~day:7
+      [ posting 5 100 3 7; posting 2 101 0 7; posting 9999 102 (-4) 7 ]
+  in
+  match Codec.decode_batch (Codec.encode_batch b) with
+  | Error e -> Alcotest.failf "decode failed: %s" e
+  | Ok b' ->
+    Alcotest.(check int) "day" 7 b'.Entry.day;
+    Alcotest.(check int) "count" 3 (Entry.batch_size b');
+    Array.iteri
+      (fun i (p : Entry.posting) ->
+        let q = b.Entry.postings.(i) in
+        if p.Entry.value <> q.Entry.value
+           || not (Entry.equal p.Entry.entry q.Entry.entry)
+        then Alcotest.failf "posting %d differs" i)
+      b'.Entry.postings
+
+let test_codec_empty () =
+  let b = batch ~day:1 [] in
+  match Codec.decode_batch (Codec.encode_batch b) with
+  | Ok b' -> Alcotest.(check int) "empty" 0 (Entry.batch_size b')
+  | Error e -> Alcotest.failf "decode failed: %s" e
+
+let test_codec_negative_day () =
+  (* ZigZag handles negative fields (e.g. epoch-relative days). *)
+  let b = batch ~day:(-3) [ posting 1 1 1 (-3) ] in
+  match Codec.decode_batch (Codec.encode_batch b) with
+  | Ok b' -> Alcotest.(check int) "day -3" (-3) b'.Entry.day
+  | Error e -> Alcotest.failf "decode failed: %s" e
+
+let test_codec_rejects_garbage () =
+  let check_err name s =
+    match Codec.decode_batch s with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.failf "%s: accepted" name
+  in
+  check_err "empty" "";
+  check_err "bad magic" "XXXX\x00\x00\x00";
+  check_err "truncated" (String.sub (Codec.encode_batch (batch ~day:1 [ posting 1 1 1 1 ])) 0 6);
+  let good = Codec.encode_batch (batch ~day:1 [ posting 1 1 1 1 ]) in
+  check_err "trailing" (good ^ "z");
+  (* flip a payload byte: checksum must catch it *)
+  let corrupted = Bytes.of_string good in
+  Bytes.set corrupted 5 (Char.chr ((Char.code (Bytes.get corrupted 5) + 1) land 0xff));
+  check_err "bitflip" (Bytes.to_string corrupted)
+
+let test_codec_batches () =
+  let bs = [ batch ~day:1 [ posting 1 1 0 1 ]; batch ~day:2 [ posting 2 2 0 2 ] ] in
+  match Codec.decode_batches (Codec.encode_batches bs) with
+  | Ok [ b1; b2 ] ->
+    Alcotest.(check int) "day1" 1 b1.Entry.day;
+    Alcotest.(check int) "day2" 2 b2.Entry.day
+  | Ok _ -> Alcotest.fail "wrong count"
+  | Error e -> Alcotest.failf "decode failed: %s" e
+
+let prop_codec_roundtrip =
+  QCheck2.Test.make ~name:"codec roundtrips random batches" ~count:200
+    QCheck2.Gen.(
+      pair (int_range 1 60)
+        (list_size (int_range 0 40)
+           (triple (int_range 1 10_000) nat (int_range (-1000) 1000))))
+    (fun (day, triples) ->
+      let b =
+        batch ~day (List.map (fun (v, rid, info) -> posting v rid info day) triples)
+      in
+      match Codec.decode_batch (Codec.encode_batch b) with
+      | Ok b' ->
+        Entry.batch_size b = Entry.batch_size b'
+        && Array.for_all2
+             (fun (p : Entry.posting) (q : Entry.posting) ->
+               p.Entry.value = q.Entry.value && Entry.equal p.Entry.entry q.Entry.entry)
+             b.Entry.postings b'.Entry.postings
+      | Error _ -> false)
+
+let prop_codec_never_crashes_on_garbage =
+  QCheck2.Test.make ~name:"codec rejects random garbage safely" ~count:300
+    QCheck2.Gen.(string_size (int_range 0 64))
+    (fun s ->
+      match Codec.decode_batch s with
+      | Ok _ | Error _ -> true)
+
+(* --- Manifest ------------------------------------------------------- *)
+
+let store day =
+  Entry.batch_create ~day
+    (Array.init 5 (fun i ->
+         posting (1 + ((day + i) mod 4)) ((day * 10) + i) i day))
+
+let test_manifest_roundtrip () =
+  let env = Env.create ~store ~technique:Env.Packed_shadow ~w:8 ~n:3 () in
+  let s = Scheme.start Scheme.Wata_star env in
+  Scheme.advance_to s 15;
+  let m = Manifest.capture s in
+  match Manifest.of_string (Manifest.to_string m) with
+  | Error e -> Alcotest.failf "parse failed: %s" e
+  | Ok m' ->
+    Alcotest.(check bool) "scheme" true (m'.Manifest.scheme = Scheme.Wata_star);
+    Alcotest.(check int) "day" 15 m'.Manifest.day;
+    Alcotest.(check int) "w" 8 m'.Manifest.w;
+    Alcotest.(check int) "n" 3 m'.Manifest.n;
+    Alcotest.(check bool) "slots equal" true
+      (List.for_all2 Dayset.equal m.Manifest.slots m'.Manifest.slots)
+
+let test_manifest_bad_inputs () =
+  let check_err name s =
+    match Manifest.of_string s with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.failf "%s: accepted" name
+  in
+  check_err "empty" "";
+  check_err "bad header" "something else\n";
+  check_err "unknown scheme" "wave-manifest v1\nscheme NOPE\ntechnique in-place\nw 5\nn 2\nday 5\nslot 1 1,2\nslot 2 3,4,5\n";
+  check_err "slot mismatch" "wave-manifest v1\nscheme DEL\ntechnique in-place\nw 5\nn 2\nday 5\nslot 1 1,2\n";
+  check_err "bad int" "wave-manifest v1\nscheme DEL\ntechnique in-place\nw five\nn 2\nday 5\nslot 1 1\nslot 2 2\n"
+
+let sorted_scan frame = List.sort Entry.compare (Frame.segment_scan frame)
+
+let test_manifest_restore_frame () =
+  let env = Env.create ~store ~w:8 ~n:3 () in
+  let s = Scheme.start Scheme.Del env in
+  Scheme.advance_to s 20;
+  let m = Manifest.capture s in
+  (* restore on a fresh disk/env *)
+  let env' = Env.create ~store ~w:8 ~n:3 () in
+  let frame = Manifest.restore_frame m env' in
+  Frame.validate frame;
+  Alcotest.(check bool) "same contents" true
+    (sorted_scan frame = sorted_scan (Scheme.frame s))
+
+let test_manifest_restart () =
+  let env = Env.create ~store ~w:6 ~n:2 () in
+  let s = Scheme.start Scheme.Reindex_pp env in
+  Scheme.advance_to s 17;
+  let m = Manifest.capture s in
+  let env' = Env.create ~store ~w:6 ~n:2 () in
+  let s' = Manifest.restart m env' in
+  Alcotest.(check int) "same day" 17 (Scheme.current_day s');
+  Scheme.check_window_invariant s';
+  (* hard window: identical query results *)
+  Alcotest.(check bool) "query equivalent" true
+    (sorted_scan (Scheme.frame s') = sorted_scan (Scheme.frame s));
+  (* and the restarted scheme keeps running *)
+  Scheme.transition s';
+  Scheme.check_window_invariant s'
+
+let test_manifest_geometry_mismatch () =
+  let env = Env.create ~store ~w:6 ~n:2 () in
+  let s = Scheme.start Scheme.Del env in
+  let m = Manifest.capture s in
+  let env' = Env.create ~store ~w:7 ~n:2 () in
+  Alcotest.check_raises "mismatch"
+    (Invalid_argument "Manifest.restore_frame: geometry mismatch") (fun () ->
+      ignore (Manifest.restore_frame m env'))
+
+let prop_manifest_restart_equivalence =
+  QCheck2.Test.make ~name:"manifest restart is query-equivalent" ~count:30
+    QCheck2.Gen.(triple (int_range 0 5) (int_range 3 9) (int_range 2 4))
+    (fun (kind_i, w, n) ->
+      let kind = List.nth Scheme.all kind_i in
+      let n = max (Scheme.min_indexes kind) (min n w) in
+      QCheck2.assume (n <= w);
+      let env = Env.create ~store ~w ~n () in
+      let s = Scheme.start kind env in
+      Scheme.advance_to s (w + 9);
+      let m = Manifest.capture s in
+      match Manifest.of_string (Manifest.to_string m) with
+      | Error _ -> false
+      | Ok m' ->
+        let env' = Env.create ~store ~w ~n () in
+        let frame = Manifest.restore_frame m' env' in
+        Frame.validate frame;
+        sorted_scan frame = sorted_scan (Scheme.frame s))
+
+(* --- File store ------------------------------------------------------ *)
+
+let test_file_store_roundtrip () =
+  let dir = Filename.temp_file "wave" "" in
+  Sys.remove dir;
+  Wave_workload.File_store.export ~dir ~store ~days:[ 1; 2; 3; 5 ];
+  Alcotest.(check (list int)) "available" [ 1; 2; 3; 5 ]
+    (Wave_workload.File_store.available_days ~dir);
+  let fs = Wave_workload.File_store.store ~dir in
+  for d = 1 to 3 do
+    let a = store d and b = fs d in
+    Alcotest.(check int)
+      (Printf.sprintf "day %d size" d)
+      (Entry.batch_size a) (Entry.batch_size b)
+  done;
+  (* a wave can run directly off the files *)
+  Wave_workload.File_store.export ~dir ~store ~days:(List.init 20 (fun i -> i + 1));
+  let env = Env.create ~store:(Wave_workload.File_store.store ~dir) ~w:5 ~n:2 () in
+  let s = Scheme.start Scheme.Del env in
+  Scheme.advance_to s 15;
+  Scheme.check_window_invariant s;
+  (* missing day raises *)
+  let fs = Wave_workload.File_store.store ~dir in
+  Alcotest.(check bool) "missing day raises" true
+    (try
+       ignore (fs 99);
+       false
+     with Failure _ -> true)
+
+let test_file_store_rejects_corruption () =
+  let dir = Filename.temp_file "wave" "" in
+  Sys.remove dir;
+  Wave_workload.File_store.export ~dir ~store ~days:[ 4 ];
+  let path = Filename.concat dir (Wave_workload.File_store.day_filename 4) in
+  let oc = open_out_bin path in
+  output_string oc "WVB1 garbage";
+  close_out oc;
+  let fs = Wave_workload.File_store.store ~dir in
+  Alcotest.(check bool) "corrupt file rejected" true
+    (try
+       ignore (fs 4);
+       false
+     with Failure _ -> true)
+
+let qcheck tests = List.map QCheck_alcotest.to_alcotest tests
+
+let suites =
+  [
+    ( "storage.codec",
+      [
+        Alcotest.test_case "roundtrip" `Quick test_codec_roundtrip;
+        Alcotest.test_case "empty" `Quick test_codec_empty;
+        Alcotest.test_case "negative day" `Quick test_codec_negative_day;
+        Alcotest.test_case "rejects garbage" `Quick test_codec_rejects_garbage;
+        Alcotest.test_case "batch list" `Quick test_codec_batches;
+      ]
+      @ qcheck [ prop_codec_roundtrip; prop_codec_never_crashes_on_garbage ] );
+    ( "core.manifest",
+      [
+        Alcotest.test_case "roundtrip" `Quick test_manifest_roundtrip;
+        Alcotest.test_case "bad inputs" `Quick test_manifest_bad_inputs;
+        Alcotest.test_case "restore frame" `Quick test_manifest_restore_frame;
+        Alcotest.test_case "restart" `Quick test_manifest_restart;
+        Alcotest.test_case "geometry mismatch" `Quick test_manifest_geometry_mismatch;
+      ]
+      @ qcheck [ prop_manifest_restart_equivalence ] );
+    ( "workload.file_store",
+      [
+        Alcotest.test_case "roundtrip" `Quick test_file_store_roundtrip;
+        Alcotest.test_case "rejects corruption" `Quick
+          test_file_store_rejects_corruption;
+      ] );
+  ]
+
+

@@ -1,0 +1,197 @@
+(* Workload generator tests: volume seasonality, determinism, value
+   distributions, query streams. *)
+
+open Wave_workload
+open Wave_storage
+
+(* --- Netnews ------------------------------------------------------ *)
+
+let ncfg = Netnews.default_config
+
+let test_netnews_deterministic () =
+  let s1 = Netnews.store ncfg and s2 = Netnews.store ncfg in
+  for day = 1 to 10 do
+    let b1 = s1 day and b2 = s2 day in
+    Alcotest.(check int)
+      (Printf.sprintf "day %d volume" day)
+      (Entry.batch_size b1) (Entry.batch_size b2);
+    Array.iteri
+      (fun i (p1 : Entry.posting) ->
+        let p2 = b2.Entry.postings.(i) in
+        if p1.Entry.value <> p2.Entry.value then Alcotest.fail "values differ")
+      b1.Entry.postings
+  done
+
+let test_netnews_weekly_wave () =
+  (* Averaged over many weeks, Wednesdays (day mod 7 = 3) must far
+     exceed Sundays (day mod 7 = 0). *)
+  let wednesday = ref 0 and sunday = ref 0 and weeks = 26 in
+  for k = 0 to weeks - 1 do
+    wednesday := !wednesday + Netnews.daily_volume ncfg ((k * 7) + 3);
+    sunday := !sunday + Netnews.daily_volume ncfg ((k * 7) + 7)
+  done;
+  let ratio = float_of_int !wednesday /. float_of_int !sunday in
+  Alcotest.(check bool)
+    (Printf.sprintf "wed/sun ratio %.2f in [2, 5]" ratio)
+    true
+    (ratio > 2.0 && ratio < 5.0)
+
+let test_netnews_figure2_range () =
+  (* With the paper's 70k mean, the September series must span roughly
+     30k (Sunday trough) to 110k (midweek peak). *)
+  let cfg = { ncfg with Netnews.mean_postings = 70_000; jitter = 0.08 } in
+  let series = Netnews.volume_series cfg ~days:30 in
+  let vols = List.map snd series in
+  let vmin = List.fold_left min max_int vols in
+  let vmax = List.fold_left max 0 vols in
+  Alcotest.(check bool)
+    (Printf.sprintf "trough %d in [20k, 45k]" vmin)
+    true
+    (vmin > 20_000 && vmin < 45_000);
+  Alcotest.(check bool)
+    (Printf.sprintf "peak %d in [85k, 130k]" vmax)
+    true
+    (vmax > 85_000 && vmax < 130_000)
+
+let test_netnews_zipf_values () =
+  let store = Netnews.store { ncfg with Netnews.mean_postings = 5_000 } in
+  let b = store 3 in
+  let counts = Hashtbl.create 256 in
+  Array.iter
+    (fun (p : Entry.posting) ->
+      Hashtbl.replace counts p.Entry.value
+        (1 + Option.value ~default:0 (Hashtbl.find_opt counts p.Entry.value)))
+    b.Entry.postings;
+  (* Zipf skew: the most frequent value appears far more often than the
+     median-frequency one. *)
+  let freqs = Hashtbl.fold (fun _ c acc -> c :: acc) counts [] in
+  let sorted = List.sort (fun a b -> compare b a) freqs in
+  match sorted with
+  | top :: _ ->
+    Alcotest.(check bool) "top value frequent" true (top > 50);
+    Alcotest.(check bool) "long tail" true
+      (List.length (List.filter (fun c -> c = 1) sorted) > 100)
+  | [] -> Alcotest.fail "empty batch"
+
+let test_netnews_entries_carry_day () =
+  let store = Netnews.store ncfg in
+  let b = store 9 in
+  Array.iter
+    (fun (p : Entry.posting) ->
+      if p.Entry.entry.Entry.day <> 9 then Alcotest.fail "wrong timestamp")
+    b.Entry.postings
+
+let test_netnews_day_validation () =
+  Alcotest.check_raises "day 0" (Invalid_argument "Netnews.daily_volume: days start at 1")
+    (fun () -> ignore (Netnews.daily_volume ncfg 0))
+
+(* --- TPC-D -------------------------------------------------------- *)
+
+let tcfg = Tpcd.default_config
+
+let test_tpcd_uniform_keys () =
+  let store = Tpcd.store { tcfg with Tpcd.mean_rows = 20_000; suppliers = 100 } in
+  let b = store 1 in
+  let counts = Array.make 101 0 in
+  Array.iter
+    (fun (p : Entry.posting) -> counts.(p.Entry.value) <- counts.(p.Entry.value) + 1)
+    b.Entry.postings;
+  let observed = Array.sub counts 1 100 in
+  let chi = Wave_util.Stats.chi_square_uniform ~observed in
+  (* 99 dof: critical value ~148 at p = 0.001. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "chi-square %.1f < 148" chi)
+    true (chi < 148.0)
+
+let test_tpcd_steady_volume () =
+  let vols = List.init 60 (fun i -> Tpcd.daily_volume tcfg (i + 1)) in
+  let arr = Array.of_list (List.map float_of_int vols) in
+  let s = Wave_util.Stats.summarize arr in
+  Alcotest.(check bool) "low relative spread" true
+    (s.Wave_util.Stats.stddev /. s.Wave_util.Stats.mean < 0.15)
+
+let test_tpcd_revenue () =
+  Alcotest.(check int) "revenue sums info" 30
+    (Tpcd.revenue
+       [
+         { Entry.rid = 1; day = 1; info = 10 };
+         { Entry.rid = 2; day = 1; info = 20 };
+       ])
+
+(* --- Query generation --------------------------------------------- *)
+
+let test_queries_counts () =
+  let qs = Query_gen.day_queries Query_gen.scam_spec ~day:10 ~w:7 in
+  let probes, scans =
+    List.partition (function Query_gen.Probe _ -> true | Query_gen.Scan _ -> false) qs
+  in
+  Alcotest.(check int) "probes" 100 (List.length probes);
+  Alcotest.(check int) "scans" 1 (List.length scans)
+
+let test_queries_ranges () =
+  List.iter
+    (fun q ->
+      match q with
+      | Query_gen.Probe { t1; t2; _ } ->
+        if t1 <> 4 || t2 <> 10 then Alcotest.fail "probe not whole-window"
+      | Query_gen.Scan { t1; t2 } ->
+        if t1 <> 10 || t2 <> 10 then Alcotest.fail "scan not current-day")
+    (Query_gen.day_queries Query_gen.scam_spec ~day:10 ~w:7)
+
+let test_queries_deterministic () =
+  let q1 = Query_gen.day_queries Query_gen.wse_spec ~day:40 ~w:35 in
+  let q2 = Query_gen.day_queries Query_gen.wse_spec ~day:40 ~w:35 in
+  Alcotest.(check bool) "same stream" true (q1 = q2)
+
+let prop_subrange_within_window =
+  QCheck2.Test.make ~name:"random subranges stay in window" ~count:200
+    QCheck2.Gen.(pair (int_range 10 100) (int_range 2 20))
+    (fun (day, w) ->
+      QCheck2.assume (day >= w);
+      let spec =
+        {
+          Query_gen.seed = 5;
+          probes_per_day = 20;
+          probe_range = Query_gen.Random_subrange;
+          scans_per_day = 5;
+          scan_range = Query_gen.Random_subrange;
+          value_dist = Query_gen.Uniform 50;
+        }
+      in
+      List.for_all
+        (fun q ->
+          let t1, t2 =
+            match q with
+            | Query_gen.Probe { t1; t2; _ } -> (t1, t2)
+            | Query_gen.Scan { t1; t2 } -> (t1, t2)
+          in
+          t1 <= t2 && t1 >= day - w + 1 && t2 <= day)
+        (Query_gen.day_queries spec ~day ~w))
+
+let qcheck tests = List.map QCheck_alcotest.to_alcotest tests
+
+let suites =
+  [
+    ( "workload.netnews",
+      [
+        Alcotest.test_case "deterministic" `Quick test_netnews_deterministic;
+        Alcotest.test_case "weekly wave" `Quick test_netnews_weekly_wave;
+        Alcotest.test_case "figure 2 range" `Quick test_netnews_figure2_range;
+        Alcotest.test_case "zipf values" `Quick test_netnews_zipf_values;
+        Alcotest.test_case "entries carry day" `Quick test_netnews_entries_carry_day;
+        Alcotest.test_case "day validation" `Quick test_netnews_day_validation;
+      ] );
+    ( "workload.tpcd",
+      [
+        Alcotest.test_case "uniform keys" `Quick test_tpcd_uniform_keys;
+        Alcotest.test_case "steady volume" `Quick test_tpcd_steady_volume;
+        Alcotest.test_case "revenue" `Quick test_tpcd_revenue;
+      ] );
+    ( "workload.queries",
+      [
+        Alcotest.test_case "counts" `Quick test_queries_counts;
+        Alcotest.test_case "ranges" `Quick test_queries_ranges;
+        Alcotest.test_case "deterministic" `Quick test_queries_deterministic;
+      ]
+      @ qcheck [ prop_subrange_within_window ] );
+  ]
