@@ -320,6 +320,82 @@ let recover_cmd =
   in
   Cmd.v (Cmd.info "recover" ~doc) Term.(const run $ file)
 
+let crashtest_cmd =
+  let doc =
+    "Crash-consistency sweep: inject a fault at every seek and write of a \
+     transition, recover, and check the wave answers queries like an \
+     uncrashed twin.  Prints a scheme x technique pass/fail matrix."
+  in
+  let w = Arg.(value & opt int 6 & info [ "window"; "w" ] ~doc:"window length") in
+  let n = Arg.(value & opt int 3 & info [ "indexes"; "n" ] ~doc:"constituents") in
+  let days =
+    Arg.(
+      value & opt int 3
+      & info [ "days" ] ~doc:"number of consecutive transitions to sweep")
+  in
+  let verbose =
+    Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"per-point detail")
+  in
+  let run w n days verbose =
+    if n < 1 || n > w then begin
+      Printf.eprintf "crashtest: need 1 <= n <= w (got W=%d n=%d)\n" w n;
+      exit 2
+    end;
+    if days < 1 then begin
+      Printf.eprintf "crashtest: need at least one day to sweep\n";
+      exit 2
+    end;
+    let techniques = [ Env.In_place; Env.Simple_shadow; Env.Packed_shadow ] in
+    let sweep_days = List.init days (fun i -> w + 2 + i) in
+    Printf.printf "crash sweep: W=%d n=%d days %d..%d, every fault point\n\n" w n
+      (List.hd sweep_days)
+      (List.nth sweep_days (days - 1));
+    Printf.printf "%-10s" "scheme";
+    List.iter
+      (fun t -> Printf.printf " %18s" (Env.technique_name t))
+      techniques;
+    print_newline ();
+    let failures = ref 0 in
+    List.iter
+      (fun scheme ->
+        Printf.printf "%-10s" (Scheme.name scheme);
+        List.iter
+          (fun technique ->
+            let reports =
+              List.map
+                (fun day ->
+                  Wave_sim.Crash_harness.sweep ~scheme ~technique ~w ~n ~day ())
+                sweep_days
+            in
+            let points =
+              List.fold_left
+                (fun a r -> a + List.length r.Wave_sim.Crash_harness.points)
+                0 reports
+            in
+            let ok = List.for_all (fun r -> r.Wave_sim.Crash_harness.passed) reports in
+            if not ok then incr failures;
+            Printf.printf " %13s %4s"
+              (Printf.sprintf "%d pts" points)
+              (if ok then "ok" else "FAIL");
+            if verbose || not ok then
+              List.iter
+                (fun r ->
+                  if verbose || not r.Wave_sim.Crash_harness.passed then
+                    print_string
+                      (Format.asprintf "@.%a" Wave_sim.Crash_harness.pp_report
+                         r))
+                reports)
+          techniques;
+        print_newline ())
+      Scheme.all;
+    if !failures > 0 then begin
+      Printf.printf "\n%d combination(s) FAILED\n" !failures;
+      exit 1
+    end
+    else print_string "\nall combinations recovered consistently\n"
+  in
+  Cmd.v (Cmd.info "crashtest" ~doc) Term.(const run $ w $ n $ days $ verbose)
+
 let () =
   let doc = "Wave-Indices (SIGMOD 1997) reproduction driver" in
   let info = Cmd.info "waveidx" ~version:"1.0.0" ~doc in
@@ -328,5 +404,5 @@ let () =
        (Cmd.group info
           [
             list_cmd; run_cmd; all_cmd; sim_cmd; model_cmd; trace_cmd;
-            checkpoint_cmd; recover_cmd;
+            checkpoint_cmd; recover_cmd; crashtest_cmd;
           ]))

@@ -1,0 +1,265 @@
+open Wave_disk
+open Wave_storage
+
+type durable_slot = { d_index : Index.t; d_days : Dayset.t }
+
+type t = {
+  env : Env.t;
+  kind : Scheme.kind;
+  mutable scheme : Scheme.t option; (* volatile: None after a crash *)
+  mutable manifest : Manifest.t; (* durable: last atomic checkpoint *)
+  journal : Journal.t; (* durable: append-only intent log *)
+  mutable durable : durable_slot array; (* durable slot -> extents map *)
+  mutable recovered : Frame.t option; (* queryable frame after recovery *)
+}
+
+type recovery = {
+  rolled_forward : bool;
+  recovered_day : int;
+  rebuilt_slots : int list;
+  freed_blocks : int;
+  recovery_seconds : float;
+}
+
+exception Crashed
+
+(* Model the I/O of a small metadata write (journal record or manifest
+   file): one seek plus the transfer of the serialized bytes.  Charged
+   before the in-memory "durable" structure is updated, so an injected
+   fault during the write leaves the record un-persisted — exactly the
+   torn-metadata case write-new-then-rename protects the manifest
+   against. *)
+let metadata_write t bytes =
+  Disk.charge_seek t.env.Env.disk;
+  Disk.charge_transfer_bytes t.env.Env.disk bytes
+
+let snapshot_slots frame =
+  Array.init (Frame.n frame) (fun i ->
+      {
+        d_index = Frame.slot_index frame (i + 1);
+        d_days = Frame.slot_days frame (i + 1);
+      })
+
+let scheme_exn t =
+  match t.scheme with Some s -> s | None -> raise Crashed
+
+let start kind env =
+  let s = Scheme.start kind env in
+  let m = Manifest.capture s in
+  let t =
+    {
+      env;
+      kind;
+      scheme = Some s;
+      manifest = m;
+      journal = Journal.create ();
+      durable = snapshot_slots (Scheme.frame s);
+      recovered = None;
+    }
+  in
+  metadata_write t (String.length (Manifest.to_string m));
+  t
+
+let scheme = scheme_exn
+let manifest t = t.manifest
+let journal t = t.journal
+let crashed t = t.scheme = None
+let env t = t.env
+
+let frame t =
+  match (t.scheme, t.recovered) with
+  | Some s, _ -> Scheme.frame s
+  | None, Some f -> f
+  | None, None -> raise Crashed
+
+let current_day t =
+  match t.scheme with Some s -> Scheme.current_day s | None -> t.manifest.Manifest.day
+
+let extent_triples disk idx =
+  List.map
+    (fun (e : Disk.extent) ->
+      let gen =
+        match Disk.generation_at disk ~start:e.Disk.start with
+        | Some g -> g
+        | None -> 0
+      in
+      (e.Disk.start, e.Disk.length, gen))
+    (Index.extents idx)
+
+let intent_of_plan t (p : Transition_plan.t) =
+  let frame = frame t in
+  {
+    Journal.scheme = t.kind;
+    technique = t.env.Env.technique;
+    day_from = p.Transition_plan.day_from;
+    day_to = p.Transition_plan.day_to;
+    changes =
+      List.map
+        (fun (c : Transition_plan.change) ->
+          {
+            Journal.slot = c.Transition_plan.slot;
+            old_days = c.Transition_plan.old_days;
+            new_days = c.Transition_plan.new_days;
+            old_extents =
+              extent_triples t.env.Env.disk
+                (Frame.slot_index frame c.Transition_plan.slot);
+          })
+        p.Transition_plan.changes;
+  }
+
+let transition t =
+  let s = scheme_exn t in
+  let p = Transition_plan.plan s in
+  let intent = intent_of_plan t p in
+  try
+    (* 1. Durable intent: append before any index work.  The record is
+       only considered written if its I/O completes. *)
+    let record = Journal.Intent intent in
+    let scratch = Journal.create () in
+    Journal.append scratch record;
+    metadata_write t (String.length (Journal.to_string scratch));
+    Journal.append t.journal record;
+    (* 2. The dangerous region. *)
+    Scheme.transition s;
+    (* 3. Atomic checkpoint: write the new manifest to a fresh file and
+       rename over the old one.  The in-memory manifest/durable-slot
+       update happens only after the write completed — the rename is
+       the commit point. *)
+    let m = Manifest.capture s in
+    metadata_write t (String.length (Manifest.to_string m));
+    t.manifest <- m;
+    t.durable <- snapshot_slots (Scheme.frame s);
+    (* 4. Close the intent and truncate the log. *)
+    metadata_write t 16;
+    Journal.append t.journal (Journal.Commit { day_to = intent.Journal.day_to });
+    Journal.truncate t.journal
+  with Disk.Disk_error _ as e ->
+    (* The machine died: volatile state (the running scheme, its
+       private temporaries' directories) is gone.  Durable state —
+       manifest, journal, disk extents — survives for [recover]. *)
+    t.scheme <- None;
+    raise e
+
+let advance_to t day =
+  while current_day t < day do
+    transition t
+  done
+
+(* Free every live extent no surviving constituent claims: interrupted
+   shadows, torn extents, orphaned temporaries.  Returns blocks freed. *)
+let sweep_leaks t keep_frame =
+  let disk = t.env.Env.disk in
+  let keep = Hashtbl.create 64 in
+  for j = 1 to Frame.n keep_frame do
+    List.iter
+      (fun (e : Disk.extent) -> Hashtbl.replace keep e.Disk.start ())
+      (Index.extents (Frame.slot_index keep_frame j))
+  done;
+  List.fold_left
+    (fun freed (e : Disk.extent) ->
+      if Hashtbl.mem keep e.Disk.start then freed
+      else begin
+        Disk.free disk e;
+        freed + e.Disk.length
+      end)
+    0 (Disk.live_extents disk)
+
+(* Every journalled old extent still live with its original shape AND
+   allocation generation (rules out a same-shaped reallocation after
+   the transition freed it — the allocator-reuse hazard) and untorn. *)
+let change_intact t (c : Journal.change) =
+  let disk = t.env.Env.disk in
+  List.for_all
+    (fun (start, length, gen) ->
+      Disk.live_at disk ~start ~length
+      && Disk.generation_at disk ~start = Some gen
+      && not (Disk.torn_at disk ~start))
+    c.Journal.old_extents
+
+let recover t =
+  if t.scheme <> None then invalid_arg "Checkpoint.recover: not crashed";
+  let disk = t.env.Env.disk in
+  let t0 = Disk.elapsed disk in
+  let fr = Frame.create t.env in
+  let install_durable ?(except = []) () =
+    Array.iteri
+      (fun i d ->
+        if not (List.mem (i + 1) except) then
+          Frame.set_slot fr (i + 1) d.d_index d.d_days)
+      t.durable
+  in
+  let finish ~rolled_forward ~recovered_day ~rebuilt_slots =
+    let freed_blocks = sweep_leaks t fr in
+    Journal.truncate t.journal;
+    t.durable <- snapshot_slots fr;
+    t.recovered <- Some fr;
+    {
+      rolled_forward;
+      recovered_day;
+      rebuilt_slots;
+      freed_blocks;
+      recovery_seconds = Disk.elapsed disk -. t0;
+    }
+  in
+  match Journal.pending t.journal with
+  | None ->
+    (* No interrupted transition: the durable frame is the truth. *)
+    install_durable ();
+    finish ~rolled_forward:false ~recovered_day:t.manifest.Manifest.day
+      ~rebuilt_slots:[]
+  | Some i when i.Journal.day_to <= t.manifest.Manifest.day ->
+    (* The manifest already covers the intent (crash landed between the
+       manifest rename and the commit record): the transition is
+       durable; only orphaned temporaries need sweeping. *)
+    install_durable ();
+    finish ~rolled_forward:false ~recovered_day:t.manifest.Manifest.day
+      ~rebuilt_slots:[]
+  | Some i ->
+    let rollback_safe =
+      (* In-place updating mutates extent contents without necessarily
+         changing extent shapes, so surviving extents prove nothing
+         there; under shadow techniques the old constituents are
+         immutable until dropped, so "every old extent live and
+         untorn" certifies them. *)
+      i.Journal.technique <> Env.In_place
+      && List.for_all (change_intact t) i.Journal.changes
+    in
+    if rollback_safe then begin
+      (* Roll back: the pre-transition wave is fully intact on disk;
+         discard the half-done work and keep serving day_from. *)
+      install_durable ();
+      finish ~rolled_forward:false ~recovered_day:i.Journal.day_from
+        ~rebuilt_slots:[]
+    end
+    else begin
+      (* Roll forward: rebuild exactly the slots the intent names, at
+         their intended new time-sets, from the day store (the system
+         of record) — every other constituent is reused as-is.  Free
+         the interrupted transition's debris first so the rebuild can
+         reuse its space. *)
+      let touched = List.map (fun c -> c.Journal.slot) i.Journal.changes in
+      install_durable ~except:touched ();
+      let freed_before = sweep_leaks t fr in
+      List.iter
+        (fun (c : Journal.change) ->
+          let idx = Update.build_days t.env (Dayset.elements c.Journal.new_days) in
+          Frame.set_slot fr c.Journal.slot idx c.Journal.new_days)
+        i.Journal.changes;
+      (* Post-recovery checkpoint: the completed transition becomes
+         durable via the same write-new-then-rename swap. *)
+      let m =
+        {
+          t.manifest with
+          Manifest.day = i.Journal.day_to;
+          slots =
+            List.init (Frame.n fr) (fun j -> Frame.slot_days fr (j + 1));
+        }
+      in
+      metadata_write t (String.length (Manifest.to_string m));
+      t.manifest <- m;
+      let r =
+        finish ~rolled_forward:true ~recovered_day:i.Journal.day_to
+          ~rebuilt_slots:touched
+      in
+      { r with freed_blocks = r.freed_blocks + freed_before }
+    end

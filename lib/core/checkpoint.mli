@@ -1,0 +1,70 @@
+(** Crash-consistent wave maintenance: journalled transitions and
+    atomic manifest checkpoints.
+
+    This module wraps a running {!Scheme} in the durability protocol:
+
+    + before each transition, a {!Journal} intent record naming every
+      slot the transition will touch ({!Transition_plan}) is made
+      durable;
+    + the transition runs (the only dangerous region);
+    + the new manifest is checkpointed with write-new-then-rename
+      atomic-swap semantics — a crash mid-write leaves the old
+      manifest intact, the rename is the commit point;
+    + a commit record closes the intent and the journal is truncated.
+
+    The simulator models a crash as an injected {!Disk.Disk_error}
+    escaping the transition: volatile state (the running scheme and its
+    private temporaries) is lost, durable state (manifest, journal,
+    extents on disk, the constituent indexes named by the last
+    checkpoint) survives.  {!recover} then rolls the interrupted
+    transition {e back} — when a shadow technique left every journalled
+    old extent live and untorn — or {e forward}, rebuilding only the
+    slots the intent names from the day store.  Either way recovery
+    cost is bounded by one transition, not a full [BuildIndex] of every
+    slot, and every unclaimed extent (interrupted shadows, torn writes,
+    orphaned temporaries) is swept back to the allocator. *)
+
+type t
+
+type recovery = {
+  rolled_forward : bool;
+      (** [true]: the interrupted transition was completed from the day
+          store; [false]: it was undone (or nothing was pending). *)
+  recovered_day : int;  (** day the recovered wave serves *)
+  rebuilt_slots : int list;  (** slots rebuilt — at most the intent's *)
+  freed_blocks : int;  (** leaked/torn blocks swept back *)
+  recovery_seconds : float;  (** model time the recovery cost *)
+}
+
+exception Crashed
+(** Raised when the live scheme is demanded after a crash and before
+    {!recover}. *)
+
+val start : Scheme.kind -> Env.t -> t
+(** Start the scheme and write the initial checkpoint. *)
+
+val transition : t -> unit
+(** One journalled, checkpointed transition.  If the disk's armed fault
+    fires, the exception propagates and the instance enters the crashed
+    state ({!crashed} = [true]); durable state is preserved for
+    {!recover}. *)
+
+val advance_to : t -> int -> unit
+
+val recover : t -> recovery
+(** Cold-start recovery from durable state only.  Rolls the pending
+    intent forward or back as described above, sweeps unclaimed
+    extents, re-checkpoints, and leaves a queryable {!frame}. *)
+
+val scheme : t -> Scheme.t
+(** The live scheme.  @raise Crashed after a crash. *)
+
+val frame : t -> Frame.t
+(** The queryable wave: the live scheme's frame, or after {!recover}
+    the recovered frame.  @raise Crashed between crash and recovery. *)
+
+val current_day : t -> int
+val crashed : t -> bool
+val manifest : t -> Manifest.t
+val journal : t -> Journal.t
+val env : t -> Env.t

@@ -8,6 +8,12 @@ let technique_name = function
   | Simple_shadow -> "simple-shadow"
   | Packed_shadow -> "packed-shadow"
 
+let technique_of_name = function
+  | "in-place" -> Some In_place
+  | "simple-shadow" -> Some Simple_shadow
+  | "packed-shadow" -> Some Packed_shadow
+  | _ -> None
+
 type day_store = int -> Entry.batch
 
 type t = {

@@ -22,6 +22,10 @@ type technique =
 
 val technique_name : technique -> string
 
+val technique_of_name : string -> technique option
+(** Inverse of {!technique_name} — the token used by manifests and
+    journals. *)
+
 type day_store = int -> Entry.batch
 (** [store d] returns day [d]'s batch.  Must be deterministic: schemes
     may fetch the same day several times (e.g. REINDEX re-reads W/n

@@ -1,0 +1,174 @@
+type change = {
+  slot : int;
+  old_days : Dayset.t;
+  new_days : Dayset.t;
+  old_extents : (int * int * int) list; (* start, length, generation *)
+}
+
+type intent = {
+  scheme : Scheme.kind;
+  technique : Env.technique;
+  day_from : int;
+  day_to : int;
+  changes : change list;
+}
+
+type entry = Intent of intent | Commit of { day_to : int }
+
+type t = { mutable entries : entry list (* newest first *) }
+
+let create () = { entries = [] }
+let append t e = t.entries <- e :: t.entries
+let entries t = List.rev t.entries
+let truncate t = t.entries <- []
+let is_empty t = t.entries = []
+
+let pending t =
+  (* The journal is truncated after every commit, so an interrupted
+     transition is simply the newest intent with no commit after it. *)
+  let rec scan committed = function
+    | [] -> None
+    | Commit { day_to } :: rest -> scan (day_to :: committed) rest
+    | Intent i :: _ -> if List.mem i.day_to committed then None else Some i
+  in
+  scan [] t.entries
+
+(* --- serialization -------------------------------------------------- *)
+
+let days_token ds =
+  if Dayset.is_empty ds then "-"
+  else String.concat "," (List.map string_of_int (Dayset.elements ds))
+
+let days_of_token = function
+  | "-" -> Some Dayset.empty
+  | s ->
+    String.split_on_char ',' s
+    |> List.map int_of_string_opt
+    |> List.fold_left
+         (fun acc d ->
+           match (acc, d) with
+           | Some a, Some d -> Some (Dayset.add d a)
+           | _ -> None)
+         (Some Dayset.empty)
+
+let extents_token = function
+  | [] -> "-"
+  | exts ->
+    String.concat ","
+      (List.map (fun (s, l, g) -> Printf.sprintf "%d:%d:%d" s l g) exts)
+
+let extents_of_token = function
+  | "-" -> Some []
+  | s ->
+    String.split_on_char ',' s
+    |> List.map (fun triple ->
+           match String.split_on_char ':' triple with
+           | [ a; b; c ] -> (
+             match
+               (int_of_string_opt a, int_of_string_opt b, int_of_string_opt c)
+             with
+             | Some a, Some b, Some c -> Some (a, b, c)
+             | _ -> None)
+           | _ -> None)
+    |> List.fold_left
+         (fun acc e ->
+           match (acc, e) with Some a, Some e -> Some (e :: a) | _ -> None)
+         (Some [])
+    |> Option.map List.rev
+
+let entry_lines = function
+  | Intent i ->
+    Printf.sprintf "intent %s %s %d %d" (Scheme.name i.scheme)
+      (Env.technique_name i.technique) i.day_from i.day_to
+    :: List.map
+         (fun c ->
+           Printf.sprintf "change %d %s %s %s" c.slot (days_token c.old_days)
+             (days_token c.new_days)
+             (extents_token c.old_extents))
+         i.changes
+  | Commit { day_to } -> [ Printf.sprintf "commit %d" day_to ]
+
+let to_string t =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "wave-journal v1\n";
+  List.iter
+    (fun e ->
+      List.iter
+        (fun l ->
+          Buffer.add_string buf l;
+          Buffer.add_char buf '\n')
+        (entry_lines e))
+    (entries t);
+  Buffer.contents buf
+
+let of_string s =
+  let err m = Error m in
+  let lines = String.split_on_char '\n' s |> List.filter (fun l -> l <> "") in
+  match lines with
+  | header :: rest when header = "wave-journal v1" -> (
+    (* Fold lines into entries; [change] lines attach to the open intent. *)
+    let parse_line (acc : (entry list * intent option, string) result) line =
+      match acc with
+      | Error _ as e -> e
+      | Ok (done_, open_intent) -> (
+        let close acc = match open_intent with
+          | Some i -> Intent { i with changes = List.rev i.changes } :: acc
+          | None -> acc
+        in
+        match String.split_on_char ' ' line with
+        | "intent" :: sch :: tech :: from_ :: to_ :: [] -> (
+          match
+            ( Scheme.of_name sch,
+              Env.technique_of_name tech,
+              int_of_string_opt from_,
+              int_of_string_opt to_ )
+          with
+          | Some scheme, Some technique, Some day_from, Some day_to ->
+            Ok
+              ( close done_,
+                Some { scheme; technique; day_from; day_to; changes = [] } )
+          | None, _, _, _ -> err "intent: unknown scheme"
+          | _, None, _, _ -> err "intent: unknown technique"
+          | _ -> err "intent: bad day numbers")
+        | "change" :: slot :: old_ :: new_ :: exts :: [] -> (
+          match open_intent with
+          | None -> err "change line outside an intent"
+          | Some i -> (
+            match
+              ( int_of_string_opt slot,
+                days_of_token old_,
+                days_of_token new_,
+                extents_of_token exts )
+            with
+            | Some slot, Some old_days, Some new_days, Some old_extents ->
+              if slot < 1 then err "change: slot must be >= 1"
+              else
+                Ok
+                  ( done_,
+                    Some
+                      {
+                        i with
+                        changes =
+                          { slot; old_days; new_days; old_extents }
+                          :: i.changes;
+                      } )
+            | None, _, _, _ -> err "change: bad slot"
+            | _, None, _, _ | _, _, None, _ -> err "change: garbled day set"
+            | _ -> err "change: garbled extent list"))
+        | "commit" :: to_ :: [] -> (
+          match int_of_string_opt to_ with
+          | Some day_to -> Ok (Commit { day_to } :: close done_, None)
+          | None -> err "commit: bad day number")
+        | _ -> err (Printf.sprintf "unrecognised journal line %S" line))
+    in
+    match List.fold_left parse_line (Ok ([], None)) rest with
+    | Error m -> Error m
+    | Ok (done_, open_intent) ->
+      let done_ =
+        match open_intent with
+        | Some i -> Intent { i with changes = List.rev i.changes } :: done_
+        | None -> done_
+      in
+      Ok { entries = done_ }
+  )
+  | _ -> err "bad or missing journal header"

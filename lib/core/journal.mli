@@ -1,0 +1,69 @@
+(** Transition journal: write-ahead intent records for wave
+    maintenance.
+
+    A scheme transition is the only moment a wave index is in danger:
+    constituents are dropped, rebuilt or mutated in place, and a crash
+    partway leaves the durable state (the extents on disk plus the
+    checkpointed manifest) inconsistent.  Before each transition the
+    {!Checkpoint} driver appends a versioned {e intent} record — which
+    scheme and technique are running, the day being absorbed, and for
+    every slot the transition will touch its old time-set, intended new
+    time-set, and the extents its old index occupied.  After the
+    transition completes and the manifest has been atomically swapped,
+    a {e commit} record closes the intent and the journal is truncated.
+
+    On recovery, {!pending} identifies an interrupted transition;
+    {!Checkpoint.recover} then rolls it forward (rebuilding only the
+    slots the intent names, from the day store) or back (when every old
+    extent survives intact under a shadow technique), so recovery cost
+    is bounded by one transition rather than a full [BuildIndex] of
+    every slot.
+
+    Like the manifest, the wire format is a versioned, line-oriented
+    text file an operator can read.  [old_extents] are plain
+    [(start, length)] block addresses so the record survives
+    serialisation. *)
+
+type change = {
+  slot : int;  (** frame slot the transition will modify *)
+  old_days : Dayset.t;  (** time-set before the transition *)
+  new_days : Dayset.t;  (** intended time-set after the transition *)
+  old_extents : (int * int * int) list;
+      (** (start, length, allocation generation) of every extent the
+          slot's index held at intent time; all still live at the same
+          generation and untorn ⇒ roll-back is safe under shadow
+          techniques.  The generation (an LSN-like epoch from
+          {!Wave_disk.Disk.generation_at}) distinguishes the original
+          extent from a same-shaped reallocation at the same address
+          after the transition freed it. *)
+}
+
+type intent = {
+  scheme : Scheme.kind;
+  technique : Env.technique;
+  day_from : int;  (** day of the wave the transition starts from *)
+  day_to : int;  (** day being absorbed *)
+  changes : change list;
+}
+
+type entry = Intent of intent | Commit of { day_to : int }
+
+type t
+(** An append-only journal (in creation order). *)
+
+val create : unit -> t
+val append : t -> entry -> unit
+val entries : t -> entry list
+val truncate : t -> unit
+(** Reset after a commit — the classic log truncation. *)
+
+val is_empty : t -> bool
+
+val pending : t -> intent option
+(** The interrupted transition, if any: the newest intent not followed
+    by a commit for its [day_to]. *)
+
+val to_string : t -> string
+val of_string : string -> (t, string) result
+(** Parses what {!to_string} produces; returns a diagnostic on bad
+    headers, unknown schemes/techniques, or garbled day/extent sets. *)

@@ -20,22 +20,11 @@ let capture s =
       List.init (Frame.n frame) (fun i -> Frame.slot_days frame (i + 1));
   }
 
-let technique_token = function
-  | Env.In_place -> "in-place"
-  | Env.Simple_shadow -> "simple-shadow"
-  | Env.Packed_shadow -> "packed-shadow"
-
-let technique_of_token = function
-  | "in-place" -> Some Env.In_place
-  | "simple-shadow" -> Some Env.Simple_shadow
-  | "packed-shadow" -> Some Env.Packed_shadow
-  | _ -> None
-
 let to_string t =
   let buf = Buffer.create 256 in
   Buffer.add_string buf "wave-manifest v1\n";
   Printf.bprintf buf "scheme %s\n" (Scheme.name t.scheme);
-  Printf.bprintf buf "technique %s\n" (technique_token t.technique);
+  Printf.bprintf buf "technique %s\n" (Env.technique_name t.technique);
   Printf.bprintf buf "w %d\n" t.w;
   Printf.bprintf buf "n %d\n" t.n;
   Printf.bprintf buf "day %d\n" t.day;
@@ -72,7 +61,7 @@ let of_string s =
     match (field "scheme", field "technique", int_field "w", int_field "n",
            int_field "day") with
     | Some sch, Some tech, Ok w, Ok n, Ok day -> (
-      match (Scheme.of_name sch, technique_of_token (String.trim tech)) with
+      match (Scheme.of_name sch, Env.technique_of_name (String.trim tech)) with
       | Some scheme, Some technique -> (
         let slots =
           List.filter_map

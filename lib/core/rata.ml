@@ -111,6 +111,7 @@ let transition t =
 let frame t = t.base.Scheme_base.frame
 let current_day t = t.base.Scheme_base.day
 let last_mark t = t.base.Scheme_base.mark
+let last_slot t = t.last
 
 let temps_days t =
   if t.temp_used = 0 then []

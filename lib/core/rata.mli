@@ -20,6 +20,9 @@ val frame : t -> Frame.t
 val current_day : t -> int
 val last_mark : t -> float
 
+val last_slot : t -> int
+(** The constituent currently absorbing new days. *)
+
 val temps_days : t -> Dayset.t list
 (** Time-sets of the unconsumed temporaries (T_1 .. T_TempUsed). *)
 

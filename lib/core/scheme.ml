@@ -83,6 +83,11 @@ let last_mark = function
 
 let env t = Frame.env (frame t)
 
+let last_slot = function
+  | S_wata s -> Some (Wata.last_slot s)
+  | S_rata s -> Some (Rata.last_slot s)
+  | S_del _ | S_reindex _ | S_rplus _ | S_rpp _ -> None
+
 let advance_to t day =
   while current_day t < day do
     transition t

@@ -43,6 +43,12 @@ val last_mark : t -> float
 val window : t -> Dayset.t
 (** The required window [{current_day - w + 1 .. current_day}]. *)
 
+val last_slot : t -> int option
+(** For WATA*/RATA*, the constituent currently absorbing new days
+    (their "Last" pointer); [None] for the DEL/REINDEX family.  Used by
+    {!Transition_plan} to predict which slots the next transition will
+    touch. *)
+
 val temp_days : t -> Dayset.t list
 (** Time-sets of scheme-private temporary indexes currently held
     (empty list for DEL, REINDEX and WATA). *)

@@ -1,0 +1,29 @@
+(** Predict the frame changes of a scheme's next transition.
+
+    Every scheme's transition is a deterministic function of its
+    current state, so the slots it will touch — and their time-sets
+    afterwards — can be computed {e before} any disk work happens.
+    {!Checkpoint} turns this prediction into the journal's intent
+    record; recovery then knows exactly which constituents an
+    interrupted transition may have damaged and rebuilds only those.
+
+    For the hard-window single-slot family (DEL, REINDEX, REINDEX+,
+    REINDEX++) the window invariant pins the answer: only the slot
+    holding the expiring day changes, gaining the new day and losing
+    the expired one.  WATA*/RATA* branch between ThrowAway and Wait on
+    a frame-derivable predicate, using the scheme's Last pointer
+    ({!Scheme.last_slot}).  Scheme-private temporaries (REINDEX+/++
+    and RATA* ladders) are precomputation, not constituents: they are
+    deliberately absent — recovery discards and later rebuilds them. *)
+
+type change = {
+  slot : int;
+  old_days : Dayset.t;
+  new_days : Dayset.t;
+}
+
+type t = { day_from : int; day_to : int; changes : change list }
+
+val plan : Scheme.t -> t
+(** The next transition's plan.  Pure: reads only in-memory state,
+    charges nothing to the disk. *)

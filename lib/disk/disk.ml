@@ -13,10 +13,24 @@ type counters = {
   seeks : int;
   blocks_read : int;
   blocks_written : int;
+  write_ops : int;
   elapsed : float;
 }
 
 exception Disk_error of string
+
+(* --- fault plans ---------------------------------------------------- *)
+
+type fault_target = On_seek | On_write
+
+type fault_mode = Fail_stop | Torn
+
+type fault_point = { target : fault_target; at : int }
+
+let pp_fault_point ppf p =
+  Format.fprintf ppf "%s#%d"
+    (match p.target with On_seek -> "seek" | On_write -> "write")
+    p.at
 
 module Extent_key = struct
   type t = int (* start block; extents never overlap, so start is a key *)
@@ -36,8 +50,14 @@ type t = {
   mutable seeks : int;
   mutable blocks_read : int;
   mutable blocks_written : int;
+  mutable write_ops : int;
   mutable elapsed : float;
-  mutable fault_in : int; (* 0 = disarmed; k = fail on the k-th next seek *)
+  mutable fault_in : int; (* 0 = disarmed; k = fail on the k-th matching op *)
+  mutable fault_target : fault_target;
+  mutable fault_mode : fault_mode;
+  torn : (int, unit) Hashtbl.t; (* start block -> extent contents invalid *)
+  mutable alloc_seq : int; (* allocations ever made; generation source *)
+  gen : (int, int) Hashtbl.t; (* start block -> allocation generation *)
 }
 
 let create ?(params = default_params) () =
@@ -53,8 +73,14 @@ let create ?(params = default_params) () =
     seeks = 0;
     blocks_read = 0;
     blocks_written = 0;
+    write_ops = 0;
     elapsed = 0.0;
     fault_in = 0;
+    fault_target = On_seek;
+    fault_mode = Fail_stop;
+    torn = Hashtbl.create 8;
+    alloc_seq = 0;
+    gen = Hashtbl.create 64;
   }
 
 let params t = t.params
@@ -63,12 +89,28 @@ let block_seconds t blocks =
   float_of_int (blocks * t.params.block_size) /. t.params.transfer_rate
 
 let charge_seek t =
-  if t.fault_in > 0 then begin
+  if t.fault_in > 0 && t.fault_target = On_seek then begin
     t.fault_in <- t.fault_in - 1;
     if t.fault_in = 0 then raise (Disk_error "injected fault")
   end;
   t.seeks <- t.seeks + 1;
   t.elapsed <- t.elapsed +. t.params.seek_time
+
+(* Countdown for write-targeted faults; called with the destination
+   extent before any cost is charged.  In [Torn] mode the extent's
+   contents are marked invalid before the crash is raised: the space
+   stays allocated but reads of it fail until it is freed or fully
+   rewritten — the classic torn write. *)
+let write_fault_check t ext =
+  if t.fault_in > 0 && t.fault_target = On_write then begin
+    t.fault_in <- t.fault_in - 1;
+    if t.fault_in = 0 then
+      match t.fault_mode with
+      | Fail_stop -> raise (Disk_error "injected fault")
+      | Torn ->
+        Hashtbl.replace t.torn ext.start ();
+        raise (Disk_error "injected fault: torn write")
+  end
 
 let charge_delay t seconds =
   if seconds < 0.0 then raise (Disk_error "negative delay");
@@ -105,6 +147,8 @@ let alloc t ~blocks =
       start
   in
   t.live <- Live.add start blocks t.live;
+  t.alloc_seq <- t.alloc_seq + 1;
+  Hashtbl.replace t.gen start t.alloc_seq;
   note_alloc t blocks;
   { start; length = blocks }
 
@@ -118,6 +162,18 @@ let is_live t ext =
   match Live.find_opt ext.start t.live with
   | Some len -> len = ext.length
   | None -> false
+
+let live_at t ~start ~length =
+  match Live.find_opt start t.live with
+  | Some len -> len = length
+  | None -> false
+
+let generation_at t ~start =
+  if Live.mem start t.live then Hashtbl.find_opt t.gen start else None
+
+let live_extents t =
+  Live.fold (fun start length acc -> { start; length } :: acc) t.live []
+  |> List.rev
 
 (* Insert (start, len) into the address-sorted free list, merging with
    adjacent holes so repeated alloc/free cycles do not fragment forever. *)
@@ -137,11 +193,18 @@ let insert_free free_list (start, len) =
 let free t ext =
   lookup_live t ext;
   t.live <- Live.remove ext.start t.live;
+  Hashtbl.remove t.torn ext.start;
+  Hashtbl.remove t.gen ext.start;
   t.live_blocks <- t.live_blocks - ext.length;
   t.free_list <- insert_free t.free_list (ext.start, ext.length)
 
+let check_readable t ext =
+  if Hashtbl.mem t.torn ext.start then
+    raise (Disk_error "torn extent: contents invalid after interrupted write")
+
 let read_blocks t ext ~blocks =
   lookup_live t ext;
+  check_readable t ext;
   if blocks < 0 || blocks > ext.length then
     raise (Disk_error "read_blocks: out of extent bounds");
   charge_seek t;
@@ -154,14 +217,22 @@ let write_blocks t ext ~blocks =
   lookup_live t ext;
   if blocks < 0 || blocks > ext.length then
     raise (Disk_error "write_blocks: out of extent bounds");
+  write_fault_check t ext;
   charge_seek t;
+  t.write_ops <- t.write_ops + 1;
   t.blocks_written <- t.blocks_written + blocks;
-  t.elapsed <- t.elapsed +. block_seconds t blocks
+  t.elapsed <- t.elapsed +. block_seconds t blocks;
+  (* A complete rewrite of the extent replaces any torn contents. *)
+  if blocks = ext.length then Hashtbl.remove t.torn ext.start
 
 let write t ext = write_blocks t ext ~blocks:ext.length
 
 let sequential_read t exts =
-  List.iter (lookup_live t) exts;
+  List.iter
+    (fun ext ->
+      lookup_live t ext;
+      check_readable t ext)
+    exts;
   charge_seek t;
   List.iter
     (fun ext ->
@@ -174,6 +245,7 @@ let counters t =
     seeks = t.seeks;
     blocks_read = t.blocks_read;
     blocks_written = t.blocks_written;
+    write_ops = t.write_ops;
     elapsed = t.elapsed;
   }
 
@@ -183,6 +255,7 @@ let reset_counters t =
   t.seeks <- 0;
   t.blocks_read <- 0;
   t.blocks_written <- 0;
+  t.write_ops <- 0;
   t.elapsed <- 0.0
 
 let live_blocks t = t.live_blocks
@@ -196,12 +269,38 @@ let fragmentation t =
 
 let pp_counters ppf (c : counters) =
   Format.fprintf ppf
-    "seeks=%d read=%d blocks written=%d blocks elapsed=%.4fs" c.seeks
-    c.blocks_read c.blocks_written c.elapsed
+    "seeks=%d read=%d blocks written=%d blocks (%d ops) elapsed=%.4fs" c.seeks
+    c.blocks_read c.blocks_written c.write_ops c.elapsed
+
+(* --- fault arming --------------------------------------------------- *)
+
+let arm_fault t ?(mode = Fail_stop) point =
+  if point.at < 1 then raise (Disk_error "arm_fault: need at >= 1");
+  if mode = Torn && point.target <> On_write then
+    raise (Disk_error "arm_fault: torn mode applies to writes only");
+  t.fault_in <- point.at;
+  t.fault_target <- point.target;
+  t.fault_mode <- mode
 
 let set_fault t ~after_seeks =
   if after_seeks < 1 then raise (Disk_error "set_fault: need after_seeks >= 1");
-  t.fault_in <- after_seeks
+  arm_fault t { target = On_seek; at = after_seeks }
 
 let clear_fault t = t.fault_in <- 0
 let fault_armed t = t.fault_in > 0
+
+let armed_fault t =
+  if t.fault_in = 0 then None
+  else Some ({ target = t.fault_target; at = t.fault_in }, t.fault_mode)
+
+let fault_schedule ~(before : counters) ~(after : counters) =
+  let seeks = max 0 (after.seeks - before.seeks) in
+  let writes = max 0 (after.write_ops - before.write_ops) in
+  List.init seeks (fun i -> { target = On_seek; at = i + 1 })
+  @ List.init writes (fun i -> { target = On_write; at = i + 1 })
+
+(* --- torn extent introspection -------------------------------------- *)
+
+let is_torn t ext = Hashtbl.mem t.torn ext.start
+let torn_at t ~start = Hashtbl.mem t.torn start
+let torn_count t = Hashtbl.length t.torn

@@ -53,6 +53,16 @@ val free : t -> extent -> unit
 val is_live : t -> extent -> bool
 (** Whether the extent is currently allocated on this disk. *)
 
+val live_at : t -> start:int -> length:int -> bool
+(** Whether an extent with exactly this shape is currently allocated —
+    the address-level twin of {!is_live}, usable from recovery code
+    that only has journalled [(start, length)] pairs, not handles. *)
+
+val live_extents : t -> extent list
+(** Every live extent, in address order.  Recovery uses this to find
+    extents leaked by an interrupted transition: anything live that no
+    surviving index accounts for. *)
+
 (** {1 Access costing} *)
 
 val read : t -> extent -> unit
@@ -89,6 +99,7 @@ type counters = {
   seeks : int;
   blocks_read : int;
   blocks_written : int;
+  write_ops : int;  (** write {e operations} (not blocks) — each is a torn-write injection point *)
   elapsed : float;  (** model seconds consumed so far *)
 }
 
@@ -102,6 +113,14 @@ val reset_counters : t -> unit
 
 val live_blocks : t -> int
 (** Blocks currently allocated. *)
+
+val generation_at : t -> start:int -> int option
+(** Allocation generation of the live extent starting at [start]
+    ([None] if none does).  Generations are unique across the disk's
+    lifetime, so a recovery log that remembers an extent's generation
+    can tell the original extent from a same-shaped reallocation at the
+    same address — the allocator-reuse hazard an LSN solves in a real
+    write-ahead log. *)
 
 val peak_blocks : t -> int
 (** Maximum of {!live_blocks} ever observed — the paper's "maximum
@@ -121,13 +140,57 @@ val pp_counters : Format.formatter -> counters -> unit
 
 (** {1 Fault injection}
 
-    For crash-consistency testing: arm a fault and the disk raises
-    {!Disk_error} ["injected fault"] on the k-th subsequent seek,
-    simulating a mid-transition failure.  Allocator state stays
-    consistent (the failing operation charges nothing). *)
+    For crash-consistency testing: arm a {e fault plan} and the disk
+    raises {!Disk_error} ["injected fault"] on the k-th subsequent
+    matching operation, simulating a mid-transition failure.  Allocator
+    state stays consistent (the failing operation charges nothing).
+
+    A plan names a target operation class — seeks (which every read and
+    write performs) or write operations — and a mode.  [Fail_stop]
+    simply raises.  [Torn] (writes only) first marks the destination
+    extent's contents invalid: the extent stays allocated, but any read
+    of it raises ["torn extent"] until it is either freed or completely
+    rewritten.  This models a crash that tears a sector-level write
+    after the space was allocated.
+
+    Exactly one plan is armed at a time: arming again {e replaces} the
+    previous plan (last arm wins).  An armed plan survives
+    {!reset_counters} — counters are observability state, the plan is
+    injected-failure state — and {!clear_fault} is idempotent. *)
+
+type fault_target = On_seek | On_write
+
+type fault_mode = Fail_stop | Torn
+
+type fault_point = { target : fault_target; at : int }
+(** The [at]-th next operation of class [target] (1-based). *)
+
+val pp_fault_point : Format.formatter -> fault_point -> unit
+
+val arm_fault : t -> ?mode:fault_mode -> fault_point -> unit
+(** Arm a plan (default mode [Fail_stop]).  Raises {!Disk_error} when
+    [at < 1] or when [Torn] is combined with [On_seek]. *)
 
 val set_fault : t -> after_seeks:int -> unit
-(** [set_fault t ~after_seeks:k] makes the k-th next seek fail (k >= 1). *)
+(** [set_fault t ~after_seeks:k] makes the k-th next seek fail (k >= 1);
+    equivalent to [arm_fault t { target = On_seek; at = k }]. *)
 
 val clear_fault : t -> unit
+(** Disarm any plan.  Idempotent; never raises. *)
+
 val fault_armed : t -> bool
+
+val armed_fault : t -> (fault_point * fault_mode) option
+(** The currently armed plan, with [at] counted down to the remaining
+    operations before it fires. *)
+
+val fault_schedule : before:counters -> after:counters -> fault_point list
+(** Every injection point inside the operation bracketed by the two
+    counter snapshots: one [On_seek] point per seek consumed and one
+    [On_write] point per write operation consumed.  A harness measures
+    an uncrashed twin, then sweeps the returned points one per run. *)
+
+val is_torn : t -> extent -> bool
+val torn_at : t -> start:int -> bool
+val torn_count : t -> int
+(** Number of extents currently marked torn (0 on a healthy disk). *)

@@ -1,0 +1,181 @@
+open Wave_core
+open Wave_disk
+open Wave_storage
+
+(* Deterministic day batches: 8 postings per day over 6 values, same
+   shape as the unit-test stores, so every run of a configuration is
+   bit-identical and twin comparison is exact. *)
+let default_store day =
+  Entry.batch_create ~day
+    (Array.init 8 (fun i ->
+         {
+           Entry.value = 1 + ((day + i) mod 6);
+           entry = { Entry.rid = (day * 100) + i; day; info = i + 1 };
+         }))
+
+type point_result = {
+  point : Disk.fault_point;
+  mode : Disk.fault_mode;
+  fired : bool;
+  rolled_forward : bool;
+  recovered_day : int;
+  consistent : bool;
+  space_ok : bool;
+  recovery_seconds : float;
+  wasted_seconds : float;
+}
+
+type report = {
+  scheme : Scheme.kind;
+  technique : Env.technique;
+  w : int;
+  n : int;
+  day : int;
+  points : point_result list;
+  passed : bool;
+}
+
+(* Canonical answers of the wave at its current day: every value's
+   window-bounded TimedIndexProbe plus the window TimedSegmentScan,
+   each sorted by rid (packed rebuilds may reorder equal keys). *)
+type reference = { ref_day : int; probes : (int * int list) list; scan : int list }
+
+let rids entries =
+  List.sort compare (List.map (fun (e : Entry.t) -> e.Entry.rid) entries)
+
+let capture ~w frame day =
+  let t1 = day - w + 1 and t2 = day in
+  {
+    ref_day = day;
+    probes =
+      List.init 6 (fun v ->
+          (v + 1, rids (Frame.timed_index_probe frame ~t1 ~t2 ~value:(v + 1))));
+    scan = rids (Frame.timed_segment_scan frame ~t1 ~t2);
+  }
+
+let matches ~w frame (r : reference) =
+  let t1 = r.ref_day - w + 1 and t2 = r.ref_day in
+  rids (Frame.timed_segment_scan frame ~t1 ~t2) = r.scan
+  && List.for_all
+       (fun (v, expect) ->
+         rids (Frame.timed_index_probe frame ~t1 ~t2 ~value:v) = expect)
+       r.probes
+
+let fresh_instance ~scheme ~technique ~w ~n ~store =
+  let env = Env.create ~technique ~store ~w ~n () in
+  Checkpoint.start scheme env
+
+(* No leaked and no double-freed space: the allocator's live count is
+   exactly what the surviving constituents claim, and nothing is left
+   marked torn. *)
+let space_consistent cp =
+  let disk = (Checkpoint.env cp).Env.disk in
+  let frame = Checkpoint.frame cp in
+  let claimed = ref 0 in
+  for j = 1 to Frame.n frame do
+    claimed := !claimed + Index.allocated_blocks (Frame.slot_index frame j)
+  done;
+  Disk.live_blocks disk = !claimed && Disk.torn_count disk = 0
+
+let run_point ~scheme ~technique ~w ~n ~store ~day ~before_ref ~after_ref ~mode
+    point =
+  let cp = fresh_instance ~scheme ~technique ~w ~n ~store in
+  Checkpoint.advance_to cp (day - 1);
+  let disk = (Checkpoint.env cp).Env.disk in
+  Disk.arm_fault disk ~mode point;
+  let t0 = Disk.elapsed disk in
+  let fired =
+    match Checkpoint.transition cp with
+    | () -> false
+    | exception Disk.Disk_error _ -> true
+  in
+  let wasted_seconds = Disk.elapsed disk -. t0 in
+  Disk.clear_fault disk;
+  if fired then begin
+    let r = Checkpoint.recover cp in
+    let reference =
+      if r.Checkpoint.recovered_day = day then after_ref else before_ref
+    in
+    {
+      point;
+      mode;
+      fired;
+      rolled_forward = r.Checkpoint.rolled_forward;
+      recovered_day = r.Checkpoint.recovered_day;
+      consistent =
+        r.Checkpoint.recovered_day = reference.ref_day
+        && matches ~w (Checkpoint.frame cp) reference;
+      space_ok = space_consistent cp;
+      recovery_seconds = r.Checkpoint.recovery_seconds;
+      wasted_seconds;
+    }
+  end
+  else
+    (* The schedule is exact, so this branch means the twin and the
+       instance diverged — report it as a failed point. *)
+    {
+      point;
+      mode;
+      fired;
+      rolled_forward = false;
+      recovered_day = Checkpoint.current_day cp;
+      consistent = matches ~w (Checkpoint.frame cp) after_ref;
+      space_ok = space_consistent cp;
+      recovery_seconds = 0.0;
+      wasted_seconds;
+    }
+
+let sweep ?(store = default_store) ~scheme ~technique ~w ~n ~day () =
+  if day <= w then invalid_arg "Crash_harness.sweep: day must exceed w";
+  (* Uncrashed twin: discover the transition's fault points and capture
+     the reference answers on both sides of it. *)
+  let twin = fresh_instance ~scheme ~technique ~w ~n ~store in
+  Checkpoint.advance_to twin (day - 1);
+  let twin_disk = (Checkpoint.env twin).Env.disk in
+  let before_ref = capture ~w (Checkpoint.frame twin) (day - 1) in
+  let before = Disk.counters twin_disk in
+  Checkpoint.transition twin;
+  let after = Disk.counters twin_disk in
+  let after_ref = capture ~w (Checkpoint.frame twin) day in
+  let schedule = Disk.fault_schedule ~before ~after in
+  let points =
+    List.concat_map
+      (fun (p : Disk.fault_point) ->
+        let modes =
+          match p.Disk.target with
+          | Disk.On_seek -> [ Disk.Fail_stop ]
+          | Disk.On_write -> [ Disk.Fail_stop; Disk.Torn ]
+        in
+        List.map
+          (fun mode ->
+            run_point ~scheme ~technique ~w ~n ~store ~day ~before_ref
+              ~after_ref ~mode p)
+          modes)
+      schedule
+  in
+  let passed =
+    points <> []
+    && List.for_all (fun r -> r.fired && r.consistent && r.space_ok) points
+  in
+  { scheme; technique; w; n; day; points; passed }
+
+let pp_point_result ppf r =
+  Format.fprintf ppf "%a %s: %s day=%d recover=%.3fs wasted=%.3fs%s%s"
+    Disk.pp_fault_point r.point
+    (match r.mode with Disk.Fail_stop -> "fail-stop" | Disk.Torn -> "torn")
+    (if r.rolled_forward then "roll-forward" else "roll-back")
+    r.recovered_day r.recovery_seconds r.wasted_seconds
+    (if r.consistent then "" else " INCONSISTENT")
+    (if r.space_ok then "" else " SPACE-LEAK")
+
+let pp_report ppf t =
+  Format.fprintf ppf "%s x %s (W=%d n=%d day=%d): %d points %s@."
+    (Scheme.name t.scheme)
+    (Env.technique_name t.technique)
+    t.w t.n t.day (List.length t.points)
+    (if t.passed then "PASS" else "FAIL");
+  List.iter
+    (fun r ->
+      if not (r.fired && r.consistent && r.space_ok) then
+        Format.fprintf ppf "  %a@." pp_point_result r)
+    t.points

@@ -1,0 +1,65 @@
+(** Systematic crash sweep over a scheme transition.
+
+    The harness first runs an {e uncrashed twin} of the configuration
+    up to the target day, bracketing the transition with counter
+    snapshots so {!Wave_disk.Disk.fault_schedule} can enumerate every
+    injection point inside it — one per seek, one per write operation.
+    It then replays the scenario once per point (and, for write points,
+    once per fault mode, including torn writes), crashes there, runs
+    {!Wave_core.Checkpoint.recover}, and asserts:
+
+    - the recovered wave answers the window's [TimedIndexProbe]s and
+      [TimedSegmentScan] identically to the twin at the recovered day
+      (the day before the transition when recovery rolled back, the
+      day after when it rolled forward);
+    - the allocator leaks nothing and double-frees nothing:
+      {!Wave_disk.Disk.live_blocks} equals the blocks claimed by the
+      surviving constituents, and no extent stays torn.
+
+    Each point also reports the model-time cost of recovery and the
+    work wasted in the doomed transition. *)
+
+open Wave_core
+open Wave_disk
+
+val default_store : Env.day_store
+(** Deterministic synthetic batches (8 postings/day over 6 values). *)
+
+type point_result = {
+  point : Disk.fault_point;
+  mode : Disk.fault_mode;
+  fired : bool;  (** the armed fault actually fired (schedule is exact) *)
+  rolled_forward : bool;
+  recovered_day : int;
+  consistent : bool;  (** query-identical to the twin at that day *)
+  space_ok : bool;  (** no leaked, double-freed or torn extents *)
+  recovery_seconds : float;
+  wasted_seconds : float;  (** model time burnt in the doomed transition *)
+}
+
+type report = {
+  scheme : Scheme.kind;
+  technique : Env.technique;
+  w : int;
+  n : int;
+  day : int;
+  points : point_result list;
+  passed : bool;
+}
+
+val sweep :
+  ?store:Env.day_store ->
+  scheme:Scheme.kind ->
+  technique:Env.technique ->
+  w:int ->
+  n:int ->
+  day:int ->
+  unit ->
+  report
+(** Crash day [day]'s transition (from [day - 1]) at every enumerated
+    fault point.  [day] must exceed [w] so at least one full window of
+    transitions has happened.  Raises [Invalid_argument] otherwise. *)
+
+val pp_point_result : Format.formatter -> point_result -> unit
+val pp_report : Format.formatter -> report -> unit
+(** One summary line; failing points are detailed below it. *)

@@ -1,4 +1,4 @@
-let magic = "WVB1"
+let magic = "WVB2"
 
 (* --- varint (LEB128) + ZigZag ------------------------------------- *)
 
@@ -41,11 +41,27 @@ let get_signed r = unzigzag (get_varint r)
 
 (* --- batch ---------------------------------------------------------- *)
 
+(* CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320), table driven.
+   The previous additive checksum missed transpositions and many
+   two-bit flips; CRC-32 detects all single-burst errors up to 32 bits
+   and any odd number of bit flips. *)
+let crc_table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref n in
+         for _ = 0 to 7 do
+           c := if !c land 1 = 1 then 0xEDB88320 lxor (!c lsr 1) else !c lsr 1
+         done;
+         !c))
+
 let checksum_of buf_contents =
-  (* additive checksum over the payload bytes, mod 2^30 *)
-  let acc = ref 0 in
-  String.iter (fun c -> acc := (!acc + Char.code c) land 0x3FFFFFFF) buf_contents;
-  !acc
+  let table = Lazy.force crc_table in
+  let crc = ref 0xFFFFFFFF in
+  String.iter
+    (fun ch ->
+      crc := table.((!crc lxor Char.code ch) land 0xFF) lxor (!crc lsr 8))
+    buf_contents;
+  !crc lxor 0xFFFFFFFF
 
 let encode_batch (b : Entry.batch) =
   let buf = Buffer.create (64 + (Entry.batch_size b * 6)) in

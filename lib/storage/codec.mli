@@ -4,11 +4,13 @@
     after a restart (every scheme's Start phase, and REINDEX-family
     maintenance, re-reads past days).  The format is self-describing
     and safe to read from untrusted files: a magic/version header,
-    LEB128 varints with ZigZag for signed fields, and an additive
-    checksum verified on decode.
+    LEB128 varints with ZigZag for signed fields, and a CRC-32
+    (IEEE 802.3) over the payload verified on decode — it catches every
+    burst error up to 32 bits, unlike the additive checksum of format
+    v1, which missed transpositions.
 
-    Layout: magic "WVB1" | day | posting-count | postings (value rid
-    info, each delta-free varints) | checksum. *)
+    Layout: magic "WVB2" | day | posting-count | postings (value rid
+    info, each delta-free varints) | crc32 (varint). *)
 
 val encode_batch : Entry.batch -> string
 val decode_batch : string -> (Entry.batch, string) result

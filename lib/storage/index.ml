@@ -209,6 +209,8 @@ let scan_extents t =
   in
   match t.shared with Some s -> s.sext :: List.rev own | None -> List.rev own
 
+let extents t = scan_extents t
+
 let scan t =
   if t.total_used > 0 || t.total_alloc > 0 then
     Disk.sequential_read t.dsk (scan_extents t);

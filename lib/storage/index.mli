@@ -125,6 +125,13 @@ val allocated_blocks : t -> int
 val config : t -> config
 val disk : t -> Disk.t
 
+val extents : t -> Disk.extent list
+(** Every disk extent this index holds (shared packed home plus
+    per-bucket homes).  Together with {!Disk.live_extents} this lets a
+    recovery pass decide which live extents a crashed transition
+    leaked: journal intent records snapshot these before the
+    transition, and cleanup frees whatever no surviving index claims. *)
+
 val validate : t -> unit
 (** Structural invariants: per-bucket fill within capacity, directory
     consistent with buckets, packedness implies minimal contiguous

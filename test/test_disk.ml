@@ -205,6 +205,150 @@ let prop_free_all_returns_to_empty =
       let e = Disk.alloc d ~blocks:hw in
       e.Disk.start = 0 && Disk.high_water d = hw)
 
+(* --- Fault injection ------------------------------------------------ *)
+
+let injected = Disk.Disk_error "injected fault"
+
+let test_set_fault_counts_down () =
+  let d = fresh () in
+  let e = Disk.alloc d ~blocks:2 in
+  Disk.set_fault d ~after_seeks:3;
+  Disk.read d e;
+  Disk.read d e;
+  Alcotest.(check bool) "still armed" true (Disk.fault_armed d);
+  Alcotest.check_raises "third seek fails" injected (fun () -> Disk.read d e);
+  Alcotest.(check bool) "disarmed after firing" false (Disk.fault_armed d);
+  (* the failing operation charged nothing *)
+  Alcotest.(check int) "two successful seeks" 2 (Disk.counters d).Disk.seeks;
+  Disk.read d e (* healthy again *)
+
+let test_fault_survives_reset_counters () =
+  (* The plan is injected-failure state, not observability state: a
+     counter reset must not silently disarm it. *)
+  let d = fresh () in
+  let e = Disk.alloc d ~blocks:1 in
+  Disk.set_fault d ~after_seeks:2;
+  Disk.read d e;
+  Disk.reset_counters d;
+  Alcotest.(check bool) "armed across reset" true (Disk.fault_armed d);
+  Alcotest.check_raises "second seek still fails" injected (fun () ->
+      Disk.read d e)
+
+let test_clear_fault_idempotent () =
+  let d = fresh () in
+  let e = Disk.alloc d ~blocks:1 in
+  Disk.clear_fault d;
+  (* clearing an unarmed disk is a no-op *)
+  Disk.set_fault d ~after_seeks:1;
+  Disk.clear_fault d;
+  Disk.clear_fault d;
+  Alcotest.(check bool) "disarmed" false (Disk.fault_armed d);
+  Disk.read d e (* does not fire *)
+
+let test_double_arm_last_wins () =
+  let d = fresh () in
+  let e = Disk.alloc d ~blocks:1 in
+  Disk.set_fault d ~after_seeks:1;
+  (* re-arming replaces the imminent plan with a later one *)
+  Disk.set_fault d ~after_seeks:3;
+  Disk.read d e;
+  Disk.read d e;
+  (match Disk.armed_fault d with
+  | Some ({ Disk.target = Disk.On_seek; at = 1 }, Disk.Fail_stop) -> ()
+  | _ -> Alcotest.fail "expected one remaining seek on the second plan");
+  Alcotest.check_raises "fires on the second plan's schedule" injected
+    (fun () -> Disk.read d e)
+
+let test_arm_validation () =
+  let d = fresh () in
+  Alcotest.check_raises "at < 1" (Disk.Disk_error "arm_fault: need at >= 1")
+    (fun () -> Disk.arm_fault d { Disk.target = Disk.On_seek; at = 0 });
+  Alcotest.check_raises "torn seeks"
+    (Disk.Disk_error "arm_fault: torn mode applies to writes only") (fun () ->
+      Disk.arm_fault d ~mode:Disk.Torn { Disk.target = Disk.On_seek; at = 1 })
+
+let test_write_fault_fail_stop () =
+  let d = fresh () in
+  let e = Disk.alloc d ~blocks:4 in
+  Disk.arm_fault d { Disk.target = Disk.On_write; at = 2 };
+  Disk.read d e;
+  (* reads don't consume write-targeted countdowns *)
+  Disk.write d e;
+  Alcotest.check_raises "second write fails" injected (fun () -> Disk.write d e);
+  let c = Disk.counters d in
+  Alcotest.(check int) "one write op succeeded" 1 c.Disk.write_ops;
+  Alcotest.(check int) "failed write moved no blocks" 4 c.Disk.blocks_written
+
+let test_torn_write_semantics () =
+  let d = fresh () in
+  let e = Disk.alloc d ~blocks:4 in
+  Disk.write d e;
+  Disk.arm_fault d ~mode:Disk.Torn { Disk.target = Disk.On_write; at = 1 };
+  Alcotest.check_raises "torn write raises"
+    (Disk.Disk_error "injected fault: torn write") (fun () -> Disk.write d e);
+  (* space still allocated, but contents unreadable *)
+  Alcotest.(check bool) "still live" true (Disk.is_live d e);
+  Alcotest.(check int) "one torn extent" 1 (Disk.torn_count d);
+  Alcotest.check_raises "read of torn contents"
+    (Disk.Disk_error "torn extent: contents invalid after interrupted write")
+    (fun () -> Disk.read d e);
+  (* a partial rewrite does not heal it *)
+  Disk.write_blocks d e ~blocks:2;
+  Alcotest.(check bool) "partial rewrite leaves it torn" true (Disk.is_torn d e);
+  (* a full rewrite does *)
+  Disk.write d e;
+  Alcotest.(check bool) "full rewrite heals" false (Disk.is_torn d e);
+  Disk.read d e
+
+let test_torn_cleared_by_free () =
+  let d = fresh () in
+  let e = Disk.alloc d ~blocks:3 in
+  Disk.arm_fault d ~mode:Disk.Torn { Disk.target = Disk.On_write; at = 1 };
+  (try Disk.write d e with Disk.Disk_error _ -> ());
+  Disk.free d e;
+  Alcotest.(check int) "no torn extents after free" 0 (Disk.torn_count d);
+  (* reallocating the same region starts clean *)
+  let e' = Disk.alloc d ~blocks:3 in
+  Alcotest.(check int) "same region" e.Disk.start e'.Disk.start;
+  Disk.write d e';
+  Disk.read d e'
+
+let test_fault_schedule_enumerates () =
+  let d = fresh () in
+  let e = Disk.alloc d ~blocks:2 in
+  let before = Disk.counters d in
+  Disk.read d e;
+  Disk.write d e;
+  Disk.write d e;
+  let after = Disk.counters d in
+  let sched = Disk.fault_schedule ~before ~after in
+  (* 3 seeks (one per operation) + 2 write ops *)
+  Alcotest.(check int) "five points" 5 (List.length sched);
+  let seeks =
+    List.filter (fun p -> p.Disk.target = Disk.On_seek) sched
+  and writes =
+    List.filter (fun p -> p.Disk.target = Disk.On_write) sched
+  in
+  Alcotest.(check (list int)) "seek points" [ 1; 2; 3 ]
+    (List.map (fun p -> p.Disk.at) seeks);
+  Alcotest.(check (list int)) "write points" [ 1; 2 ]
+    (List.map (fun p -> p.Disk.at) writes)
+
+let test_generation_distinguishes_reuse () =
+  (* Same address, same shape, different life: the generation is what a
+     recovery log uses to tell them apart. *)
+  let d = fresh () in
+  let e = Disk.alloc d ~blocks:5 in
+  let g1 = Disk.generation_at d ~start:e.Disk.start in
+  Alcotest.(check bool) "live extent has a generation" true (g1 <> None);
+  Disk.free d e;
+  Alcotest.(check bool) "freed extent has none" true
+    (Disk.generation_at d ~start:e.Disk.start = None);
+  let e' = Disk.alloc d ~blocks:5 in
+  Alcotest.(check int) "reallocated at the same start" e.Disk.start e'.Disk.start;
+  let g2 = Disk.generation_at d ~start:e'.Disk.start in
+  Alcotest.(check bool) "new generation" true (g2 <> None && g2 <> g1)
+
 let qcheck tests = List.map QCheck_alcotest.to_alcotest tests
 
 let suites =
@@ -234,5 +378,26 @@ let suites =
         Alcotest.test_case "read dead extent" `Quick test_read_dead_extent;
         Alcotest.test_case "reset keeps allocation" `Quick
           test_reset_counters_keeps_allocation;
+      ] );
+    ( "disk.faults",
+      [
+        Alcotest.test_case "set_fault counts down" `Quick
+          test_set_fault_counts_down;
+        Alcotest.test_case "survives reset_counters" `Quick
+          test_fault_survives_reset_counters;
+        Alcotest.test_case "clear_fault idempotent" `Quick
+          test_clear_fault_idempotent;
+        Alcotest.test_case "double arm: last wins" `Quick
+          test_double_arm_last_wins;
+        Alcotest.test_case "arm validation" `Quick test_arm_validation;
+        Alcotest.test_case "write fail-stop" `Quick test_write_fault_fail_stop;
+        Alcotest.test_case "torn write semantics" `Quick
+          test_torn_write_semantics;
+        Alcotest.test_case "torn cleared by free" `Quick
+          test_torn_cleared_by_free;
+        Alcotest.test_case "fault_schedule enumerates" `Quick
+          test_fault_schedule_enumerates;
+        Alcotest.test_case "generation distinguishes reuse" `Quick
+          test_generation_distinguishes_reuse;
       ] );
   ]

@@ -66,6 +66,49 @@ let test_codec_batches () =
   | Ok _ -> Alcotest.fail "wrong count"
   | Error e -> Alcotest.failf "decode failed: %s" e
 
+let test_codec_diagnostics () =
+  (* Each corruption class gets its own diagnostic, so an operator can
+     tell a chopped file from silent bit rot. *)
+  let diag name expect s =
+    match Codec.decode_batch s with
+    | Ok _ -> Alcotest.failf "%s: accepted" name
+    | Error e -> Alcotest.(check string) name expect e
+  in
+  let good = Codec.encode_batch (batch ~day:3 [ posting 7 70 1 3; posting 2 71 0 3 ]) in
+  diag "empty input" "missing magic" "";
+  diag "foreign magic" "bad magic" "XXXX\x00\x00\x00\x00";
+  diag "old format version" "bad magic" ("WVB1" ^ String.sub good 4 (String.length good - 4));
+  diag "truncated payload" "truncated varint" (String.sub good 0 6);
+  diag "trailing bytes" "trailing bytes" (good ^ "z");
+  (* flip a value bit inside the first posting: the varint structure is
+     unchanged, so only the CRC can notice *)
+  let flipped = Bytes.of_string good in
+  Bytes.set flipped 6 (Char.chr (Char.code (Bytes.get flipped 6) lxor 0x01));
+  diag "single bit flip" "checksum mismatch" (Bytes.to_string flipped)
+
+let test_codec_crc_catches_transposition () =
+  (* The old additive checksum was order-blind: swapping two payload
+     bytes left the sum unchanged.  CRC-32 must reject it. *)
+  let good = Codec.encode_batch (batch ~day:9 [ posting 3 5 1 9; posting 8 6 2 9 ]) in
+  (* find two adjacent differing payload bytes (after the 4-byte magic,
+     before the 4ish-byte checksum tail) *)
+  let b = Bytes.of_string good in
+  let swapped = ref false in
+  let i = ref 4 in
+  while (not !swapped) && !i < Bytes.length b - 6 do
+    if Bytes.get b !i <> Bytes.get b (!i + 1) then begin
+      let tmp = Bytes.get b !i in
+      Bytes.set b !i (Bytes.get b (!i + 1));
+      Bytes.set b (!i + 1) tmp;
+      swapped := true
+    end;
+    incr i
+  done;
+  Alcotest.(check bool) "found bytes to swap" true !swapped;
+  match Codec.decode_batch (Bytes.to_string b) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "transposed payload accepted"
+
 let prop_codec_roundtrip =
   QCheck2.Test.make ~name:"codec roundtrips random batches" ~count:200
     QCheck2.Gen.(
@@ -184,6 +227,80 @@ let prop_manifest_restart_equivalence =
         Frame.validate frame;
         sorted_scan frame = sorted_scan (Scheme.frame s))
 
+(* Random *valid* manifests built directly from the record type (not
+   via a running scheme), so the parser is exercised over the whole
+   value space: empty slots, unordered day lists, large days. *)
+let manifest_gen =
+  QCheck2.Gen.(
+    let* kind_i = int_range 0 5 in
+    let kind = List.nth Scheme.all kind_i in
+    let* tech_i = int_range 0 2 in
+    let technique =
+      List.nth [ Env.In_place; Env.Simple_shadow; Env.Packed_shadow ] tech_i
+    in
+    let* w = int_range 2 20 in
+    let* n = int_range (Scheme.min_indexes kind) (max (Scheme.min_indexes kind) w) in
+    let* day = int_range w 10_000 in
+    let* slots =
+      list_repeat n
+        (let* days = list_size (int_range 0 6) (int_range 1 10_000) in
+         return (List.fold_left (fun a d -> Dayset.add d a) Dayset.empty days))
+    in
+    return { Manifest.scheme = kind; technique; w; n; day; slots })
+
+let prop_manifest_roundtrip_random =
+  QCheck2.Test.make ~name:"manifest serialisation roundtrips random manifests"
+    ~count:300 manifest_gen (fun m ->
+      match Manifest.of_string (Manifest.to_string m) with
+      | Error _ -> false
+      | Ok m' ->
+        m'.Manifest.scheme = m.Manifest.scheme
+        && m'.Manifest.technique = m.Manifest.technique
+        && m'.Manifest.w = m.Manifest.w
+        && m'.Manifest.n = m.Manifest.n
+        && m'.Manifest.day = m.Manifest.day
+        && List.length m'.Manifest.slots = List.length m.Manifest.slots
+        && List.for_all2 Dayset.equal m'.Manifest.slots m.Manifest.slots)
+
+let test_manifest_bad_corpus () =
+  (* A corpus of near-miss manifests: each must be rejected with a
+     diagnostic, never an exception or a silent partial parse. *)
+  let base tech =
+    Printf.sprintf
+      "wave-manifest v1\nscheme DEL\ntechnique %s\nw 5\nn 2\nday 5\nslot 1 1,2\nslot 2 3,4,5\n"
+      tech
+  in
+  let corpus =
+    [
+      ("future version", "wave-manifest v2\nscheme DEL\ntechnique in-place\nw 5\nn 2\nday 5\nslot 1 1,2\nslot 2 3,4,5\n");
+      ("case-mangled header", "Wave-Manifest V1\nscheme DEL\ntechnique in-place\nw 5\nn 2\nday 5\nslot 1 1,2\nslot 2 3,4,5\n");
+      ("unknown scheme", String.concat "\n" [ "wave-manifest v1"; "scheme BTREE"; "technique in-place"; "w 5"; "n 2"; "day 5"; "slot 1 1,2"; "slot 2 3,4,5"; "" ]);
+      ("unknown technique", base "copy-on-write");
+      ("garbled day set: letters", "wave-manifest v1\nscheme DEL\ntechnique in-place\nw 5\nn 2\nday 5\nslot 1 1,x\nslot 2 3,4,5\n");
+      ("garbled day set: empty element", "wave-manifest v1\nscheme DEL\ntechnique in-place\nw 5\nn 2\nday 5\nslot 1 1,,2\nslot 2 3,4,5\n");
+      ("slot line with extra tokens", "wave-manifest v1\nscheme DEL\ntechnique in-place\nw 5\nn 2\nday 5\nslot 1 1,2 junk\nslot 2 3,4,5\n");
+      ("too many slots", "wave-manifest v1\nscheme DEL\ntechnique in-place\nw 5\nn 2\nday 5\nslot 1 1,2\nslot 2 3,4\nslot 3 5\n");
+      ("missing day", "wave-manifest v1\nscheme DEL\ntechnique in-place\nw 5\nn 2\nslot 1 1,2\nslot 2 3,4,5\n");
+      ("float geometry", "wave-manifest v1\nscheme DEL\ntechnique in-place\nw 5.5\nn 2\nday 5\nslot 1 1,2\nslot 2 3,4,5\n");
+    ]
+  in
+  List.iter
+    (fun (name, text) ->
+      match Manifest.of_string text with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "%s: accepted" name)
+    corpus;
+  (* and the happy path still parses, so the corpus is near-miss *)
+  match Manifest.of_string (base "in-place") with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "baseline rejected: %s" e
+
+let prop_manifest_parser_total =
+  QCheck2.Test.make ~name:"manifest parser never raises on garbage" ~count:300
+    QCheck2.Gen.(string_size (int_range 0 200))
+    (fun s ->
+      match Manifest.of_string s with Ok _ | Error _ -> true)
+
 (* --- File store ------------------------------------------------------ *)
 
 let test_file_store_roundtrip () =
@@ -238,6 +355,9 @@ let suites =
         Alcotest.test_case "empty" `Quick test_codec_empty;
         Alcotest.test_case "negative day" `Quick test_codec_negative_day;
         Alcotest.test_case "rejects garbage" `Quick test_codec_rejects_garbage;
+        Alcotest.test_case "corruption diagnostics" `Quick test_codec_diagnostics;
+        Alcotest.test_case "crc catches transposition" `Quick
+          test_codec_crc_catches_transposition;
         Alcotest.test_case "batch list" `Quick test_codec_batches;
       ]
       @ qcheck [ prop_codec_roundtrip; prop_codec_never_crashes_on_garbage ] );
@@ -248,8 +368,14 @@ let suites =
         Alcotest.test_case "restore frame" `Quick test_manifest_restore_frame;
         Alcotest.test_case "restart" `Quick test_manifest_restart;
         Alcotest.test_case "geometry mismatch" `Quick test_manifest_geometry_mismatch;
+        Alcotest.test_case "bad corpus" `Quick test_manifest_bad_corpus;
       ]
-      @ qcheck [ prop_manifest_restart_equivalence ] );
+      @ qcheck
+          [
+            prop_manifest_restart_equivalence;
+            prop_manifest_roundtrip_random;
+            prop_manifest_parser_total;
+          ] );
     ( "workload.file_store",
       [
         Alcotest.test_case "roundtrip" `Quick test_file_store_roundtrip;
