@@ -161,7 +161,13 @@ let sim_cmd =
     Printf.printf "avg pre-compute    %10.4f model-seconds/day\n"
       (avg (fun d -> d.Wave_sim.Runner.precompute_seconds));
     Printf.printf "avg wave length    %10.1f days\n"
-      (avg (fun d -> float_of_int d.Wave_sim.Runner.wave_length))
+      (avg (fun d -> float_of_int d.Wave_sim.Runner.wave_length));
+    let pp_pct label (p : Wave_sim.Runner.percentiles) =
+      Printf.printf "%s  p50 %.4f  p95 %.4f  p99 %.4f model-seconds/day\n" label
+        p.Wave_sim.Runner.p50 p.Wave_sim.Runner.p95 p.Wave_sim.Runner.p99
+    in
+    pp_pct "transition latency" r.Wave_sim.Runner.transition_percentiles;
+    pp_pct "query latency     " r.Wave_sim.Runner.query_percentiles
   in
   Cmd.v (Cmd.info "sim" ~doc)
     Term.(
@@ -216,18 +222,67 @@ let model_cmd =
   Cmd.v (Cmd.info "model" ~doc)
     Term.(const run $ scenario $ technique $ w $ n $ sf)
 
+(* Deterministic Netnews store shared by the trace/checkpoint/recover/
+   bench demos: the day store is the system of record, so a wave can be
+   rebuilt anywhere the store is reachable. *)
+let demo_store postings =
+  Wave_workload.Netnews.store
+    {
+      Wave_workload.Netnews.default_config with
+      Wave_workload.Netnews.mean_postings = postings;
+    }
+
+let demo_queries =
+  {
+    Wave_workload.Query_gen.seed = 99;
+    probes_per_day = 20;
+    probe_range = Wave_workload.Query_gen.Whole_window;
+    scans_per_day = 1;
+    scan_range = Wave_workload.Query_gen.Whole_window;
+    value_dist = Wave_workload.Query_gen.Zipfian { vocab = 5_000; s = 1.0 };
+  }
+
 let trace_cmd =
-  let doc = "Print a scheme's transition trace (like the paper's Tables 1-7)." in
-  let scheme =
+  let doc =
+    "Print a scheme's transition trace (like the paper's Tables 1-7), or, \
+     with --out, run a traced simulation and write its spans as a Chrome \
+     trace_event file (chrome://tracing, Perfetto) or a JSONL event log."
+  in
+  let scheme_pos =
+    Arg.(
+      value
+      & pos 0 (some scheme_conv) None
+      & info [] ~docv:"SCHEME" ~doc:"scheme (DEL | REINDEX | ... | RATA)")
+  in
+  let tech_pos =
+    Arg.(
+      value
+      & pos 1 (some technique_conv) None
+      & info [] ~docv:"TECH" ~doc:"technique (in-place | simple-shadow | packed-shadow)")
+  in
+  let scheme_opt =
     Arg.(
       value
       & opt scheme_conv Scheme.Del
-      & info [ "scheme" ] ~docv:"SCHEME" ~doc:"scheme to trace")
+      & info [ "scheme" ] ~docv:"SCHEME" ~doc:"scheme to trace (alias of the positional)")
   in
-  let w = Arg.(value & opt int 10 & info [ "window" ] ~doc:"window length") in
+  let w = Arg.(value & opt int 10 & info [ "window"; "w" ] ~doc:"window length") in
   let n = Arg.(value & opt int 2 & info [ "indexes"; "n" ] ~doc:"constituent indexes") in
   let days = Arg.(value & opt int 8 & info [ "days" ] ~doc:"transitions to trace") in
-  let run scheme w n days =
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out" ] ~docv:"FILE"
+          ~doc:"run a traced simulation (with queries) and write span events here")
+  in
+  let format =
+    Arg.(
+      value
+      & opt (enum [ ("chrome", `Chrome); ("jsonl", `Jsonl) ]) `Chrome
+      & info [ "format" ] ~doc:"output format for --out: chrome | jsonl")
+  in
+  let textual_trace scheme w n days =
     let store day =
       Wave_storage.Entry.batch_create ~day
         [|
@@ -258,18 +313,198 @@ let trace_cmd =
       show ()
     done
   in
-  Cmd.v (Cmd.info "trace" ~doc) Term.(const run $ scheme $ w $ n $ days)
+  let traced_run scheme technique w n days path format =
+    if n < 1 || n > w then begin
+      Printf.eprintf "trace: need 1 <= n <= w (got W=%d n=%d)\n" w n;
+      exit 2
+    end;
+    if n < Scheme.min_indexes scheme then begin
+      Printf.eprintf "trace: %s needs at least %d constituents (got n=%d)\n"
+        (Scheme.name scheme)
+        (Scheme.min_indexes scheme)
+        n;
+      exit 2
+    end;
+    Wave_obs.Trace.enable ();
+    Wave_obs.Trace.reset ();
+    let r =
+      Wave_sim.Runner.run
+        {
+          (Wave_sim.Runner.default_config ~scheme ~store:(demo_store 200) ~w ~n) with
+          Wave_sim.Runner.technique;
+          run_days = days;
+          queries = Some demo_queries;
+        }
+    in
+    let spans = Wave_obs.Trace.spans () in
+    let instants = Wave_obs.Trace.instants () in
+    Wave_obs.Trace.disable ();
+    Wave_obs.Trace.reset ();
+    (match format with
+    | `Chrome -> (
+      Wave_obs.Sink.write_chrome ~path ~spans ~instants ();
+      match Wave_obs.Sink.validate_chrome_file path with
+      | Ok events ->
+        Printf.printf
+          "wrote %s: %d trace_event records (%d spans, %d instants) over %d days\n"
+          path events (List.length spans) (List.length instants)
+          (List.length r.Wave_sim.Runner.days)
+      | Error e ->
+        Printf.eprintf "trace: emitted file failed validation: %s\n" e;
+        exit 1)
+    | `Jsonl ->
+      Wave_obs.Sink.write_jsonl ~path ~spans ~instants;
+      Printf.printf "wrote %s: %d JSONL events over %d days\n" path
+        (List.length spans + List.length instants)
+        (List.length r.Wave_sim.Runner.days));
+    Printf.printf "maintenance %.4f model-s, queries %.4f model-s\n"
+      r.Wave_sim.Runner.total_maintenance_seconds
+      r.Wave_sim.Runner.total_query_seconds
+  in
+  let run scheme_pos tech_pos scheme_opt w n days out format =
+    let scheme = Option.value ~default:scheme_opt scheme_pos in
+    let technique = Option.value ~default:Env.In_place tech_pos in
+    match out with
+    | None -> textual_trace scheme w n days
+    | Some path -> traced_run scheme technique w n days path format
+  in
+  Cmd.v (Cmd.info "trace" ~doc)
+    Term.(
+      const run $ scheme_pos $ tech_pos $ scheme_opt $ w $ n $ days $ out $ format)
 
-(* The checkpoint/recover pair demonstrates the manifest flow: the day
-   store is the system of record, so a wave can be rebuilt anywhere the
-   store is reachable.  Both commands use the deterministic Netnews
-   store with a fixed seed, standing in for a shared data feed. *)
-let demo_store postings =
-  Wave_workload.Netnews.store
-    {
-      Wave_workload.Netnews.default_config with
-      Wave_workload.Netnews.mean_postings = postings;
-    }
+let bench_cmd =
+  let doc =
+    "Deterministic micro-benchmarks on the simulated disk: per-scheme \
+     probe, scan and transition latencies (model seconds), with p50/p95 \
+     over many runs.  --json writes a machine-readable snapshot \
+     (BENCH_wave.json) that is stable across machines because it measures \
+     the disk model, not wall clock."
+  in
+  let json =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"PATH" ~doc:"write results as JSON to $(docv)")
+  in
+  let runs =
+    Arg.(value & opt int 40 & info [ "runs" ] ~doc:"measurement runs per benchmark")
+  in
+  let w = Arg.(value & opt int 7 & info [ "window"; "w" ] ~doc:"window length") in
+  let n = Arg.(value & opt int 3 & info [ "indexes"; "n" ] ~doc:"constituents") in
+  let postings =
+    Arg.(value & opt int 200 & info [ "postings" ] ~doc:"mean postings per day")
+  in
+  let run json runs w n postings =
+    if runs < 1 then begin
+      Printf.eprintf "bench: need at least one run\n";
+      exit 2
+    end;
+    if n < 1 || n > w then begin
+      Printf.eprintf "bench: need 1 <= n <= w (got W=%d n=%d)\n" w n;
+      exit 2
+    end;
+    let store = demo_store postings in
+    let results = ref [] in
+    let record name samples =
+      let xs = Array.of_list samples in
+      results :=
+        ( name,
+          Wave_util.Stats.percentile xs 50.0,
+          Wave_util.Stats.percentile xs 95.0,
+          Array.length xs )
+        :: !results
+    in
+    let time_on disk f =
+      let before = Wave_disk.Disk.elapsed disk in
+      ignore (f ());
+      Wave_disk.Disk.elapsed disk -. before
+    in
+    List.iter
+      (fun scheme ->
+        if Scheme.min_indexes scheme <= n then begin
+          let sname = Scheme.name scheme in
+          (* Query-side benchmarks against a steady-state wave. *)
+          let env = Env.create ~store ~w ~n () in
+          let s = Scheme.start scheme env in
+          Scheme.advance_to s (2 * w);
+          let disk = env.Env.disk in
+          let frame = Scheme.frame s in
+          let d = Scheme.current_day s in
+          let prng = Wave_util.Prng.create 17 in
+          let zipf = Wave_util.Zipf.create ~n:5_000 ~s:1.0 in
+          record
+            (Printf.sprintf "probe/%s" sname)
+            (List.init runs (fun _ ->
+                 let value = Wave_util.Zipf.sample zipf prng in
+                 time_on disk (fun () ->
+                     Frame.timed_index_probe frame ~t1:(d - w + 1) ~t2:d ~value)));
+          record
+            (Printf.sprintf "scan/%s" sname)
+            (List.init
+               (max 5 (runs / 4))
+               (fun i ->
+                 let t1 = d - w + 1 + (i mod w) in
+                 time_on disk (fun () ->
+                     Frame.timed_segment_scan frame ~t1 ~t2:d)));
+          (* Maintenance-side benchmarks: one sample per simulated day. *)
+          List.iter
+            (fun technique ->
+              let env = Env.create ~store ~technique ~w ~n () in
+              let s = Scheme.start scheme env in
+              Scheme.advance_to s (2 * w);
+              let disk = env.Env.disk in
+              record
+                (Printf.sprintf "transition/%s/%s" sname
+                   (Env.technique_name technique))
+                (List.init runs (fun _ ->
+                     time_on disk (fun () -> Scheme.transition s))))
+            [ Env.In_place; Env.Packed_shadow ]
+        end)
+      Scheme.all;
+    let results = List.rev !results in
+    Printf.printf "%-34s %12s %12s %6s\n" "benchmark" "p50(ms)" "p95(ms)" "runs";
+    List.iter
+      (fun (name, p50, p95, r) ->
+        Printf.printf "%-34s %12.4f %12.4f %6d\n" name (p50 *. 1e3) (p95 *. 1e3) r)
+      results;
+    match json with
+    | None -> ()
+    | Some path ->
+      let open Wave_obs.Json in
+      let j =
+        Obj
+          [
+            ("schema", Str "waveidx-bench/1");
+            ("unit", Str "model-seconds");
+            ( "config",
+              Obj
+                [
+                  ("w", int w);
+                  ("n", int n);
+                  ("postings", int postings);
+                  ("runs", int runs);
+                ] );
+            ( "benchmarks",
+              Arr
+                (List.map
+                   (fun (name, p50, p95, r) ->
+                     Obj
+                       [
+                         ("name", Str name);
+                         ("p50", Num p50);
+                         ("p95", Num p95);
+                         ("runs", int r);
+                       ])
+                   results) );
+          ]
+      in
+      let oc = open_out path in
+      output_string oc (to_string ~pretty:true j);
+      output_char oc '\n';
+      close_out oc;
+      Printf.printf "\nwrote %s (%d benchmarks)\n" path (List.length results)
+  in
+  Cmd.v (Cmd.info "bench" ~doc) Term.(const run $ json $ runs $ w $ n $ postings)
 
 let checkpoint_cmd =
   let doc = "Run a scheme for some days, then write its manifest to a file." in
@@ -404,5 +639,5 @@ let () =
        (Cmd.group info
           [
             list_cmd; run_cmd; all_cmd; sim_cmd; model_cmd; trace_cmd;
-            checkpoint_cmd; recover_cmd; crashtest_cmd;
+            bench_cmd; checkpoint_cmd; recover_cmd; crashtest_cmd;
           ]))

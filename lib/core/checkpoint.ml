@@ -178,6 +178,14 @@ let change_intact t (c : Journal.change) =
 
 let recover t =
   if t.scheme <> None then invalid_arg "Checkpoint.recover: not crashed";
+  let recover_span f =
+    if Wave_obs.Trace.is_enabled () then
+      Wave_obs.Trace.with_span "recovery"
+        ~tags:[ ("scheme", Scheme.name t.kind) ]
+        f
+    else f ()
+  in
+  recover_span @@ fun () ->
   let disk = t.env.Env.disk in
   let t0 = Disk.elapsed disk in
   let fr = Frame.create t.env in

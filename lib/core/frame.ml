@@ -26,7 +26,12 @@ let slot t j =
 let set_slot t j idx days =
   let s = slot t j in
   s.index <- idx;
-  s.days <- days
+  s.days <- days;
+  (* Slot attribution for traces: every constituent installation leaves
+     an instant event naming the slot and its new time-set. *)
+  if Wave_obs.Trace.is_enabled () then
+    Wave_obs.Trace.instant "install"
+      ~tags:[ ("slot", string_of_int j); ("days", Dayset.to_string days) ]
 
 let slot_index t j = (slot t j).index
 let slot_days t j = (slot t j).days

@@ -32,7 +32,7 @@ type t =
   | S_wata of Wata.t
   | S_rata of Rata.t
 
-let start k env =
+let start_raw k env =
   match k with
   | Del -> S_del (Del.start env)
   | Reindex -> S_reindex (Reindex.start env)
@@ -41,7 +41,14 @@ let start k env =
   | Wata_star -> S_wata (Wata.start env)
   | Rata_star -> S_rata (Rata.start env)
 
-let transition = function
+let start k env =
+  if Wave_obs.Trace.is_enabled () then
+    Wave_obs.Trace.with_span "scheme.start"
+      ~tags:[ ("scheme", name k) ]
+      (fun () -> start_raw k env)
+  else start_raw k env
+
+let transition_raw = function
   | S_del s -> Del.transition s
   | S_reindex s -> Reindex.transition s
   | S_rplus s -> Reindex_plus.transition s
@@ -72,6 +79,20 @@ let current_day = function
   | S_rpp s -> Reindex_pp.current_day s
   | S_wata s -> Wata.current_day s
   | S_rata s -> Rata.current_day s
+
+(* One span per daily transition, tagged with the scheme and the day
+   being installed.  The tag strings are only built when tracing is on,
+   so the disabled path costs a flag test. *)
+let transition t =
+  if Wave_obs.Trace.is_enabled () then
+    Wave_obs.Trace.with_span "transition"
+      ~tags:
+        [
+          ("scheme", name (kind t));
+          ("day", string_of_int (current_day t + 1));
+        ]
+      (fun () -> transition_raw t)
+  else transition_raw t
 
 let last_mark = function
   | S_del s -> Del.last_mark s

@@ -12,13 +12,30 @@ let require_deletes env op =
 
 let fetch env days = List.map env.Env.store days
 
-let build_days env days = Index.build env.Env.disk env.Env.icfg (fetch env days)
+(* One span per paper-level wave operation (BuildIndex / AddToIndex /
+   DeleteFromIndex), tagged with the technique and the day count.  The
+   tag list is only built when tracing is on. *)
+let op_span env name days f =
+  if Wave_obs.Trace.is_enabled () then
+    Wave_obs.Trace.with_span name
+      ~tags:
+        [
+          ("technique", Env.technique_name env.Env.technique);
+          ("days", string_of_int (List.length days));
+        ]
+      f
+  else f ()
+
+let build_days env days =
+  op_span env "BuildIndex" days (fun () ->
+      Index.build env.Env.disk env.Env.icfg (fetch env days))
 
 let add_in_place env idx days =
   List.iter (fun b -> Index.add_batch idx b) (fetch env days);
   idx
 
 let add_days env idx days =
+  op_span env "AddToIndex" days @@ fun () ->
   match env.Env.technique with
   | Env.In_place -> add_in_place env idx days
   | Env.Simple_shadow ->
@@ -33,6 +50,7 @@ let add_days env idx days =
 
 let delete_days env idx expire =
   require_deletes env "DeleteFromIndex";
+  op_span env "DeleteFromIndex" [] @@ fun () ->
   match env.Env.technique with
   | Env.In_place ->
     ignore (Index.delete_days idx expire);
@@ -49,6 +67,7 @@ let delete_days env idx expire =
 
 let replace_days env idx ~expire ~add =
   require_deletes env "DeleteFromIndex";
+  op_span env "ReplaceInIndex" add @@ fun () ->
   match env.Env.technique with
   | Env.In_place ->
     ignore (Index.delete_days idx expire);
@@ -67,6 +86,7 @@ let replace_days env idx ~expire ~add =
 let copy _env idx = Index.copy idx
 
 let add_days_fresh env idx days =
+  op_span env "AddToIndex" days @@ fun () ->
   match env.Env.technique with
   | Env.In_place | Env.Simple_shadow -> add_in_place env idx days
   | Env.Packed_shadow ->
@@ -82,6 +102,7 @@ type pending = {
 
 let prepare_replace env idx ~expire =
   require_deletes env "DeleteFromIndex";
+  op_span env "DeleteFromIndex" [] @@ fun () ->
   match env.Env.technique with
   | Env.In_place ->
     ignore (Index.delete_days idx expire);
@@ -101,6 +122,7 @@ let prepare_add env idx =
   | Env.Packed_shadow -> { old_idx = idx; staged = None; expire = (fun _ -> false) }
 
 let complete_replace env p ~add =
+  op_span env "AddToIndex" add @@ fun () ->
   match p.staged with
   | Some staged ->
     let staged = add_in_place env staged add in

@@ -88,13 +88,20 @@ let params t = t.params
 let block_seconds t blocks =
   float_of_int (blocks * t.params.block_size) /. t.params.transfer_rate
 
+(* Every counter/elapsed mutation below is mirrored into the ambient
+   trace context (Wave_obs.Trace hooks), so open spans attribute the
+   exact same increments the disk's own counters see.  The hooks are
+   single-flag no-ops when tracing is disabled. *)
+
 let charge_seek t =
   if t.fault_in > 0 && t.fault_target = On_seek then begin
     t.fault_in <- t.fault_in - 1;
     if t.fault_in = 0 then raise (Disk_error "injected fault")
   end;
   t.seeks <- t.seeks + 1;
-  t.elapsed <- t.elapsed +. t.params.seek_time
+  t.elapsed <- t.elapsed +. t.params.seek_time;
+  Wave_obs.Trace.on_seek ();
+  Wave_obs.Trace.on_model_seconds t.params.seek_time
 
 (* Countdown for write-targeted faults; called with the destination
    extent before any cost is charged.  In [Torn] mode the extent's
@@ -114,11 +121,16 @@ let write_fault_check t ext =
 
 let charge_delay t seconds =
   if seconds < 0.0 then raise (Disk_error "negative delay");
-  t.elapsed <- t.elapsed +. seconds
+  t.elapsed <- t.elapsed +. seconds;
+  Wave_obs.Trace.on_model_seconds seconds
 
+(* Raw streamed transfers (shadow-copy flushes) move bytes without a
+   block-granular write, so the trace sees bytes but zero blocks. *)
 let charge_transfer_bytes t bytes =
   if bytes < 0 then raise (Disk_error "negative transfer");
-  t.elapsed <- t.elapsed +. (float_of_int bytes /. t.params.transfer_rate)
+  t.elapsed <- t.elapsed +. (float_of_int bytes /. t.params.transfer_rate);
+  Wave_obs.Trace.on_write ~blocks:0 ~bytes;
+  Wave_obs.Trace.on_model_seconds (float_of_int bytes /. t.params.transfer_rate)
 
 let note_alloc t blocks =
   t.live_blocks <- t.live_blocks + blocks;
@@ -209,7 +221,9 @@ let read_blocks t ext ~blocks =
     raise (Disk_error "read_blocks: out of extent bounds");
   charge_seek t;
   t.blocks_read <- t.blocks_read + blocks;
-  t.elapsed <- t.elapsed +. block_seconds t blocks
+  t.elapsed <- t.elapsed +. block_seconds t blocks;
+  Wave_obs.Trace.on_read ~blocks ~bytes:(blocks * t.params.block_size);
+  Wave_obs.Trace.on_model_seconds (block_seconds t blocks)
 
 let read t ext = read_blocks t ext ~blocks:ext.length
 
@@ -222,6 +236,8 @@ let write_blocks t ext ~blocks =
   t.write_ops <- t.write_ops + 1;
   t.blocks_written <- t.blocks_written + blocks;
   t.elapsed <- t.elapsed +. block_seconds t blocks;
+  Wave_obs.Trace.on_write ~blocks ~bytes:(blocks * t.params.block_size);
+  Wave_obs.Trace.on_model_seconds (block_seconds t blocks);
   (* A complete rewrite of the extent replaces any torn contents. *)
   if blocks = ext.length then Hashtbl.remove t.torn ext.start
 
@@ -237,7 +253,10 @@ let sequential_read t exts =
   List.iter
     (fun ext ->
       t.blocks_read <- t.blocks_read + ext.length;
-      t.elapsed <- t.elapsed +. block_seconds t ext.length)
+      t.elapsed <- t.elapsed +. block_seconds t ext.length;
+      Wave_obs.Trace.on_read ~blocks:ext.length
+        ~bytes:(ext.length * t.params.block_size);
+      Wave_obs.Trace.on_model_seconds (block_seconds t ext.length))
     exts
 
 let counters t =

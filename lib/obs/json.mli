@@ -1,0 +1,47 @@
+(** Minimal JSON tree, printer and parser.
+
+    The observability sinks need to both emit machine-readable
+    artifacts (JSONL event logs, Chrome [trace_event] files,
+    [BENCH_wave.json]) and re-parse them for validation, without
+    pulling a JSON dependency into the build.  This module is that
+    self-contained substrate: a plain constructor tree, a printer that
+    always emits valid JSON (non-finite floats become [null], control
+    characters are escaped), and a strict recursive-descent parser.
+
+    Not a streaming parser; inputs are whole strings.  [\uXXXX] escapes
+    decode to UTF-8 (surrogate pairs are combined). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+val int : int -> t
+(** [int n] is [Num (float_of_int n)]. *)
+
+val to_string : ?pretty:bool -> t -> string
+(** Render as JSON text.  [pretty] (default false) adds newlines and
+    two-space indentation. *)
+
+val parse : string -> (t, string) result
+(** Parse a complete JSON document; trailing non-whitespace is an
+    error.  Error strings carry a character offset. *)
+
+val member : string -> t -> t option
+(** [member k (Obj kvs)] is the first binding of [k], if any; [None]
+    on non-objects. *)
+
+val to_float : t -> float option
+(** [Num] payload, if the value is a number. *)
+
+val to_str : t -> string option
+(** [Str] payload, if the value is a string. *)
+
+val to_list : t -> t list option
+(** [Arr] payload, if the value is an array. *)
+
+val equal : t -> t -> bool
+(** Structural equality; object key order is significant. *)

@@ -1,0 +1,162 @@
+type counter = { mutable count : float }
+type gauge = { mutable value : float }
+
+type histogram = {
+  mutable xs : float array; (* capacity *)
+  mutable len : int; (* observations recorded *)
+}
+
+type item = C of counter | G of gauge | H of histogram
+
+type registry = (string, item) Hashtbl.t
+
+let create () : registry = Hashtbl.create 32
+let default : registry = create ()
+
+let kind_name = function C _ -> "counter" | G _ -> "gauge" | H _ -> "histogram"
+
+let intern registry name make match_item =
+  match Hashtbl.find_opt registry name with
+  | Some item -> (
+    match match_item item with
+    | Some x -> x
+    | None ->
+      invalid_arg
+        (Printf.sprintf "Metrics: %S is already a %s" name (kind_name item)))
+  | None ->
+    let item, x = make () in
+    Hashtbl.add registry name item;
+    x
+
+let counter ?(registry = default) name =
+  intern registry name
+    (fun () ->
+      let c = { count = 0.0 } in
+      (C c, c))
+    (function C c -> Some c | _ -> None)
+
+let gauge ?(registry = default) name =
+  intern registry name
+    (fun () ->
+      let g = { value = 0.0 } in
+      (G g, g))
+    (function G g -> Some g | _ -> None)
+
+let histogram ?(registry = default) name =
+  intern registry name
+    (fun () ->
+      let h = { xs = Array.make 16 0.0; len = 0 } in
+      (H h, h))
+    (function H h -> Some h | _ -> None)
+
+let inc ?(by = 1.0) c =
+  if by < 0.0 then invalid_arg "Metrics.inc: negative increment";
+  c.count <- c.count +. by
+
+let counter_value c = c.count
+
+let set g v = g.value <- v
+let gauge_value g = g.value
+
+let observe h x =
+  if h.len = Array.length h.xs then begin
+    let bigger = Array.make (2 * Array.length h.xs) 0.0 in
+    Array.blit h.xs 0 bigger 0 h.len;
+    h.xs <- bigger
+  end;
+  h.xs.(h.len) <- x;
+  h.len <- h.len + 1
+
+let hist_count h = h.len
+let hist_values h = Array.sub h.xs 0 h.len
+
+type hist_summary = {
+  count : int;
+  mean : float;
+  min : float;
+  max : float;
+  p50 : float;
+  p95 : float;
+  p99 : float;
+}
+
+let hist_summary h =
+  if h.len = 0 then None
+  else begin
+    let xs = hist_values h in
+    let s = Wave_util.Stats.summarize xs in
+    Some
+      {
+        count = s.Wave_util.Stats.count;
+        mean = s.Wave_util.Stats.mean;
+        min = s.Wave_util.Stats.min;
+        max = s.Wave_util.Stats.max;
+        p50 = Wave_util.Stats.percentile xs 50.0;
+        p95 = Wave_util.Stats.percentile xs 95.0;
+        p99 = Wave_util.Stats.percentile xs 99.0;
+      }
+  end
+
+let reset registry =
+  Hashtbl.iter
+    (fun _ item ->
+      match item with
+      | C c -> c.count <- 0.0
+      | G g -> g.value <- 0.0
+      | H h -> h.len <- 0)
+    registry
+
+let sorted_items registry =
+  Hashtbl.fold (fun name item acc -> (name, item) :: acc) registry []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let to_json registry =
+  let items = sorted_items registry in
+  let pick f = List.filter_map f items in
+  Json.Obj
+    [
+      ( "counters",
+        Json.Obj
+          (pick (function n, C c -> Some (n, Json.Num c.count) | _ -> None)) );
+      ( "gauges",
+        Json.Obj
+          (pick (function n, G g -> Some (n, Json.Num g.value) | _ -> None)) );
+      ( "histograms",
+        Json.Obj
+          (pick (function
+            | n, H h -> (
+              match hist_summary h with
+              | None -> Some (n, Json.Obj [ ("count", Json.int 0) ])
+              | Some s ->
+                Some
+                  ( n,
+                    Json.Obj
+                      [
+                        ("count", Json.int s.count);
+                        ("mean", Json.Num s.mean);
+                        ("min", Json.Num s.min);
+                        ("max", Json.Num s.max);
+                        ("p50", Json.Num s.p50);
+                        ("p95", Json.Num s.p95);
+                        ("p99", Json.Num s.p99);
+                      ] ))
+            | _ -> None)) );
+    ]
+
+let dump registry =
+  let buf = Buffer.create 256 in
+  List.iter
+    (fun (name, item) ->
+      match item with
+      | C c -> Buffer.add_string buf (Printf.sprintf "counter   %-32s %g\n" name c.count)
+      | G g -> Buffer.add_string buf (Printf.sprintf "gauge     %-32s %g\n" name g.value)
+      | H h -> (
+        match hist_summary h with
+        | None -> Buffer.add_string buf (Printf.sprintf "histogram %-32s (empty)\n" name)
+        | Some s ->
+          Buffer.add_string buf
+            (Printf.sprintf
+               "histogram %-32s n=%d mean=%g p50=%g p95=%g p99=%g max=%g\n" name
+               s.count s.mean s.p50 s.p95 s.p99 s.max)))
+    (sorted_items registry);
+  Buffer.contents buf

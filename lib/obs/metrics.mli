@@ -1,0 +1,65 @@
+(** Always-on metrics registry: named counters, gauges, and latency
+    histograms.
+
+    Handles are interned by name: [counter "x"] returns the same
+    counter every time, creating it on first use.  Recording into a
+    handle is a single mutable-field update, cheap enough to leave in
+    hot paths unconditionally (unlike spans, metrics are not gated on
+    {!Trace.is_enabled}).
+
+    Histograms keep every observation; {!hist_summary} reduces them
+    with {!Wave_util.Stats} (mean, min/max, p50/p95/p99).  A name maps
+    to exactly one kind — re-registering ["x"] as a different kind
+    raises [Invalid_argument]. *)
+
+type registry
+type counter
+type gauge
+type histogram
+
+val create : unit -> registry
+
+val default : registry
+(** The process-wide registry used when [?registry] is omitted. *)
+
+val counter : ?registry:registry -> string -> counter
+val gauge : ?registry:registry -> string -> gauge
+val histogram : ?registry:registry -> string -> histogram
+
+val inc : ?by:float -> counter -> unit
+(** [by] defaults to [1.] and must be non-negative. *)
+
+val counter_value : counter -> float
+
+val set : gauge -> float -> unit
+val gauge_value : gauge -> float
+
+val observe : histogram -> float -> unit
+val hist_count : histogram -> int
+
+val hist_values : histogram -> float array
+(** A copy of the raw observations, in recording order. *)
+
+type hist_summary = {
+  count : int;
+  mean : float;
+  min : float;
+  max : float;
+  p50 : float;
+  p95 : float;
+  p99 : float;
+}
+
+val hist_summary : histogram -> hist_summary option
+(** [None] for an empty histogram. *)
+
+val reset : registry -> unit
+(** Zero every counter and gauge and clear every histogram; handles
+    stay valid. *)
+
+val to_json : registry -> Json.t
+(** [{"counters": {...}, "gauges": {...}, "histograms": {name:
+    {count, mean, min, max, p50, p95, p99}}}] with names sorted. *)
+
+val dump : registry -> string
+(** Human-readable one-line-per-metric rendering, names sorted. *)

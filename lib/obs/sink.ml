@@ -1,0 +1,186 @@
+type clock = [ `Model | `Wall ]
+
+let tags_json tags = Json.Obj (List.map (fun (k, v) -> (k, Json.Str v)) tags)
+
+let span_json (s : Trace.span) =
+  Json.Obj
+    [
+      ("type", Json.Str "span");
+      ("id", Json.int s.Trace.id);
+      ("parent", Json.int s.Trace.parent);
+      ("name", Json.Str s.Trace.name);
+      ("tags", tags_json s.Trace.tags);
+      ("start_model_s", Json.Num s.Trace.start_model);
+      ("end_model_s", Json.Num s.Trace.end_model);
+      ("model_s", Json.Num (Trace.model_seconds s));
+      ("start_wall_s", Json.Num s.Trace.start_wall);
+      ("end_wall_s", Json.Num s.Trace.end_wall);
+      ("wall_s", Json.Num (Trace.wall_seconds s));
+      ("seeks", Json.int s.Trace.seeks);
+      ("blocks_read", Json.int s.Trace.blocks_read);
+      ("blocks_written", Json.int s.Trace.blocks_written);
+      ("bytes_read", Json.int s.Trace.bytes_read);
+      ("bytes_written", Json.int s.Trace.bytes_written);
+    ]
+
+let instant_json (i : Trace.instant) =
+  Json.Obj
+    [
+      ("type", Json.Str "instant");
+      ("name", Json.Str i.Trace.i_name);
+      ("tags", tags_json i.Trace.i_tags);
+      ("model_s", Json.Num i.Trace.at_model);
+      ("wall_s", Json.Num i.Trace.at_wall);
+    ]
+
+(* Rows sorted by model start time so both sinks read chronologically. *)
+let rows ~spans ~instants =
+  let xs =
+    List.map (fun s -> (s.Trace.start_model, `S s)) spans
+    @ List.map (fun i -> (i.Trace.at_model, `I i)) instants
+  in
+  List.stable_sort (fun (a, _) (b, _) -> Float.compare a b) xs
+
+let jsonl ~spans ~instants =
+  let buf = Buffer.create 4096 in
+  List.iter
+    (fun (_, row) ->
+      let j = match row with `S s -> span_json s | `I i -> instant_json i in
+      Buffer.add_string buf (Json.to_string j);
+      Buffer.add_char buf '\n')
+    (rows ~spans ~instants);
+  Buffer.contents buf
+
+let micros seconds = seconds *. 1e6
+
+let chrome_span ~clock (s : Trace.span) =
+  let ts, dur =
+    match clock with
+    | `Model -> (micros s.Trace.start_model, micros (Trace.model_seconds s))
+    | `Wall -> (micros s.Trace.start_wall, micros (Trace.wall_seconds s))
+  in
+  Json.Obj
+    [
+      ("name", Json.Str s.Trace.name);
+      ("cat", Json.Str "wave");
+      ("ph", Json.Str "X");
+      ("ts", Json.Num ts);
+      ("dur", Json.Num (Float.max 0.0 dur));
+      ("pid", Json.int 1);
+      ("tid", Json.int 1);
+      ( "args",
+        Json.Obj
+          (List.map (fun (k, v) -> (k, Json.Str v)) s.Trace.tags
+          @ [
+              ("span_id", Json.int s.Trace.id);
+              ("parent", Json.int s.Trace.parent);
+              ("model_s", Json.Num (Trace.model_seconds s));
+              ("wall_s", Json.Num (Trace.wall_seconds s));
+              ("seeks", Json.int s.Trace.seeks);
+              ("blocks_read", Json.int s.Trace.blocks_read);
+              ("blocks_written", Json.int s.Trace.blocks_written);
+              ("bytes_read", Json.int s.Trace.bytes_read);
+              ("bytes_written", Json.int s.Trace.bytes_written);
+            ]) );
+    ]
+
+let chrome_instant ~clock (i : Trace.instant) =
+  let ts =
+    match clock with
+    | `Model -> micros i.Trace.at_model
+    | `Wall -> micros i.Trace.at_wall
+  in
+  Json.Obj
+    [
+      ("name", Json.Str i.Trace.i_name);
+      ("cat", Json.Str "wave");
+      ("ph", Json.Str "i");
+      ("s", Json.Str "t");
+      ("ts", Json.Num ts);
+      ("pid", Json.int 1);
+      ("tid", Json.int 1);
+      ("args", tags_json i.Trace.i_tags);
+    ]
+
+let chrome_json ?(clock = `Model) ~spans ~instants () =
+  let events =
+    List.map
+      (fun (_, row) ->
+        match row with
+        | `S s -> chrome_span ~clock s
+        | `I i -> chrome_instant ~clock i)
+      (rows ~spans ~instants)
+  in
+  Json.Obj
+    [
+      ("traceEvents", Json.Arr events);
+      ("displayTimeUnit", Json.Str "ms");
+      ( "otherData",
+        Json.Obj
+          [
+            ("producer", Json.Str "waveidx");
+            ( "clock",
+              Json.Str (match clock with `Model -> "model-disk" | `Wall -> "wall") );
+          ] );
+    ]
+
+let write_file path contents =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc contents)
+
+let write_jsonl ~path ~spans ~instants =
+  write_file path (jsonl ~spans ~instants)
+
+let write_chrome ?(clock = `Model) ~path ~spans ~instants () =
+  write_file path (Json.to_string ~pretty:true (chrome_json ~clock ~spans ~instants ()))
+
+(* --- validation ----------------------------------------------------- *)
+
+let validate_event i ev =
+  let fail fmt = Printf.ksprintf (fun m -> Error (Printf.sprintf "event %d: %s" i m)) fmt in
+  let num k = Option.bind (Json.member k ev) Json.to_float in
+  let str k = Option.bind (Json.member k ev) Json.to_str in
+  match str "name" with
+  | None -> fail "missing string \"name\""
+  | Some _ -> (
+    match str "ph" with
+    | None -> fail "missing string \"ph\""
+    | Some ph -> (
+      match num "ts" with
+      | None -> fail "missing numeric \"ts\""
+      | Some ts when Float.is_nan ts -> fail "non-finite \"ts\""
+      | Some _ -> (
+        match (num "pid", num "tid") with
+        | Some _, Some _ -> (
+          if ph <> "X" then Ok ()
+          else
+            match num "dur" with
+            | Some d when d >= 0.0 -> Ok ()
+            | Some _ -> fail "negative \"dur\""
+            | None -> fail "\"X\" event missing \"dur\"")
+        | _ -> fail "missing \"pid\"/\"tid\"")))
+
+let validate_chrome j =
+  match Json.member "traceEvents" j with
+  | None -> Error "missing \"traceEvents\""
+  | Some events -> (
+    match Json.to_list events with
+    | None -> Error "\"traceEvents\" is not an array"
+    | Some evs ->
+      let rec go i = function
+        | [] -> Ok (List.length evs)
+        | ev :: rest -> (
+          match validate_event i ev with Ok () -> go (i + 1) rest | Error e -> Error e)
+      in
+      go 0 evs)
+
+let validate_chrome_file path =
+  let ic = open_in_bin path in
+  let contents =
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  match Json.parse contents with
+  | Error e -> Error (Printf.sprintf "%s: bad JSON: %s" path e)
+  | Ok j -> validate_chrome j

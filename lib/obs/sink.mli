@@ -1,0 +1,45 @@
+(** Trace sinks: serialize collected spans/instants to files.
+
+    Two formats:
+
+    - {b JSONL}: one JSON object per line, one line per span or
+      instant, in model-time order.  Grep-friendly, schema-stable.
+    - {b Chrome [trace_event]}: a [{"traceEvents": [...]}] document of
+      complete ("X") and instant ("i") events, loadable in
+      [chrome://tracing] and Perfetto.  Timestamps are microseconds on
+      the chosen clock ([`Model] by default — the paper's model-disk
+      seconds — or [`Wall]); span disk attribution (seeks, blocks,
+      bytes) and the other clock's timings ride in each event's
+      ["args"]. *)
+
+type clock = [ `Model | `Wall ]
+
+val span_json : Trace.span -> Json.t
+val instant_json : Trace.instant -> Json.t
+
+val jsonl : spans:Trace.span list -> instants:Trace.instant list -> string
+(** One object per line, sorted by model start time. *)
+
+val chrome_json :
+  ?clock:clock -> spans:Trace.span list -> instants:Trace.instant list -> unit -> Json.t
+
+val write_jsonl :
+  path:string -> spans:Trace.span list -> instants:Trace.instant list -> unit
+
+val write_chrome :
+  ?clock:clock ->
+  path:string ->
+  spans:Trace.span list ->
+  instants:Trace.instant list ->
+  unit ->
+  unit
+
+val validate_chrome : Json.t -> (int, string) result
+(** Check the Chrome [trace_event] shape: a top-level object with a
+    ["traceEvents"] array whose elements all carry a string ["name"], a
+    string ["ph"], a finite numeric ["ts"], integer ["pid"]/["tid"],
+    and — for "X" events — a non-negative numeric ["dur"].  Returns the
+    event count. *)
+
+val validate_chrome_file : string -> (int, string) result
+(** Read and parse [path], then {!validate_chrome}. *)

@@ -1,0 +1,142 @@
+type tags = (string * string) list
+
+type span = {
+  id : int;
+  parent : int;
+  name : string;
+  tags : tags;
+  start_model : float;
+  start_wall : float;
+  mutable end_model : float;
+  mutable end_wall : float;
+  mutable seeks : int;
+  mutable blocks_read : int;
+  mutable blocks_written : int;
+  mutable bytes_read : int;
+  mutable bytes_written : int;
+}
+
+type instant = {
+  i_name : string;
+  i_tags : tags;
+  at_model : float;
+  at_wall : float;
+}
+
+let model_seconds s = s.end_model -. s.start_model
+let wall_seconds s = s.end_wall -. s.start_wall
+
+(* --- global tracer state -------------------------------------------- *)
+
+let enabled = ref false
+let model_now = ref 0.0
+let model_clock : (unit -> float) option ref = ref None
+let stack : span list ref = ref []
+let finished : span list ref = ref [] (* newest first *)
+let recorded_instants : instant list ref = ref [] (* newest first *)
+let next_id = ref 0
+
+let now_model () =
+  match !model_clock with Some f -> f () | None -> !model_now
+
+let now_wall () = Unix.gettimeofday ()
+
+let is_enabled () = !enabled
+let enable () = enabled := true
+
+let disable () =
+  enabled := false;
+  model_clock := None
+
+let reset () =
+  finished := [];
+  recorded_instants := [];
+  model_now := 0.0
+
+let set_model_clock f = model_clock := Some f
+
+(* --- recording ------------------------------------------------------ *)
+
+let begin_span tags name =
+  incr next_id;
+  let s =
+    {
+      id = !next_id;
+      parent = (match !stack with [] -> 0 | p :: _ -> p.id);
+      name;
+      tags;
+      start_model = now_model ();
+      start_wall = now_wall ();
+      end_model = 0.0;
+      end_wall = 0.0;
+      seeks = 0;
+      blocks_read = 0;
+      blocks_written = 0;
+      bytes_read = 0;
+      bytes_written = 0;
+    }
+  in
+  stack := s :: !stack;
+  s
+
+let end_span s =
+  s.end_model <- now_model ();
+  s.end_wall <- now_wall ();
+  (match !stack with
+  | top :: rest when top == s -> stack := rest
+  | _ ->
+    (* Out-of-order unwind (an exception skipped intermediate frames):
+       drop the span wherever it sits. *)
+    stack := List.filter (fun x -> x != s) !stack);
+  finished := s :: !finished
+
+let with_span ?(tags = []) name f =
+  if not !enabled then f ()
+  else begin
+    let s = begin_span tags name in
+    Fun.protect ~finally:(fun () -> end_span s) f
+  end
+
+let instant ?(tags = []) name =
+  if !enabled then
+    recorded_instants :=
+      { i_name = name; i_tags = tags; at_model = now_model (); at_wall = now_wall () }
+      :: !recorded_instants
+
+(* --- ambient disk hooks --------------------------------------------- *)
+
+let on_seek () =
+  if !enabled then List.iter (fun s -> s.seeks <- s.seeks + 1) !stack
+
+let on_read ~blocks ~bytes =
+  if !enabled then
+    List.iter
+      (fun s ->
+        s.blocks_read <- s.blocks_read + blocks;
+        s.bytes_read <- s.bytes_read + bytes)
+      !stack
+
+let on_write ~blocks ~bytes =
+  if !enabled then
+    List.iter
+      (fun s ->
+        s.blocks_written <- s.blocks_written + blocks;
+        s.bytes_written <- s.bytes_written + bytes)
+      !stack
+
+let on_model_seconds dt = if !enabled then model_now := !model_now +. dt
+
+(* --- inspection ----------------------------------------------------- *)
+
+let spans () = List.rev !finished
+let instants () = List.rev !recorded_instants
+let open_depth () = List.length !stack
+
+let has_tags s tags =
+  List.for_all
+    (fun (k, v) ->
+      match List.assoc_opt k s.tags with Some v' -> String.equal v v' | None -> false)
+    tags
+
+let find_spans ?(tags = []) name =
+  List.filter (fun s -> String.equal s.name name && has_tags s tags) (spans ())

@@ -1,0 +1,111 @@
+(** Zero-cost-when-disabled tracing: nestable spans with model-disk
+    and wall-clock timestamps, plus ambient disk-cost attribution.
+
+    The tracer is a process-global singleton, disabled by default.
+    While disabled, {!with_span} runs its body directly (one flag test,
+    no allocation) and the disk hooks ({!on_seek}, {!on_read},
+    {!on_write}, {!on_model_seconds}) are no-ops, so an uninstrumented
+    run pays essentially nothing.
+
+    While enabled, {!with_span} pushes a span on an ambient stack;
+    every disk hook fired before the span ends is attributed to {e all}
+    currently-open spans (so a parent span's totals are inclusive of
+    its children's).  This is the attribution invariant the runner
+    cross-check relies on: the seeks/blocks/bytes attributed to a span
+    equal the {!Wave_disk.Disk.counters} deltas over the span's extent,
+    exactly, because both are driven by the same increments.
+
+    Model time is read through a pluggable clock.  By default it is an
+    internal accumulator advanced by {!on_model_seconds}; callers that
+    own a disk (e.g. the simulation runner) should register
+    [fun () -> Disk.elapsed disk] via {!set_model_clock} so span
+    timestamps are bit-identical to the disk's own elapsed readings.
+    Wall-clock timestamps always come from [Unix.gettimeofday]. *)
+
+type tags = (string * string) list
+
+type span = {
+  id : int;  (** unique within the process, dense from 1 *)
+  parent : int;  (** enclosing span's id, or 0 at top level *)
+  name : string;
+  tags : tags;
+  start_model : float;  (** model clock at begin, seconds *)
+  start_wall : float;  (** wall clock at begin, epoch seconds *)
+  mutable end_model : float;
+  mutable end_wall : float;
+  mutable seeks : int;
+  mutable blocks_read : int;
+  mutable blocks_written : int;
+  mutable bytes_read : int;
+  mutable bytes_written : int;
+}
+
+type instant = {
+  i_name : string;
+  i_tags : tags;
+  at_model : float;
+  at_wall : float;
+}
+
+val model_seconds : span -> float
+(** [end_model -. start_model]: the model-disk time attributed to the
+    span (inclusive of nested spans). *)
+
+val wall_seconds : span -> float
+
+(* --- lifecycle ----------------------------------------------------- *)
+
+val is_enabled : unit -> bool
+
+val enable : unit -> unit
+(** Turn tracing on.  Does not clear previously collected events. *)
+
+val disable : unit -> unit
+(** Turn tracing off and unregister the model clock.  Spans still open
+    stay on the stack and finish normally if their [with_span] frames
+    unwind later (their disk totals stop accumulating). *)
+
+val reset : unit -> unit
+(** Drop all finished spans and instants and zero the internal model
+    accumulator.  Open spans are unaffected. *)
+
+val set_model_clock : (unit -> float) -> unit
+(** Route span model timestamps through [f] (typically
+    [fun () -> Disk.elapsed disk]).  Cleared by {!disable}. *)
+
+(* --- recording ------------------------------------------------------ *)
+
+val with_span : ?tags:tags -> string -> (unit -> 'a) -> 'a
+(** [with_span name f] runs [f] inside a span when tracing is enabled,
+    or calls [f] directly when disabled.  The span is finished (and
+    recorded) even if [f] raises. *)
+
+val instant : ?tags:tags -> string -> unit
+(** Record a point event at the current clocks.  No-op when disabled.
+    Callers building dynamic tags should guard on {!is_enabled} to keep
+    the disabled path allocation-free. *)
+
+(* --- ambient disk hooks (called by Wave_disk) ----------------------- *)
+
+val on_seek : unit -> unit
+val on_read : blocks:int -> bytes:int -> unit
+val on_write : blocks:int -> bytes:int -> unit
+
+val on_model_seconds : float -> unit
+(** Advance the default model clock.  Fired by the disk for every
+    elapsed-time charge so traces have a model timeline even when no
+    clock is registered. *)
+
+(* --- inspection ----------------------------------------------------- *)
+
+val spans : unit -> span list
+(** Finished spans, in order of completion start (oldest first). *)
+
+val instants : unit -> instant list
+(** Recorded instants, oldest first. *)
+
+val open_depth : unit -> int
+(** Number of spans currently open (0 when quiescent). *)
+
+val find_spans : ?tags:tags -> string -> span list
+(** Finished spans matching a name and carrying all the given tags. *)

@@ -11,7 +11,12 @@ type day_metrics = {
   scan_entries : int;
   space_bytes : int;
   wave_length : int;
+  seeks : int;
+  blocks_read : int;
+  blocks_written : int;
 }
+
+type percentiles = { p50 : float; p95 : float; p99 : float }
 
 type result = {
   scheme : Scheme.kind;
@@ -24,6 +29,8 @@ type result = {
   total_maintenance_seconds : float;
   total_query_seconds : float;
   total_work_seconds : float;
+  transition_percentiles : percentiles;
+  query_percentiles : percentiles;
 }
 
 type config = {
@@ -68,49 +75,91 @@ let run_queries env frame spec ~day =
     (day_queries spec ~day ~w:env.Env.w);
   (Disk.elapsed disk -. before, !probe_entries, !scan_entries)
 
+let percentiles_of xs =
+  if Array.length xs = 0 then { p50 = 0.0; p95 = 0.0; p99 = 0.0 }
+  else
+    {
+      p50 = Wave_util.Stats.percentile xs 50.0;
+      p95 = Wave_util.Stats.percentile xs 95.0;
+      p99 = Wave_util.Stats.percentile xs 99.0;
+    }
+
+(* Phase spans: [span name tags f] is [f ()] when tracing is off; when
+   on, span timestamps come from the simulation disk's own elapsed
+   clock (registered below), so a phase span's model duration is the
+   same float subtraction the day_metrics fields are computed from —
+   the attribution invariant tested by test_obs. *)
+let span name tags f =
+  if Wave_obs.Trace.is_enabled () then Wave_obs.Trace.with_span name ~tags:(tags ()) f
+  else f ()
+
 let run config =
   let disk = Wave_storage.Index.make_disk config.icfg in
+  if Wave_obs.Trace.is_enabled () then
+    Wave_obs.Trace.set_model_clock (fun () -> Disk.elapsed disk);
   let env =
     Env.create ~disk ~icfg:config.icfg ~technique:config.technique
       ~store:config.store ~w:config.w ~n:config.n ()
   in
-  let s = Scheme.start config.scheme env in
+  let run_tags day () =
+    [
+      ("scheme", Scheme.name config.scheme);
+      ("technique", Env.technique_name config.technique);
+      ("day", string_of_int day);
+    ]
+  in
+  let s =
+    span "phase.start" (run_tags config.w) (fun () -> Scheme.start config.scheme env)
+  in
   Disk.reset_peak disk;
+  let h_transition = Wave_obs.Metrics.histogram "runner.transition_seconds" in
+  let h_query = Wave_obs.Metrics.histogram "runner.query_seconds" in
   let days = ref [] in
   for _ = 1 to config.run_days do
-    let before = Disk.elapsed disk in
-    Scheme.transition s;
-    let maintenance = Disk.elapsed disk -. before in
-    let transition = Scheme.last_transition_seconds s in
-    if config.validate then begin
-      Scheme.check_window_invariant s;
-      Frame.validate (Scheme.frame s)
-    end;
-    let day = Scheme.current_day s in
-    let query_seconds, probe_entries, scan_entries =
-      match config.queries with
-      | None -> (0.0, 0, 0)
-      | Some spec -> run_queries env (Scheme.frame s) spec ~day
-    in
-    days :=
-      {
-        day;
-        precompute_seconds = Float.max 0.0 (maintenance -. transition);
-        transition_seconds = transition;
-        maintenance_seconds = maintenance;
-        query_seconds;
-        probe_entries;
-        scan_entries;
-        space_bytes = Scheme.allocated_bytes s;
-        wave_length = Frame.length (Scheme.frame s);
-      }
-      :: !days
+    let this_day = Scheme.current_day s + 1 in
+    let c0 = Disk.counters disk in
+    span "day" (run_tags this_day) (fun () ->
+        let before = Disk.elapsed disk in
+        span "phase.maintenance" (run_tags this_day) (fun () -> Scheme.transition s);
+        let maintenance = Disk.elapsed disk -. before in
+        let transition = Scheme.last_transition_seconds s in
+        if config.validate then begin
+          Scheme.check_window_invariant s;
+          Frame.validate (Scheme.frame s)
+        end;
+        let day = Scheme.current_day s in
+        let query_seconds, probe_entries, scan_entries =
+          span "phase.query" (run_tags this_day) (fun () ->
+              match config.queries with
+              | None -> (0.0, 0, 0)
+              | Some spec -> run_queries env (Scheme.frame s) spec ~day)
+        in
+        let c1 = Disk.counters disk in
+        Wave_obs.Metrics.observe h_transition transition;
+        Wave_obs.Metrics.observe h_query query_seconds;
+        days :=
+          {
+            day;
+            precompute_seconds = Float.max 0.0 (maintenance -. transition);
+            transition_seconds = transition;
+            maintenance_seconds = maintenance;
+            query_seconds;
+            probe_entries;
+            scan_entries;
+            space_bytes = Scheme.allocated_bytes s;
+            wave_length = Frame.length (Scheme.frame s);
+            seeks = c1.Disk.seeks - c0.Disk.seeks;
+            blocks_read = c1.Disk.blocks_read - c0.Disk.blocks_read;
+            blocks_written = c1.Disk.blocks_written - c0.Disk.blocks_written;
+          }
+          :: !days)
   done;
   let days = List.rev !days in
   let nd = float_of_int (max 1 (List.length days)) in
   let sum f = List.fold_left (fun acc d -> acc +. f d) 0.0 days in
   let maintenance = sum (fun d -> d.maintenance_seconds) in
   let queries = sum (fun d -> d.query_seconds) in
+  let series f = Array.of_list (List.map f days) in
   {
     scheme = config.scheme;
     technique = config.technique;
@@ -123,4 +172,6 @@ let run config =
     total_maintenance_seconds = maintenance;
     total_query_seconds = queries;
     total_work_seconds = maintenance +. queries;
+    transition_percentiles = percentiles_of (series (fun d -> d.transition_seconds));
+    query_percentiles = percentiles_of (series (fun d -> d.query_seconds));
   }

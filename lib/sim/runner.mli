@@ -6,7 +6,17 @@
     the model evaluates the paper's parameter formulas; the runner
     measures what the actual implementation does (every seek and block
     this library's index structures perform), so trends can be
-    cross-checked against real data structures rather than formulas. *)
+    cross-checked against real data structures rather than formulas.
+
+    When tracing is enabled ({!Wave_obs.Trace.enable}), each simulated
+    day is wrapped in a ["day"] span containing a
+    ["phase.maintenance"] and a ["phase.query"] span (all tagged with
+    the day, scheme and technique), and the runner registers the
+    simulation disk's [elapsed] as the tracer's model clock, so span
+    timestamps are bit-identical to the metrics below.  Invariant: a
+    phase span's attributed model seconds equal the corresponding
+    [day_metrics] field exactly, and the ["day"] span's attributed
+    seeks/blocks/bytes equal the per-day counter deltas exactly. *)
 
 open Wave_core
 
@@ -21,7 +31,14 @@ type day_metrics = {
   scan_entries : int;
   space_bytes : int;  (** constituents + temporaries at end of day *)
   wave_length : int;  (** days indexed (soft windows exceed w) *)
+  seeks : int;  (** disk seeks over the whole day (maintenance+query) *)
+  blocks_read : int;  (** blocks read over the whole day *)
+  blocks_written : int;  (** blocks written over the whole day *)
 }
+
+type percentiles = { p50 : float; p95 : float; p99 : float }
+(** Per-day latency distribution over the run; all zero for an empty
+    run. *)
 
 type result = {
   scheme : Scheme.kind;
@@ -36,6 +53,10 @@ type result = {
   total_maintenance_seconds : float;
   total_query_seconds : float;
   total_work_seconds : float;
+  transition_percentiles : percentiles;
+      (** distribution of per-day [transition_seconds] *)
+  query_percentiles : percentiles;
+      (** distribution of per-day [query_seconds] *)
 }
 
 type config = {

@@ -73,6 +73,14 @@ let child_index node k =
 (* find                                                               *)
 (* ------------------------------------------------------------------ *)
 
+(* Directory traffic counters: always-on (a counter bump is a single
+   float store, negligible next to the tree walk), surfaced through
+   Wave_obs.Metrics.default for perf artifacts. *)
+let m_finds = Wave_obs.Metrics.counter "btree.finds"
+let m_inserts = Wave_obs.Metrics.counter "btree.inserts"
+let m_removes = Wave_obs.Metrics.counter "btree.removes"
+let m_splits = Wave_obs.Metrics.counter "btree.splits"
+
 let rec find_node node k =
   match node with
   | Leaf l ->
@@ -80,7 +88,9 @@ let rec find_node node k =
     if i < l.lsize && l.lkeys.(i) = k then l.lvals.(i) else None
   | Internal n -> find_node n.children.(child_index n k) k
 
-let find t k = match t.root with None -> None | Some r -> find_node r k
+let find t k =
+  Wave_obs.Metrics.inc m_finds;
+  match t.root with None -> None | Some r -> find_node r k
 let mem t k = Option.is_some (find t k)
 
 (* ------------------------------------------------------------------ *)
@@ -95,6 +105,7 @@ let leaf_insert_at l i k v =
   l.lsize <- l.lsize + 1
 
 let split_leaf t l =
+  Wave_obs.Metrics.inc m_splits;
   let right = new_leaf t in
   let mid = l.lsize / 2 in
   let moved = l.lsize - mid in
@@ -108,6 +119,7 @@ let split_leaf t l =
   (right.lkeys.(0), Leaf right)
 
 let split_internal t n =
+  Wave_obs.Metrics.inc m_splits;
   let right = new_internal t in
   let mid = n.isize / 2 in
   (* Separator at [mid] moves up; keys right of it go to the new node. *)
@@ -146,6 +158,7 @@ let rec insert_node t node k v =
       if n.isize > t.ord then Some (split_internal t n) else None)
 
 let insert t k v =
+  Wave_obs.Metrics.inc m_inserts;
   match t.root with
   | None ->
     let l = new_leaf t in
@@ -281,6 +294,7 @@ let rec remove_node t node k =
     found
 
 let remove t k =
+  Wave_obs.Metrics.inc m_removes;
   match t.root with
   | None -> false
   | Some root ->

@@ -23,6 +23,11 @@ exception Index_error of string
 
 let fail fmt = Printf.ksprintf (fun s -> raise (Index_error s)) fmt
 
+(* Tracing: one span per index-level operation.  Tag lists are only
+   built when tracing is enabled so the disabled path stays
+   allocation-free. *)
+let span = Wave_obs.Trace.with_span
+
 let make_disk ?(seek_time = 0.014) ?(transfer_rate = 10e6) cfg =
   Disk.create
     ~params:
@@ -148,13 +153,16 @@ let install_packed t groups =
   end
 
 let build dsk cfg batches =
-  check_disk_compat dsk cfg;
-  let t = create_empty dsk cfg in
-  let groups = grouped_of_batches batches in
-  let total = List.fold_left (fun acc (_, es) -> acc + Array.length es) 0 groups in
-  Disk.charge_delay dsk (cfg.build_cpu_per_entry *. float_of_int total);
-  install_packed t groups;
-  t
+  span "index.build" (fun () ->
+      check_disk_compat dsk cfg;
+      let t = create_empty dsk cfg in
+      let groups = grouped_of_batches batches in
+      let total =
+        List.fold_left (fun acc (_, es) -> acc + Array.length es) 0 groups
+      in
+      Disk.charge_delay dsk (cfg.build_cpu_per_entry *. float_of_int total);
+      install_packed t groups;
+      t)
 
 (* ------------------------------------------------------------------ *)
 (* Observation                                                        *)
@@ -190,11 +198,12 @@ let bucket_read_charge t b =
       Disk.read_blocks t.dsk s.sext ~blocks:(min used s.sext.Disk.length)
 
 let probe t v =
-  match Directory.find t.dir v with
-  | None -> []
-  | Some b ->
-    bucket_read_charge t b;
-    Array.to_list b.entries
+  span "index.probe" (fun () ->
+      match Directory.find t.dir v with
+      | None -> []
+      | Some b ->
+        bucket_read_charge t b;
+        Array.to_list b.entries)
 
 let probe_timed t v ~t1 ~t2 =
   List.filter (fun (e : Entry.t) -> e.Entry.day >= t1 && e.Entry.day <= t2) (probe t v)
@@ -212,11 +221,12 @@ let scan_extents t =
 let extents t = scan_extents t
 
 let scan t =
-  if t.total_used > 0 || t.total_alloc > 0 then
-    Disk.sequential_read t.dsk (scan_extents t);
-  Directory.fold_ordered t.dir ~init:[] ~f:(fun acc _ b ->
-      Array.fold_left (fun acc e -> e :: acc) acc b.entries)
-  |> List.rev
+  span "index.scan" (fun () ->
+      if t.total_used > 0 || t.total_alloc > 0 then
+        Disk.sequential_read t.dsk (scan_extents t);
+      Directory.fold_ordered t.dir ~init:[] ~f:(fun acc _ b ->
+          Array.fold_left (fun acc e -> e :: acc) acc b.entries)
+      |> List.rev)
 
 let scan_timed t ~t1 ~t2 =
   List.filter (fun (e : Entry.t) -> e.Entry.day >= t1 && e.Entry.day <= t2) (scan t)
@@ -267,14 +277,16 @@ let add_group t v es =
     else relocate t b ~new_cap:(grow_target t (used + n_new)) ~extra_entries:es
 
 let add_batch t (batch : Entry.batch) =
-  let groups = Entry.group_by_value batch.Entry.postings in
-  Disk.charge_delay t.dsk
-    (t.cfg.add_cpu_per_entry *. float_of_int (Entry.batch_size batch));
-  List.iter (fun (v, es) -> add_group t v (Array.of_list es)) groups;
-  t.total_used <- t.total_used + Entry.batch_size batch;
-  if Entry.batch_size batch > 0 then t.packed <- false
+  span "index.add" (fun () ->
+      let groups = Entry.group_by_value batch.Entry.postings in
+      Disk.charge_delay t.dsk
+        (t.cfg.add_cpu_per_entry *. float_of_int (Entry.batch_size batch));
+      List.iter (fun (v, es) -> add_group t v (Array.of_list es)) groups;
+      t.total_used <- t.total_used + Entry.batch_size batch;
+      if Entry.batch_size batch > 0 then t.packed <- false)
 
 let delete_days t expired =
+  span "index.delete" (fun () ->
   let removed = ref 0 in
   let to_delete = ref [] in
   Directory.iter_ordered t.dir (fun v b ->
@@ -317,7 +329,7 @@ let delete_days t expired =
   Disk.charge_delay t.dsk (t.cfg.add_cpu_per_entry *. float_of_int !removed);
   t.total_used <- t.total_used - !removed;
   if !removed > 0 then t.packed <- false;
-  !removed
+  !removed)
 
 let drop t =
   (* Constant-time unlink: free every extent without transfer charges. *)
@@ -353,6 +365,7 @@ let drop t =
 (* ------------------------------------------------------------------ *)
 
 let copy t =
+  span "index.copy" (fun () ->
   let t' =
     {
       cfg = t.cfg;
@@ -394,9 +407,10 @@ let copy t =
     t'.total_used <- t.total_used;
     t'.packed <- false
   end;
-  t'
+  t')
 
 let pack t ~drop_days ~extra =
+  span "index.pack" (fun () ->
   (* Packed shadow update (Section 2.1, technique 3): build a temporary
      packed index for the inserts, then stream the source dropping
      expired entries while merging the temporary in, producing a fresh
@@ -431,7 +445,7 @@ let pack t ~drop_days ~extra =
   in
   let t' = create_empty t.dsk t.cfg in
   install_packed t' groups;
-  t'
+  t')
 
 (* ------------------------------------------------------------------ *)
 (* Validation                                                         *)

@@ -39,6 +39,8 @@ let median xs = percentile xs 50.0
 
 let histogram ~bins xs =
   if bins <= 0 then invalid_arg "Stats.histogram: bins must be positive";
+  if Array.length xs = 0 then [||]
+  else begin
   let s = summarize xs in
   let width =
     if s.max > s.min then (s.max -. s.min) /. float_of_int bins else 1.0
@@ -55,6 +57,7 @@ let histogram ~bins xs =
       let lo = s.min +. (float_of_int i *. width) in
       (lo, lo +. width, c))
     counts
+  end
 
 let chi_square_uniform ~observed =
   let k = Array.length observed in

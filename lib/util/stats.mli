@@ -24,7 +24,10 @@ val median : float array -> float
 
 val histogram : bins:int -> float array -> (float * float * int) array
 (** [histogram ~bins xs] returns [(lo, hi, count)] per equal-width bin
-    spanning [\[min xs, max xs\]]. *)
+    spanning [\[min xs, max xs\]].  An empty input yields [[||]];
+    all-equal inputs land in the first bin (bin width defaults to 1
+    when the range is empty).  Raises [Invalid_argument] if [bins <=
+    0]. *)
 
 val chi_square_uniform : observed:int array -> float
 (** Chi-square statistic of observed counts against the uniform

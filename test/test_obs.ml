@@ -1,0 +1,588 @@
+(* Tests for the Wave_obs observability layer: the JSON printer/parser,
+   the ambient-span tracer and its disk-cost attribution, the metrics
+   registry, the trace sinks, and — the load-bearing one — the
+   cross-check that span-attributed disk totals for a full simulated
+   day equal the runner's day_metrics fields exactly. *)
+
+open Wave_obs
+open Wave_core
+
+let exact = Alcotest.(check (float 0.0))
+
+(* Every test leaves the global tracer quiescent so suites can run in
+   any order. *)
+let with_clean_tracer f =
+  Trace.disable ();
+  Trace.reset ();
+  Fun.protect ~finally:(fun () ->
+      Trace.disable ();
+      Trace.reset ())
+    f
+
+(* ------------------------------------------------------------------ *)
+(* Json                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let sample_json =
+  Json.Obj
+    [
+      ("null", Json.Null);
+      ("flag", Json.Bool true);
+      ("int", Json.int 42);
+      ("neg", Json.Num (-17.5));
+      ("text", Json.Str "hello \"quoted\" back\\slash\n\ttab");
+      ("arr", Json.Arr [ Json.int 1; Json.Str "two"; Json.Bool false ]);
+      ("nested", Json.Obj [ ("k", Json.Arr []) ]);
+    ]
+
+let test_json_roundtrip () =
+  List.iter
+    (fun pretty ->
+      match Json.parse (Json.to_string ~pretty sample_json) with
+      | Ok parsed ->
+        Alcotest.(check bool)
+          (Printf.sprintf "roundtrip pretty=%b" pretty)
+          true
+          (Json.equal sample_json parsed)
+      | Error e -> Alcotest.failf "parse failed: %s" e)
+    [ false; true ]
+
+let test_json_escaping () =
+  let s = Json.to_string (Json.Str "a\"b\\c\nd\x01e") in
+  Alcotest.(check string) "escaped" {|"a\"b\\c\nd\u0001e"|} s;
+  (match Json.parse {|"Aé😀"|} with
+  | Ok (Json.Str s) ->
+    Alcotest.(check string) "unicode decode" "A\xc3\xa9\xf0\x9f\x98\x80" s
+  | Ok _ -> Alcotest.fail "expected string"
+  | Error e -> Alcotest.failf "unicode parse failed: %s" e);
+  (* Non-finite floats cannot be represented; they degrade to null. *)
+  Alcotest.(check string) "nan -> null" "null" (Json.to_string (Json.Num Float.nan));
+  Alcotest.(check string)
+    "inf -> null" "null"
+    (Json.to_string (Json.Num Float.infinity))
+
+let test_json_integers_compact () =
+  Alcotest.(check string) "integer without decimals" "3" (Json.to_string (Json.int 3));
+  Alcotest.(check string)
+    "float keeps precision" "0.5"
+    (Json.to_string (Json.Num 0.5))
+
+let test_json_parse_errors () =
+  let bad input =
+    match Json.parse input with
+    | Ok _ -> Alcotest.failf "expected parse error for %S" input
+    | Error _ -> ()
+  in
+  bad "";
+  bad "{";
+  bad "[1, 2,]";
+  bad "{\"a\": }";
+  bad "tru";
+  bad "1 2" (* trailing garbage *);
+  bad "\"unterminated"
+
+let test_json_accessors () =
+  let j = Json.Obj [ ("x", Json.Num 1.5); ("s", Json.Str "v") ] in
+  (match Json.member "x" j with
+  | Some (Json.Num f) -> exact "member x" 1.5 f
+  | _ -> Alcotest.fail "missing member x");
+  Alcotest.(check bool) "absent member" true (Json.member "zzz" j = None)
+
+(* ------------------------------------------------------------------ *)
+(* Trace                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_trace_disabled_is_passthrough () =
+  with_clean_tracer @@ fun () ->
+  Alcotest.(check bool) "disabled" false (Trace.is_enabled ());
+  let r = Trace.with_span "nope" (fun () -> 7) in
+  Alcotest.(check int) "body result" 7 r;
+  Trace.on_seek ();
+  Trace.on_read ~blocks:3 ~bytes:300;
+  Trace.instant "nope";
+  Alcotest.(check int) "no spans recorded" 0 (List.length (Trace.spans ()));
+  Alcotest.(check int) "no instants recorded" 0 (List.length (Trace.instants ()));
+  Alcotest.(check int) "nothing open" 0 (Trace.open_depth ())
+
+let test_trace_nesting_and_attribution () =
+  with_clean_tracer @@ fun () ->
+  Trace.enable ();
+  let r =
+    Trace.with_span "parent" ~tags:[ ("k", "v") ] (fun () ->
+        Trace.on_seek ();
+        Trace.on_read ~blocks:2 ~bytes:200;
+        let inner =
+          Trace.with_span "child" (fun () ->
+              Trace.on_write ~blocks:5 ~bytes:500;
+              Trace.on_model_seconds 0.25;
+              41)
+        in
+        Trace.on_seek ();
+        inner + 1)
+  in
+  Alcotest.(check int) "result" 42 r;
+  let parent =
+    match Trace.find_spans "parent" with [ s ] -> s | _ -> Alcotest.fail "parent"
+  in
+  let child =
+    match Trace.find_spans "child" with [ s ] -> s | _ -> Alcotest.fail "child"
+  in
+  Alcotest.(check int) "child nests under parent" parent.Trace.id
+    child.Trace.parent;
+  Alcotest.(check int) "parent at top level" 0 parent.Trace.parent;
+  (* Attribution is inclusive: the child's writes also land on the
+     parent; the parent's seeks/reads do not land on the child. *)
+  Alcotest.(check int) "parent seeks" 2 parent.Trace.seeks;
+  Alcotest.(check int) "parent blocks read" 2 parent.Trace.blocks_read;
+  Alcotest.(check int) "parent blocks written" 5 parent.Trace.blocks_written;
+  Alcotest.(check int) "parent bytes written" 500 parent.Trace.bytes_written;
+  Alcotest.(check int) "child seeks" 0 child.Trace.seeks;
+  Alcotest.(check int) "child blocks written" 5 child.Trace.blocks_written;
+  exact "child model seconds" 0.25 (Trace.model_seconds child);
+  exact "parent model seconds" 0.25 (Trace.model_seconds parent);
+  Alcotest.(check bool)
+    "tag filter hits" true
+    (List.length (Trace.find_spans ~tags:[ ("k", "v") ] "parent") = 1);
+  Alcotest.(check bool)
+    "tag filter misses" true
+    (Trace.find_spans ~tags:[ ("k", "other") ] "parent" = [])
+
+let test_trace_exception_safety () =
+  with_clean_tracer @@ fun () ->
+  Trace.enable ();
+  (try
+     Trace.with_span "boom" (fun () ->
+         Trace.on_seek ();
+         failwith "kapow")
+   with Failure _ -> ());
+  (match Trace.find_spans "boom" with
+  | [ s ] ->
+    Alcotest.(check int) "attribution survives raise" 1 s.Trace.seeks;
+    Alcotest.(check bool) "span was closed" true
+      (s.Trace.end_wall >= s.Trace.start_wall)
+  | _ -> Alcotest.fail "span not recorded on raise");
+  Alcotest.(check int) "stack unwound" 0 (Trace.open_depth ())
+
+let test_trace_model_clock () =
+  with_clean_tracer @@ fun () ->
+  Trace.enable ();
+  let fake = ref 100.0 in
+  Trace.set_model_clock (fun () -> !fake);
+  Trace.with_span "clocked" (fun () -> fake := 103.5);
+  (match Trace.find_spans "clocked" with
+  | [ s ] ->
+    exact "start from registered clock" 100.0 s.Trace.start_model;
+    exact "end from registered clock" 103.5 s.Trace.end_model;
+    exact "duration" 3.5 (Trace.model_seconds s)
+  | _ -> Alcotest.fail "span not recorded");
+  (* disable unregisters the clock; the default accumulator resumes. *)
+  Trace.disable ();
+  Trace.reset ();
+  Trace.enable ();
+  Trace.with_span "default-clock" (fun () -> Trace.on_model_seconds 2.0);
+  match Trace.find_spans "default-clock" with
+  | [ s ] ->
+    exact "default accumulator start" 0.0 s.Trace.start_model;
+    exact "default accumulator duration" 2.0 (Trace.model_seconds s)
+  | _ -> Alcotest.fail "span not recorded"
+
+let test_trace_instants () =
+  with_clean_tracer @@ fun () ->
+  Trace.enable ();
+  Trace.on_model_seconds 1.5;
+  Trace.instant "mark" ~tags:[ ("slot", "2") ];
+  match Trace.instants () with
+  | [ i ] ->
+    Alcotest.(check string) "name" "mark" i.Trace.i_name;
+    exact "model timestamp" 1.5 i.Trace.at_model;
+    Alcotest.(check (list (pair string string)))
+      "tags"
+      [ ("slot", "2") ]
+      i.Trace.i_tags
+  | l -> Alcotest.failf "expected one instant, got %d" (List.length l)
+
+(* ------------------------------------------------------------------ *)
+(* Metrics                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_metrics_counter () =
+  let r = Metrics.create () in
+  let c = Metrics.counter ~registry:r "test.hits" in
+  Metrics.inc c;
+  Metrics.inc ~by:2.5 c;
+  exact "counter accumulates" 3.5 (Metrics.counter_value c);
+  let c' = Metrics.counter ~registry:r "test.hits" in
+  Metrics.inc c';
+  exact "interned by name" 4.5 (Metrics.counter_value c);
+  Alcotest.check_raises "negative increment rejected"
+    (Invalid_argument "Metrics.inc: negative increment") (fun () ->
+      Metrics.inc ~by:(-1.0) c)
+
+let test_metrics_gauge_and_kinds () =
+  let r = Metrics.create () in
+  let g = Metrics.gauge ~registry:r "test.level" in
+  Metrics.set g 7.0;
+  Metrics.set g 3.0;
+  exact "gauge keeps last" 3.0 (Metrics.gauge_value g);
+  Alcotest.check_raises "kind mismatch"
+    (Invalid_argument "Metrics: \"test.level\" is already a gauge")
+    (fun () -> ignore (Metrics.counter ~registry:r "test.level"))
+
+let test_metrics_histogram () =
+  let r = Metrics.create () in
+  let h = Metrics.histogram ~registry:r "test.latency" in
+  Alcotest.(check bool) "empty -> None" true (Metrics.hist_summary h = None);
+  Array.iter (Metrics.observe h) (Array.init 100 (fun i -> float_of_int (i + 1)));
+  Alcotest.(check int) "count" 100 (Metrics.hist_count h);
+  (match Metrics.hist_summary h with
+  | None -> Alcotest.fail "summary missing"
+  | Some s ->
+    Alcotest.(check int) "summary count" 100 s.Metrics.count;
+    exact "min" 1.0 s.Metrics.min;
+    exact "max" 100.0 s.Metrics.max;
+    exact "p50" 50.5 s.Metrics.p50;
+    exact "mean" 50.5 s.Metrics.mean);
+  Metrics.reset r;
+  Alcotest.(check int) "reset clears" 0 (Metrics.hist_count h)
+
+let test_metrics_json () =
+  let r = Metrics.create () in
+  Metrics.inc (Metrics.counter ~registry:r "c1");
+  Metrics.set (Metrics.gauge ~registry:r "g1") 9.0;
+  Metrics.observe (Metrics.histogram ~registry:r "h1") 4.0;
+  let j = Metrics.to_json r in
+  (match Json.member "counters" j with
+  | Some (Json.Obj [ ("c1", Json.Num v) ]) -> exact "counter in json" 1.0 v
+  | _ -> Alcotest.fail "counters shape");
+  match Json.member "histograms" j with
+  | Some (Json.Obj [ ("h1", h) ]) -> (
+    match Json.member "count" h with
+    | Some (Json.Num n) -> exact "hist count in json" 1.0 n
+    | _ -> Alcotest.fail "histogram count")
+  | _ -> Alcotest.fail "histograms shape"
+
+let test_btree_counters_flow () =
+  (* The substrate counters are always on; nodes split during plain
+     index use must show up in the default registry. *)
+  let before =
+    Metrics.counter_value (Metrics.counter "btree.inserts")
+  in
+  let t = Wave_storage.Btree.create ~order:8 () in
+  for k = 1 to 500 do
+    Wave_storage.Btree.insert t k k
+  done;
+  let after = Metrics.counter_value (Metrics.counter "btree.inserts") in
+  Alcotest.(check bool)
+    "insert counter advanced by 500" true
+    (after -. before = 500.0)
+
+(* ------------------------------------------------------------------ *)
+(* Sinks                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let collect_small_trace () =
+  with_clean_tracer @@ fun () ->
+  Trace.enable ();
+  Trace.with_span "outer" ~tags:[ ("scheme", "DEL") ] (fun () ->
+      Trace.on_seek ();
+      Trace.on_model_seconds 0.125;
+      Trace.with_span "inner" (fun () -> Trace.on_write ~blocks:1 ~bytes:100);
+      Trace.instant "tick");
+  (Trace.spans (), Trace.instants ())
+
+let test_sink_chrome_valid () =
+  let spans, instants = collect_small_trace () in
+  let doc = Sink.chrome_json ~spans ~instants () in
+  (match Sink.validate_chrome doc with
+  | Ok n -> Alcotest.(check int) "all events present" 3 n
+  | Error e -> Alcotest.failf "invalid chrome trace: %s" e);
+  (* The serialized document survives a parse -> validate round trip. *)
+  match Json.parse (Json.to_string doc) with
+  | Error e -> Alcotest.failf "chrome json reparse: %s" e
+  | Ok doc' -> (
+    match Sink.validate_chrome doc' with
+    | Ok n -> Alcotest.(check int) "reparsed events" 3 n
+    | Error e -> Alcotest.failf "reparsed invalid: %s" e)
+
+let test_sink_chrome_file () =
+  let spans, instants = collect_small_trace () in
+  let path = Filename.temp_file "wave_obs_test" ".json" in
+  Fun.protect ~finally:(fun () -> Sys.remove path) @@ fun () ->
+  Sink.write_chrome ~path ~spans ~instants ();
+  match Sink.validate_chrome_file path with
+  | Ok n -> Alcotest.(check int) "file validates" 3 n
+  | Error e -> Alcotest.failf "chrome file invalid: %s" e
+
+let test_sink_chrome_rejects_malformed () =
+  let bad =
+    Json.Obj
+      [
+        ( "traceEvents",
+          Json.Arr [ Json.Obj [ ("name", Json.Str "x"); ("ph", Json.Str "X") ] ]
+        );
+      ]
+  in
+  match Sink.validate_chrome bad with
+  | Ok _ -> Alcotest.fail "validator accepted an event without ts"
+  | Error _ -> ()
+
+let test_sink_jsonl () =
+  let spans, instants = collect_small_trace () in
+  let text = Sink.jsonl ~spans ~instants in
+  let lines =
+    List.filter (fun l -> String.trim l <> "") (String.split_on_char '\n' text)
+  in
+  Alcotest.(check int) "one line per event" 3 (List.length lines);
+  List.iter
+    (fun line ->
+      match Json.parse line with
+      | Ok (Json.Obj _) -> ()
+      | Ok _ -> Alcotest.fail "jsonl line is not an object"
+      | Error e -> Alcotest.failf "jsonl line unparseable: %s" e)
+    lines
+
+(* ------------------------------------------------------------------ *)
+(* Runner cross-check: span attribution == day_metrics, exactly       *)
+(* ------------------------------------------------------------------ *)
+
+let small_store =
+  Wave_workload.Netnews.store
+    {
+      Wave_workload.Netnews.default_config with
+      Wave_workload.Netnews.mean_postings = 80;
+    }
+
+let small_queries =
+  {
+    Wave_workload.Query_gen.seed = 5;
+    probes_per_day = 6;
+    probe_range = Wave_workload.Query_gen.Whole_window;
+    scans_per_day = 1;
+    scan_range = Wave_workload.Query_gen.Whole_window;
+    value_dist = Wave_workload.Query_gen.Zipfian { vocab = 2_000; s = 1.0 };
+  }
+
+let traced_run scheme technique =
+  with_clean_tracer @@ fun () ->
+  Trace.enable ();
+  let r =
+    Wave_sim.Runner.run
+      {
+        (Wave_sim.Runner.default_config ~scheme ~store:small_store ~w:5 ~n:3) with
+        Wave_sim.Runner.technique;
+        run_days = 8;
+        queries = Some small_queries;
+      }
+  in
+  (r, Trace.spans ())
+
+let check_day_attribution scheme technique =
+  let r, spans = traced_run scheme technique in
+  (* make_disk sets the disk's block size to entry_bytes. *)
+  let block_size =
+    Wave_storage.Index.default_config.Wave_storage.Index.entry_bytes
+  in
+  let ctx fmt =
+    Printf.ksprintf
+      (fun s ->
+        Printf.sprintf "%s/%s %s" (Scheme.name scheme)
+          (Env.technique_name technique) s)
+      fmt
+  in
+  Alcotest.(check int) (ctx "ran 8 days") 8 (List.length r.Wave_sim.Runner.days);
+  List.iter
+    (fun (d : Wave_sim.Runner.day_metrics) ->
+      let day_tag = [ ("day", string_of_int d.Wave_sim.Runner.day) ] in
+      let the name =
+        match
+          List.filter
+            (fun (sp : Trace.span) ->
+              sp.Trace.name = name
+              && List.for_all
+                   (fun kv -> List.mem kv sp.Trace.tags)
+                   day_tag)
+            spans
+        with
+        | [ s ] -> s
+        | l ->
+          Alcotest.failf "%s: expected 1 %s span for day %d, got %d"
+            (ctx "spans") name d.Wave_sim.Runner.day (List.length l)
+      in
+      let day_span = the "day" in
+      let maint = the "phase.maintenance" in
+      let query = the "phase.query" in
+      (* Model seconds: bit-identical because the runner registers the
+         simulation disk's elapsed clock as the tracer's model clock. *)
+      exact
+        (ctx "maintenance seconds day %d" d.Wave_sim.Runner.day)
+        d.Wave_sim.Runner.maintenance_seconds
+        (Trace.model_seconds maint);
+      exact
+        (ctx "query seconds day %d" d.Wave_sim.Runner.day)
+        d.Wave_sim.Runner.query_seconds
+        (Trace.model_seconds query);
+      (* Disk counters: the day span's attributed totals are the same
+         increments the runner differences out of Disk.counters. *)
+      Alcotest.(check int)
+        (ctx "seeks day %d" d.Wave_sim.Runner.day)
+        d.Wave_sim.Runner.seeks day_span.Trace.seeks;
+      Alcotest.(check int)
+        (ctx "blocks read day %d" d.Wave_sim.Runner.day)
+        d.Wave_sim.Runner.blocks_read day_span.Trace.blocks_read;
+      Alcotest.(check int)
+        (ctx "blocks written day %d" d.Wave_sim.Runner.day)
+        d.Wave_sim.Runner.blocks_written day_span.Trace.blocks_written;
+      (* Bytes: reads always arrive in whole blocks; writes may add
+         streamed (sub-block) transfer bytes under packed shadowing. *)
+      Alcotest.(check int)
+        (ctx "bytes read day %d" d.Wave_sim.Runner.day)
+        (d.Wave_sim.Runner.blocks_read * block_size)
+        day_span.Trace.bytes_read;
+      if technique = Env.In_place then
+        Alcotest.(check int)
+          (ctx "bytes written day %d" d.Wave_sim.Runner.day)
+          (d.Wave_sim.Runner.blocks_written * block_size)
+          day_span.Trace.bytes_written
+      else
+        Alcotest.(check bool)
+          (ctx "bytes written cover blocks day %d" d.Wave_sim.Runner.day)
+          true
+          (day_span.Trace.bytes_written
+          >= d.Wave_sim.Runner.blocks_written * block_size);
+      (* Phases tile the day: their attributed model time can't exceed
+         the whole day span's. *)
+      Alcotest.(check bool)
+        (ctx "phases within day %d" d.Wave_sim.Runner.day)
+        true
+        (Trace.model_seconds maint +. Trace.model_seconds query
+        <= Trace.model_seconds day_span +. 1e-12))
+    r.Wave_sim.Runner.days
+
+let test_runner_attribution_del_inplace () =
+  check_day_attribution Scheme.Del Env.In_place
+
+let test_runner_attribution_del_packed () =
+  check_day_attribution Scheme.Del Env.Packed_shadow
+
+let test_runner_attribution_wata_inplace () =
+  check_day_attribution Scheme.Wata_star Env.In_place
+
+let test_runner_attribution_wata_packed () =
+  check_day_attribution Scheme.Wata_star Env.Packed_shadow
+
+let test_runner_span_inventory () =
+  let r, spans = traced_run Scheme.Del Env.Simple_shadow in
+  ignore r;
+  let count name =
+    List.length (List.filter (fun s -> s.Trace.name = name) spans)
+  in
+  Alcotest.(check int) "one start phase" 1 (count "phase.start");
+  Alcotest.(check int) "day spans" 8 (count "day");
+  Alcotest.(check int) "maintenance spans" 8 (count "phase.maintenance");
+  Alcotest.(check int) "query spans" 8 (count "phase.query");
+  Alcotest.(check int) "transition spans" 8 (count "transition");
+  Alcotest.(check bool) "adds traced" true (count "AddToIndex" > 0);
+  Alcotest.(check bool) "deletes traced" true (count "DeleteFromIndex" > 0);
+  (* Every span's parent is either 0 or a recorded span id. *)
+  let ids = List.map (fun s -> s.Trace.id) spans in
+  List.iter
+    (fun s ->
+      if s.Trace.parent <> 0 then
+        Alcotest.(check bool)
+          (Printf.sprintf "parent of %s known" s.Trace.name)
+          true
+          (List.mem s.Trace.parent ids))
+    spans
+
+let test_runner_percentiles () =
+  let r, _ = traced_run Scheme.Del Env.In_place in
+  let series f =
+    Array.of_list (List.map f r.Wave_sim.Runner.days)
+  in
+  let expect =
+    Wave_util.Stats.percentile
+      (series (fun d -> d.Wave_sim.Runner.transition_seconds))
+      50.0
+  in
+  exact "transition p50 matches Stats" expect
+    r.Wave_sim.Runner.transition_percentiles.Wave_sim.Runner.p50;
+  let q95 =
+    Wave_util.Stats.percentile
+      (series (fun d -> d.Wave_sim.Runner.query_seconds))
+      95.0
+  in
+  exact "query p95 matches Stats" q95
+    r.Wave_sim.Runner.query_percentiles.Wave_sim.Runner.p95;
+  let p = r.Wave_sim.Runner.transition_percentiles in
+  Alcotest.(check bool)
+    "percentiles ordered" true
+    (p.Wave_sim.Runner.p50 <= p.Wave_sim.Runner.p95
+    && p.Wave_sim.Runner.p95 <= p.Wave_sim.Runner.p99)
+
+let test_runner_untraced_has_no_spans () =
+  with_clean_tracer @@ fun () ->
+  let r =
+    Wave_sim.Runner.run
+      {
+        (Wave_sim.Runner.default_config ~scheme:Scheme.Del ~store:small_store
+           ~w:5 ~n:2)
+        with
+        Wave_sim.Runner.run_days = 3;
+      }
+  in
+  Alcotest.(check int) "days simulated" 3 (List.length r.Wave_sim.Runner.days);
+  Alcotest.(check int) "no spans collected" 0 (List.length (Trace.spans ()))
+
+let suites =
+  [
+    ( "obs.json",
+      [
+        Alcotest.test_case "roundtrip" `Quick test_json_roundtrip;
+        Alcotest.test_case "escaping" `Quick test_json_escaping;
+        Alcotest.test_case "integers compact" `Quick test_json_integers_compact;
+        Alcotest.test_case "parse errors" `Quick test_json_parse_errors;
+        Alcotest.test_case "accessors" `Quick test_json_accessors;
+      ] );
+    ( "obs.trace",
+      [
+        Alcotest.test_case "disabled passthrough" `Quick
+          test_trace_disabled_is_passthrough;
+        Alcotest.test_case "nesting and attribution" `Quick
+          test_trace_nesting_and_attribution;
+        Alcotest.test_case "exception safety" `Quick test_trace_exception_safety;
+        Alcotest.test_case "model clock" `Quick test_trace_model_clock;
+        Alcotest.test_case "instants" `Quick test_trace_instants;
+      ] );
+    ( "obs.metrics",
+      [
+        Alcotest.test_case "counter" `Quick test_metrics_counter;
+        Alcotest.test_case "gauge and kind clash" `Quick
+          test_metrics_gauge_and_kinds;
+        Alcotest.test_case "histogram" `Quick test_metrics_histogram;
+        Alcotest.test_case "to_json" `Quick test_metrics_json;
+        Alcotest.test_case "btree counters flow" `Quick test_btree_counters_flow;
+      ] );
+    ( "obs.sink",
+      [
+        Alcotest.test_case "chrome valid" `Quick test_sink_chrome_valid;
+        Alcotest.test_case "chrome file" `Quick test_sink_chrome_file;
+        Alcotest.test_case "chrome rejects malformed" `Quick
+          test_sink_chrome_rejects_malformed;
+        Alcotest.test_case "jsonl" `Quick test_sink_jsonl;
+      ] );
+    ( "obs.runner",
+      [
+        Alcotest.test_case "attribution DEL/in-place" `Quick
+          test_runner_attribution_del_inplace;
+        Alcotest.test_case "attribution DEL/packed-shadow" `Quick
+          test_runner_attribution_del_packed;
+        Alcotest.test_case "attribution WATA*/in-place" `Quick
+          test_runner_attribution_wata_inplace;
+        Alcotest.test_case "attribution WATA*/packed-shadow" `Quick
+          test_runner_attribution_wata_packed;
+        Alcotest.test_case "span inventory" `Quick test_runner_span_inventory;
+        Alcotest.test_case "percentiles" `Quick test_runner_percentiles;
+        Alcotest.test_case "untraced run stays clean" `Quick
+          test_runner_untraced_has_no_spans;
+      ] );
+  ]

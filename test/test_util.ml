@@ -195,6 +195,42 @@ let test_stats_histogram () =
   let total = Array.fold_left (fun acc (_, _, c) -> acc + c) 0 h in
   Alcotest.(check int) "all samples binned" 10 total
 
+let test_stats_histogram_degenerate () =
+  (* Empty input: no bins rather than a confusing summarize error. *)
+  Alcotest.(check int) "empty input -> no bins" 0
+    (Array.length (Stats.histogram ~bins:4 [||]));
+  (* Single element: range collapses; everything lands in the first bin. *)
+  let h = Stats.histogram ~bins:3 [| 42.0 |] in
+  Alcotest.(check int) "single: bins" 3 (Array.length h);
+  let _, _, c0 = h.(0) in
+  Alcotest.(check int) "single: first bin holds it" 1 c0;
+  (* All-equal input: same collapse, all samples in the first bin. *)
+  let h = Stats.histogram ~bins:4 [| 7.0; 7.0; 7.0; 7.0; 7.0 |] in
+  let _, _, c0 = h.(0) in
+  Alcotest.(check int) "all-equal: first bin holds all" 5 c0;
+  Array.iteri
+    (fun i (_, _, c) -> if i > 0 then Alcotest.(check int) "other bins empty" 0 c)
+    h;
+  Alcotest.check_raises "bins must be positive"
+    (Invalid_argument "Stats.histogram: bins must be positive") (fun () ->
+      ignore (Stats.histogram ~bins:0 [| 1.0 |]))
+
+let test_stats_percentile_degenerate () =
+  Alcotest.check_raises "empty percentile"
+    (Invalid_argument "Stats.percentile: empty array") (fun () ->
+      ignore (Stats.percentile [||] 50.0));
+  (* Single element: every percentile is that element. *)
+  check_float "single p0" 3.5 (Stats.percentile [| 3.5 |] 0.0);
+  check_float "single p50" 3.5 (Stats.percentile [| 3.5 |] 50.0);
+  check_float "single p100" 3.5 (Stats.percentile [| 3.5 |] 100.0);
+  (* All-equal: interpolation between equal ranks stays put. *)
+  let xs = [| 2.0; 2.0; 2.0; 2.0 |] in
+  check_float "all-equal p37" 2.0 (Stats.percentile xs 37.0);
+  check_float "all-equal p99" 2.0 (Stats.percentile xs 99.0);
+  Alcotest.check_raises "p out of range"
+    (Invalid_argument "Stats.percentile: p out of range") (fun () ->
+      ignore (Stats.percentile xs 101.0))
+
 let test_stats_regression () =
   let pts = Array.init 10 (fun i -> (float_of_int i, (3.0 *. float_of_int i) +. 1.0)) in
   let slope, intercept = Stats.linear_regression pts in
@@ -324,6 +360,10 @@ let suites =
         Alcotest.test_case "percentile interpolates" `Quick
           test_stats_percentile_interpolates;
         Alcotest.test_case "histogram" `Quick test_stats_histogram;
+        Alcotest.test_case "histogram degenerate" `Quick
+          test_stats_histogram_degenerate;
+        Alcotest.test_case "percentile degenerate" `Quick
+          test_stats_percentile_degenerate;
         Alcotest.test_case "regression" `Quick test_stats_regression;
         Alcotest.test_case "ratio series" `Quick test_stats_ratio_series;
       ]
