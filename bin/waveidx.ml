@@ -105,7 +105,22 @@ let sim_cmd =
     Arg.(value & opt int 50 & info [ "probes" ] ~doc:"timed probes per day")
   in
   let scans = Arg.(value & opt int 2 & info [ "scans" ] ~doc:"timed scans per day") in
-  let run scheme technique w n days postings workload probes scans =
+  let cache_blocks =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "cache-blocks" ] ~docv:"N"
+          ~doc:"attach an N-frame buffer pool (default: uncached cost model)")
+  in
+  let cache_readahead =
+    Arg.(
+      value
+      & opt int 8
+      & info [ "cache-readahead" ] ~docv:"R"
+          ~doc:"demand-read prefetch depth when the pool is attached")
+  in
+  let run scheme technique w n days postings workload probes scans cache_blocks
+      cache_readahead =
     let store, dist =
       match workload with
       | `Netnews ->
@@ -133,6 +148,13 @@ let sim_cmd =
         value_dist = dist;
       }
     in
+    let icfg =
+      {
+        Wave_storage.Index.default_config with
+        Wave_storage.Index.cache_blocks;
+        cache_readahead;
+      }
+    in
     let r =
       Wave_sim.Runner.run
         {
@@ -140,6 +162,7 @@ let sim_cmd =
           Wave_sim.Runner.technique;
           run_days = days;
           queries = Some queries;
+          icfg;
         }
     in
     Printf.printf "scheme=%s technique=%s W=%d n=%d days=%d\n" (Scheme.name scheme)
@@ -167,12 +190,16 @@ let sim_cmd =
         p.Wave_sim.Runner.p50 p.Wave_sim.Runner.p95 p.Wave_sim.Runner.p99
     in
     pp_pct "transition latency" r.Wave_sim.Runner.transition_percentiles;
-    pp_pct "query latency     " r.Wave_sim.Runner.query_percentiles
+    pp_pct "query latency     " r.Wave_sim.Runner.query_percentiles;
+    match r.Wave_sim.Runner.cache_stats with
+    | None -> ()
+    | Some cs ->
+      Format.printf "buffer pool        %a@." Wave_cache.Cache.pp_stats cs
   in
   Cmd.v (Cmd.info "sim" ~doc)
     Term.(
       const run $ scheme $ technique $ w $ n $ days $ postings $ workload
-      $ probes $ scans)
+      $ probes $ scans $ cache_blocks $ cache_readahead)
 
 let model_cmd =
   let doc =
@@ -394,7 +421,13 @@ let bench_cmd =
   let postings =
     Arg.(value & opt int 200 & info [ "postings" ] ~doc:"mean postings per day")
   in
-  let run json runs w n postings =
+  let cache_blocks =
+    Arg.(
+      value & opt int 4096
+      & info [ "cache-blocks" ] ~docv:"N"
+          ~doc:"buffer-pool frames for the cached (+cache) series")
+  in
+  let run json runs w n postings cache_blocks =
     if runs < 1 then begin
       Printf.eprintf "bench: need at least one run\n";
       exit 2
@@ -403,16 +436,28 @@ let bench_cmd =
       Printf.eprintf "bench: need 1 <= n <= w (got W=%d n=%d)\n" w n;
       exit 2
     end;
+    if cache_blocks < 1 then begin
+      Printf.eprintf "bench: need at least one cache frame\n";
+      exit 2
+    end;
     let store = demo_store postings in
     let results = ref [] in
-    let record name samples =
+    let record ?cache name samples =
       let xs = Array.of_list samples in
       results :=
         ( name,
           Wave_util.Stats.percentile xs 50.0,
           Wave_util.Stats.percentile xs 95.0,
-          Array.length xs )
+          Array.length xs,
+          cache )
         :: !results
+    in
+    let cached_icfg =
+      {
+        Wave_storage.Index.default_config with
+        Wave_storage.Index.cache_blocks = Some cache_blocks;
+        cache_readahead = 8;
+      }
     in
     let time_on disk f =
       let before = Wave_disk.Disk.elapsed disk in
@@ -446,6 +491,61 @@ let bench_cmd =
                  let t1 = d - w + 1 + (i mod w) in
                  time_on disk (fun () ->
                      Frame.timed_segment_scan frame ~t1 ~t2:d)));
+          (* Cached twins of the query benchmarks: same steady state,
+             same PRNG streams, with a buffer pool attached.  A first
+             un-recorded pass warms the pool, then hit ratios are read
+             off the measured pass's counter deltas. *)
+          let env = Env.create ~icfg:cached_icfg ~store ~w ~n () in
+          let s = Scheme.start scheme env in
+          Scheme.advance_to s (2 * w);
+          let disk = env.Env.disk in
+          let frame = Scheme.frame s in
+          let d = Scheme.current_day s in
+          let pool = Option.get (Wave_cache.Cache.find disk) in
+          let measure_cached name samples =
+            let s0 = Wave_cache.Cache.stats pool in
+            let xs = samples () in
+            let s1 = Wave_cache.Cache.stats pool in
+            let hits = s1.Wave_cache.Cache.hits - s0.Wave_cache.Cache.hits in
+            let misses =
+              s1.Wave_cache.Cache.misses - s0.Wave_cache.Cache.misses
+            in
+            let ratio =
+              Wave_util.Stats.ratio (float_of_int hits)
+                (float_of_int (hits + misses))
+            in
+            record ~cache:(ratio, hits, misses) name xs
+          in
+          let probe_pass record_it =
+            let prng = Wave_util.Prng.create 17 in
+            let samples =
+              List.init runs (fun _ ->
+                  let value = Wave_util.Zipf.sample zipf prng in
+                  time_on disk (fun () ->
+                      Frame.timed_index_probe frame ~t1:(d - w + 1) ~t2:d
+                        ~value))
+            in
+            if record_it then samples else []
+          in
+          let scan_pass record_it =
+            let samples =
+              List.init
+                (max 5 (runs / 4))
+                (fun i ->
+                  let t1 = d - w + 1 + (i mod w) in
+                  time_on disk (fun () ->
+                      Frame.timed_segment_scan frame ~t1 ~t2:d))
+            in
+            if record_it then samples else []
+          in
+          ignore (probe_pass false);
+          ignore (scan_pass false);
+          measure_cached
+            (Printf.sprintf "probe+cache/%s" sname)
+            (fun () -> probe_pass true);
+          measure_cached
+            (Printf.sprintf "scan+cache/%s" sname)
+            (fun () -> scan_pass true);
           (* Maintenance-side benchmarks: one sample per simulated day. *)
           List.iter
             (fun technique ->
@@ -462,10 +562,15 @@ let bench_cmd =
         end)
       Scheme.all;
     let results = List.rev !results in
-    Printf.printf "%-34s %12s %12s %6s\n" "benchmark" "p50(ms)" "p95(ms)" "runs";
+    Printf.printf "%-34s %12s %12s %6s %10s\n" "benchmark" "p50(ms)" "p95(ms)"
+      "runs" "hit-ratio";
     List.iter
-      (fun (name, p50, p95, r) ->
-        Printf.printf "%-34s %12.4f %12.4f %6d\n" name (p50 *. 1e3) (p95 *. 1e3) r)
+      (fun (name, p50, p95, r, cache) ->
+        Printf.printf "%-34s %12.4f %12.4f %6d %10s\n" name (p50 *. 1e3)
+          (p95 *. 1e3) r
+          (match cache with
+          | None -> "-"
+          | Some (ratio, _, _) -> Printf.sprintf "%.3f" ratio))
       results;
     match json with
     | None -> ()
@@ -474,7 +579,7 @@ let bench_cmd =
       let j =
         Obj
           [
-            ("schema", Str "waveidx-bench/1");
+            ("schema", Str "waveidx-bench/2");
             ("unit", Str "model-seconds");
             ( "config",
               Obj
@@ -483,18 +588,33 @@ let bench_cmd =
                   ("n", int n);
                   ("postings", int postings);
                   ("runs", int runs);
+                  ("cache_blocks", int cache_blocks);
                 ] );
             ( "benchmarks",
               Arr
                 (List.map
-                   (fun (name, p50, p95, r) ->
+                   (fun (name, p50, p95, r, cache) ->
                      Obj
-                       [
-                         ("name", Str name);
-                         ("p50", Num p50);
-                         ("p95", Num p95);
-                         ("runs", int r);
-                       ])
+                       ([
+                          ("name", Str name);
+                          ("p50", Num p50);
+                          ("p95", Num p95);
+                          ("runs", int r);
+                        ]
+                       @
+                       match cache with
+                       | None -> []
+                       | Some (ratio, hits, misses) ->
+                         [
+                           ( "cache",
+                             Obj
+                               [
+                                 ("hit_ratio", Num ratio);
+                                 ("hits", int hits);
+                                 ("misses", int misses);
+                                 ("frames", int cache_blocks);
+                               ] );
+                         ]))
                    results) );
           ]
       in
@@ -504,7 +624,8 @@ let bench_cmd =
       close_out oc;
       Printf.printf "\nwrote %s (%d benchmarks)\n" path (List.length results)
   in
-  Cmd.v (Cmd.info "bench" ~doc) Term.(const run $ json $ runs $ w $ n $ postings)
+  Cmd.v (Cmd.info "bench" ~doc)
+    Term.(const run $ json $ runs $ w $ n $ postings $ cache_blocks)
 
 let checkpoint_cmd =
   let doc = "Run a scheme for some days, then write its manifest to a file." in
@@ -571,7 +692,14 @@ let crashtest_cmd =
   let verbose =
     Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"per-point detail")
   in
-  let run w n days verbose =
+  let cache_blocks =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "cache-blocks" ] ~docv:"N"
+          ~doc:"run the sweep with an N-frame buffer pool attached")
+  in
+  let run w n days verbose cache_blocks =
     if n < 1 || n > w then begin
       Printf.eprintf "crashtest: need 1 <= n <= w (got W=%d n=%d)\n" w n;
       exit 2
@@ -581,10 +709,23 @@ let crashtest_cmd =
       exit 2
     end;
     let techniques = [ Env.In_place; Env.Simple_shadow; Env.Packed_shadow ] in
+    let icfg =
+      Option.map
+        (fun frames ->
+          {
+            Wave_storage.Index.default_config with
+            Wave_storage.Index.cache_blocks = Some frames;
+            cache_readahead = 2;
+          })
+        cache_blocks
+    in
     let sweep_days = List.init days (fun i -> w + 2 + i) in
-    Printf.printf "crash sweep: W=%d n=%d days %d..%d, every fault point\n\n" w n
+    Printf.printf "crash sweep: W=%d n=%d days %d..%d, every fault point%s\n\n" w n
       (List.hd sweep_days)
-      (List.nth sweep_days (days - 1));
+      (List.nth sweep_days (days - 1))
+      (match cache_blocks with
+      | None -> ""
+      | Some b -> Printf.sprintf ", %d-frame buffer pool" b);
     Printf.printf "%-10s" "scheme";
     List.iter
       (fun t -> Printf.printf " %18s" (Env.technique_name t))
@@ -599,7 +740,8 @@ let crashtest_cmd =
             let reports =
               List.map
                 (fun day ->
-                  Wave_sim.Crash_harness.sweep ~scheme ~technique ~w ~n ~day ())
+                  Wave_sim.Crash_harness.sweep ?icfg ~scheme ~technique ~w ~n
+                    ~day ())
                 sweep_days
             in
             let points =
@@ -629,7 +771,8 @@ let crashtest_cmd =
     end
     else print_string "\nall combinations recovered consistently\n"
   in
-  Cmd.v (Cmd.info "crashtest" ~doc) Term.(const run $ w $ n $ days $ verbose)
+  Cmd.v (Cmd.info "crashtest" ~doc)
+    Term.(const run $ w $ n $ days $ verbose $ cache_blocks)
 
 let () =
   let doc = "Wave-Indices (SIGMOD 1997) reproduction driver" in

@@ -1,0 +1,421 @@
+open Wave_disk
+
+exception Cache_error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Cache_error s)) fmt
+
+(* A frame caches one block.  Data blocks are identified by their disk
+   address plus the allocation generation of the extent that covered
+   them when they were loaded; metadata blocks (directory / B+tree
+   nodes) by a (namespace, node id) pair.  Node ids are never reused,
+   so metadata frames cannot go stale; data frames go stale when the
+   extent is freed and the address reallocated (generation mismatch). *)
+type key = Data of int | Meta of { dir : int; node : int }
+
+type frame = {
+  mutable key : key;
+  mutable occupied : bool;
+  mutable gen : int;
+  mutable pins : int;
+  mutable refbit : bool;
+}
+
+type stats = {
+  hits : int;
+  misses : int;
+  meta_hits : int;
+  meta_misses : int;
+  evictions : int;
+  readaheads : int;
+  stale_drops : int;
+  saved_seconds : float;
+  meta_seconds : float;
+}
+
+type t = {
+  disk : Disk.t;
+  frames : frame array;
+  map : (key, int) Hashtbl.t;
+  readahead : int;
+  mutable hand : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable meta_hits : int;
+  mutable meta_misses : int;
+  mutable evictions : int;
+  mutable readaheads : int;
+  mutable stale_drops : int;
+  mutable saved_seconds : float;
+  mutable meta_seconds : float;
+}
+
+(* Fleet-wide counters: pools also feed the always-on metrics registry
+   so perf artifacts can report hit ratios without a pool handle. *)
+let m_hits = Wave_obs.Metrics.counter "cache.hits"
+let m_misses = Wave_obs.Metrics.counter "cache.misses"
+let m_meta_hits = Wave_obs.Metrics.counter "cache.meta_hits"
+let m_meta_misses = Wave_obs.Metrics.counter "cache.meta_misses"
+let m_evictions = Wave_obs.Metrics.counter "cache.evictions"
+let m_readaheads = Wave_obs.Metrics.counter "cache.readaheads"
+
+let create disk ~frames ?(readahead = 0) () =
+  if frames < 1 then fail "create: need at least one frame (got %d)" frames;
+  if readahead < 0 then fail "create: negative readahead";
+  {
+    disk;
+    frames =
+      Array.init frames (fun _ ->
+          { key = Data (-1); occupied = false; gen = 0; pins = 0; refbit = false });
+    map = Hashtbl.create (2 * frames);
+    readahead;
+    hand = 0;
+    hits = 0;
+    misses = 0;
+    meta_hits = 0;
+    meta_misses = 0;
+    evictions = 0;
+    readaheads = 0;
+    stale_drops = 0;
+    saved_seconds = 0.0;
+    meta_seconds = 0.0;
+  }
+
+(* --- per-disk attachment -------------------------------------------- *)
+
+let pools : (int, t) Hashtbl.t = Hashtbl.create 16
+
+let attach disk ~frames ?(readahead = 0) () =
+  match Hashtbl.find_opt pools (Disk.id disk) with
+  | Some pool -> pool
+  | None ->
+    let pool = create disk ~frames ~readahead () in
+    Hashtbl.replace pools (Disk.id disk) pool;
+    pool
+
+let find disk = Hashtbl.find_opt pools (Disk.id disk)
+let detach disk = Hashtbl.remove pools (Disk.id disk)
+
+(* --- frame management ----------------------------------------------- *)
+
+(* CLOCK second chance: sweep from the hand, skipping pinned frames and
+   giving referenced frames one more revolution.  Two full revolutions
+   guarantee a victim unless every frame is pinned. *)
+let victim t =
+  let n = Array.length t.frames in
+  let budget = ref (2 * n) in
+  let rec go () =
+    if !budget = 0 then fail "no evictable frame: all %d frames pinned" n;
+    decr budget;
+    let i = t.hand in
+    t.hand <- (t.hand + 1) mod n;
+    let f = t.frames.(i) in
+    if not f.occupied then i
+    else if f.pins > 0 then go ()
+    else if f.refbit then begin
+      f.refbit <- false;
+      go ()
+    end
+    else i
+  in
+  go ()
+
+let install t key ~gen ~refbit =
+  let i = victim t in
+  let f = t.frames.(i) in
+  if f.occupied then begin
+    Hashtbl.remove t.map f.key;
+    t.evictions <- t.evictions + 1;
+    Wave_obs.Metrics.inc m_evictions
+  end;
+  f.key <- key;
+  f.occupied <- true;
+  f.gen <- gen;
+  f.pins <- 0;
+  f.refbit <- refbit;
+  Hashtbl.replace t.map key i
+
+let frame_of t key =
+  match Hashtbl.find_opt t.map key with
+  | None -> None
+  | Some i -> Some t.frames.(i)
+
+let params t = Disk.params t.disk
+
+let block_seconds t blocks =
+  float_of_int (blocks * (params t).Disk.block_size)
+  /. (params t).Disk.transfer_rate
+
+let live_gen t (ext : Disk.extent) =
+  match Disk.generation_at t.disk ~start:ext.Disk.start with
+  | Some g -> g
+  | None -> fail "extent at %d is not live" ext.Disk.start
+
+(* Classify one data block against the pool.  Hits get their reference
+   bit set here; stale and absent blocks are returned for the caller to
+   fetch in one batched charge. *)
+type presence = P_hit | P_stale | P_absent
+
+let classify t addr ~gen =
+  match frame_of t (Data addr) with
+  | Some f when f.gen = gen ->
+    f.refbit <- true;
+    P_hit
+  | Some _ -> P_stale
+  | None -> P_absent
+
+let settle t addr ~gen ~refbit =
+  match frame_of t (Data addr) with
+  | Some f ->
+    (* Stale frame refreshed in place: same key, new generation. *)
+    f.gen <- gen;
+    f.refbit <- refbit;
+    t.stale_drops <- t.stale_drops + 1
+  | None -> install t (Data addr) ~gen ~refbit
+
+let note_data t ~hits ~misses =
+  t.hits <- t.hits + hits;
+  t.misses <- t.misses + misses;
+  if hits > 0 then Wave_obs.Metrics.inc ~by:(float_of_int hits) m_hits;
+  if misses > 0 then Wave_obs.Metrics.inc ~by:(float_of_int misses) m_misses
+
+(* --- charged accesses ----------------------------------------------- *)
+
+let read_range t (ext : Disk.extent) ~off ~blocks =
+  if off < 0 || blocks < 0 || off + blocks > ext.Disk.length then
+    fail "read_range: [%d, %d) outside extent of %d blocks" off (off + blocks)
+      ext.Disk.length;
+  if blocks > 0 then begin
+    Disk.assert_readable t.disk ext;
+    let gen = live_gen t ext in
+    let base = ext.Disk.start + off in
+    let missing = ref [] in
+    let hits = ref 0 in
+    for i = blocks - 1 downto 0 do
+      match classify t (base + i) ~gen with
+      | P_hit -> incr hits
+      | P_stale | P_absent -> missing := (base + i) :: !missing
+    done;
+    let m = List.length !missing in
+    let ra =
+      if m = 0 || t.readahead = 0 then []
+      else begin
+        (* Prefetch up to [readahead] blocks following the demand range
+           inside the same extent — the arm is already positioned, so
+           they ride the same seek (extra transfer only). *)
+        let upto =
+          min ext.Disk.length (off + blocks + t.readahead) - 1 + ext.Disk.start
+        in
+        let out = ref [] in
+        for a = upto downto base + blocks do
+          match classify t a ~gen with
+          | P_hit -> ()
+          | P_stale | P_absent -> out := a :: !out
+        done;
+        !out
+      end
+    in
+    if m > 0 then begin
+      Disk.charge_seek t.disk;
+      Disk.charge_read_transfer t.disk ~blocks:(m + List.length ra);
+      List.iter (fun a -> settle t a ~gen ~refbit:true) !missing;
+      List.iter (fun a -> settle t a ~gen ~refbit:false) ra;
+      let n_ra = List.length ra in
+      t.readaheads <- t.readaheads + n_ra;
+      if n_ra > 0 then Wave_obs.Metrics.inc ~by:(float_of_int n_ra) m_readaheads
+    end;
+    (* Saved versus the uncached charge (seek + whole range), net of any
+       readahead transfer spent speculatively. *)
+    let seek = (params t).Disk.seek_time in
+    let uncached = seek +. block_seconds t blocks in
+    let charged =
+      if m = 0 then 0.0
+      else seek +. block_seconds t (m + List.length ra)
+    in
+    t.saved_seconds <- t.saved_seconds +. uncached -. charged;
+    note_data t ~hits:!hits ~misses:m
+  end
+
+let read t ext = read_range t ext ~off:0 ~blocks:ext.Disk.length
+
+let sequential_read t exts =
+  if exts <> [] then begin
+    List.iter (fun e -> Disk.assert_readable t.disk e) exts;
+    let gens = List.map (fun e -> (e, live_gen t e)) exts in
+    let total = ref 0 in
+    let missing = ref [] (* reversed (addr, gen) demand list *) in
+    let hits = ref 0 in
+    let runs = ref 0 in
+    let in_run = ref false in
+    List.iter
+      (fun ((e : Disk.extent), gen) ->
+        for i = 0 to e.Disk.length - 1 do
+          incr total;
+          match classify t (e.Disk.start + i) ~gen with
+          | P_hit ->
+            incr hits;
+            in_run := false
+          | P_stale | P_absent ->
+            missing := (e.Disk.start + i, gen) :: !missing;
+            if not !in_run then begin
+              incr runs;
+              in_run := true
+            end
+        done)
+      gens;
+    let m = List.length !missing in
+    if m > 0 then begin
+      Disk.charge_seek t.disk;
+      Disk.charge_read_transfer t.disk ~blocks:m;
+      (* Scan-loaded frames enter cold (reference bit clear): a scan
+         longer than the pool drains behind itself instead of evicting
+         the probe working set — drop-behind readahead. *)
+      List.iter (fun (a, gen) -> settle t a ~gen ~refbit:false) (List.rev !missing);
+      let ra = m - !runs in
+      t.readaheads <- t.readaheads + ra;
+      if ra > 0 then Wave_obs.Metrics.inc ~by:(float_of_int ra) m_readaheads
+    end;
+    let seek = (params t).Disk.seek_time in
+    let uncached = seek +. block_seconds t !total in
+    let charged = if m = 0 then 0.0 else seek +. block_seconds t m in
+    t.saved_seconds <- t.saved_seconds +. uncached -. charged;
+    note_data t ~hits:!hits ~misses:m
+  end
+
+let write_range t (ext : Disk.extent) ~off ~blocks =
+  if off < 0 || blocks < 0 || off + blocks > ext.Disk.length then
+    fail "write_range: [%d, %d) outside extent of %d blocks" off (off + blocks)
+      ext.Disk.length;
+  (* Write-through: the disk is charged exactly as an uncached write —
+     same seek, same write op, same fault point.  Only if it succeeds
+     do resident frames pick up the new contents (and generation). *)
+  Disk.write_blocks t.disk ext ~blocks;
+  if blocks > 0 then begin
+    let gen = live_gen t ext in
+    let base = ext.Disk.start + off in
+    for i = 0 to blocks - 1 do
+      match frame_of t (Data (base + i)) with
+      | Some f ->
+        f.gen <- gen;
+        f.refbit <- true
+      | None -> () (* no write allocation *)
+    done
+  end
+
+let write t ext = write_range t ext ~off:0 ~blocks:ext.Disk.length
+
+let meta_read t ~dir ~nodes =
+  let seek = (params t).Disk.seek_time in
+  List.iter
+    (fun node ->
+      let key = Meta { dir; node } in
+      match frame_of t key with
+      | Some f ->
+        f.refbit <- true;
+        t.meta_hits <- t.meta_hits + 1;
+        Wave_obs.Metrics.inc m_meta_hits
+      | None ->
+        (* A cold upper-level block: pointer-chased, so each miss pays
+           its own seek — exactly the term a warm pool removes. *)
+        Disk.charge_seek t.disk;
+        Disk.charge_read_transfer t.disk ~blocks:1;
+        t.meta_seconds <- t.meta_seconds +. seek +. block_seconds t 1;
+        t.meta_misses <- t.meta_misses + 1;
+        Wave_obs.Metrics.inc m_meta_misses;
+        install t key ~gen:0 ~refbit:true)
+    nodes
+
+(* --- pinning --------------------------------------------------------- *)
+
+let pin_extent t (ext : Disk.extent) =
+  read t ext;
+  let gen = live_gen t ext in
+  let pinned = ref [] in
+  try
+    for i = 0 to ext.Disk.length - 1 do
+      match frame_of t (Data (ext.Disk.start + i)) with
+      | Some f when f.gen = gen ->
+        f.pins <- f.pins + 1;
+        pinned := f :: !pinned
+      | Some _ | None ->
+        fail "pin_extent: extent of %d blocks does not fit the pool"
+          ext.Disk.length
+    done
+  with e ->
+    List.iter (fun f -> f.pins <- f.pins - 1) !pinned;
+    raise e
+
+let unpin_extent t (ext : Disk.extent) =
+  (* Validate the whole range first so a failed unpin changes nothing. *)
+  let frames =
+    List.init ext.Disk.length (fun i ->
+        match frame_of t (Data (ext.Disk.start + i)) with
+        | Some f when f.pins > 0 -> f
+        | Some _ ->
+          fail "unpin_extent: block %d pin count would drop below zero"
+            (ext.Disk.start + i)
+        | None ->
+          fail "unpin_extent: block %d is not resident" (ext.Disk.start + i))
+  in
+  List.iter (fun f -> f.pins <- f.pins - 1) frames
+
+let pinned_frames t =
+  Array.fold_left (fun acc f -> if f.pins > 0 then acc + 1 else acc) 0 t.frames
+
+(* --- observation ----------------------------------------------------- *)
+
+let capacity t = Array.length t.frames
+
+let resident t =
+  Array.fold_left (fun acc f -> if f.occupied then acc + 1 else acc) 0 t.frames
+
+let contains t (ext : Disk.extent) =
+  match Disk.generation_at t.disk ~start:ext.Disk.start with
+  | None -> false
+  | Some gen ->
+    let ok = ref true in
+    for i = 0 to ext.Disk.length - 1 do
+      match frame_of t (Data (ext.Disk.start + i)) with
+      | Some f when f.gen = gen -> ()
+      | Some _ | None -> ok := false
+    done;
+    !ok
+
+let stats t =
+  {
+    hits = t.hits;
+    misses = t.misses;
+    meta_hits = t.meta_hits;
+    meta_misses = t.meta_misses;
+    evictions = t.evictions;
+    readaheads = t.readaheads;
+    stale_drops = t.stale_drops;
+    saved_seconds = t.saved_seconds;
+    meta_seconds = t.meta_seconds;
+  }
+
+let reset_stats t =
+  t.hits <- 0;
+  t.misses <- 0;
+  t.meta_hits <- 0;
+  t.meta_misses <- 0;
+  t.evictions <- 0;
+  t.readaheads <- 0;
+  t.stale_drops <- 0;
+  t.saved_seconds <- 0.0;
+  t.meta_seconds <- 0.0
+
+let hit_ratio (s : stats) =
+  Wave_util.Stats.ratio (float_of_int s.hits) (float_of_int (s.hits + s.misses))
+
+let meta_hit_ratio (s : stats) =
+  Wave_util.Stats.ratio
+    (float_of_int s.meta_hits)
+    (float_of_int (s.meta_hits + s.meta_misses))
+
+let pp_stats ppf (s : stats) =
+  Format.fprintf ppf
+    "hits=%d misses=%d (ratio %.3f) meta=%d/%d evictions=%d readahead=%d \
+     stale=%d saved=%.4fs meta-cost=%.4fs"
+    s.hits s.misses (hit_ratio s) s.meta_hits
+    (s.meta_hits + s.meta_misses)
+    s.evictions s.readaheads s.stale_drops s.saved_seconds s.meta_seconds

@@ -1,0 +1,153 @@
+(** Block-granular buffer pool over {!Wave_disk.Disk}.
+
+    The paper's query-response model (Tables 8-11) charges every probe
+    one full seek plus a transfer per constituent, as if every block
+    came from cold disk.  Real systems amortise exactly those accesses
+    with a buffer manager; this module supplies one for the simulated
+    disk, as a {e cost} cache: the pool records which blocks are
+    resident, serves resident reads for zero model-seconds, and charges
+    misses to the underlying disk exactly as an uncached access would
+    (one seek, then the missed blocks' transfer).  No data flows
+    through the pool — entry contents always come from the in-memory
+    index structures — so enabling it can never change {e what} a query
+    returns, only what it costs.
+
+    Policy (see DESIGN.md §5c):
+    - {b CLOCK eviction} (second chance).  Each frame has a reference
+      bit, set on hit; the hand sweeps, clearing reference bits and
+      skipping pinned frames, and evicts the first unreferenced,
+      unpinned frame.
+    - {b Pinning.}  {!pin_extent} faults an extent in and makes its
+      frames ineligible for eviction until {!unpin_extent}.  Pins
+      nest; unpinning below zero raises {!Cache_error}, as does an
+      allocation request when every frame is pinned.
+    - {b Write-through.}  Writes charge the disk exactly as today —
+      same seeks, same write operations, same fault-injection points,
+      so PR 1's crash-consistency guarantees are untouched — and
+      refresh any resident frames; they never allocate frames.
+    - {b Invalidation by allocation generation.}  Frames are tagged
+      with their extent's allocation generation ({!Disk.generation_at}).
+      After a [free] and reallocation of the same address, the stale
+      frame no longer matches and is refetched — the allocator-reuse
+      hazard PR 1's generations were introduced for.
+    - {b Scan readahead.}  Sequential (segment-scan) reads batch each
+      contiguous run of missing blocks into one transfer behind the
+      scan's single seek, counting the blocks fetched ahead of demand;
+      scan-loaded frames enter with a clear reference bit so a long
+      scan drains out of the pool before it can evict the probe
+      working set.  Demand reads can additionally prefetch up to
+      [readahead] following blocks of the same extent.
+
+    Pools are attached one per disk ({!attach}) so that every index
+    sharing a disk shares the pool, and {!Wave_sim.Multi_disk} gets one
+    pool per arm. *)
+
+open Wave_disk
+
+exception Cache_error of string
+
+type t
+
+type stats = {
+  hits : int;  (** data blocks served from the pool *)
+  misses : int;  (** data blocks fetched from disk *)
+  meta_hits : int;  (** directory / B+tree node reads served *)
+  meta_misses : int;  (** directory / B+tree node reads charged *)
+  evictions : int;  (** frames reclaimed by the CLOCK hand *)
+  readaheads : int;  (** blocks fetched ahead of demand *)
+  stale_drops : int;  (** frames dropped on generation mismatch *)
+  saved_seconds : float;
+      (** model-seconds avoided on data accesses versus the uncached
+          charging (net of any wasted readahead transfer) *)
+  meta_seconds : float;
+      (** model-seconds charged for directory metadata misses — cost
+          the uncached model does not charge at all (it assumes the
+          directory memory-resident) *)
+}
+
+val create : Disk.t -> frames:int -> ?readahead:int -> unit -> t
+(** A pool of [frames] one-block frames over the disk.  [frames >= 1];
+    [readahead >= 0] (default 0) blocks of demand-read prefetch. *)
+
+(** {1 Per-disk attachment} *)
+
+val attach : Disk.t -> frames:int -> ?readahead:int -> unit -> t
+(** The pool attached to this disk, creating it with the given
+    geometry on first use.  Subsequent calls return the existing pool
+    (its geometry wins). *)
+
+val find : Disk.t -> t option
+(** The pool attached to this disk, if any. *)
+
+val detach : Disk.t -> unit
+(** Drop any pool attached to this disk.  Idempotent. *)
+
+(** {1 Charged accesses}
+
+    Each mirrors a {!Disk} access: resident blocks are free, missed
+    blocks charge the disk (and become resident).  All of them raise
+    exactly as the uncached access would on a dead, stale-shaped or
+    torn extent, even when fully resident. *)
+
+val read_range : t -> Disk.extent -> off:int -> blocks:int -> unit
+(** Read [blocks] blocks starting [off] blocks into the extent —
+    uncached cost: one seek plus [blocks] transfers.  Charges one seek
+    plus only the missed blocks (plus up to [readahead] prefetched
+    followers within the extent, entering cold). *)
+
+val read : t -> Disk.extent -> unit
+(** [read_range t e ~off:0 ~blocks:e.length]. *)
+
+val sequential_read : t -> Disk.extent list -> unit
+(** Segment scan: uncached cost is one seek plus every block of every
+    extent; the pool charges one seek (if anything misses) plus the
+    missed blocks, batched per contiguous run. *)
+
+val write_range : t -> Disk.extent -> off:int -> blocks:int -> unit
+(** Write-through: charges {!Disk.write_blocks} [~blocks] verbatim
+    (same cost and fault points as uncached), then refreshes resident
+    frames in [off, off+blocks).  Never allocates frames. *)
+
+val write : t -> Disk.extent -> unit
+(** Whole-extent write-through. *)
+
+val meta_read : t -> dir:int -> nodes:int list -> unit
+(** Charge a directory walk: each node is one metadata block in
+    namespace [dir] (use {!Wave_storage.Directory.uid}).  A resident
+    node is free; a miss charges one seek plus one block — the
+    seek-dominated upper-level access a warm pool removes.  Metadata
+    frames are never stale (node ids are never reused). *)
+
+(** {1 Pinning} *)
+
+val pin_extent : t -> Disk.extent -> unit
+(** Fault the whole extent in (charged like {!read}) and pin every
+    frame.  Pins nest.  Raises {!Cache_error} if the extent does not
+    fit the unpinned frames. *)
+
+val unpin_extent : t -> Disk.extent -> unit
+(** Undo one {!pin_extent}.  Raises {!Cache_error} if any block is not
+    resident with a positive pin count (a pin/unpin imbalance). *)
+
+val pinned_frames : t -> int
+(** Frames currently holding a positive pin count. *)
+
+(** {1 Observation} *)
+
+val capacity : t -> int
+val resident : t -> int
+(** Frames currently occupied. *)
+
+val contains : t -> Disk.extent -> bool
+(** Whether every block of the extent is resident with the extent's
+    current allocation generation. *)
+
+val stats : t -> stats
+val reset_stats : t -> unit
+
+val hit_ratio : stats -> float
+(** Data-block hit ratio, 0 when no data blocks were touched. *)
+
+val meta_hit_ratio : stats -> float
+
+val pp_stats : Format.formatter -> stats -> unit

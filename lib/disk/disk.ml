@@ -41,6 +41,7 @@ end
 module Live = Map.Make (Extent_key)
 
 type t = {
+  uid : int; (* process-unique disk identity, for client-side attachments *)
   params : params;
   mutable free_list : (int * int) list; (* (start, length), address-sorted *)
   mutable live : int Live.t; (* start -> length *)
@@ -60,10 +61,14 @@ type t = {
   gen : (int, int) Hashtbl.t; (* start block -> allocation generation *)
 }
 
+let next_uid = ref 0
+
 let create ?(params = default_params) () =
   if params.seek_time < 0.0 || params.transfer_rate <= 0.0 || params.block_size <= 0
   then raise (Disk_error "invalid parameters");
+  incr next_uid;
   {
+    uid = !next_uid;
     params;
     free_list = [];
     live = Live.empty;
@@ -84,6 +89,7 @@ let create ?(params = default_params) () =
   }
 
 let params t = t.params
+let id t = t.uid
 
 let block_seconds t blocks =
   float_of_int (blocks * t.params.block_size) /. t.params.transfer_rate
@@ -213,6 +219,17 @@ let free t ext =
 let check_readable t ext =
   if Hashtbl.mem t.torn ext.start then
     raise (Disk_error "torn extent: contents invalid after interrupted write")
+
+let assert_readable t ext =
+  lookup_live t ext;
+  check_readable t ext
+
+let charge_read_transfer t ~blocks =
+  if blocks < 0 then raise (Disk_error "negative transfer");
+  t.blocks_read <- t.blocks_read + blocks;
+  t.elapsed <- t.elapsed +. block_seconds t blocks;
+  Wave_obs.Trace.on_read ~blocks ~bytes:(blocks * t.params.block_size);
+  Wave_obs.Trace.on_model_seconds (block_seconds t blocks)
 
 let read_blocks t ext ~blocks =
   lookup_live t ext;

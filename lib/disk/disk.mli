@@ -38,6 +38,12 @@ val create : ?params:params -> unit -> t
 
 val params : t -> params
 
+val id : t -> int
+(** Process-unique identity of this disk (creation order).  Client
+    layers that keep per-disk attachments — e.g. the buffer pool in
+    {!Wave_cache} — key them on this id rather than on the mutable
+    record itself. *)
+
 (** {1 Allocation} *)
 
 val alloc : t -> blocks:int -> extent
@@ -86,6 +92,18 @@ val sequential_read : t -> extent list -> unit
 
 val charge_seek : t -> unit
 val charge_transfer_bytes : t -> int -> unit
+
+val charge_read_transfer : t -> blocks:int -> unit
+(** Charge the transfer of [blocks] {e without} a seek, counting them
+    as blocks read.  The buffer pool uses this to batch several cache
+    misses behind the single seek it already charged; on its own it
+    models the tail of any contiguous read. *)
+
+val assert_readable : t -> extent -> unit
+(** Raise exactly as {!read} would — extent not live, stale shape, or
+    torn contents — but charge nothing.  Lets a cache serve fully
+    resident reads at zero cost while still refusing to satisfy reads
+    that the disk itself would refuse. *)
 
 val charge_delay : t -> float -> unit
 (** Advance the model clock by a non-disk cost (e.g. CPU time spent

@@ -61,9 +61,13 @@ let matches ~w frame (r : reference) =
          rids (Frame.timed_index_probe frame ~t1 ~t2 ~value:v) = expect)
        r.probes
 
-let fresh_instance ~scheme ~technique ~w ~n ~store =
-  let env = Env.create ~technique ~store ~w ~n () in
+let fresh_instance ?icfg ~scheme ~technique ~w ~n ~store () =
+  let env = Env.create ?icfg ~technique ~store ~w ~n () in
   Checkpoint.start scheme env
+
+(* Each instance's disk dies with it; free its buffer-pool registry
+   slot (a no-op when running uncached). *)
+let release cp = Wave_cache.Cache.detach (Checkpoint.env cp).Env.disk
 
 (* No leaked and no double-freed space: the allocator's live count is
    exactly what the surviving constituents claim, and nothing is left
@@ -77,10 +81,17 @@ let space_consistent cp =
   done;
   Disk.live_blocks disk = !claimed && Disk.torn_count disk = 0
 
-let run_point ~scheme ~technique ~w ~n ~store ~day ~before_ref ~after_ref ~mode
-    point =
-  let cp = fresh_instance ~scheme ~technique ~w ~n ~store in
+let run_point ?icfg ~scheme ~technique ~w ~n ~store ~day ~before_ref ~after_ref
+    ~mode point =
+  let cp = fresh_instance ?icfg ~scheme ~technique ~w ~n ~store () in
   Checkpoint.advance_to cp (day - 1);
+  (* Replay the twin's pre-transition reference capture: with a buffer
+     pool attached those probes and scans change the pool's residency,
+     and the instance must enter the transition with the exact pool
+     state the twin had when the fault schedule was discovered.
+     Without a pool this is a no-op for the schedule (points are
+     relative to arming). *)
+  ignore (capture ~w (Checkpoint.frame cp) (day - 1));
   let disk = (Checkpoint.env cp).Env.disk in
   Disk.arm_fault disk ~mode point;
   let t0 = Disk.elapsed disk in
@@ -96,40 +107,51 @@ let run_point ~scheme ~technique ~w ~n ~store ~day ~before_ref ~after_ref ~mode
     let reference =
       if r.Checkpoint.recovered_day = day then after_ref else before_ref
     in
-    {
-      point;
-      mode;
-      fired;
-      rolled_forward = r.Checkpoint.rolled_forward;
-      recovered_day = r.Checkpoint.recovered_day;
-      consistent =
-        r.Checkpoint.recovered_day = reference.ref_day
-        && matches ~w (Checkpoint.frame cp) reference;
-      space_ok = space_consistent cp;
-      recovery_seconds = r.Checkpoint.recovery_seconds;
-      wasted_seconds;
-    }
+    let res =
+      {
+        point;
+        mode;
+        fired;
+        rolled_forward = r.Checkpoint.rolled_forward;
+        recovered_day = r.Checkpoint.recovered_day;
+        consistent =
+          r.Checkpoint.recovered_day = reference.ref_day
+          && matches ~w (Checkpoint.frame cp) reference;
+        space_ok = space_consistent cp;
+        recovery_seconds = r.Checkpoint.recovery_seconds;
+        wasted_seconds;
+      }
+    in
+    release cp;
+    res
   end
-  else
+  else begin
     (* The schedule is exact, so this branch means the twin and the
        instance diverged — report it as a failed point. *)
-    {
-      point;
-      mode;
-      fired;
-      rolled_forward = false;
-      recovered_day = Checkpoint.current_day cp;
-      consistent = matches ~w (Checkpoint.frame cp) after_ref;
-      space_ok = space_consistent cp;
-      recovery_seconds = 0.0;
-      wasted_seconds;
-    }
+    let res =
+      {
+        point;
+        mode;
+        fired;
+        rolled_forward = false;
+        recovered_day = Checkpoint.current_day cp;
+        consistent = matches ~w (Checkpoint.frame cp) after_ref;
+        space_ok = space_consistent cp;
+        recovery_seconds = 0.0;
+        wasted_seconds;
+      }
+    in
+    release cp;
+    res
+  end
 
-let sweep ?(store = default_store) ~scheme ~technique ~w ~n ~day () =
+let sweep ?(store = default_store) ?icfg ~scheme ~technique ~w ~n ~day () =
   if day <= w then invalid_arg "Crash_harness.sweep: day must exceed w";
   (* Uncrashed twin: discover the transition's fault points and capture
-     the reference answers on both sides of it. *)
-  let twin = fresh_instance ~scheme ~technique ~w ~n ~store in
+     the reference answers on both sides of it.  With a buffer pool in
+     [icfg], the twin and every fault instance charge the disk through
+     identical pool states, so the discovered schedule stays exact. *)
+  let twin = fresh_instance ?icfg ~scheme ~technique ~w ~n ~store () in
   Checkpoint.advance_to twin (day - 1);
   let twin_disk = (Checkpoint.env twin).Env.disk in
   let before_ref = capture ~w (Checkpoint.frame twin) (day - 1) in
@@ -148,11 +170,12 @@ let sweep ?(store = default_store) ~scheme ~technique ~w ~n ~day () =
         in
         List.map
           (fun mode ->
-            run_point ~scheme ~technique ~w ~n ~store ~day ~before_ref
+            run_point ?icfg ~scheme ~technique ~w ~n ~store ~day ~before_ref
               ~after_ref ~mode p)
           modes)
       schedule
   in
+  release twin;
   let passed =
     points <> []
     && List.for_all (fun r -> r.fired && r.consistent && r.space_ok) points

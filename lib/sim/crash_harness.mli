@@ -49,6 +49,7 @@ type report = {
 
 val sweep :
   ?store:Env.day_store ->
+  ?icfg:Wave_storage.Index.config ->
   scheme:Scheme.kind ->
   technique:Env.technique ->
   w:int ->
@@ -58,7 +59,12 @@ val sweep :
   report
 (** Crash day [day]'s transition (from [day - 1]) at every enumerated
     fault point.  [day] must exceed [w] so at least one full window of
-    transitions has happened.  Raises [Invalid_argument] otherwise. *)
+    transitions has happened.  Raises [Invalid_argument] otherwise.
+    [icfg] (default {!Wave_storage.Index.default_config}) lets the
+    sweep run with a buffer pool attached ([cache_blocks]): the pool is
+    write-through, so the write fault points are unchanged, and the
+    twin and every fault instance see identical pool states, keeping
+    the discovered schedule exact. *)
 
 val pp_point_result : Format.formatter -> point_result -> unit
 val pp_report : Format.formatter -> report -> unit

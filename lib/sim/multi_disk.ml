@@ -41,6 +41,12 @@ let n_disks t = Array.length t.disks
 let n_constituents t = Array.length t.slots
 let current_day t = t.day
 
+let pool_stats t =
+  Array.to_list t.disks
+  |> List.mapi (fun i d -> (i, Wave_cache.Cache.find d))
+  |> List.filter_map (fun (i, p) ->
+         Option.map (fun p -> (i, Wave_cache.Cache.stats p)) p)
+
 (* Run [f], measuring per-disk elapsed deltas; serial = sum, parallel =
    max (each disk's work happens concurrently with the others'). *)
 let timed t f =

@@ -43,6 +43,11 @@ val advance : t -> timing
 
 val current_day : t -> int
 
+val pool_stats : t -> (int * Wave_cache.Cache.stats) list
+(** Per-arm buffer-pool counters, [(disk number, stats)], for arms
+    whose disk has a pool attached (i.e. when [icfg.cache_blocks] was
+    set).  Empty when running uncached. *)
+
 val speedup_table : store:Env.day_store -> w:int -> n:int -> disks:int list -> string
 (** Render probe/scan serial-vs-parallel speedups for several disk
     counts — the experiment the paper sketches. *)

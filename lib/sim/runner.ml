@@ -1,5 +1,6 @@
 open Wave_core
 open Wave_disk
+module Cache = Wave_cache.Cache
 
 type day_metrics = {
   day : int;
@@ -31,6 +32,7 @@ type result = {
   total_work_seconds : float;
   transition_percentiles : percentiles;
   query_percentiles : percentiles;
+  cache_stats : Cache.stats option;
 }
 
 type config = {
@@ -114,6 +116,14 @@ let run config =
   Disk.reset_peak disk;
   let h_transition = Wave_obs.Metrics.histogram "runner.transition_seconds" in
   let h_query = Wave_obs.Metrics.histogram "runner.query_seconds" in
+  (* The buffer pool, when [icfg.cache_blocks] asked for one; it was
+     attached to the disk by the first index the Start phase built. *)
+  let pool = Cache.find disk in
+  let g_hit = Wave_obs.Metrics.gauge "cache.hit_ratio" in
+  let h_query_cached = Wave_obs.Metrics.histogram "runner.query_seconds.cached" in
+  let h_query_uncached =
+    Wave_obs.Metrics.histogram "runner.query_seconds.uncached_estimate"
+  in
   let days = ref [] in
   for _ = 1 to config.run_days do
     let this_day = Scheme.current_day s + 1 in
@@ -128,6 +138,7 @@ let run config =
           Frame.validate (Scheme.frame s)
         end;
         let day = Scheme.current_day s in
+        let cs0 = Option.map Cache.stats pool in
         let query_seconds, probe_entries, scan_entries =
           span "phase.query" (run_tags this_day) (fun () ->
               match config.queries with
@@ -137,6 +148,20 @@ let run config =
         let c1 = Disk.counters disk in
         Wave_obs.Metrics.observe h_transition transition;
         Wave_obs.Metrics.observe h_query query_seconds;
+        (match (pool, cs0) with
+        | Some p, Some cs0 ->
+          (* What the day's queries would have cost without the pool:
+             add back the model-seconds the pool saved during the query
+             phase, net of the directory-metadata charges the uncached
+             model never makes. *)
+          let cs1 = Cache.stats p in
+          let saved = cs1.Cache.saved_seconds -. cs0.Cache.saved_seconds in
+          let meta = cs1.Cache.meta_seconds -. cs0.Cache.meta_seconds in
+          Wave_obs.Metrics.set g_hit (Cache.hit_ratio cs1);
+          Wave_obs.Metrics.observe h_query_cached query_seconds;
+          Wave_obs.Metrics.observe h_query_uncached
+            (Float.max 0.0 (query_seconds +. saved -. meta))
+        | _ -> ());
         days :=
           {
             day;
@@ -174,4 +199,10 @@ let run config =
     total_work_seconds = maintenance +. queries;
     transition_percentiles = percentiles_of (series (fun d -> d.transition_seconds));
     query_percentiles = percentiles_of (series (fun d -> d.query_seconds));
+    cache_stats =
+      (* The run's disk is unreachable once we return, so release its
+         registry slot; the counters live on in this snapshot. *)
+      (let snap = Option.map Cache.stats pool in
+       Cache.detach disk;
+       snap);
   }

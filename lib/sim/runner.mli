@@ -57,6 +57,14 @@ type result = {
       (** distribution of per-day [transition_seconds] *)
   query_percentiles : percentiles;
       (** distribution of per-day [query_seconds] *)
+  cache_stats : Wave_cache.Cache.stats option;
+      (** end-of-run buffer-pool counters when [icfg.cache_blocks]
+          attached a pool; [None] on an uncached run.  While a pool is
+          attached the runner also maintains the ["cache.hit_ratio"]
+          gauge and the ["runner.query_seconds.cached"] /
+          ["runner.query_seconds.uncached_estimate"] histograms in
+          {!Wave_obs.Metrics} (the estimate adds back the pool's
+          per-day saved model-seconds, net of metadata charges). *)
 }
 
 type config = {

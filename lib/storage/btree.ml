@@ -5,6 +5,7 @@
    bindings live in leaves; leaves are chained left-to-right. *)
 
 type 'a leaf = {
+  lid : int; (* stable node id, unique within the tree, never reused *)
   mutable lkeys : int array;
   mutable lvals : 'a option array;
   mutable lsize : int;
@@ -14,6 +15,7 @@ type 'a leaf = {
 type 'a node = Leaf of 'a leaf | Internal of 'a internal
 
 and 'a internal = {
+  iid : int; (* stable node id, unique within the tree, never reused *)
   mutable seps : int array;
   mutable children : 'a node array;
   mutable isize : int; (* number of separator keys; children = isize + 1 *)
@@ -21,13 +23,24 @@ and 'a internal = {
 
 type 'a t = {
   ord : int; (* maximum keys per node *)
+  uid : int; (* process-unique tree identity *)
   mutable root : 'a node option;
   mutable count : int;
+  mutable next_id : int; (* node id source *)
 }
+
+let next_uid = ref 0
 
 let create ?(order = 32) () =
   if order < 4 then invalid_arg "Btree.create: order must be >= 4";
-  { ord = order; root = None; count = 0 }
+  incr next_uid;
+  { ord = order; uid = !next_uid; root = None; count = 0; next_id = 0 }
+
+let uid t = t.uid
+
+let fresh_id t =
+  t.next_id <- t.next_id + 1;
+  t.next_id
 
 let order t = t.ord
 let length t = t.count
@@ -36,6 +49,7 @@ let min_keys t = t.ord / 2
 
 let new_leaf t =
   {
+    lid = fresh_id t;
     lkeys = Array.make (t.ord + 1) 0;
     lvals = Array.make (t.ord + 1) None;
     lsize = 0;
@@ -44,6 +58,7 @@ let new_leaf t =
 
 let new_internal t =
   {
+    iid = fresh_id t;
     seps = Array.make (t.ord + 1) 0;
     children = Array.make (t.ord + 2) (Leaf (new_leaf t));
     isize = 0;
@@ -92,6 +107,16 @@ let find t k =
   Wave_obs.Metrics.inc m_finds;
   match t.root with None -> None | Some r -> find_node r k
 let mem t k = Option.is_some (find t k)
+
+let node_id = function Leaf l -> l.lid | Internal n -> n.iid
+
+let search_path t k =
+  let rec go acc node =
+    match node with
+    | Leaf _ -> List.rev (node_id node :: acc)
+    | Internal n -> go (node_id node :: acc) n.children.(child_index n k)
+  in
+  match t.root with None -> [] | Some r -> go [] r
 
 (* ------------------------------------------------------------------ *)
 (* insert                                                             *)

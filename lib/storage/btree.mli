@@ -23,8 +23,19 @@ val order : 'a t -> int
 val length : 'a t -> int
 val is_empty : 'a t -> bool
 
+val uid : 'a t -> int
+(** Process-unique identity of this tree; the buffer pool's metadata
+    namespace for its nodes. *)
+
 val find : 'a t -> int -> 'a option
 val mem : 'a t -> int -> bool
+
+val search_path : 'a t -> int -> int list
+(** Stable ids of the nodes a {!find} for this key visits, root first,
+    leaf last ([[]] on an empty tree).  Ids are unique within the tree
+    and never reused after splits or merges, so a cache of "disk pages"
+    keyed on them can never serve a stale node.  The cost-model layer
+    charges one metadata block per id. *)
 
 val insert : 'a t -> int -> 'a -> unit
 (** Adds a binding; replaces the value if the key is already present. *)

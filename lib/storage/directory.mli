@@ -13,9 +13,21 @@ type 'a t
 
 val create : kind -> 'a t
 val kind : 'a t -> kind
+
+val uid : 'a t -> int
+(** Process-unique identity of this directory; the buffer pool's
+    metadata namespace for its pages. *)
+
 val length : 'a t -> int
 val find : 'a t -> int -> 'a option
 val mem : 'a t -> int -> bool
+
+val search_path : 'a t -> int -> int list
+(** Stable page ids a lookup of this value touches: the root-to-leaf
+    node ids for the B+tree (see {!Btree.search_path}), or the single
+    hashed page for the hash directory.  The cache-aware cost model
+    charges one metadata block per id on a cold read. *)
+
 val set : 'a t -> int -> 'a -> unit
 val remove : 'a t -> int -> unit
 

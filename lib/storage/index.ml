@@ -1,4 +1,5 @@
 open Wave_disk
+module Cache = Wave_cache.Cache
 
 type config = {
   entry_bytes : int;
@@ -7,6 +8,8 @@ type config = {
   dir_kind : Directory.kind;
   build_cpu_per_entry : float;
   add_cpu_per_entry : float;
+  cache_blocks : int option;
+  cache_readahead : int;
 }
 
 let default_config =
@@ -17,6 +20,8 @@ let default_config =
     dir_kind = Directory.Bplus;
     build_cpu_per_entry = 0.0;
     add_cpu_per_entry = 0.0;
+    cache_blocks = None;
+    cache_readahead = 0;
   }
 
 exception Index_error of string
@@ -53,6 +58,7 @@ type bucket = {
 type t = {
   cfg : config;
   dsk : Disk.t;
+  cache : Cache.t option; (* per-disk buffer pool; None = paper's cost model *)
   dir : bucket Directory.t;
   mutable packed : bool;
   mutable shared : shared_ext option;
@@ -62,6 +68,16 @@ type t = {
 
 let config t = t.cfg
 let disk t = t.dsk
+let cache t = t.cache
+
+(* The pool is attached to the disk, not the index: every constituent
+   sharing the disk shares frames, and Multi_disk gets one per arm. *)
+let cache_of_config dsk cfg =
+  match cfg.cache_blocks with
+  | None -> None
+  | Some frames ->
+    if frames < 1 then fail "cache_blocks must be >= 1 (got %d)" frames;
+    Some (Cache.attach dsk ~frames ~readahead:cfg.cache_readahead ())
 
 let check_disk_compat disk cfg =
   if (Disk.params disk).Disk.block_size <> cfg.entry_bytes then
@@ -76,6 +92,7 @@ let create_empty dsk cfg =
   {
     cfg;
     dsk;
+    cache = cache_of_config dsk cfg;
     dir = Directory.create cfg.dir_kind;
     packed = true;
     shared = None;
@@ -127,6 +144,49 @@ let grouped_of_batches batches =
 (* Install packed contents: one extent, buckets at cumulative offsets in
    value order, zero slack.  [charge_read_source] optionally charges the
    sequential read of some source extents first (used by [pack]). *)
+let bucket_read_charge t b =
+  let used = used_of b in
+  if used > 0 then
+    match (t.cache, b.home) with
+    | None, Own e -> Disk.read_blocks t.dsk e ~blocks:used
+    | None, In_shared (s, _) ->
+      Disk.read_blocks t.dsk s.sext ~blocks:(min used s.sext.Disk.length)
+    | Some c, Own e -> Cache.read_range c e ~off:0 ~blocks:used
+    | Some c, In_shared (s, off) ->
+      (* The pool is block-granular, so unlike the prefix-proxy charge
+         above it can use the bucket's true address range. *)
+      Cache.read_range c s.sext ~off
+        ~blocks:(min used (s.sext.Disk.length - off))
+
+(* Directory lookups are free in the paper's model (the directory is
+   memory-resident).  With a pool attached, the model instead treats
+   directory pages as disk blocks cached like any other: a probe
+   charges each cold node on its root-to-leaf path one seek + one
+   block, and a warm pool holds the upper levels so repeat probes pay
+   nothing — the cache-aware cost accounting of DESIGN.md §5c. *)
+let dir_read_charge t v =
+  match t.cache with
+  | None -> ()
+  | Some c ->
+    Cache.meta_read c ~dir:(Directory.uid t.dir)
+      ~nodes:(Directory.search_path t.dir v)
+
+let charged_sequential_read t exts =
+  if exts <> [] then
+    match t.cache with
+    | None -> Disk.sequential_read t.dsk exts
+    | Some c -> Cache.sequential_read c exts
+
+(* Write-through: the disk sees the identical write (cost, counters,
+   fault points) whether or not a pool is attached; resident frames in
+   the written range are refreshed, never allocated.  [off] is the
+   written range's offset inside the extent — the uncached path charges
+   the same [blocks] regardless. *)
+let charged_write_blocks t ext ~off ~blocks =
+  match t.cache with
+  | None -> Disk.write_blocks t.dsk ext ~blocks
+  | Some c -> Cache.write_range c ext ~off ~blocks
+
 let install_packed t groups =
   let total = List.fold_left (fun acc (_, es) -> acc + Array.length es) 0 groups in
   if total = 0 then begin
@@ -135,7 +195,7 @@ let install_packed t groups =
   end
   else begin
     let ext = Disk.alloc t.dsk ~blocks:total in
-    Disk.write t.dsk ext;
+    charged_write_blocks t ext ~off:0 ~blocks:total;
     let s = { sext = ext; refs = List.length groups } in
     let off = ref 0 in
     List.iter
@@ -189,16 +249,9 @@ let allocated_blocks t = t.total_alloc
 (* Queries                                                            *)
 (* ------------------------------------------------------------------ *)
 
-let bucket_read_charge t b =
-  let used = used_of b in
-  if used > 0 then
-    match b.home with
-    | Own e -> Disk.read_blocks t.dsk e ~blocks:used
-    | In_shared (s, _) ->
-      Disk.read_blocks t.dsk s.sext ~blocks:(min used s.sext.Disk.length)
-
 let probe t v =
   span "index.probe" (fun () ->
+      dir_read_charge t v;
       match Directory.find t.dir v with
       | None -> []
       | Some b ->
@@ -223,7 +276,7 @@ let extents t = scan_extents t
 let scan t =
   span "index.scan" (fun () ->
       if t.total_used > 0 || t.total_alloc > 0 then
-        Disk.sequential_read t.dsk (scan_extents t);
+        charged_sequential_read t (scan_extents t);
       Directory.fold_ordered t.dir ~init:[] ~f:(fun acc _ b ->
           Array.fold_left (fun acc e -> e :: acc) acc b.entries)
       |> List.rev)
@@ -247,7 +300,7 @@ let relocate t b ~new_cap ~extra_entries =
   if old_used > 0 then bucket_read_charge t b;
   let ext = Disk.alloc t.dsk ~blocks:new_cap in
   let new_used = old_used + Array.length extra_entries in
-  Disk.write_blocks t.dsk ext ~blocks:new_used;
+  charged_write_blocks t ext ~off:0 ~blocks:new_used;
   release_home t b;
   b.home <- Own ext;
   b.cap <- new_cap;
@@ -261,7 +314,7 @@ let add_group t v es =
   | None ->
     let cap = grow_target t n_new in
     let ext = Disk.alloc t.dsk ~blocks:cap in
-    Disk.write_blocks t.dsk ext ~blocks:n_new;
+    charged_write_blocks t ext ~off:0 ~blocks:n_new;
     t.total_alloc <- t.total_alloc + cap;
     Directory.set t.dir v { value = v; entries = es; home = Own ext; cap }
   | Some b ->
@@ -270,7 +323,7 @@ let add_group t v es =
     if fits then begin
       (* Append into the existing allocation: seek + write of the tail. *)
       (match b.home with
-      | Own e -> Disk.write_blocks t.dsk e ~blocks:n_new
+      | Own e -> charged_write_blocks t e ~off:used ~blocks:n_new
       | In_shared _ -> assert false);
       b.entries <- Array.append b.entries es
     end
@@ -304,10 +357,10 @@ let delete_days t expired =
         if used = 0 then to_delete := v :: !to_delete
         else begin
           (match b.home with
-          | Own e -> Disk.write_blocks t.dsk e ~blocks:used
-          | In_shared (s, _) ->
-            Disk.write_blocks t.dsk s.sext
-              ~blocks:(min used s.sext.Disk.length));
+          | Own e -> charged_write_blocks t e ~off:0 ~blocks:used
+          | In_shared (s, off) ->
+            charged_write_blocks t s.sext ~off
+              ~blocks:(min used (s.sext.Disk.length - off)));
           (* CONTIGUOUS shrink: if mostly empty, move to a tighter home. *)
           let g = t.cfg.growth_factor in
           let shrink_below = float_of_int b.cap /. (g *. g) in
@@ -370,6 +423,7 @@ let copy t =
     {
       cfg = t.cfg;
       dsk = t.dsk;
+      cache = t.cache;
       dir = Directory.create t.cfg.dir_kind;
       packed = t.packed;
       shared = None;
@@ -379,7 +433,7 @@ let copy t =
   in
   (* Charge: stream the source out and the duplicate in. *)
   let exts = scan_extents t in
-  if exts <> [] then Disk.sequential_read t.dsk exts;
+  charged_sequential_read t exts;
   if t.packed then begin
     let groups =
       Directory.fold_ordered t.dir ~init:[] ~f:(fun acc v b ->
@@ -424,7 +478,7 @@ let pack t ~drop_days ~extra =
   in
   (* Stream the source: one sequential read, dropping expired days. *)
   let src_exts = scan_extents t in
-  if src_exts <> [] then Disk.sequential_read t.dsk src_exts;
+  charged_sequential_read t src_exts;
   Directory.iter_ordered t.dir (fun v b ->
       let keep =
         Array.of_seq (Seq.filter
@@ -435,7 +489,7 @@ let pack t ~drop_days ~extra =
   (* Stream the temporary index in (one sequential read), append its
      buckets behind the survivors. *)
   let tmp_exts = scan_extents temp in
-  if tmp_exts <> [] then Disk.sequential_read t.dsk tmp_exts;
+  charged_sequential_read t tmp_exts;
   Directory.iter_ordered temp.dir (fun v b ->
       if used_of b > 0 then add_entries v (Array.copy b.entries));
   drop temp;

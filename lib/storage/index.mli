@@ -29,10 +29,17 @@ type config = {
   dir_kind : Directory.kind;
   build_cpu_per_entry : float;  (** seconds of processing per entry during packed builds *)
   add_cpu_per_entry : float;  (** seconds per entry during incremental add/delete *)
+  cache_blocks : int option;
+      (** [Some n] routes reads through an [n]-frame {!Wave_cache.Cache}
+          buffer pool attached to the disk (shared by all indexes on
+          that disk); [None] (the default) keeps the paper's cold-disk
+          cost model, bit-identical to a build without the pool. *)
+  cache_readahead : int;  (** demand-read prefetch depth when cached *)
 }
 
 val default_config : config
-(** 100-byte entries, [g = 2.0], B+tree directory, zero CPU charges. *)
+(** 100-byte entries, [g = 2.0], B+tree directory, zero CPU charges,
+    no buffer pool. *)
 
 type t
 
@@ -124,6 +131,12 @@ val allocated_bytes : t -> int
 val allocated_blocks : t -> int
 val config : t -> config
 val disk : t -> Disk.t
+
+val cache : t -> Wave_cache.Cache.t option
+(** The buffer pool charged by this index's reads, when
+    [config.cache_blocks] asked for one.  With a pool attached, probes
+    additionally charge cold directory blocks ({!Wave_cache.Cache.meta_read})
+    that the memory-resident-directory model treats as free. *)
 
 val extents : t -> Disk.extent list
 (** Every disk extent this index holds (shared packed home plus

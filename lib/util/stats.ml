@@ -21,6 +21,10 @@ let summarize xs =
 let mean xs = (summarize xs).mean
 let stddev xs = (summarize xs).stddev
 
+let ratio num den = if den = 0.0 then 0.0 else num /. den
+
+let safe_div = ratio
+
 let percentile xs p =
   let n = Array.length xs in
   if n = 0 then invalid_arg "Stats.percentile: empty array";

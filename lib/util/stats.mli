@@ -16,6 +16,14 @@ val summarize : float array -> summary
 val mean : float array -> float
 val stddev : float array -> float
 
+val ratio : float -> float -> float
+(** [ratio num den] is [num /. den], or [0.] when [den = 0.] — the
+    convention reporting code wants for rates over possibly-empty
+    activity (a run that issued no reads has hit ratio 0, not NaN). *)
+
+val safe_div : float -> float -> float
+(** Alias of {!ratio}. *)
+
 val percentile : float array -> float -> float
 (** [percentile xs p] with [p] in [\[0,100\]], linear interpolation
     between closest ranks.  Sorts a copy; O(n log n). *)

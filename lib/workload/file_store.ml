@@ -10,11 +10,22 @@ let export ~dir ~store ~days =
       close_out oc)
     days
 
-let store ~dir =
+let default_cache_days = 32
+
+let store ?(cache_days = default_cache_days) ~dir () =
+  if cache_days < 1 then invalid_arg "File_store.store: cache_days must be >= 1";
+  (* LRU over at most [cache_days] decoded batches: recency order lives
+     in [order] (front = most recent), capped by evicting its back.  A
+     wave's working set is the window's recent days, so a bound well
+     under W only costs re-reads, never correctness. *)
   let cache = Hashtbl.create 64 in
+  let order = ref [] in
+  let touch day = order := day :: List.filter (fun d -> d <> day) !order in
   fun day ->
     match Hashtbl.find_opt cache day with
-    | Some b -> b
+    | Some b ->
+      touch day;
+      b
     | None ->
       let path = Filename.concat dir (day_filename day) in
       if not (Sys.file_exists path) then
@@ -29,7 +40,15 @@ let store ~dir =
         if b.Wave_storage.Entry.day <> day then
           failwith (Printf.sprintf "File_store: %s holds day %d" path
                       b.Wave_storage.Entry.day);
+        if Hashtbl.length cache >= cache_days then begin
+          match List.rev !order with
+          | [] -> ()
+          | victim :: rest_rev ->
+            Hashtbl.remove cache victim;
+            order := List.rev rest_rev
+        end;
         Hashtbl.add cache day b;
+        touch day;
         b)
 
 let available_days ~dir =

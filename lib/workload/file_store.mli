@@ -13,10 +13,18 @@ val export : dir:string -> store:Wave_core.Env.day_store -> days:int list -> uni
 (** Write the given days' batches into [dir] (created if missing).
     Existing files are overwritten. *)
 
-val store : dir:string -> Wave_core.Env.day_store
+val default_cache_days : int
+(** 32. *)
+
+val store : ?cache_days:int -> dir:string -> unit -> Wave_core.Env.day_store
 (** A day store reading from [dir].  Raises [Failure] with a diagnostic
     when a day's file is missing or fails to decode — a wave cannot be
-    maintained over holes in the record. *)
+    maintained over holes in the record.
+
+    Decoded batches are held in a bounded LRU cache of at most
+    [cache_days] days (default {!default_cache_days}); a store used to
+    run for months would otherwise retain every day it ever read.
+    Raises [Invalid_argument] if [cache_days < 1]. *)
 
 val available_days : dir:string -> int list
 (** Days with a well-named file present, ascending. *)

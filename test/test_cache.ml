@@ -1,0 +1,476 @@
+(* Tests for the Wave_cache buffer pool: CLOCK eviction, pinning,
+   generation invalidation, write-through, readahead, cost accounting —
+   and the two system-level guarantees: cache-off runs are bit-identical
+   to the pre-pool build (golden digests), and cache-on runs return the
+   same query answers for less model time. *)
+
+open Wave_core
+open Wave_disk
+open Wave_storage
+open Wave_cache
+
+let icfg = Index.default_config
+let mk_disk () = Index.make_disk icfg
+let seek = 0.014
+
+(* One-block-granular pool over a raw disk (no index on top). *)
+let mk_pool ?(frames = 3) ?(readahead = 0) () =
+  let disk = mk_disk () in
+  (disk, Cache.create disk ~frames ~readahead ())
+
+let check_stat name expect actual = Alcotest.(check int) name expect actual
+
+(* --- hit / miss cost accounting -------------------------------------- *)
+
+let test_miss_then_hit () =
+  let disk, pool = mk_pool ~frames:8 () in
+  let e = Disk.alloc disk ~blocks:4 in
+  Disk.write disk e;
+  let t0 = Disk.elapsed disk in
+  Cache.read pool e;
+  let cold = Disk.elapsed disk -. t0 in
+  Alcotest.(check bool) "cold read charged" true (cold > 0.0);
+  let t1 = Disk.elapsed disk in
+  Cache.read pool e;
+  Alcotest.(check (float 0.0)) "warm read free" 0.0 (Disk.elapsed disk -. t1);
+  let s = Cache.stats pool in
+  check_stat "hits" 4 s.Cache.hits;
+  check_stat "misses" 4 s.Cache.misses;
+  Alcotest.(check bool) "saved the warm read" true
+    (s.Cache.saved_seconds > 0.0);
+  Alcotest.(check bool) "contains" true (Cache.contains pool e)
+
+let test_miss_charges_like_uncached () =
+  (* A fully-cold read must charge exactly what Disk.read would. *)
+  let disk, pool = mk_pool ~frames:8 () in
+  let twin = mk_disk () in
+  let e = Disk.alloc disk ~blocks:5 in
+  Disk.write disk e;
+  let e' = Disk.alloc twin ~blocks:5 in
+  Disk.write twin e';
+  let t0 = Disk.elapsed disk and u0 = Disk.elapsed twin in
+  Cache.read pool e;
+  Disk.read twin e';
+  Alcotest.(check (float 1e-12))
+    "cold pool read = uncached read"
+    (Disk.elapsed twin -. u0)
+    (Disk.elapsed disk -. t0)
+
+(* --- CLOCK (second chance) ------------------------------------------- *)
+
+let test_clock_second_chance () =
+  let disk, pool = mk_pool ~frames:3 () in
+  let block () =
+    let e = Disk.alloc disk ~blocks:1 in
+    Disk.write disk e;
+    e
+  in
+  let a = block () and b = block () and c = block () in
+  Cache.read pool a;
+  Cache.read pool b;
+  Cache.read pool c;
+  (* All referenced; the hand sweeps clearing bits and comes back to the
+     oldest frame: d evicts a. *)
+  let d = block () in
+  Cache.read pool d;
+  Alcotest.(check bool) "a evicted" false (Cache.contains pool a);
+  Alcotest.(check bool) "b survives" true (Cache.contains pool b);
+  Alcotest.(check bool) "c survives" true (Cache.contains pool c);
+  (* Re-reference b; the next victim is then c (b gets its second
+     chance, c's bit was cleared by the previous sweep). *)
+  Cache.read pool b;
+  let f = block () in
+  Cache.read pool f;
+  Alcotest.(check bool) "b kept its second chance" true
+    (Cache.contains pool b);
+  Alcotest.(check bool) "c evicted" false (Cache.contains pool c);
+  Alcotest.(check bool) "d survives" true (Cache.contains pool d);
+  let s = Cache.stats pool in
+  check_stat "two evictions" 2 s.Cache.evictions
+
+(* --- pinning ---------------------------------------------------------- *)
+
+let test_pinned_never_evicted () =
+  let disk, pool = mk_pool ~frames:3 () in
+  let p = Disk.alloc disk ~blocks:1 in
+  Disk.write disk p;
+  Cache.pin_extent pool p;
+  Alcotest.(check int) "one pinned frame" 1 (Cache.pinned_frames pool);
+  for _ = 1 to 10 do
+    let e = Disk.alloc disk ~blocks:1 in
+    Disk.write disk e;
+    Cache.read pool e
+  done;
+  Alcotest.(check bool) "pinned frame still resident" true
+    (Cache.contains pool p);
+  Cache.unpin_extent pool p;
+  Alcotest.(check int) "unpinned" 0 (Cache.pinned_frames pool)
+
+let test_all_pinned_raises () =
+  let disk, pool = mk_pool ~frames:2 () in
+  let a = Disk.alloc disk ~blocks:1 and b = Disk.alloc disk ~blocks:1 in
+  Disk.write disk a;
+  Disk.write disk b;
+  Cache.pin_extent pool a;
+  Cache.pin_extent pool b;
+  let c = Disk.alloc disk ~blocks:1 in
+  Disk.write disk c;
+  Alcotest.check_raises "no evictable frame"
+    (Cache.Cache_error "no evictable frame: all 2 frames pinned") (fun () ->
+      Cache.read pool c)
+
+let test_oversized_pin_raises () =
+  let disk, pool = mk_pool ~frames:2 () in
+  let e = Disk.alloc disk ~blocks:3 in
+  Disk.write disk e;
+  Alcotest.(check bool) "pin larger than pool raises" true
+    (match Cache.pin_extent pool e with
+    | () -> false
+    | exception Cache.Cache_error _ -> true);
+  Alcotest.(check int) "no pins leaked" 0 (Cache.pinned_frames pool)
+
+let test_unpin_below_zero_raises () =
+  let disk, pool = mk_pool ~frames:4 () in
+  let e = Disk.alloc disk ~blocks:2 in
+  Disk.write disk e;
+  Cache.pin_extent pool e;
+  Cache.unpin_extent pool e;
+  Alcotest.(check bool) "second unpin raises" true
+    (match Cache.unpin_extent pool e with
+    | () -> false
+    | exception Cache.Cache_error _ -> true)
+
+(* --- invalidation on free / realloc ---------------------------------- *)
+
+let test_generation_invalidation () =
+  let disk, pool = mk_pool ~frames:8 () in
+  let e = Disk.alloc disk ~blocks:2 in
+  Disk.write disk e;
+  Cache.read pool e;
+  Alcotest.(check bool) "resident before free" true (Cache.contains pool e);
+  Disk.free disk e;
+  let e' = Disk.alloc disk ~blocks:2 in
+  Alcotest.(check int) "allocator reused the address" e.Disk.start
+    e'.Disk.start;
+  Disk.write disk e';
+  Alcotest.(check bool) "stale frames do not satisfy the new extent" false
+    (Cache.contains pool e');
+  let t0 = Disk.elapsed disk in
+  Cache.read pool e';
+  Alcotest.(check bool) "stale read recharged" true (Disk.elapsed disk > t0);
+  let s = Cache.stats pool in
+  check_stat "stale drops" 2 s.Cache.stale_drops;
+  Alcotest.(check bool) "now resident under new generation" true
+    (Cache.contains pool e')
+
+let test_read_dead_extent_raises () =
+  let disk, pool = mk_pool ~frames:8 () in
+  let e = Disk.alloc disk ~blocks:2 in
+  Disk.write disk e;
+  Cache.read pool e;
+  Disk.free disk e;
+  Alcotest.(check bool) "reading a freed extent raises even when resident"
+    true
+    (match Cache.read pool e with
+    | () -> false
+    | exception Disk.Disk_error _ -> true
+    | exception Cache.Cache_error _ -> true)
+
+(* --- write-through ---------------------------------------------------- *)
+
+let test_write_through_no_allocate () =
+  let disk, pool = mk_pool ~frames:8 () in
+  let twin = mk_disk () in
+  let e = Disk.alloc disk ~blocks:3 in
+  let e' = Disk.alloc twin ~blocks:3 in
+  let t0 = Disk.elapsed disk and u0 = Disk.elapsed twin in
+  Cache.write pool e;
+  Disk.write twin e';
+  Alcotest.(check (float 1e-12))
+    "write-through charged exactly like uncached"
+    (Disk.elapsed twin -. u0)
+    (Disk.elapsed disk -. t0);
+  Alcotest.(check int) "blocks_written counted" 3
+    (Disk.counters disk).Disk.blocks_written;
+  Alcotest.(check int) "no write allocation" 0 (Cache.resident pool);
+  (* But a resident frame is refreshed, not invalidated, by a write. *)
+  Cache.read pool e;
+  Cache.write pool e;
+  Alcotest.(check bool) "still resident after write" true
+    (Cache.contains pool e);
+  let t1 = Disk.elapsed disk in
+  Cache.read pool e;
+  Alcotest.(check (float 0.0)) "re-read after write is warm" 0.0
+    (Disk.elapsed disk -. t1)
+
+(* --- readahead -------------------------------------------------------- *)
+
+let test_demand_readahead () =
+  let disk, pool = mk_pool ~frames:16 ~readahead:4 () in
+  let e = Disk.alloc disk ~blocks:6 in
+  Disk.write disk e;
+  Cache.read_range pool e ~off:0 ~blocks:1;
+  let s = Cache.stats pool in
+  check_stat "one demand miss" 1 s.Cache.misses;
+  check_stat "four blocks prefetched" 4 s.Cache.readaheads;
+  (* The prefetched blocks are warm... *)
+  let t0 = Disk.elapsed disk in
+  Cache.read_range pool e ~off:1 ~blocks:4;
+  Alcotest.(check (float 0.0)) "prefetched blocks are free" 0.0
+    (Disk.elapsed disk -. t0);
+  (* ...but the sixth block was beyond the prefetch window. *)
+  Cache.read_range pool e ~off:5 ~blocks:1;
+  check_stat "sixth block missed" 2 (Cache.stats pool).Cache.misses
+
+let test_scan_batches_runs () =
+  let disk, pool = mk_pool ~frames:32 () in
+  let e1 = Disk.alloc disk ~blocks:4 in
+  let e2 = Disk.alloc disk ~blocks:4 in
+  Disk.write disk e1;
+  Disk.write disk e2;
+  let s0 = (Disk.counters disk).Disk.seeks in
+  let t0 = Disk.elapsed disk in
+  Cache.sequential_read pool [ e1; e2 ];
+  let cold = Disk.elapsed disk -. t0 in
+  (* One seek for the whole scan, like Disk.sequential_read. *)
+  Alcotest.(check int) "one seek" 1 ((Disk.counters disk).Disk.seeks - s0);
+  Alcotest.(check bool) "cold scan charged" true (cold > 0.0);
+  check_stat "blocks beyond first-of-run count as readahead" 7
+    (Cache.stats pool).Cache.readaheads;
+  let t1 = Disk.elapsed disk in
+  Cache.sequential_read pool [ e1; e2 ];
+  Alcotest.(check (float 0.0)) "warm scan free" 0.0 (Disk.elapsed disk -. t1)
+
+(* --- metadata (directory) caching ------------------------------------- *)
+
+let test_meta_read () =
+  let disk, pool = mk_pool ~frames:16 () in
+  let t0 = Disk.elapsed disk in
+  Cache.meta_read pool ~dir:1 ~nodes:[ 10; 11; 12 ];
+  let cold = Disk.elapsed disk -. t0 in
+  Alcotest.(check (float 1e-12)) "each cold node pays seek + block"
+    (3.0 *. (seek +. (100.0 /. 10e6)))
+    cold;
+  let t1 = Disk.elapsed disk in
+  Cache.meta_read pool ~dir:1 ~nodes:[ 10; 11; 12 ];
+  Alcotest.(check (float 0.0)) "warm walk free" 0.0 (Disk.elapsed disk -. t1);
+  (* Same node ids in a different namespace are distinct blocks. *)
+  Cache.meta_read pool ~dir:2 ~nodes:[ 10 ];
+  let s = Cache.stats pool in
+  check_stat "meta hits" 3 s.Cache.meta_hits;
+  check_stat "meta misses" 4 s.Cache.meta_misses;
+  Alcotest.(check bool) "meta seconds accounted" true
+    (s.Cache.meta_seconds > 0.0)
+
+(* --- index integration ------------------------------------------------ *)
+
+let store day =
+  Entry.batch_create ~day
+    (Array.init 8 (fun i ->
+         {
+           Entry.value = 1 + ((day + i) mod 6);
+           entry = { Entry.rid = (day * 100) + i; day; info = i + 1 };
+         }))
+
+let cached_icfg ?(frames = 256) ?(readahead = 4) () =
+  { icfg with Index.cache_blocks = Some frames; cache_readahead = readahead }
+
+let test_warm_probe_speedup () =
+  (* Acceptance: warm cached probes at least 2x faster than uncached. *)
+  let cold_env = Env.create ~store ~w:6 ~n:3 () in
+  let cold = Scheme.start Scheme.Del cold_env in
+  Scheme.advance_to cold 12;
+  let warm_env = Env.create ~icfg:(cached_icfg ()) ~store ~w:6 ~n:3 () in
+  let warm = Scheme.start Scheme.Del warm_env in
+  Scheme.advance_to warm 12;
+  let time env f =
+    let d = env.Env.disk in
+    let t0 = Disk.elapsed d in
+    ignore (f ());
+    Disk.elapsed d -. t0
+  in
+  let probe_all frame =
+    List.init 6 (fun v ->
+        Frame.timed_index_probe frame ~t1:7 ~t2:12 ~value:(v + 1))
+  in
+  let uncached = time cold_env (fun () -> probe_all (Scheme.frame cold)) in
+  (* Warm-up pass, then the measured pass. *)
+  ignore (probe_all (Scheme.frame warm));
+  let cached = time warm_env (fun () -> probe_all (Scheme.frame warm)) in
+  Alcotest.(check bool)
+    (Printf.sprintf "warm probes >= 2x faster (%.4f vs %.4f)" cached uncached)
+    true
+    (cached *. 2.0 <= uncached);
+  let pool = Option.get (Index.cache (Frame.slot_index (Scheme.frame warm) 1)) in
+  Alcotest.(check bool) "pool saw hits" true ((Cache.stats pool).Cache.hits > 0)
+
+let queries =
+  {
+    Wave_workload.Query_gen.seed = 7;
+    probes_per_day = 12;
+    probe_range = Wave_workload.Query_gen.Whole_window;
+    scans_per_day = 1;
+    scan_range = Wave_workload.Query_gen.Whole_window;
+    value_dist = Wave_workload.Query_gen.Uniform 6;
+  }
+
+let run_sim ?icfg:(cfg = icfg) ~scheme ~technique ~queries () =
+  Wave_sim.Runner.run
+    {
+      (Wave_sim.Runner.default_config ~scheme ~store ~w:6 ~n:3) with
+      Wave_sim.Runner.technique;
+      run_days = 8;
+      queries = Some queries;
+      icfg = cfg;
+    }
+
+(* Golden digests of full-precision day_metrics captured on the pre-pool
+   build (PR 2 head): the default cache-off configuration must keep
+   every scheme x technique simulation bit-identical.  Zero tolerance —
+   any drift in charging order or float arithmetic fails here. *)
+let golden =
+  [
+    ("DEL/in-place", "c194da751668c6dd35f7989fdf7a2e66");
+    ("DEL/simple-shadow", "57ae513533419766e72d54015d150bd9");
+    ("DEL/packed-shadow", "383ef529dd7f92d5f9bd38249d809e55");
+    ("REINDEX/in-place", "685b723819649c8b5d2cb9fa92c85e31");
+    ("REINDEX/simple-shadow", "685b723819649c8b5d2cb9fa92c85e31");
+    ("REINDEX/packed-shadow", "685b723819649c8b5d2cb9fa92c85e31");
+    ("REINDEX+/in-place", "daa2ba199dd5bd4f7a507edab4ed8d0b");
+    ("REINDEX+/simple-shadow", "daa2ba199dd5bd4f7a507edab4ed8d0b");
+    ("REINDEX+/packed-shadow", "b6e934135b219dedd7e08c595ee0c623");
+    ("REINDEX++/in-place", "6281b4c1b53ab78460669ef6f5070e8a");
+    ("REINDEX++/simple-shadow", "6281b4c1b53ab78460669ef6f5070e8a");
+    ("REINDEX++/packed-shadow", "a0f02ce1a66e6df7da6ead7c861d75a7");
+    ("WATA*/in-place", "c13e9b61d80da9dff9aeb16c3f120727");
+    ("WATA*/simple-shadow", "0dac12b437f26886c49ee3b80df45b61");
+    ("WATA*/packed-shadow", "79bd5a2140f75706a935182808ebb755");
+    ("RATA*/in-place", "122cb2d2deb4d5db9e7c8a32a6fb51f4");
+    ("RATA*/simple-shadow", "bc1c01fc5d3bbb2da925f320a8bbc43e");
+    ("RATA*/packed-shadow", "546da938cd2b8ea04696aaa076951659");
+  ]
+
+let digest_of (r : Wave_sim.Runner.result) =
+  let buf = Buffer.create 4096 in
+  List.iter
+    (fun (d : Wave_sim.Runner.day_metrics) ->
+      Buffer.add_string buf
+        (Printf.sprintf "%d|%.17g|%.17g|%.17g|%.17g|%d|%d|%d|%d|%d|%d|%d;"
+           d.day d.precompute_seconds d.transition_seconds
+           d.maintenance_seconds d.query_seconds d.probe_entries d.scan_entries
+           d.space_bytes d.wave_length d.seeks d.blocks_read d.blocks_written))
+    r.Wave_sim.Runner.days;
+  Buffer.add_string buf
+    (Printf.sprintf "max=%d avg=%.17g m=%.17g q=%.17g" r.max_space_bytes
+       r.avg_space_bytes r.total_maintenance_seconds r.total_query_seconds);
+  Digest.to_hex (Digest.string (Buffer.contents buf))
+
+let test_cache_off_bit_identical () =
+  List.iter
+    (fun scheme ->
+      List.iter
+        (fun technique ->
+          let r = run_sim ~scheme ~technique ~queries () in
+          let name =
+            Printf.sprintf "%s/%s" (Scheme.name scheme)
+              (Env.technique_name technique)
+          in
+          Alcotest.(check string) name (List.assoc name golden) (digest_of r))
+        [ Env.In_place; Env.Simple_shadow; Env.Packed_shadow ])
+    Scheme.all
+
+let test_cache_on_same_answers_cheaper () =
+  List.iter
+    (fun scheme ->
+      let off = run_sim ~scheme ~technique:Env.Packed_shadow ~queries () in
+      let on =
+        run_sim
+          ~icfg:(cached_icfg ~frames:512 ())
+          ~scheme ~technique:Env.Packed_shadow ~queries ()
+      in
+      let entries (r : Wave_sim.Runner.result) =
+        List.map
+          (fun (d : Wave_sim.Runner.day_metrics) ->
+            (d.day, d.probe_entries, d.scan_entries))
+          r.Wave_sim.Runner.days
+      in
+      Alcotest.(check bool)
+        (Scheme.name scheme ^ ": identical entries")
+        true
+        (entries off = entries on);
+      Alcotest.(check bool)
+        (Scheme.name scheme ^ ": cheaper queries")
+        true
+        (on.Wave_sim.Runner.total_query_seconds
+        < off.Wave_sim.Runner.total_query_seconds);
+      match on.Wave_sim.Runner.cache_stats with
+      | None -> Alcotest.fail "cached run lost its pool stats"
+      | Some s ->
+        Alcotest.(check bool)
+          (Scheme.name scheme ^ ": pool hit")
+          true
+          (s.Cache.hits > 0))
+    Scheme.all
+
+(* PRNG property: over random query mixes and pool geometries, cache-on
+   and cache-off runs return identical per-day probe and scan entries. *)
+let prop_cache_transparent =
+  QCheck2.Test.make ~name:"cache on/off answers agree" ~count:12
+    QCheck2.Gen.(
+      triple (int_range 1 10_000) (int_range 1 128) (int_range 0 6))
+    (fun (seed, frames, readahead) ->
+      let q = { queries with Wave_workload.Query_gen.seed } in
+      let off =
+        run_sim ~scheme:Scheme.Rata_star ~technique:Env.In_place ~queries:q ()
+      in
+      let on =
+        run_sim
+          ~icfg:(cached_icfg ~frames ~readahead ())
+          ~scheme:Scheme.Rata_star ~technique:Env.In_place ~queries:q ()
+      in
+      let entries (r : Wave_sim.Runner.result) =
+        List.map
+          (fun (d : Wave_sim.Runner.day_metrics) ->
+            (d.day, d.probe_entries, d.scan_entries))
+          r.Wave_sim.Runner.days
+      in
+      entries off = entries on)
+
+let qcheck tests = List.map QCheck_alcotest.to_alcotest tests
+
+let suites =
+  [
+    ( "cache.pool",
+      [
+        Alcotest.test_case "miss then hit" `Quick test_miss_then_hit;
+        Alcotest.test_case "miss charges like uncached" `Quick
+          test_miss_charges_like_uncached;
+        Alcotest.test_case "CLOCK second chance" `Quick
+          test_clock_second_chance;
+        Alcotest.test_case "pinned never evicted" `Quick
+          test_pinned_never_evicted;
+        Alcotest.test_case "all pinned raises" `Quick test_all_pinned_raises;
+        Alcotest.test_case "oversized pin raises" `Quick
+          test_oversized_pin_raises;
+        Alcotest.test_case "unpin below zero raises" `Quick
+          test_unpin_below_zero_raises;
+        Alcotest.test_case "generation invalidation" `Quick
+          test_generation_invalidation;
+        Alcotest.test_case "dead extent raises" `Quick
+          test_read_dead_extent_raises;
+        Alcotest.test_case "write-through no allocate" `Quick
+          test_write_through_no_allocate;
+        Alcotest.test_case "demand readahead" `Quick test_demand_readahead;
+        Alcotest.test_case "scan batches runs" `Quick test_scan_batches_runs;
+        Alcotest.test_case "metadata caching" `Quick test_meta_read;
+      ] );
+    ( "cache.integration",
+      [
+        Alcotest.test_case "warm probe speedup" `Quick test_warm_probe_speedup;
+        Alcotest.test_case "cache-off bit-identical (golden)" `Quick
+          test_cache_off_bit_identical;
+        Alcotest.test_case "cache-on same answers cheaper" `Quick
+          test_cache_on_same_answers_cheaper;
+      ] );
+    ("cache.property", qcheck [ prop_cache_transparent ]);
+  ]

@@ -269,6 +269,31 @@ let sweep_case scheme technique () =
   Alcotest.(check bool) "sweep exercised several points" true
     (List.length r.Crash_harness.points >= 3)
 
+(* PR 1's guarantee must survive PR 3's buffer pool: sweep every fault
+   point of every scheme x technique with a pool attached.  Write-through
+   keeps the write fault points identical; the capture replay keeps the
+   seek schedule exact (see Crash_harness.run_point). *)
+let test_sweep_cache_enabled_all () =
+  let icfg =
+    {
+      Index.default_config with
+      Index.cache_blocks = Some 64;
+      cache_readahead = 2;
+    }
+  in
+  List.iter
+    (fun scheme ->
+      List.iter
+        (fun technique ->
+          let r =
+            Crash_harness.sweep ~icfg ~scheme ~technique ~w:6 ~n:3 ~day:8 ()
+          in
+          Alcotest.(check bool)
+            (Format.asprintf "cached %a" Crash_harness.pp_report r)
+            true r.Crash_harness.passed)
+        [ Env.In_place; Env.Simple_shadow; Env.Packed_shadow ])
+    Scheme.all
+
 let test_sweep_counts_both_targets () =
   let r =
     Crash_harness.sweep ~scheme:Scheme.Reindex ~technique:Env.Packed_shadow
@@ -317,5 +342,7 @@ let suites =
           (sweep_case Scheme.Wata_star Env.In_place);
         Alcotest.test_case "both fault targets swept" `Quick
           test_sweep_counts_both_targets;
+        Alcotest.test_case "cache-enabled sweep, all combinations" `Quick
+          test_sweep_cache_enabled_all;
       ] );
   ]

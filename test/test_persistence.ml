@@ -309,7 +309,7 @@ let test_file_store_roundtrip () =
   Wave_workload.File_store.export ~dir ~store ~days:[ 1; 2; 3; 5 ];
   Alcotest.(check (list int)) "available" [ 1; 2; 3; 5 ]
     (Wave_workload.File_store.available_days ~dir);
-  let fs = Wave_workload.File_store.store ~dir in
+  let fs = Wave_workload.File_store.store ~dir () in
   for d = 1 to 3 do
     let a = store d and b = fs d in
     Alcotest.(check int)
@@ -318,12 +318,12 @@ let test_file_store_roundtrip () =
   done;
   (* a wave can run directly off the files *)
   Wave_workload.File_store.export ~dir ~store ~days:(List.init 20 (fun i -> i + 1));
-  let env = Env.create ~store:(Wave_workload.File_store.store ~dir) ~w:5 ~n:2 () in
+  let env = Env.create ~store:(Wave_workload.File_store.store ~dir ()) ~w:5 ~n:2 () in
   let s = Scheme.start Scheme.Del env in
   Scheme.advance_to s 15;
   Scheme.check_window_invariant s;
   (* missing day raises *)
-  let fs = Wave_workload.File_store.store ~dir in
+  let fs = Wave_workload.File_store.store ~dir () in
   Alcotest.(check bool) "missing day raises" true
     (try
        ignore (fs 99);
@@ -338,10 +338,54 @@ let test_file_store_rejects_corruption () =
   let oc = open_out_bin path in
   output_string oc "WVB1 garbage";
   close_out oc;
-  let fs = Wave_workload.File_store.store ~dir in
+  let fs = Wave_workload.File_store.store ~dir () in
   Alcotest.(check bool) "corrupt file rejected" true
     (try
        ignore (fs 4);
+       false
+     with Failure _ -> true)
+
+let test_file_store_bounded_cache () =
+  let dir = Filename.temp_file "wave" "" in
+  Sys.remove dir;
+  Wave_workload.File_store.export ~dir ~store ~days:[ 1; 2; 3 ];
+  Alcotest.(check bool) "cache_days must be positive" true
+    (try
+       let (_ : Wave_core.Env.day_store) =
+         Wave_workload.File_store.store ~cache_days:0 ~dir ()
+       in
+       false
+     with Invalid_argument _ -> true);
+  let fs = Wave_workload.File_store.store ~cache_days:2 ~dir () in
+  ignore (fs 1);
+  ignore (fs 2);
+  ignore (fs 3);
+  (* Capacity 2, LRU: day 1 was evicted; 2 and 3 are cached.  Deleting
+     the backing files makes residency observable — cached days still
+     answer, the evicted one must re-read and fails. *)
+  List.iter
+    (fun d ->
+      Sys.remove (Filename.concat dir (Wave_workload.File_store.day_filename d)))
+    [ 1; 2; 3 ];
+  Alcotest.(check int) "day 3 served from cache" (Entry.batch_size (store 3))
+    (Entry.batch_size (fs 3));
+  Alcotest.(check int) "day 2 served from cache" (Entry.batch_size (store 2))
+    (Entry.batch_size (fs 2));
+  Alcotest.(check bool) "day 1 was evicted" true
+    (try
+       ignore (fs 1);
+       false
+     with Failure _ -> true);
+  (* Day 2 was touched last, so filling the cache now evicts day 3. *)
+  Wave_workload.File_store.export ~dir ~store ~days:[ 4 ];
+  ignore (fs 4);
+  Sys.remove (Filename.concat dir (Wave_workload.File_store.day_filename 4));
+  Alcotest.(check int) "day 2 still cached (recency)"
+    (Entry.batch_size (store 2))
+    (Entry.batch_size (fs 2));
+  Alcotest.(check bool) "day 3 evicted as LRU victim" true
+    (try
+       ignore (fs 3);
        false
      with Failure _ -> true)
 
@@ -381,6 +425,8 @@ let suites =
         Alcotest.test_case "roundtrip" `Quick test_file_store_roundtrip;
         Alcotest.test_case "rejects corruption" `Quick
           test_file_store_rejects_corruption;
+        Alcotest.test_case "bounded LRU day cache" `Quick
+          test_file_store_bounded_cache;
       ] );
   ]
 

@@ -231,6 +231,13 @@ let test_stats_percentile_degenerate () =
     (Invalid_argument "Stats.percentile: p out of range") (fun () ->
       ignore (Stats.percentile xs 101.0))
 
+let test_stats_ratio () =
+  check_float "ratio" 0.75 (Stats.ratio 3.0 4.0);
+  check_float "zero denominator -> 0" 0.0 (Stats.ratio 5.0 0.0);
+  check_float "zero over zero -> 0" 0.0 (Stats.ratio 0.0 0.0);
+  check_float "negative numerator passes through" (-2.0) (Stats.ratio (-4.0) 2.0);
+  check_float "safe_div is ratio" (Stats.ratio 9.0 2.0) (Stats.safe_div 9.0 2.0)
+
 let test_stats_regression () =
   let pts = Array.init 10 (fun i -> (float_of_int i, (3.0 *. float_of_int i) +. 1.0)) in
   let slope, intercept = Stats.linear_regression pts in
@@ -362,6 +369,7 @@ let suites =
         Alcotest.test_case "histogram" `Quick test_stats_histogram;
         Alcotest.test_case "histogram degenerate" `Quick
           test_stats_histogram_degenerate;
+        Alcotest.test_case "ratio / safe_div" `Quick test_stats_ratio;
         Alcotest.test_case "percentile degenerate" `Quick
           test_stats_percentile_degenerate;
         Alcotest.test_case "regression" `Quick test_stats_regression;
