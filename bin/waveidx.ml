@@ -119,8 +119,20 @@ let sim_cmd =
       & info [ "cache-readahead" ] ~docv:"R"
           ~doc:"demand-read prefetch depth when the pool is attached")
   in
+  let write_back =
+    Arg.(
+      value & flag
+      & info [ "write-back" ]
+          ~doc:
+            "defer writes in the pool (flush at transition barriers); \
+             requires --cache-blocks")
+  in
   let run scheme technique w n days postings workload probes scans cache_blocks
-      cache_readahead =
+      cache_readahead write_back =
+    if write_back && cache_blocks = None then begin
+      Printf.eprintf "sim: --write-back requires --cache-blocks\n";
+      exit 2
+    end;
     let store, dist =
       match workload with
       | `Netnews ->
@@ -153,6 +165,7 @@ let sim_cmd =
         Wave_storage.Index.default_config with
         Wave_storage.Index.cache_blocks;
         cache_readahead;
+        cache_write_back = write_back;
       }
     in
     let r =
@@ -199,7 +212,7 @@ let sim_cmd =
   Cmd.v (Cmd.info "sim" ~doc)
     Term.(
       const run $ scheme $ technique $ w $ n $ days $ postings $ workload
-      $ probes $ scans $ cache_blocks $ cache_readahead)
+      $ probes $ scans $ cache_blocks $ cache_readahead $ write_back)
 
 let model_cmd =
   let doc =
@@ -427,7 +440,27 @@ let bench_cmd =
       & info [ "cache-blocks" ] ~docv:"N"
           ~doc:"buffer-pool frames for the cached (+cache) series")
   in
-  let run json runs w n postings cache_blocks =
+  let validate =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "validate" ] ~docv:"PATH"
+          ~doc:
+            "validate an existing bench snapshot against the current \
+             schema instead of running benchmarks (exit 1 on failure)")
+  in
+  let run json runs w n postings cache_blocks validate =
+    (match validate with
+    | Some path -> (
+      match Wave_obs.Sink.validate_bench_file path with
+      | Ok count ->
+        Printf.printf "%s: valid %s snapshot (%d benchmarks)\n" path
+          Wave_obs.Sink.bench_schema count;
+        exit 0
+      | Error e ->
+        Printf.eprintf "%s: invalid bench snapshot: %s\n" path e;
+        exit 1)
+    | None -> ());
     if runs < 1 then begin
       Printf.eprintf "bench: need at least one run\n";
       exit 2
@@ -442,14 +475,15 @@ let bench_cmd =
     end;
     let store = demo_store postings in
     let results = ref [] in
-    let record ?cache name samples =
+    let record ?cache ?wb name samples =
       let xs = Array.of_list samples in
       results :=
         ( name,
           Wave_util.Stats.percentile xs 50.0,
           Wave_util.Stats.percentile xs 95.0,
           Array.length xs,
-          cache )
+          cache,
+          wb )
         :: !results
     in
     let cached_icfg =
@@ -458,6 +492,9 @@ let bench_cmd =
         Wave_storage.Index.cache_blocks = Some cache_blocks;
         cache_readahead = 8;
       }
+    in
+    let wb_icfg =
+      { cached_icfg with Wave_storage.Index.cache_write_back = true }
     in
     let time_on disk f =
       let before = Wave_disk.Disk.elapsed disk in
@@ -558,19 +595,54 @@ let bench_cmd =
                    (Env.technique_name technique))
                 (List.init runs (fun _ ->
                      time_on disk (fun () -> Scheme.transition s))))
+            [ Env.In_place; Env.Packed_shadow ];
+          (* Write-back twins of the transition benchmarks: each sample
+             is a transition plus its flush drain, so the timing
+             includes the coalesced deferred writes — the comparison
+             the paper's Tables 8-11 charge uncoalesced. *)
+          List.iter
+            (fun technique ->
+              let env = Env.create ~icfg:wb_icfg ~store ~technique ~w ~n () in
+              let s = Scheme.start scheme env in
+              Scheme.advance_to s (2 * w);
+              let disk = env.Env.disk in
+              let pool = Option.get (Wave_cache.Cache.find disk) in
+              let s0 = Wave_cache.Cache.stats pool in
+              let samples =
+                List.init runs (fun _ ->
+                    time_on disk (fun () ->
+                        Scheme.transition s;
+                        Wave_cache.Cache.flush pool))
+              in
+              let s1 = Wave_cache.Cache.stats pool in
+              record
+                ~wb:
+                  ( s1.Wave_cache.Cache.writes_coalesced
+                    - s0.Wave_cache.Cache.writes_coalesced,
+                    s1.Wave_cache.Cache.flushes - s0.Wave_cache.Cache.flushes,
+                    s1.Wave_cache.Cache.flushed_blocks
+                    - s0.Wave_cache.Cache.flushed_blocks )
+                (Printf.sprintf "transition+wb/%s/%s" sname
+                   (Env.technique_name technique))
+                samples;
+              Wave_cache.Cache.detach disk)
             [ Env.In_place; Env.Packed_shadow ]
         end)
       Scheme.all;
     let results = List.rev !results in
-    Printf.printf "%-34s %12s %12s %6s %10s\n" "benchmark" "p50(ms)" "p95(ms)"
-      "runs" "hit-ratio";
+    Printf.printf "%-34s %12s %12s %6s %10s %22s\n" "benchmark" "p50(ms)"
+      "p95(ms)" "runs" "hit-ratio" "write-back";
     List.iter
-      (fun (name, p50, p95, r, cache) ->
-        Printf.printf "%-34s %12.4f %12.4f %6d %10s\n" name (p50 *. 1e3)
+      (fun (name, p50, p95, r, cache, wb) ->
+        Printf.printf "%-34s %12.4f %12.4f %6d %10s %22s\n" name (p50 *. 1e3)
           (p95 *. 1e3) r
           (match cache with
           | None -> "-"
-          | Some (ratio, _, _) -> Printf.sprintf "%.3f" ratio))
+          | Some (ratio, _, _) -> Printf.sprintf "%.3f" ratio)
+          (match wb with
+          | None -> "-"
+          | Some (coalesced, flushes, blocks) ->
+            Printf.sprintf "c=%d f=%d b=%d" coalesced flushes blocks))
       results;
     match json with
     | None -> ()
@@ -579,7 +651,7 @@ let bench_cmd =
       let j =
         Obj
           [
-            ("schema", Str "waveidx-bench/2");
+            ("schema", Str Wave_obs.Sink.bench_schema);
             ("unit", Str "model-seconds");
             ( "config",
               Obj
@@ -593,7 +665,7 @@ let bench_cmd =
             ( "benchmarks",
               Arr
                 (List.map
-                   (fun (name, p50, p95, r, cache) ->
+                   (fun (name, p50, p95, r, cache, wb) ->
                      Obj
                        ([
                           ("name", Str name);
@@ -601,18 +673,30 @@ let bench_cmd =
                           ("p95", Num p95);
                           ("runs", int r);
                         ]
+                       @ (match cache with
+                         | None -> []
+                         | Some (ratio, hits, misses) ->
+                           [
+                             ( "cache",
+                               Obj
+                                 [
+                                   ("hit_ratio", Num ratio);
+                                   ("hits", int hits);
+                                   ("misses", int misses);
+                                   ("frames", int cache_blocks);
+                                 ] );
+                           ])
                        @
-                       match cache with
+                       match wb with
                        | None -> []
-                       | Some (ratio, hits, misses) ->
+                       | Some (coalesced, flushes, blocks) ->
                          [
-                           ( "cache",
+                           ( "writeback",
                              Obj
                                [
-                                 ("hit_ratio", Num ratio);
-                                 ("hits", int hits);
-                                 ("misses", int misses);
-                                 ("frames", int cache_blocks);
+                                 ("writes_coalesced", int coalesced);
+                                 ("flushes", int flushes);
+                                 ("flushed_blocks", int blocks);
                                ] );
                          ]))
                    results) );
@@ -622,10 +706,15 @@ let bench_cmd =
       output_string oc (to_string ~pretty:true j);
       output_char oc '\n';
       close_out oc;
+      (match Wave_obs.Sink.validate_bench j with
+      | Ok _ -> ()
+      | Error e ->
+        Printf.eprintf "bench: emitted snapshot failed validation: %s\n" e;
+        exit 1);
       Printf.printf "\nwrote %s (%d benchmarks)\n" path (List.length results)
   in
   Cmd.v (Cmd.info "bench" ~doc)
-    Term.(const run $ json $ runs $ w $ n $ postings $ cache_blocks)
+    Term.(const run $ json $ runs $ w $ n $ postings $ cache_blocks $ validate)
 
 let checkpoint_cmd =
   let doc = "Run a scheme for some days, then write its manifest to a file." in
@@ -699,7 +788,19 @@ let crashtest_cmd =
       & info [ "cache-blocks" ] ~docv:"N"
           ~doc:"run the sweep with an N-frame buffer pool attached")
   in
-  let run w n days verbose cache_blocks =
+  let write_back =
+    Arg.(
+      value & flag
+      & info [ "write-back" ]
+          ~doc:
+            "sweep with the pool in write-back mode (adds flush / \
+             dirty-pool fault points); requires --cache-blocks")
+  in
+  let run w n days verbose cache_blocks write_back =
+    if write_back && cache_blocks = None then begin
+      Printf.eprintf "crashtest: --write-back requires --cache-blocks\n";
+      exit 2
+    end;
     if n < 1 || n > w then begin
       Printf.eprintf "crashtest: need 1 <= n <= w (got W=%d n=%d)\n" w n;
       exit 2
@@ -716,6 +817,7 @@ let crashtest_cmd =
             Wave_storage.Index.default_config with
             Wave_storage.Index.cache_blocks = Some frames;
             cache_readahead = 2;
+            cache_write_back = write_back;
           })
         cache_blocks
     in
@@ -725,7 +827,9 @@ let crashtest_cmd =
       (List.nth sweep_days (days - 1))
       (match cache_blocks with
       | None -> ""
-      | Some b -> Printf.sprintf ", %d-frame buffer pool" b);
+      | Some b ->
+        Printf.sprintf ", %d-frame buffer pool%s" b
+          (if write_back then " (write-back)" else ""));
     Printf.printf "%-10s" "scheme";
     List.iter
       (fun t -> Printf.printf " %18s" (Env.technique_name t))
@@ -772,7 +876,7 @@ let crashtest_cmd =
     else print_string "\nall combinations recovered consistently\n"
   in
   Cmd.v (Cmd.info "crashtest" ~doc)
-    Term.(const run $ w $ n $ days $ verbose $ cache_blocks)
+    Term.(const run $ w $ n $ days $ verbose $ cache_blocks $ write_back)
 
 let () =
   let doc = "Wave-Indices (SIGMOD 1997) reproduction driver" in

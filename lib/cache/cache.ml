@@ -4,21 +4,16 @@ exception Cache_error of string
 
 let fail fmt = Printf.ksprintf (fun s -> raise (Cache_error s)) fmt
 
-(* A frame caches one block.  Data blocks are identified by their disk
-   address plus the allocation generation of the extent that covered
-   them when they were loaded; metadata blocks (directory / B+tree
-   nodes) by a (namespace, node id) pair.  Node ids are never reused,
-   so metadata frames cannot go stale; data frames go stale when the
-   extent is freed and the address reallocated (generation mismatch). *)
-type key = Data of int | Meta of { dir : int; node : int }
-
-type frame = {
-  mutable key : key;
-  mutable occupied : bool;
-  mutable gen : int;
-  mutable pins : int;
-  mutable refbit : bool;
-}
+(* A frame caches one block.  Data blocks are identified by the owning
+   disk's id plus their block address, tagged with the allocation
+   generation of the extent that covered them when they were loaded;
+   metadata blocks (directory / B+tree nodes) by a (namespace, node id)
+   pair.  Node ids are never reused, so metadata frames cannot go
+   stale; data frames go stale when the extent is freed and the address
+   reallocated (generation mismatch).  The disk id in data keys lets a
+   single pool [state] back several disks (a shared pool across
+   {!Wave_sim.Multi_disk} arms) without address collisions. *)
+type key = Data of { dsk : int; addr : int } | Meta of { dir : int; node : int }
 
 type stats = {
   hits : int;
@@ -28,16 +23,20 @@ type stats = {
   evictions : int;
   readaheads : int;
   stale_drops : int;
+  writes_coalesced : int;
+  dirty_evictions : int;
+  flushes : int;
+  flush_writes : int;
+  flushed_blocks : int;
+  dirty_discards : int;
   saved_seconds : float;
   meta_seconds : float;
 }
 
-type t = {
-  disk : Disk.t;
-  frames : frame array;
-  map : (key, int) Hashtbl.t;
-  readahead : int;
-  mutable hand : int;
+(* Mutable accumulator behind [stats].  Each pool [state] holds one
+   global accumulator and each attached view holds a local one, so a
+   shared pool can report both fleet totals and per-arm slices. *)
+type acc = {
   mutable hits : int;
   mutable misses : int;
   mutable meta_hits : int;
@@ -45,9 +44,101 @@ type t = {
   mutable evictions : int;
   mutable readaheads : int;
   mutable stale_drops : int;
+  mutable writes_coalesced : int;
+  mutable dirty_evictions : int;
+  mutable flushes : int;
+  mutable flush_writes : int;
+  mutable flushed_blocks : int;
+  mutable dirty_discards : int;
   mutable saved_seconds : float;
   mutable meta_seconds : float;
 }
+
+type frame = {
+  mutable key : key;
+  mutable occupied : bool;
+  mutable gen : int;
+  mutable pins : int;
+  mutable refbit : bool;
+  mutable dirty : bool; (* deferred (write-back) contents not yet on disk *)
+  mutable owner : t option; (* view whose disk the deferred write targets *)
+}
+
+(* Shared pool state: the frames and their policy.  Several views (one
+   per attached disk) may share one state. *)
+and state = {
+  frames : frame array;
+  map : (key, int) Hashtbl.t;
+  readahead : int;
+  write_back : bool;
+  mutable in_flush : bool; (* reentrancy guard: eviction inside a flush
+                              must not start a nested drain *)
+  mutable hand : int;
+  global : acc;
+}
+
+and t = { st : state; disk : Disk.t; uid : int; local : acc }
+
+let acc_create () =
+  {
+    hits = 0;
+    misses = 0;
+    meta_hits = 0;
+    meta_misses = 0;
+    evictions = 0;
+    readaheads = 0;
+    stale_drops = 0;
+    writes_coalesced = 0;
+    dirty_evictions = 0;
+    flushes = 0;
+    flush_writes = 0;
+    flushed_blocks = 0;
+    dirty_discards = 0;
+    saved_seconds = 0.0;
+    meta_seconds = 0.0;
+  }
+
+let acc_reset a =
+  a.hits <- 0;
+  a.misses <- 0;
+  a.meta_hits <- 0;
+  a.meta_misses <- 0;
+  a.evictions <- 0;
+  a.readaheads <- 0;
+  a.stale_drops <- 0;
+  a.writes_coalesced <- 0;
+  a.dirty_evictions <- 0;
+  a.flushes <- 0;
+  a.flush_writes <- 0;
+  a.flushed_blocks <- 0;
+  a.dirty_discards <- 0;
+  a.saved_seconds <- 0.0;
+  a.meta_seconds <- 0.0
+
+let acc_stats (a : acc) : stats =
+  {
+    hits = a.hits;
+    misses = a.misses;
+    meta_hits = a.meta_hits;
+    meta_misses = a.meta_misses;
+    evictions = a.evictions;
+    readaheads = a.readaheads;
+    stale_drops = a.stale_drops;
+    writes_coalesced = a.writes_coalesced;
+    dirty_evictions = a.dirty_evictions;
+    flushes = a.flushes;
+    flush_writes = a.flush_writes;
+    flushed_blocks = a.flushed_blocks;
+    dirty_discards = a.dirty_discards;
+    saved_seconds = a.saved_seconds;
+    meta_seconds = a.meta_seconds;
+  }
+
+(* Mirror every counter mutation into both the view's local slice and
+   the pool-wide accumulator. *)
+let bump t f =
+  f t.local;
+  f t.st.global
 
 (* Fleet-wide counters: pools also feed the always-on metrics registry
    so perf artifacts can report hit ratios without a pool handle. *)
@@ -57,58 +148,111 @@ let m_meta_hits = Wave_obs.Metrics.counter "cache.meta_hits"
 let m_meta_misses = Wave_obs.Metrics.counter "cache.meta_misses"
 let m_evictions = Wave_obs.Metrics.counter "cache.evictions"
 let m_readaheads = Wave_obs.Metrics.counter "cache.readaheads"
+let m_writes_coalesced = Wave_obs.Metrics.counter "cache.writes_coalesced"
+let m_dirty_evictions = Wave_obs.Metrics.counter "cache.dirty_evictions"
+let m_flushes = Wave_obs.Metrics.counter "cache.flushes"
+let m_flushed_blocks = Wave_obs.Metrics.counter "cache.flushed_blocks"
+let m_dirty_discards = Wave_obs.Metrics.counter "cache.dirty_discards"
 
-let create disk ~frames ?(readahead = 0) () =
+let state_create ~frames ~readahead ~write_back =
   if frames < 1 then fail "create: need at least one frame (got %d)" frames;
   if readahead < 0 then fail "create: negative readahead";
   {
-    disk;
     frames =
       Array.init frames (fun _ ->
-          { key = Data (-1); occupied = false; gen = 0; pins = 0; refbit = false });
+          {
+            key = Data { dsk = -1; addr = -1 };
+            occupied = false;
+            gen = 0;
+            pins = 0;
+            refbit = false;
+            dirty = false;
+            owner = None;
+          });
     map = Hashtbl.create (2 * frames);
     readahead;
+    write_back;
+    in_flush = false;
     hand = 0;
-    hits = 0;
-    misses = 0;
-    meta_hits = 0;
-    meta_misses = 0;
-    evictions = 0;
-    readaheads = 0;
-    stale_drops = 0;
-    saved_seconds = 0.0;
-    meta_seconds = 0.0;
+    global = acc_create ();
   }
+
+let view st disk = { st; disk; uid = Disk.id disk; local = acc_create () }
+
+let create disk ~frames ?(readahead = 0) ?(write_back = false) () =
+  view (state_create ~frames ~readahead ~write_back) disk
 
 (* --- per-disk attachment -------------------------------------------- *)
 
 let pools : (int, t) Hashtbl.t = Hashtbl.create 16
 
-let attach disk ~frames ?(readahead = 0) () =
+let attach disk ~frames ?(readahead = 0) ?(write_back = false) () =
   match Hashtbl.find_opt pools (Disk.id disk) with
   | Some pool -> pool
   | None ->
-    let pool = create disk ~frames ~readahead () in
+    let pool = create disk ~frames ~readahead ~write_back () in
     Hashtbl.replace pools (Disk.id disk) pool;
     pool
+
+let attach_shared disks ~frames ?(readahead = 0) ?(write_back = false) () =
+  if disks = [] then fail "attach_shared: no disks";
+  List.iter
+    (fun d ->
+      if Hashtbl.mem pools (Disk.id d) then
+        fail "attach_shared: disk %d already has a pool" (Disk.id d))
+    disks;
+  let st = state_create ~frames ~readahead ~write_back in
+  List.map
+    (fun d ->
+      let v = view st d in
+      Hashtbl.replace pools (Disk.id d) v;
+      v)
+    disks
 
 let find disk = Hashtbl.find_opt pools (Disk.id disk)
 let detach disk = Hashtbl.remove pools (Disk.id disk)
 
 (* --- frame management ----------------------------------------------- *)
 
+let params t = Disk.params t.disk
+
+let block_seconds t blocks =
+  float_of_int (blocks * (params t).Disk.block_size)
+  /. (params t).Disk.transfer_rate
+
+(* Deferred write of one dirty frame, performed at eviction (or
+   discarded if the covering extent is gone or reallocated — its
+   contents belong to a dead extent and must never reach the disk). *)
+let evict_dirty f =
+  match (f.owner, f.key) with
+  | Some v, Data { addr; _ } ->
+    (match Disk.extent_covering v.disk ~addr with
+    | Some ext
+      when Disk.generation_at v.disk ~start:ext.Disk.start = Some f.gen ->
+      Disk.write_run v.disk ext ~off:(addr - ext.Disk.start) ~blocks:1;
+      bump v (fun a -> a.dirty_evictions <- a.dirty_evictions + 1);
+      Wave_obs.Metrics.inc m_dirty_evictions
+    | _ ->
+      bump v (fun a -> a.dirty_discards <- a.dirty_discards + 1);
+      Wave_obs.Metrics.inc m_dirty_discards);
+    f.dirty <- false;
+    f.owner <- None
+  | _ ->
+    f.dirty <- false;
+    f.owner <- None
+
 (* CLOCK second chance: sweep from the hand, skipping pinned frames and
    giving referenced frames one more revolution.  Two full revolutions
    guarantee a victim unless every frame is pinned. *)
-let victim t =
-  let n = Array.length t.frames in
+let victim st =
+  let n = Array.length st.frames in
   let budget = ref (2 * n) in
   let rec go () =
     if !budget = 0 then fail "no evictable frame: all %d frames pinned" n;
     decr budget;
-    let i = t.hand in
-    t.hand <- (t.hand + 1) mod n;
-    let f = t.frames.(i) in
+    let i = st.hand in
+    st.hand <- (st.hand + 1) mod n;
+    let f = st.frames.(i) in
     if not f.occupied then i
     else if f.pins > 0 then go ()
     else if f.refbit then begin
@@ -120,11 +264,13 @@ let victim t =
   go ()
 
 let install t key ~gen ~refbit =
-  let i = victim t in
-  let f = t.frames.(i) in
+  let st = t.st in
+  let i = victim st in
+  let f = st.frames.(i) in
   if f.occupied then begin
-    Hashtbl.remove t.map f.key;
-    t.evictions <- t.evictions + 1;
+    if f.dirty then evict_dirty f;
+    Hashtbl.remove st.map f.key;
+    bump t (fun a -> a.evictions <- a.evictions + 1);
     Wave_obs.Metrics.inc m_evictions
   end;
   f.key <- key;
@@ -132,23 +278,32 @@ let install t key ~gen ~refbit =
   f.gen <- gen;
   f.pins <- 0;
   f.refbit <- refbit;
-  Hashtbl.replace t.map key i
+  f.dirty <- false;
+  f.owner <- None;
+  Hashtbl.replace st.map key i;
+  f
 
 let frame_of t key =
-  match Hashtbl.find_opt t.map key with
+  match Hashtbl.find_opt t.st.map key with
   | None -> None
-  | Some i -> Some t.frames.(i)
+  | Some i -> Some t.st.frames.(i)
 
-let params t = Disk.params t.disk
-
-let block_seconds t blocks =
-  float_of_int (blocks * (params t).Disk.block_size)
-  /. (params t).Disk.transfer_rate
+let dkey t addr = Data { dsk = t.uid; addr }
 
 let live_gen t (ext : Disk.extent) =
   match Disk.generation_at t.disk ~start:ext.Disk.start with
   | Some g -> g
   | None -> fail "extent at %d is not live" ext.Disk.start
+
+(* A stale frame refreshed in place carries deferred contents of a
+   {e dead} extent: discard them, never write them. *)
+let drop_stale_dirty t f =
+  if f.dirty then begin
+    f.dirty <- false;
+    f.owner <- None;
+    bump t (fun a -> a.dirty_discards <- a.dirty_discards + 1);
+    Wave_obs.Metrics.inc m_dirty_discards
+  end
 
 (* Classify one data block against the pool.  Hits get their reference
    bit set here; stale and absent blocks are returned for the caller to
@@ -156,7 +311,7 @@ let live_gen t (ext : Disk.extent) =
 type presence = P_hit | P_stale | P_absent
 
 let classify t addr ~gen =
-  match frame_of t (Data addr) with
+  match frame_of t (dkey t addr) with
   | Some f when f.gen = gen ->
     f.refbit <- true;
     P_hit
@@ -164,17 +319,19 @@ let classify t addr ~gen =
   | None -> P_absent
 
 let settle t addr ~gen ~refbit =
-  match frame_of t (Data addr) with
+  match frame_of t (dkey t addr) with
   | Some f ->
     (* Stale frame refreshed in place: same key, new generation. *)
+    drop_stale_dirty t f;
     f.gen <- gen;
     f.refbit <- refbit;
-    t.stale_drops <- t.stale_drops + 1
-  | None -> install t (Data addr) ~gen ~refbit
+    bump t (fun a -> a.stale_drops <- a.stale_drops + 1)
+  | None -> ignore (install t (dkey t addr) ~gen ~refbit)
 
 let note_data t ~hits ~misses =
-  t.hits <- t.hits + hits;
-  t.misses <- t.misses + misses;
+  bump t (fun a ->
+      a.hits <- a.hits + hits;
+      a.misses <- a.misses + misses);
   if hits > 0 then Wave_obs.Metrics.inc ~by:(float_of_int hits) m_hits;
   if misses > 0 then Wave_obs.Metrics.inc ~by:(float_of_int misses) m_misses
 
@@ -197,13 +354,14 @@ let read_range t (ext : Disk.extent) ~off ~blocks =
     done;
     let m = List.length !missing in
     let ra =
-      if m = 0 || t.readahead = 0 then []
+      if m = 0 || t.st.readahead = 0 then []
       else begin
         (* Prefetch up to [readahead] blocks following the demand range
            inside the same extent — the arm is already positioned, so
            they ride the same seek (extra transfer only). *)
         let upto =
-          min ext.Disk.length (off + blocks + t.readahead) - 1 + ext.Disk.start
+          min ext.Disk.length (off + blocks + t.st.readahead)
+          - 1 + ext.Disk.start
         in
         let out = ref [] in
         for a = upto downto base + blocks do
@@ -220,7 +378,7 @@ let read_range t (ext : Disk.extent) ~off ~blocks =
       List.iter (fun a -> settle t a ~gen ~refbit:true) !missing;
       List.iter (fun a -> settle t a ~gen ~refbit:false) ra;
       let n_ra = List.length ra in
-      t.readaheads <- t.readaheads + n_ra;
+      bump t (fun a -> a.readaheads <- a.readaheads + n_ra);
       if n_ra > 0 then Wave_obs.Metrics.inc ~by:(float_of_int n_ra) m_readaheads
     end;
     (* Saved versus the uncached charge (seek + whole range), net of any
@@ -228,10 +386,9 @@ let read_range t (ext : Disk.extent) ~off ~blocks =
     let seek = (params t).Disk.seek_time in
     let uncached = seek +. block_seconds t blocks in
     let charged =
-      if m = 0 then 0.0
-      else seek +. block_seconds t (m + List.length ra)
+      if m = 0 then 0.0 else seek +. block_seconds t (m + List.length ra)
     in
-    t.saved_seconds <- t.saved_seconds +. uncached -. charged;
+    bump t (fun a -> a.saved_seconds <- a.saved_seconds +. uncached -. charged);
     note_data t ~hits:!hits ~misses:m
   end
 
@@ -269,39 +426,213 @@ let sequential_read t exts =
       (* Scan-loaded frames enter cold (reference bit clear): a scan
          longer than the pool drains behind itself instead of evicting
          the probe working set — drop-behind readahead. *)
-      List.iter (fun (a, gen) -> settle t a ~gen ~refbit:false) (List.rev !missing);
+      List.iter
+        (fun (a, gen) -> settle t a ~gen ~refbit:false)
+        (List.rev !missing);
       let ra = m - !runs in
-      t.readaheads <- t.readaheads + ra;
+      bump t (fun a -> a.readaheads <- a.readaheads + ra);
       if ra > 0 then Wave_obs.Metrics.inc ~by:(float_of_int ra) m_readaheads
     end;
     let seek = (params t).Disk.seek_time in
     let uncached = seek +. block_seconds t !total in
     let charged = if m = 0 then 0.0 else seek +. block_seconds t m in
-    t.saved_seconds <- t.saved_seconds +. uncached -. charged;
+    bump t (fun a -> a.saved_seconds <- a.saved_seconds +. uncached -. charged);
     note_data t ~hits:!hits ~misses:m
   end
+
+(* Write-back: dirty the resident frames instead of charging the disk;
+   the deferred write happens at eviction ({!evict_dirty}) or at the
+   next {!flush} drain, where contiguous dirty runs coalesce into one
+   physical write each. *)
+let write_back_range t (ext : Disk.extent) ~off ~blocks =
+  if not (Disk.live_at t.disk ~start:ext.Disk.start ~length:ext.Disk.length)
+  then raise (Disk.Disk_error "write: extent is not live");
+  if blocks > 0 then
+    if blocks > Array.length t.st.frames then begin
+      (* The range cannot be held dirty: fall back to write-through for
+         this one write (same cost and fault point as uncached). *)
+      Disk.write_blocks t.disk ext ~blocks;
+      let gen = live_gen t ext in
+      let base = ext.Disk.start + off in
+      for i = 0 to blocks - 1 do
+        match frame_of t (dkey t (base + i)) with
+        | Some f ->
+          drop_stale_dirty t f;
+          f.gen <- gen;
+          f.refbit <- true
+        | None -> ()
+      done
+    end
+    else begin
+      let gen = live_gen t ext in
+      let base = ext.Disk.start + off in
+      for i = 0 to blocks - 1 do
+        let addr = base + i in
+        let f =
+          match frame_of t (dkey t addr) with
+          | Some f when f.gen = gen ->
+            if f.dirty then begin
+              (* A rewrite absorbed by an already-dirty frame: the
+                 whole point of write-back. *)
+              bump t (fun a -> a.writes_coalesced <- a.writes_coalesced + 1);
+              Wave_obs.Metrics.inc m_writes_coalesced
+            end;
+            f
+          | Some f ->
+            drop_stale_dirty t f;
+            f.gen <- gen;
+            bump t (fun a -> a.stale_drops <- a.stale_drops + 1);
+            f
+          | None -> install t (dkey t addr) ~gen ~refbit:true
+        in
+        f.refbit <- true;
+        f.dirty <- true;
+        f.owner <- Some t
+      done
+    end
 
 let write_range t (ext : Disk.extent) ~off ~blocks =
   if off < 0 || blocks < 0 || off + blocks > ext.Disk.length then
     fail "write_range: [%d, %d) outside extent of %d blocks" off (off + blocks)
       ext.Disk.length;
-  (* Write-through: the disk is charged exactly as an uncached write —
-     same seek, same write op, same fault point.  Only if it succeeds
-     do resident frames pick up the new contents (and generation). *)
-  Disk.write_blocks t.disk ext ~blocks;
-  if blocks > 0 then begin
-    let gen = live_gen t ext in
-    let base = ext.Disk.start + off in
-    for i = 0 to blocks - 1 do
-      match frame_of t (Data (base + i)) with
-      | Some f ->
-        f.gen <- gen;
-        f.refbit <- true
-      | None -> () (* no write allocation *)
-    done
+  if t.st.write_back then write_back_range t ext ~off ~blocks
+  else begin
+    (* Write-through: the disk is charged exactly as an uncached write —
+       same seek, same write op, same fault point.  Only if it succeeds
+       do resident frames pick up the new contents (and generation). *)
+    Disk.write_blocks t.disk ext ~blocks;
+    if blocks > 0 then begin
+      let gen = live_gen t ext in
+      let base = ext.Disk.start + off in
+      for i = 0 to blocks - 1 do
+        match frame_of t (dkey t (base + i)) with
+        | Some f ->
+          f.gen <- gen;
+          f.refbit <- true
+        | None -> () (* no write allocation *)
+      done
+    end
   end
 
 let write t ext = write_range t ext ~off:0 ~blocks:ext.Disk.length
+
+(* --- flush ----------------------------------------------------------- *)
+
+let dirty_frames t =
+  Array.fold_left
+    (fun acc f -> if f.occupied && f.dirty then acc + 1 else acc)
+    0 t.st.frames
+
+let write_back t = t.st.write_back
+
+(* Drain every dirty frame: one {!Disk.note_flush} fault point, then
+   the dirty set sorted by (owning disk, address) and written as
+   contiguous runs — a shadow build's repeated bucket rewrites land as
+   one physical write per bucket.  Frames are marked clean only after
+   their run's write succeeds, so an injected fault mid-drain leaves
+   the remaining frames dirty and a later flush resumes exactly there.
+   Reentrant calls (an eviction during the drain installing frames) are
+   no-ops, as is any flush of a write-through pool or a clean pool. *)
+let flush t =
+  let st = t.st in
+  if st.write_back && not st.in_flush then begin
+    let dirty = ref [] in
+    Array.iter
+      (fun f ->
+        if f.occupied && f.dirty then
+          match (f.owner, f.key) with
+          | Some v, Data { addr; _ } -> dirty := (v, addr, f) :: !dirty
+          | _ ->
+            (* Dirty frame with no owner cannot be written anywhere. *)
+            f.dirty <- false)
+      st.frames;
+    let dirty =
+      List.sort
+        (fun (v1, a1, _) (v2, a2, _) ->
+          match Int.compare v1.uid v2.uid with
+          | 0 -> Int.compare a1 a2
+          | c -> c)
+        !dirty
+    in
+    if dirty <> [] then begin
+      st.in_flush <- true;
+      Fun.protect
+        ~finally:(fun () -> st.in_flush <- false)
+        (fun () ->
+          Disk.note_flush t.disk;
+          bump t (fun a -> a.flushes <- a.flushes + 1);
+          Wave_obs.Metrics.inc m_flushes;
+          (* Resolve each frame to its covering live extent; a frame
+             whose extent is gone or reallocated is discarded. *)
+          let writable =
+            List.filter_map
+              (fun (v, addr, f) ->
+                match Disk.extent_covering v.disk ~addr with
+                | Some ext
+                  when Disk.generation_at v.disk ~start:ext.Disk.start
+                       = Some f.gen ->
+                  Some (v, addr, f, ext)
+                | _ ->
+                  f.dirty <- false;
+                  f.owner <- None;
+                  bump v (fun a -> a.dirty_discards <- a.dirty_discards + 1);
+                  Wave_obs.Metrics.inc m_dirty_discards;
+                  None)
+              dirty
+          in
+          (* Coalesce into maximal contiguous runs within one extent of
+             one disk, then write each run with a single operation. *)
+          let write_run_group = function
+            | [] -> ()
+            | (v, addr0, _, (ext : Disk.extent)) :: _ as group ->
+              let n = List.length group in
+              Disk.write_run v.disk ext
+                ~off:(addr0 - ext.Disk.start)
+                ~blocks:n;
+              List.iter
+                (fun (_, _, f, _) ->
+                  f.dirty <- false;
+                  f.owner <- None)
+                group;
+              bump v (fun a ->
+                  a.flush_writes <- a.flush_writes + 1;
+                  a.flushed_blocks <- a.flushed_blocks + n);
+              Wave_obs.Metrics.inc ~by:(float_of_int n) m_flushed_blocks
+          in
+          let rec drain group = function
+            | [] -> write_run_group (List.rev group)
+            | ((v, addr, _, (ext : Disk.extent)) as item) :: rest -> (
+              match group with
+              | (v0, prev, _, (ext0 : Disk.extent)) :: _
+                when v0.uid = v.uid
+                     && addr = prev + 1
+                     && ext0.Disk.start = ext.Disk.start ->
+                drain (item :: group) rest
+              | [] -> drain [ item ] rest
+              | _ ->
+                write_run_group (List.rev group);
+                drain [ item ] rest)
+          in
+          drain [] writable)
+    end
+  end
+
+let discard_dirty t =
+  let n = ref 0 in
+  Array.iter
+    (fun f ->
+      if f.occupied && f.dirty then begin
+        (match f.owner with
+        | Some v ->
+          bump v (fun a -> a.dirty_discards <- a.dirty_discards + 1);
+          Wave_obs.Metrics.inc m_dirty_discards
+        | None -> ());
+        f.dirty <- false;
+        f.owner <- None;
+        incr n
+      end)
+    t.st.frames;
+  !n
 
 let meta_read t ~dir ~nodes =
   let seek = (params t).Disk.seek_time in
@@ -311,17 +642,18 @@ let meta_read t ~dir ~nodes =
       match frame_of t key with
       | Some f ->
         f.refbit <- true;
-        t.meta_hits <- t.meta_hits + 1;
+        bump t (fun a -> a.meta_hits <- a.meta_hits + 1);
         Wave_obs.Metrics.inc m_meta_hits
       | None ->
         (* A cold upper-level block: pointer-chased, so each miss pays
            its own seek — exactly the term a warm pool removes. *)
         Disk.charge_seek t.disk;
         Disk.charge_read_transfer t.disk ~blocks:1;
-        t.meta_seconds <- t.meta_seconds +. seek +. block_seconds t 1;
-        t.meta_misses <- t.meta_misses + 1;
+        bump t (fun a ->
+            a.meta_seconds <- a.meta_seconds +. seek +. block_seconds t 1;
+            a.meta_misses <- a.meta_misses + 1);
         Wave_obs.Metrics.inc m_meta_misses;
-        install t key ~gen:0 ~refbit:true)
+        ignore (install t key ~gen:0 ~refbit:true))
     nodes
 
 (* --- pinning --------------------------------------------------------- *)
@@ -332,7 +664,7 @@ let pin_extent t (ext : Disk.extent) =
   let pinned = ref [] in
   try
     for i = 0 to ext.Disk.length - 1 do
-      match frame_of t (Data (ext.Disk.start + i)) with
+      match frame_of t (dkey t (ext.Disk.start + i)) with
       | Some f when f.gen = gen ->
         f.pins <- f.pins + 1;
         pinned := f :: !pinned
@@ -348,7 +680,7 @@ let unpin_extent t (ext : Disk.extent) =
   (* Validate the whole range first so a failed unpin changes nothing. *)
   let frames =
     List.init ext.Disk.length (fun i ->
-        match frame_of t (Data (ext.Disk.start + i)) with
+        match frame_of t (dkey t (ext.Disk.start + i)) with
         | Some f when f.pins > 0 -> f
         | Some _ ->
           fail "unpin_extent: block %d pin count would drop below zero"
@@ -359,14 +691,18 @@ let unpin_extent t (ext : Disk.extent) =
   List.iter (fun f -> f.pins <- f.pins - 1) frames
 
 let pinned_frames t =
-  Array.fold_left (fun acc f -> if f.pins > 0 then acc + 1 else acc) 0 t.frames
+  Array.fold_left
+    (fun acc f -> if f.pins > 0 then acc + 1 else acc)
+    0 t.st.frames
 
 (* --- observation ----------------------------------------------------- *)
 
-let capacity t = Array.length t.frames
+let capacity t = Array.length t.st.frames
 
 let resident t =
-  Array.fold_left (fun acc f -> if f.occupied then acc + 1 else acc) 0 t.frames
+  Array.fold_left
+    (fun acc f -> if f.occupied then acc + 1 else acc)
+    0 t.st.frames
 
 let contains t (ext : Disk.extent) =
   match Disk.generation_at t.disk ~start:ext.Disk.start with
@@ -374,35 +710,18 @@ let contains t (ext : Disk.extent) =
   | Some gen ->
     let ok = ref true in
     for i = 0 to ext.Disk.length - 1 do
-      match frame_of t (Data (ext.Disk.start + i)) with
+      match frame_of t (dkey t (ext.Disk.start + i)) with
       | Some f when f.gen = gen -> ()
       | Some _ | None -> ok := false
     done;
     !ok
 
-let stats t =
-  {
-    hits = t.hits;
-    misses = t.misses;
-    meta_hits = t.meta_hits;
-    meta_misses = t.meta_misses;
-    evictions = t.evictions;
-    readaheads = t.readaheads;
-    stale_drops = t.stale_drops;
-    saved_seconds = t.saved_seconds;
-    meta_seconds = t.meta_seconds;
-  }
+let stats t = acc_stats t.st.global
+let local_stats t = acc_stats t.local
 
 let reset_stats t =
-  t.hits <- 0;
-  t.misses <- 0;
-  t.meta_hits <- 0;
-  t.meta_misses <- 0;
-  t.evictions <- 0;
-  t.readaheads <- 0;
-  t.stale_drops <- 0;
-  t.saved_seconds <- 0.0;
-  t.meta_seconds <- 0.0
+  acc_reset t.st.global;
+  acc_reset t.local
 
 let hit_ratio (s : stats) =
   Wave_util.Stats.ratio (float_of_int s.hits) (float_of_int (s.hits + s.misses))
@@ -418,4 +737,13 @@ let pp_stats ppf (s : stats) =
      stale=%d saved=%.4fs meta-cost=%.4fs"
     s.hits s.misses (hit_ratio s) s.meta_hits
     (s.meta_hits + s.meta_misses)
-    s.evictions s.readaheads s.stale_drops s.saved_seconds s.meta_seconds
+    s.evictions s.readaheads s.stale_drops s.saved_seconds s.meta_seconds;
+  if
+    s.writes_coalesced > 0 || s.flushes > 0 || s.dirty_evictions > 0
+    || s.dirty_discards > 0
+  then
+    Format.fprintf ppf
+      " wb[coalesced=%d flushes=%d runs=%d blocks=%d evict-writes=%d \
+       discards=%d]"
+      s.writes_coalesced s.flushes s.flush_writes s.flushed_blocks
+      s.dirty_evictions s.dirty_discards

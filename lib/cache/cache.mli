@@ -12,7 +12,7 @@
     index structures — so enabling it can never change {e what} a query
     returns, only what it costs.
 
-    Policy (see DESIGN.md §5c):
+    Policy (see DESIGN.md §5c–§5d):
     - {b CLOCK eviction} (second chance).  Each frame has a reference
       bit, set on hit; the hand sweeps, clearing reference bits and
       skipping pinned frames, and evicts the first unreferenced,
@@ -20,11 +20,23 @@
     - {b Pinning.}  {!pin_extent} faults an extent in and makes its
       frames ineligible for eviction until {!unpin_extent}.  Pins
       nest; unpinning below zero raises {!Cache_error}, as does an
-      allocation request when every frame is pinned.
-    - {b Write-through.}  Writes charge the disk exactly as today —
-      same seeks, same write operations, same fault-injection points,
-      so PR 1's crash-consistency guarantees are untouched — and
-      refresh any resident frames; they never allocate frames.
+      allocation request when every frame is pinned.  Pinned frames can
+      still be {e flushed} — pinning defers eviction, not durability.
+    - {b Write-through} (default).  Writes charge the disk exactly as
+      uncached — same seeks, same write operations, same
+      fault-injection points, so PR 1's crash-consistency guarantees
+      are untouched — and refresh any resident frames; they never
+      allocate frames.
+    - {b Write-back} (opt-in, [~write_back:true]).  Writes dirty
+      resident frames (allocating them on demand) instead of charging
+      the disk; a rewrite absorbed by an already-dirty frame is counted
+      as {e coalesced}.  The deferred write is charged when the CLOCK
+      hand evicts a dirty frame, or — batched into contiguous runs — at
+      the next {!flush}.  Dirty frames are volatile: a crash loses
+      them, so every durability boundary (checkpoint manifest rename,
+      journal commit) must {!flush} first, and recovery calls
+      {!discard_dirty}.  Dirty frames of a freed or reallocated extent
+      are {e discarded}, never written.
     - {b Invalidation by allocation generation.}  Frames are tagged
       with their extent's allocation generation ({!Disk.generation_at}).
       After a [free] and reallocation of the same address, the stale
@@ -38,15 +50,20 @@
       working set.  Demand reads can additionally prefetch up to
       [readahead] following blocks of the same extent.
 
-    Pools are attached one per disk ({!attach}) so that every index
-    sharing a disk shares the pool, and {!Wave_sim.Multi_disk} gets one
-    pool per arm. *)
+    Pools attach one per disk ({!attach}) so that every index sharing a
+    disk shares the pool.  {!attach_shared} instead backs {e several}
+    disks with one set of frames — a global buffer manager across
+    {!Wave_sim.Multi_disk} arms — with per-disk stats slices via
+    {!local_stats}. *)
 
 open Wave_disk
 
 exception Cache_error of string
 
 type t
+(** A view of a buffer pool through one disk.  Plain {!attach}/{!create}
+    pools have exactly one view; {!attach_shared} pools have one view
+    per backing disk, all sharing the same frames. *)
 
 type stats = {
   hits : int;  (** data blocks served from the pool *)
@@ -56,6 +73,17 @@ type stats = {
   evictions : int;  (** frames reclaimed by the CLOCK hand *)
   readaheads : int;  (** blocks fetched ahead of demand *)
   stale_drops : int;  (** frames dropped on generation mismatch *)
+  writes_coalesced : int;
+      (** block writes absorbed by an already-dirty frame — physical
+          writes the write-through pool would have charged *)
+  dirty_evictions : int;
+      (** dirty frames whose deferred write was performed at eviction *)
+  flushes : int;  (** non-empty {!flush} drains *)
+  flush_writes : int;  (** physical write operations issued by flushes *)
+  flushed_blocks : int;  (** blocks those flush writes carried *)
+  dirty_discards : int;
+      (** dirty frames discarded unwritten (freed / reallocated extent,
+          or {!discard_dirty} after a crash) *)
   saved_seconds : float;
       (** model-seconds avoided on data accesses versus the uncached
           charging (net of any wasted readahead transfer) *)
@@ -65,22 +93,37 @@ type stats = {
           directory memory-resident) *)
 }
 
-val create : Disk.t -> frames:int -> ?readahead:int -> unit -> t
+val create :
+  Disk.t -> frames:int -> ?readahead:int -> ?write_back:bool -> unit -> t
 (** A pool of [frames] one-block frames over the disk.  [frames >= 1];
-    [readahead >= 0] (default 0) blocks of demand-read prefetch. *)
+    [readahead >= 0] (default 0) blocks of demand-read prefetch;
+    [write_back] (default [false]) enables deferred writes. *)
 
 (** {1 Per-disk attachment} *)
 
-val attach : Disk.t -> frames:int -> ?readahead:int -> unit -> t
+val attach :
+  Disk.t -> frames:int -> ?readahead:int -> ?write_back:bool -> unit -> t
 (** The pool attached to this disk, creating it with the given
     geometry on first use.  Subsequent calls return the existing pool
     (its geometry wins). *)
 
+val attach_shared :
+  Disk.t list -> frames:int -> ?readahead:int -> ?write_back:bool -> unit ->
+  t list
+(** One shared pool state backing every listed disk, returned as one
+    view per disk (in order).  Raises {!Cache_error} if the list is
+    empty or any disk already has a pool attached.  Data keys carry the
+    disk id, so same-numbered blocks of different arms never collide;
+    eviction pressure, however, is global — a hot arm can evict a cold
+    arm's frames, which is the contention {!Wave_sim.Multi_disk}'s
+    shared mode exists to expose. *)
+
 val find : Disk.t -> t option
-(** The pool attached to this disk, if any. *)
+(** The pool view attached to this disk, if any. *)
 
 val detach : Disk.t -> unit
-(** Drop any pool attached to this disk.  Idempotent. *)
+(** Drop any pool view attached to this disk.  Idempotent.  Detaching
+    one arm of a shared pool leaves the other arms attached. *)
 
 (** {1 Charged accesses}
 
@@ -104,12 +147,15 @@ val sequential_read : t -> Disk.extent list -> unit
     missed blocks, batched per contiguous run. *)
 
 val write_range : t -> Disk.extent -> off:int -> blocks:int -> unit
-(** Write-through: charges {!Disk.write_blocks} [~blocks] verbatim
+(** Write-through pool: charges {!Disk.write_blocks} [~blocks] verbatim
     (same cost and fault points as uncached), then refreshes resident
-    frames in [off, off+blocks).  Never allocates frames. *)
+    frames in [off, off+blocks); never allocates frames.  Write-back
+    pool: dirties the range's frames (allocating on demand) and charges
+    nothing now — except a range larger than the whole pool, which
+    falls back to one write-through operation. *)
 
 val write : t -> Disk.extent -> unit
-(** Whole-extent write-through. *)
+(** Whole-extent write. *)
 
 val meta_read : t -> dir:int -> nodes:int list -> unit
 (** Charge a directory walk: each node is one metadata block in
@@ -117,6 +163,33 @@ val meta_read : t -> dir:int -> nodes:int list -> unit
     node is free; a miss charges one seek plus one block — the
     seek-dominated upper-level access a warm pool removes.  Metadata
     frames are never stale (node ids are never reused). *)
+
+(** {1 Write-back durability} *)
+
+val write_back : t -> bool
+(** Whether this pool defers writes. *)
+
+val dirty_frames : t -> int
+(** Frames currently holding a deferred write (0 for write-through). *)
+
+val flush : t -> unit
+(** Drain every dirty frame of the pool (all views of a shared pool):
+    one {!Disk.note_flush} fault point on this view's disk, then the
+    dirty set sorted by (disk, block address) and written as maximal
+    contiguous runs via {!Disk.write_run} — each run one seek and one
+    write operation, so a shadow build's repeated bucket rewrites reach
+    the disk as one physical write per bucket.  Frames are marked clean
+    only after their run succeeds: an injected fault mid-drain leaves
+    the rest dirty, and a later flush resumes with exactly those.
+    No-op on a write-through pool, on a clean pool (no fault point, no
+    counter), and when re-entered from an eviction inside the drain. *)
+
+val discard_dirty : t -> int
+(** Throw away every deferred write without performing it — what a
+    crash does to a volatile buffer pool.  Recovery calls this before
+    re-reading any state the dirty frames shadowed.  Returns the number
+    of frames discarded; clean frames stay resident (they match the
+    disk).  Idempotent. *)
 
 (** {1 Pinning} *)
 
@@ -143,7 +216,15 @@ val contains : t -> Disk.extent -> bool
     current allocation generation. *)
 
 val stats : t -> stats
+(** Pool-wide totals (all views of a shared pool). *)
+
+val local_stats : t -> stats
+(** This view's slice: only accesses issued through this view.  Equal
+    to {!stats} for a non-shared pool. *)
+
 val reset_stats : t -> unit
+(** Zero both the pool-wide totals and this view's slice.  (Other
+    views of a shared pool keep their local slices.) *)
 
 val hit_ratio : stats -> float
 (** Data-block hit ratio, 0 when no data blocks were touched. *)

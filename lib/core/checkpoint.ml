@@ -33,6 +33,23 @@ let metadata_write t bytes =
   Disk.charge_seek t.env.Env.disk;
   Disk.charge_transfer_bytes t.env.Env.disk bytes
 
+(* Write-back durability boundary.  A write-back pool holds deferred
+   writes in volatile frames; any record that makes index state durable
+   (journal intent, manifest rename) is a lie unless those frames reach
+   the disk first.  Flushing is a no-op for write-through pools and for
+   uncached runs, so the fault schedule without write-back is untouched. *)
+let flush_disk disk =
+  match Wave_cache.Cache.find disk with
+  | Some pool -> Wave_cache.Cache.flush pool
+  | None -> ()
+
+(* A crash loses the pool's dirty frames: model it.  Clean frames match
+   the disk and survive (warm-pool recovery, as in PR 3). *)
+let discard_dirty_disk disk =
+  match Wave_cache.Cache.find disk with
+  | Some pool -> ignore (Wave_cache.Cache.discard_dirty pool)
+  | None -> ()
+
 let snapshot_slots frame =
   Array.init (Frame.n frame) (fun i ->
       {
@@ -57,6 +74,7 @@ let start kind env =
       recovered = None;
     }
   in
+  flush_disk env.Env.disk;
   metadata_write t (String.length (Manifest.to_string m));
   t
 
@@ -113,7 +131,10 @@ let transition t =
   let intent = intent_of_plan t p in
   try
     (* 1. Durable intent: append before any index work.  The record is
-       only considered written if its I/O completes. *)
+       only considered written if its I/O completes.  Any deferred
+       writes still pooled from earlier work must land first — the
+       journal's old-extent snapshot describes the disk, not the pool. *)
+    flush_disk t.env.Env.disk;
     let record = Journal.Intent intent in
     let scratch = Journal.create () in
     Journal.append scratch record;
@@ -124,7 +145,11 @@ let transition t =
     (* 3. Atomic checkpoint: write the new manifest to a fresh file and
        rename over the old one.  The in-memory manifest/durable-slot
        update happens only after the write completed — the rename is
-       the commit point. *)
+       the commit point.  Flush-before-rename: every bucket write the
+       transition deferred into the pool must be on disk before the
+       manifest can claim the new wave — this is where a shadow build's
+       coalesced rewrites are charged. *)
+    flush_disk t.env.Env.disk;
     let m = Manifest.capture s in
     metadata_write t (String.length (Manifest.to_string m));
     t.manifest <- m;
@@ -135,8 +160,10 @@ let transition t =
     Journal.truncate t.journal
   with Disk.Disk_error _ as e ->
     (* The machine died: volatile state (the running scheme, its
-       private temporaries' directories) is gone.  Durable state —
-       manifest, journal, disk extents — survives for [recover]. *)
+       private temporaries' directories, the pool's dirty frames) is
+       gone.  Durable state — manifest, journal, disk extents —
+       survives for [recover]. *)
+    discard_dirty_disk t.env.Env.disk;
     t.scheme <- None;
     raise e
 
@@ -187,6 +214,9 @@ let recover t =
   in
   recover_span @@ fun () ->
   let disk = t.env.Env.disk in
+  (* Defensive: a crash already discarded the dirty frames, but recovery
+     must never trust deferred writes that predate it. *)
+  discard_dirty_disk disk;
   let t0 = Disk.elapsed disk in
   let fr = Frame.create t.env in
   let install_durable ?(except = []) () =
@@ -254,7 +284,9 @@ let recover t =
           Frame.set_slot fr c.Journal.slot idx c.Journal.new_days)
         i.Journal.changes;
       (* Post-recovery checkpoint: the completed transition becomes
-         durable via the same write-new-then-rename swap. *)
+         durable via the same write-new-then-rename swap — the rebuild's
+         own deferred writes land first. *)
+      flush_disk disk;
       let m =
         {
           t.manifest with

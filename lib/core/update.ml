@@ -26,6 +26,16 @@ let op_span env name days f =
       f
   else f ()
 
+(* Technique barrier for write-back pools: the moment a shadow replaces
+   the old constituent (the old index is dropped), the shadow is the
+   only copy — its deferred bucket writes must be on disk first.  This
+   is where a shadow build's coalesced rewrites are charged; for
+   write-through or uncached runs it is a no-op. *)
+let flush_barrier env =
+  match Wave_cache.Cache.find env.Env.disk with
+  | Some pool -> Wave_cache.Cache.flush pool
+  | None -> ()
+
 let build_days env days =
   op_span env "BuildIndex" days (fun () ->
       Index.build env.Env.disk env.Env.icfg (fetch env days))
@@ -41,10 +51,12 @@ let add_days env idx days =
   | Env.Simple_shadow ->
     let shadow = Index.copy idx in
     let shadow = add_in_place env shadow days in
+    flush_barrier env;
     Index.drop idx;
     shadow
   | Env.Packed_shadow ->
     let fresh = Index.pack idx ~drop_days:(fun _ -> false) ~extra:(fetch env days) in
+    flush_barrier env;
     Index.drop idx;
     fresh
 
@@ -58,10 +70,12 @@ let delete_days env idx expire =
   | Env.Simple_shadow ->
     let shadow = Index.copy idx in
     ignore (Index.delete_days shadow expire);
+    flush_barrier env;
     Index.drop idx;
     shadow
   | Env.Packed_shadow ->
     let fresh = Index.pack idx ~drop_days:expire ~extra:[] in
+    flush_barrier env;
     Index.drop idx;
     fresh
 
@@ -76,10 +90,12 @@ let replace_days env idx ~expire ~add =
     let shadow = Index.copy idx in
     ignore (Index.delete_days shadow expire);
     let shadow = add_in_place env shadow add in
+    flush_barrier env;
     Index.drop idx;
     shadow
   | Env.Packed_shadow ->
     let fresh = Index.pack idx ~drop_days:expire ~extra:(fetch env add) in
+    flush_barrier env;
     Index.drop idx;
     fresh
 
@@ -91,6 +107,7 @@ let add_days_fresh env idx days =
   | Env.In_place | Env.Simple_shadow -> add_in_place env idx days
   | Env.Packed_shadow ->
     let fresh = Index.pack idx ~drop_days:(fun _ -> false) ~extra:(fetch env days) in
+    flush_barrier env;
     Index.drop idx;
     fresh
 
@@ -126,9 +143,13 @@ let complete_replace env p ~add =
   match p.staged with
   | Some staged ->
     let staged = add_in_place env staged add in
-    if staged != p.old_idx then Index.drop p.old_idx;
+    if staged != p.old_idx then begin
+      flush_barrier env;
+      Index.drop p.old_idx
+    end;
     staged
   | None ->
     let fresh = Index.pack p.old_idx ~drop_days:p.expire ~extra:(fetch env add) in
+    flush_barrier env;
     Index.drop p.old_idx;
     fresh

@@ -14,6 +14,7 @@ type counters = {
   blocks_read : int;
   blocks_written : int;
   write_ops : int;
+  flushes : int;
   elapsed : float;
 }
 
@@ -21,7 +22,7 @@ exception Disk_error of string
 
 (* --- fault plans ---------------------------------------------------- *)
 
-type fault_target = On_seek | On_write
+type fault_target = On_seek | On_write | On_flush
 
 type fault_mode = Fail_stop | Torn
 
@@ -29,7 +30,10 @@ type fault_point = { target : fault_target; at : int }
 
 let pp_fault_point ppf p =
   Format.fprintf ppf "%s#%d"
-    (match p.target with On_seek -> "seek" | On_write -> "write")
+    (match p.target with
+    | On_seek -> "seek"
+    | On_write -> "write"
+    | On_flush -> "flush")
     p.at
 
 module Extent_key = struct
@@ -52,6 +56,7 @@ type t = {
   mutable blocks_read : int;
   mutable blocks_written : int;
   mutable write_ops : int;
+  mutable flushes : int;
   mutable elapsed : float;
   mutable fault_in : int; (* 0 = disarmed; k = fail on the k-th matching op *)
   mutable fault_target : fault_target;
@@ -79,6 +84,7 @@ let create ?(params = default_params) () =
     blocks_read = 0;
     blocks_written = 0;
     write_ops = 0;
+    flushes = 0;
     elapsed = 0.0;
     fault_in = 0;
     fault_target = On_seek;
@@ -189,6 +195,11 @@ let live_at t ~start ~length =
 let generation_at t ~start =
   if Live.mem start t.live then Hashtbl.find_opt t.gen start else None
 
+let extent_covering t ~addr =
+  match Live.find_last_opt (fun s -> s <= addr) t.live with
+  | Some (start, length) when addr < start + length -> Some { start; length }
+  | _ -> None
+
 let live_extents t =
   Live.fold (fun start length acc -> { start; length } :: acc) t.live []
   |> List.rev
@@ -260,6 +271,37 @@ let write_blocks t ext ~blocks =
 
 let write t ext = write_blocks t ext ~blocks:ext.length
 
+(* Deferred (write-back) flush of a sub-range: like [write_blocks] but
+   the written run may start at any offset inside the extent, as a
+   coalesced drain of dirty buffer frames does.  Same cost (one seek,
+   one write op, the run's transfer) and the same fault point; a torn
+   fault marks the whole destination extent, and only a complete
+   rewrite clears an existing tear. *)
+let write_run t ext ~off ~blocks =
+  lookup_live t ext;
+  if off < 0 || blocks < 0 || off + blocks > ext.length then
+    raise (Disk_error "write_run: out of extent bounds");
+  write_fault_check t ext;
+  charge_seek t;
+  t.write_ops <- t.write_ops + 1;
+  t.blocks_written <- t.blocks_written + blocks;
+  t.elapsed <- t.elapsed +. block_seconds t blocks;
+  Wave_obs.Trace.on_write ~blocks ~bytes:(blocks * t.params.block_size);
+  Wave_obs.Trace.on_model_seconds (block_seconds t blocks);
+  if off = 0 && blocks = ext.length then Hashtbl.remove t.torn ext.start
+
+(* One buffer-pool flush drain.  The drain itself moves no bytes (its
+   runs charge their own seeks and transfers through [write_run]); it
+   exists as an operation so crash plans can name "the k-th flush" and
+   the sweep can crash with a dirty pool before any deferred write of
+   the drain has happened. *)
+let note_flush t =
+  if t.fault_in > 0 && t.fault_target = On_flush then begin
+    t.fault_in <- t.fault_in - 1;
+    if t.fault_in = 0 then raise (Disk_error "injected fault: flush")
+  end;
+  t.flushes <- t.flushes + 1
+
 let sequential_read t exts =
   List.iter
     (fun ext ->
@@ -282,6 +324,7 @@ let counters t =
     blocks_read = t.blocks_read;
     blocks_written = t.blocks_written;
     write_ops = t.write_ops;
+    flushes = t.flushes;
     elapsed = t.elapsed;
   }
 
@@ -292,6 +335,7 @@ let reset_counters t =
   t.blocks_read <- 0;
   t.blocks_written <- 0;
   t.write_ops <- 0;
+  t.flushes <- 0;
   t.elapsed <- 0.0
 
 let live_blocks t = t.live_blocks
@@ -305,8 +349,9 @@ let fragmentation t =
 
 let pp_counters ppf (c : counters) =
   Format.fprintf ppf
-    "seeks=%d read=%d blocks written=%d blocks (%d ops) elapsed=%.4fs" c.seeks
-    c.blocks_read c.blocks_written c.write_ops c.elapsed
+    "seeks=%d read=%d blocks written=%d blocks (%d ops, %d flushes) \
+     elapsed=%.4fs"
+    c.seeks c.blocks_read c.blocks_written c.write_ops c.flushes c.elapsed
 
 (* --- fault arming --------------------------------------------------- *)
 
@@ -332,8 +377,10 @@ let armed_fault t =
 let fault_schedule ~(before : counters) ~(after : counters) =
   let seeks = max 0 (after.seeks - before.seeks) in
   let writes = max 0 (after.write_ops - before.write_ops) in
+  let flushes = max 0 (after.flushes - before.flushes) in
   List.init seeks (fun i -> { target = On_seek; at = i + 1 })
   @ List.init writes (fun i -> { target = On_write; at = i + 1 })
+  @ List.init flushes (fun i -> { target = On_flush; at = i + 1 })
 
 (* --- torn extent introspection -------------------------------------- *)
 

@@ -84,6 +84,20 @@ val write : t -> extent -> unit
 
 val write_blocks : t -> extent -> blocks:int -> unit
 
+val write_run : t -> extent -> off:int -> blocks:int -> unit
+(** Charge one seek plus the transfer of [blocks] starting [off] blocks
+    into a live extent — a coalesced run of deferred (write-back) frame
+    writes.  Bounds-checked ([off + blocks <= length]); a full rewrite
+    ([off = 0], [blocks = length]) replaces torn contents exactly as
+    {!write} does, a partial one does not. *)
+
+val note_flush : t -> unit
+(** Record one buffer-pool flush drain.  Charges nothing (the drain's
+    runs charge themselves through {!write_run}) but counts toward
+    {!counters}[.flushes] and is an [On_flush] fault point, so a crash
+    plan can name "the k-th flush" — the moment the pool is still fully
+    dirty and no deferred write has reached the disk. *)
+
 val sequential_read : t -> extent list -> unit
 (** Charge one seek, then transfer every extent in the list without
     further seeks — the paper's packed segment scan, which reads "from
@@ -118,6 +132,7 @@ type counters = {
   blocks_read : int;
   blocks_written : int;
   write_ops : int;  (** write {e operations} (not blocks) — each is a torn-write injection point *)
+  flushes : int;  (** buffer-pool flush drains noted via {!note_flush} *)
   elapsed : float;  (** model seconds consumed so far *)
 }
 
@@ -131,6 +146,12 @@ val reset_counters : t -> unit
 
 val live_blocks : t -> int
 (** Blocks currently allocated. *)
+
+val extent_covering : t -> addr:int -> extent option
+(** The live extent containing absolute block address [addr], if any.
+    The write-back pool uses this at eviction and flush time to map a
+    dirty frame's address back to the destination extent of its
+    deferred write. *)
 
 val generation_at : t -> start:int -> int option
 (** Allocation generation of the live extent starting at [start]
@@ -164,19 +185,22 @@ val pp_counters : Format.formatter -> counters -> unit
     state stays consistent (the failing operation charges nothing).
 
     A plan names a target operation class — seeks (which every read and
-    write performs) or write operations — and a mode.  [Fail_stop]
-    simply raises.  [Torn] (writes only) first marks the destination
-    extent's contents invalid: the extent stays allocated, but any read
-    of it raises ["torn extent"] until it is either freed or completely
-    rewritten.  This models a crash that tears a sector-level write
-    after the space was allocated.
+    write performs), write operations, or buffer-pool flush drains — and
+    a mode.  [Fail_stop] simply raises.  [Torn] (writes only) first
+    marks the destination extent's contents invalid: the extent stays
+    allocated, but any read of it raises ["torn extent"] until it is
+    either freed or completely rewritten.  This models a crash that
+    tears a sector-level write after the space was allocated.  An
+    [On_flush] point fires at {!note_flush}, i.e. {e before} any of the
+    drain's deferred writes — the crash-with-a-fully-dirty-pool case;
+    crashes inside the drain are the drain's own [On_write] points.
 
     Exactly one plan is armed at a time: arming again {e replaces} the
     previous plan (last arm wins).  An armed plan survives
     {!reset_counters} — counters are observability state, the plan is
     injected-failure state — and {!clear_fault} is idempotent. *)
 
-type fault_target = On_seek | On_write
+type fault_target = On_seek | On_write | On_flush
 
 type fault_mode = Fail_stop | Torn
 
@@ -187,7 +211,7 @@ val pp_fault_point : Format.formatter -> fault_point -> unit
 
 val arm_fault : t -> ?mode:fault_mode -> fault_point -> unit
 (** Arm a plan (default mode [Fail_stop]).  Raises {!Disk_error} when
-    [at < 1] or when [Torn] is combined with [On_seek]. *)
+    [at < 1] or when [Torn] is combined with anything but [On_write]. *)
 
 val set_fault : t -> after_seeks:int -> unit
 (** [set_fault t ~after_seeks:k] makes the k-th next seek fail (k >= 1);
@@ -204,9 +228,10 @@ val armed_fault : t -> (fault_point * fault_mode) option
 
 val fault_schedule : before:counters -> after:counters -> fault_point list
 (** Every injection point inside the operation bracketed by the two
-    counter snapshots: one [On_seek] point per seek consumed and one
-    [On_write] point per write operation consumed.  A harness measures
-    an uncrashed twin, then sweeps the returned points one per run. *)
+    counter snapshots: one [On_seek] point per seek consumed, one
+    [On_write] point per write operation consumed, and one [On_flush]
+    point per flush drain consumed.  A harness measures an uncrashed
+    twin, then sweeps the returned points one per run. *)
 
 val is_torn : t -> extent -> bool
 val torn_at : t -> start:int -> bool

@@ -174,7 +174,7 @@ let validate_chrome j =
       in
       go 0 evs)
 
-let validate_chrome_file path =
+let read_parse path =
   let ic = open_in_bin path in
   let contents =
     Fun.protect
@@ -183,4 +183,83 @@ let validate_chrome_file path =
   in
   match Json.parse contents with
   | Error e -> Error (Printf.sprintf "%s: bad JSON: %s" path e)
-  | Ok j -> validate_chrome j
+  | Ok j -> Ok j
+
+let validate_chrome_file path =
+  match read_parse path with Error e -> Error e | Ok j -> validate_chrome j
+
+(* --- bench snapshot validation --------------------------------------- *)
+
+let bench_schema = "waveidx-bench/3"
+
+let validate_benchmark i b =
+  let fail fmt =
+    Printf.ksprintf (fun m -> Error (Printf.sprintf "benchmark %d: %s" i m)) fmt
+  in
+  let num k o = Option.bind (Json.member k o) Json.to_float in
+  let str k o = Option.bind (Json.member k o) Json.to_str in
+  let ( let* ) = Result.bind in
+  let non_negative o name keys =
+    List.fold_left
+      (fun acc key ->
+        let* () = acc in
+        match num key o with
+        | Some v when v >= 0.0 -> Ok ()
+        | Some _ -> fail "%s.%s is negative" name key
+        | None -> fail "%s missing numeric %S" name key)
+      (Ok ()) keys
+  in
+  let* () =
+    match str "name" b with
+    | None -> fail "missing string \"name\""
+    | Some _ -> Ok ()
+  in
+  let* () = non_negative b "benchmark" [ "p50"; "p95" ] in
+  let* () =
+    match num "runs" b with
+    | Some r when r >= 1.0 -> Ok ()
+    | Some _ -> fail "\"runs\" below 1"
+    | None -> fail "missing numeric \"runs\""
+  in
+  let* () =
+    match Json.member "cache" b with
+    | None -> Ok ()
+    | Some c -> (
+      match num "hit_ratio" c with
+      | Some r when r >= 0.0 && r <= 1.0 ->
+        non_negative c "cache" [ "hits"; "misses"; "frames" ]
+      | Some _ -> fail "cache.hit_ratio outside [0, 1]"
+      | None -> fail "cache missing numeric \"hit_ratio\"")
+  in
+  match Json.member "writeback" b with
+  | None -> Ok ()
+  | Some wb ->
+    non_negative wb "writeback"
+      [ "writes_coalesced"; "flushes"; "flushed_blocks" ]
+
+let validate_bench j =
+  let str k o = Option.bind (Json.member k o) Json.to_str in
+  match str "schema" j with
+  | None -> Error "missing string \"schema\""
+  | Some s when s <> bench_schema ->
+    Error (Printf.sprintf "schema %S, expected %S" s bench_schema)
+  | Some _ -> (
+    match str "unit" j with
+    | Some "model-seconds" -> (
+      match Option.bind (Json.member "benchmarks" j) Json.to_list with
+      | None -> Error "missing \"benchmarks\" array"
+      | Some [] -> Error "empty \"benchmarks\" array"
+      | Some bs ->
+        let rec go i = function
+          | [] -> Ok (List.length bs)
+          | b :: rest -> (
+            match validate_benchmark i b with
+            | Ok () -> go (i + 1) rest
+            | Error e -> Error e)
+        in
+        go 0 bs)
+    | Some u -> Error (Printf.sprintf "unit %S, expected \"model-seconds\"" u)
+    | None -> Error "missing string \"unit\"")
+
+let validate_bench_file path =
+  match read_parse path with Error e -> Error e | Ok j -> validate_bench j

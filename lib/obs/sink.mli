@@ -43,3 +43,20 @@ val validate_chrome : Json.t -> (int, string) result
 
 val validate_chrome_file : string -> (int, string) result
 (** Read and parse [path], then {!validate_chrome}. *)
+
+val bench_schema : string
+(** The current [waveidx bench --json] schema tag,
+    ["waveidx-bench/3"]. *)
+
+val validate_bench : Json.t -> (int, string) result
+(** Check a [BENCH_wave.json] snapshot against {!bench_schema}: the
+    exact schema tag, ["unit"] = "model-seconds", and a non-empty
+    ["benchmarks"] array whose records carry a string ["name"],
+    non-negative ["p50"]/["p95"], ["runs"] >= 1, an optional ["cache"]
+    object (["hit_ratio"] in [0, 1]; non-negative ["hits"],
+    ["misses"], ["frames"]) and an optional ["writeback"] object
+    (non-negative ["writes_coalesced"], ["flushes"],
+    ["flushed_blocks"]).  Returns the benchmark count. *)
+
+val validate_bench_file : string -> (int, string) result
+(** Read and parse [path], then {!validate_bench}. *)

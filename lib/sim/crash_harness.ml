@@ -167,6 +167,7 @@ let sweep ?(store = default_store) ?icfg ~scheme ~technique ~w ~n ~day () =
           match p.Disk.target with
           | Disk.On_seek -> [ Disk.Fail_stop ]
           | Disk.On_write -> [ Disk.Fail_stop; Disk.Torn ]
+          | Disk.On_flush -> [ Disk.Fail_stop ]
         in
         List.map
           (fun mode ->

@@ -18,9 +18,23 @@ type t = {
 
 type timing = { serial : float; parallel : float }
 
-let create ?(icfg = Index.default_config) ~store ~w ~n ~disks () =
+let create ?(icfg = Index.default_config) ?(shared_pool = false) ~store ~w ~n
+    ~disks () =
   if disks < 1 then invalid_arg "Multi_disk.create: need at least one disk";
   let disk_arr = Array.init disks (fun _ -> Index.make_disk icfg) in
+  (* A global buffer manager: one set of frames backs every arm.
+     Registering the shared views before any [Index.build] runs means
+     [Index.cache_of_config]'s [Cache.attach] finds them instead of
+     creating per-arm pools. *)
+  (if shared_pool then
+     match icfg.Index.cache_blocks with
+     | None -> invalid_arg "Multi_disk.create: shared_pool needs cache_blocks"
+     | Some frames ->
+       ignore
+         (Wave_cache.Cache.attach_shared
+            (Array.to_list disk_arr)
+            ~frames ~readahead:icfg.Index.cache_readahead
+            ~write_back:icfg.Index.cache_write_back ()));
   let parts = Split.contiguous ~first_day:1 ~days:w ~parts:n in
   let slots =
     Array.of_list
@@ -41,11 +55,14 @@ let n_disks t = Array.length t.disks
 let n_constituents t = Array.length t.slots
 let current_day t = t.day
 
+(* Per-arm slices: [local_stats] counts only the accesses issued
+   through that arm's view, so the breakdown stays per-arm even when
+   one shared pool backs every disk. *)
 let pool_stats t =
   Array.to_list t.disks
   |> List.mapi (fun i d -> (i, Wave_cache.Cache.find d))
   |> List.filter_map (fun (i, p) ->
-         Option.map (fun p -> (i, Wave_cache.Cache.stats p)) p)
+         Option.map (fun p -> (i, Wave_cache.Cache.local_stats p)) p)
 
 (* Run [f], measuring per-disk elapsed deltas; serial = sum, parallel =
    max (each disk's work happens concurrently with the others'). *)

@@ -17,9 +17,16 @@ open Wave_storage
 type t
 
 val create :
-  ?icfg:Index.config -> store:Env.day_store -> w:int -> n:int -> disks:int -> unit -> t
+  ?icfg:Index.config -> ?shared_pool:bool -> store:Env.day_store -> w:int ->
+  n:int -> disks:int -> unit -> t
 (** Builds the initial wave (days [1..w] split in [n] clusters as DEL's
-    Start does), constituent [j] on disk [j mod disks]. *)
+    Start does), constituent [j] on disk [j mod disks].
+    [shared_pool] (default [false]) backs {e all} arms with one
+    {!Wave_cache.Cache.attach_shared} pool of [icfg.cache_blocks]
+    frames — a global buffer manager in which a hot arm's working set
+    evicts a cold arm's — instead of one pool per disk; it requires
+    [icfg.cache_blocks] to be set (raises [Invalid_argument]
+    otherwise). *)
 
 val n_disks : t -> int
 val n_constituents : t -> int
@@ -46,7 +53,9 @@ val current_day : t -> int
 val pool_stats : t -> (int * Wave_cache.Cache.stats) list
 (** Per-arm buffer-pool counters, [(disk number, stats)], for arms
     whose disk has a pool attached (i.e. when [icfg.cache_blocks] was
-    set).  Empty when running uncached. *)
+    set).  Counters are the arm's own accesses
+    ({!Wave_cache.Cache.local_stats}), so the per-arm breakdown holds
+    under [shared_pool] too.  Empty when running uncached. *)
 
 val speedup_table : store:Env.day_store -> w:int -> n:int -> disks:int list -> string
 (** Render probe/scan serial-vs-parallel speedups for several disk

@@ -117,8 +117,12 @@ let run config =
   let h_transition = Wave_obs.Metrics.histogram "runner.transition_seconds" in
   let h_query = Wave_obs.Metrics.histogram "runner.query_seconds" in
   (* The buffer pool, when [icfg.cache_blocks] asked for one; it was
-     attached to the disk by the first index the Start phase built. *)
+     attached to the disk by the first index the Start phase built.
+     The initial wave is a durability boundary of its own: flush it
+     before the measured days so a write-back run's day-1 transition is
+     not billed for the whole Start phase's deferred writes. *)
   let pool = Cache.find disk in
+  Option.iter Cache.flush pool;
   let g_hit = Wave_obs.Metrics.gauge "cache.hit_ratio" in
   let h_query_cached = Wave_obs.Metrics.histogram "runner.query_seconds.cached" in
   let h_query_uncached =
@@ -130,7 +134,13 @@ let run config =
     let c0 = Disk.counters disk in
     span "day" (run_tags this_day) (fun () ->
         let before = Disk.elapsed disk in
-        span "phase.maintenance" (run_tags this_day) (fun () -> Scheme.transition s);
+        span "phase.maintenance" (run_tags this_day) (fun () ->
+            Scheme.transition s;
+            (* Write-back durability boundary: the runner drives
+               Scheme.transition directly (no Checkpoint), so it owns
+               the flush — transition cost includes the coalesced
+               deferred writes, not an ever-growing dirty pool. *)
+            Option.iter Cache.flush pool);
         let maintenance = Disk.elapsed disk -. before in
         let transition = Scheme.last_transition_seconds s in
         if config.validate then begin

@@ -10,6 +10,7 @@ type config = {
   add_cpu_per_entry : float;
   cache_blocks : int option;
   cache_readahead : int;
+  cache_write_back : bool;
 }
 
 let default_config =
@@ -22,6 +23,7 @@ let default_config =
     add_cpu_per_entry = 0.0;
     cache_blocks = None;
     cache_readahead = 0;
+    cache_write_back = false;
   }
 
 exception Index_error of string
@@ -77,7 +79,9 @@ let cache_of_config dsk cfg =
   | None -> None
   | Some frames ->
     if frames < 1 then fail "cache_blocks must be >= 1 (got %d)" frames;
-    Some (Cache.attach dsk ~frames ~readahead:cfg.cache_readahead ())
+    Some
+      (Cache.attach dsk ~frames ~readahead:cfg.cache_readahead
+         ~write_back:cfg.cache_write_back ())
 
 let check_disk_compat disk cfg =
   if (Disk.params disk).Disk.block_size <> cfg.entry_bytes then

@@ -35,6 +35,11 @@ type config = {
           that disk); [None] (the default) keeps the paper's cold-disk
           cost model, bit-identical to a build without the pool. *)
   cache_readahead : int;  (** demand-read prefetch depth when cached *)
+  cache_write_back : bool;
+      (** defer writes in the pool's dirty frames until eviction or an
+          explicit {!Wave_cache.Cache.flush} (coalescing repeated bucket
+          rewrites); [false] (the default) keeps write-through, which is
+          bit-identical to the uncached fault schedule *)
 }
 
 val default_config : config

@@ -203,6 +203,232 @@ let test_write_through_no_allocate () =
   Alcotest.(check (float 0.0)) "re-read after write is warm" 0.0
     (Disk.elapsed disk -. t1)
 
+(* --- write-back -------------------------------------------------------- *)
+
+let mk_wb_pool ?(frames = 8) () =
+  let disk = mk_disk () in
+  (disk, Cache.create disk ~frames ~write_back:true ())
+
+let test_wb_defer_flush_coalesce () =
+  let disk, pool = mk_wb_pool () in
+  let e = Disk.alloc disk ~blocks:4 in
+  let t0 = Disk.elapsed disk in
+  Cache.write pool e;
+  Alcotest.(check (float 0.0)) "deferred write charges nothing" 0.0
+    (Disk.elapsed disk -. t0);
+  check_stat "four dirty frames" 4 (Cache.dirty_frames pool);
+  (* Rewrites are absorbed by the already-dirty frames. *)
+  Cache.write pool e;
+  check_stat "coalesced" 4 (Cache.stats pool).Cache.writes_coalesced;
+  check_stat "nothing written yet" 0 (Disk.counters disk).Disk.blocks_written;
+  (* The flush drains the whole extent as one physical write, at exactly
+     the cost of one uncached write. *)
+  let twin = mk_disk () in
+  let e' = Disk.alloc twin ~blocks:4 in
+  let u0 = Disk.elapsed twin in
+  Disk.write twin e';
+  let t1 = Disk.elapsed disk in
+  Cache.flush pool;
+  Alcotest.(check (float 1e-12)) "flush = one uncached write"
+    (Disk.elapsed twin -. u0)
+    (Disk.elapsed disk -. t1);
+  let c = Disk.counters disk in
+  check_stat "one write op" 1 c.Disk.write_ops;
+  check_stat "four blocks" 4 c.Disk.blocks_written;
+  check_stat "one flush noted" 1 c.Disk.flushes;
+  let s = Cache.stats pool in
+  check_stat "one drain" 1 s.Cache.flushes;
+  check_stat "one run" 1 s.Cache.flush_writes;
+  check_stat "four blocks flushed" 4 s.Cache.flushed_blocks;
+  check_stat "clean after flush" 0 (Cache.dirty_frames pool);
+  (* Flushing a clean pool is a complete no-op... *)
+  Cache.flush pool;
+  check_stat "no second drain" 1 (Cache.stats pool).Cache.flushes;
+  check_stat "no second note" 1 (Disk.counters disk).Disk.flushes;
+  (* ...and the flushed frames stay resident and warm. *)
+  let t2 = Disk.elapsed disk in
+  Cache.read pool e;
+  Alcotest.(check (float 0.0)) "flushed frames still warm" 0.0
+    (Disk.elapsed disk -. t2)
+
+let test_wb_flush_splits_runs () =
+  let disk, pool = mk_wb_pool () in
+  let e = Disk.alloc disk ~blocks:3 in
+  Cache.write_range pool e ~off:0 ~blocks:1;
+  Cache.write_range pool e ~off:2 ~blocks:1;
+  Cache.flush pool;
+  let s = Cache.stats pool in
+  check_stat "two runs (hole at block 1)" 2 s.Cache.flush_writes;
+  check_stat "two blocks" 2 s.Cache.flushed_blocks;
+  check_stat "two write ops" 2 (Disk.counters disk).Disk.write_ops
+
+let test_wb_eviction_writes_only_victim () =
+  let disk, pool = mk_wb_pool ~frames:2 () in
+  let a = Disk.alloc disk ~blocks:1 and b = Disk.alloc disk ~blocks:1 in
+  let c = Disk.alloc disk ~blocks:1 in
+  Cache.write pool a;
+  Cache.write pool b;
+  (* Reading c needs a frame: the CLOCK hand evicts a, performing its
+     deferred write — alone.  b stays dirty: no cascading drain. *)
+  Cache.read pool c;
+  let s = Cache.stats pool in
+  check_stat "one dirty eviction" 1 s.Cache.dirty_evictions;
+  check_stat "only the victim written" 1
+    (Disk.counters disk).Disk.blocks_written;
+  check_stat "b still dirty" 1 (Cache.dirty_frames pool);
+  check_stat "no flush drain" 0 s.Cache.flushes;
+  Alcotest.(check bool) "a evicted" false (Cache.contains pool a);
+  Alcotest.(check bool) "b resident" true (Cache.contains pool b)
+
+let test_wb_pinned_dirty_flushable () =
+  let disk, pool = mk_wb_pool ~frames:3 () in
+  let p = Disk.alloc disk ~blocks:1 in
+  Cache.pin_extent pool p;
+  Cache.write pool p;
+  check_stat "dirty" 1 (Cache.dirty_frames pool);
+  (* Eviction pressure cannot claim the pinned dirty frame... *)
+  for _ = 1 to 8 do
+    let e = Disk.alloc disk ~blocks:1 in
+    Cache.read pool e
+  done;
+  Alcotest.(check bool) "pinned dirty frame survives" true
+    (Cache.contains pool p);
+  check_stat "still dirty" 1 (Cache.dirty_frames pool);
+  check_stat "never written at eviction" 0
+    (Cache.stats pool).Cache.dirty_evictions;
+  (* ...but a flush cleans it in place: pinning defers eviction, not
+     durability. *)
+  Cache.flush pool;
+  check_stat "clean after flush" 0 (Cache.dirty_frames pool);
+  check_stat "flushed one block" 1 (Cache.stats pool).Cache.flushed_blocks;
+  Alcotest.(check int) "still pinned" 1 (Cache.pinned_frames pool);
+  Alcotest.(check bool) "still resident" true (Cache.contains pool p);
+  Cache.unpin_extent pool p
+
+let test_wb_dirty_discarded_on_free () =
+  let disk, pool = mk_wb_pool () in
+  let e = Disk.alloc disk ~blocks:2 in
+  Cache.write pool e;
+  Disk.free disk e;
+  Cache.flush pool;
+  check_stat "both frames discarded" 2 (Cache.stats pool).Cache.dirty_discards;
+  check_stat "nothing written" 0 (Disk.counters disk).Disk.blocks_written;
+  check_stat "clean" 0 (Cache.dirty_frames pool)
+
+let test_wb_dirty_discarded_on_realloc () =
+  (* Same address, new allocation generation: the deferred contents
+     belong to the dead extent and must never clobber the new one. *)
+  let disk, pool = mk_wb_pool () in
+  let e = Disk.alloc disk ~blocks:2 in
+  Cache.write pool e;
+  Disk.free disk e;
+  let e' = Disk.alloc disk ~blocks:2 in
+  Alcotest.(check int) "allocator reused the address" e.Disk.start
+    e'.Disk.start;
+  Disk.write disk e';
+  let w0 = (Disk.counters disk).Disk.blocks_written in
+  Cache.flush pool;
+  check_stat "stale deferred writes discarded" 2
+    (Cache.stats pool).Cache.dirty_discards;
+  check_stat "flush wrote nothing" w0 (Disk.counters disk).Disk.blocks_written
+
+let test_wb_oversized_write_falls_through () =
+  let disk, pool = mk_wb_pool ~frames:2 () in
+  let e = Disk.alloc disk ~blocks:3 in
+  Cache.write pool e;
+  check_stat "written through" 3 (Disk.counters disk).Disk.blocks_written;
+  check_stat "no dirty frames" 0 (Cache.dirty_frames pool)
+
+let test_wb_flush_resumes_after_fault () =
+  let disk, pool = mk_wb_pool () in
+  let e1 = Disk.alloc disk ~blocks:2 in
+  let e2 = Disk.alloc disk ~blocks:2 in
+  Cache.write pool e1;
+  Cache.write pool e2;
+  (* Fail the drain's second run: e1's frames are already clean, e2's
+     stay dirty. *)
+  Disk.arm_fault disk { Disk.target = Disk.On_write; at = 2 };
+  Alcotest.(check bool) "drain faulted" true
+    (match Cache.flush pool with
+    | () -> false
+    | exception Disk.Disk_error _ -> true);
+  Disk.clear_fault disk;
+  check_stat "first run landed" 2 (Disk.counters disk).Disk.blocks_written;
+  check_stat "second run still dirty" 2 (Cache.dirty_frames pool);
+  (* A later flush resumes with exactly the remaining frames. *)
+  Cache.flush pool;
+  check_stat "all blocks on disk" 4 (Disk.counters disk).Disk.blocks_written;
+  check_stat "clean" 0 (Cache.dirty_frames pool);
+  let s = Cache.stats pool in
+  check_stat "two drains" 2 s.Cache.flushes;
+  check_stat "two runs landed" 2 s.Cache.flush_writes
+
+let test_wb_flush_fault_point_precedes_drain () =
+  let disk, pool = mk_wb_pool () in
+  let e = Disk.alloc disk ~blocks:3 in
+  Cache.write pool e;
+  Disk.arm_fault disk { Disk.target = Disk.On_flush; at = 1 };
+  Alcotest.(check bool) "flush point fired" true
+    (match Cache.flush pool with
+    | () -> false
+    | exception Disk.Disk_error _ -> true);
+  Disk.clear_fault disk;
+  (* The crash hit before any deferred write reached the disk: the pool
+     is still fully dirty and nothing was written or counted. *)
+  check_stat "nothing written" 0 (Disk.counters disk).Disk.blocks_written;
+  check_stat "no flush recorded" 0 (Disk.counters disk).Disk.flushes;
+  check_stat "still fully dirty" 3 (Cache.dirty_frames pool);
+  (* What a crash does next: recovery throws the deferred writes away;
+     the frames stay resident but clean.  Idempotent. *)
+  check_stat "three discards" 3 (Cache.discard_dirty pool);
+  check_stat "clean" 0 (Cache.dirty_frames pool);
+  check_stat "idempotent" 0 (Cache.discard_dirty pool)
+
+let test_wb_torn_flush_heals_on_rewrite () =
+  let disk, pool = mk_wb_pool () in
+  let e = Disk.alloc disk ~blocks:2 in
+  Cache.write pool e;
+  Disk.arm_fault disk ~mode:Disk.Torn { Disk.target = Disk.On_write; at = 1 };
+  Alcotest.(check bool) "torn drain raises" true
+    (match Cache.flush pool with
+    | () -> false
+    | exception Disk.Disk_error _ -> true);
+  Disk.clear_fault disk;
+  Alcotest.(check bool) "extent torn" true (Disk.is_torn disk e);
+  check_stat "frames stay dirty" 2 (Cache.dirty_frames pool);
+  (* The retry rewrites the whole extent in one run, clearing the tear
+     exactly as an uncached full rewrite would. *)
+  Cache.flush pool;
+  Alcotest.(check bool) "tear healed by full rewrite" false
+    (Disk.is_torn disk e);
+  check_stat "clean" 0 (Cache.dirty_frames pool)
+
+let test_shared_pool_cross_arm_eviction () =
+  let da = mk_disk () and db = mk_disk () in
+  let va, vb =
+    match Cache.attach_shared [ da; db ] ~frames:2 () with
+    | [ va; vb ] -> (va, vb)
+    | _ -> Alcotest.fail "expected two views"
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      Cache.detach da;
+      Cache.detach db)
+    (fun () ->
+      let a = Disk.alloc da ~blocks:1 in
+      let b = Disk.alloc db ~blocks:2 in
+      Cache.read va a;
+      Alcotest.(check bool) "a resident" true (Cache.contains va a);
+      (* Arm B's working set squeezes arm A out of the shared frames. *)
+      Cache.read vb b;
+      Alcotest.(check bool) "cross-arm eviction" false (Cache.contains va a);
+      (* Per-arm slices versus pool-wide totals. *)
+      let sa = Cache.local_stats va and sb = Cache.local_stats vb in
+      check_stat "arm A slice" 1 sa.Cache.misses;
+      check_stat "arm B slice" 2 sb.Cache.misses;
+      check_stat "pool total" 3 (Cache.stats va).Cache.misses;
+      check_stat "B's install evicted" 1 sb.Cache.evictions)
+
 (* --- readahead -------------------------------------------------------- *)
 
 let test_demand_readahead () =
@@ -412,6 +638,71 @@ let test_cache_on_same_answers_cheaper () =
           (s.Cache.hits > 0))
     Scheme.all
 
+let wb_icfg ?(frames = 256) ?(readahead = 4) () =
+  { (cached_icfg ~frames ~readahead ()) with Index.cache_write_back = true }
+
+let entries_and_space (r : Wave_sim.Runner.result) =
+  List.map
+    (fun (d : Wave_sim.Runner.day_metrics) ->
+      (d.day, d.probe_entries, d.scan_entries, d.space_bytes))
+    r.Wave_sim.Runner.days
+
+let test_wb_sim_transparent_and_fewer_writes () =
+  List.iter
+    (fun scheme ->
+      let wt =
+        run_sim
+          ~icfg:(cached_icfg ~frames:512 ())
+          ~scheme ~technique:Env.Packed_shadow ~queries ()
+      in
+      let wb =
+        run_sim
+          ~icfg:(wb_icfg ~frames:512 ())
+          ~scheme ~technique:Env.Packed_shadow ~queries ()
+      in
+      Alcotest.(check bool)
+        (Scheme.name scheme ^ ": same answers, same space")
+        true
+        (entries_and_space wt = entries_and_space wb);
+      let writes (r : Wave_sim.Runner.result) =
+        List.fold_left
+          (fun acc (d : Wave_sim.Runner.day_metrics) -> acc + d.blocks_written)
+          0 r.Wave_sim.Runner.days
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: write-back wrote %d <= write-through %d"
+           (Scheme.name scheme) (writes wb) (writes wt))
+        true
+        (writes wb <= writes wt);
+      match wb.Wave_sim.Runner.cache_stats with
+      | None -> Alcotest.fail "write-back run lost its pool stats"
+      | Some s ->
+        Alcotest.(check bool)
+          (Scheme.name scheme ^ ": flush drains happened")
+          true (s.Cache.flushes > 0))
+    Scheme.all
+
+(* PRNG property: deferring writes through the pool and flushing at the
+   technique barriers leaves the simulation's observable state — every
+   day's query answers and the allocator image (space) — identical to
+   the write-through run, over random pool geometries. *)
+let prop_write_back_transparent =
+  QCheck2.Test.make ~name:"write-back on/off disk image agrees" ~count:10
+    QCheck2.Gen.(
+      triple (int_range 1 10_000) (int_range 1 128) (int_range 0 6))
+    (fun (seed, frames, readahead) ->
+      let q = { queries with Wave_workload.Query_gen.seed } in
+      let off =
+        run_sim ~scheme:Scheme.Rata_star ~technique:Env.Packed_shadow
+          ~queries:q ()
+      in
+      let on =
+        run_sim
+          ~icfg:(wb_icfg ~frames ~readahead ())
+          ~scheme:Scheme.Rata_star ~technique:Env.Packed_shadow ~queries:q ()
+      in
+      entries_and_space off = entries_and_space on)
+
 (* PRNG property: over random query mixes and pool geometries, cache-on
    and cache-off runs return identical per-day probe and scan entries. *)
 let prop_cache_transparent =
@@ -464,6 +755,30 @@ let suites =
         Alcotest.test_case "scan batches runs" `Quick test_scan_batches_runs;
         Alcotest.test_case "metadata caching" `Quick test_meta_read;
       ] );
+    ( "cache.write_back",
+      [
+        Alcotest.test_case "defer, coalesce, flush" `Quick
+          test_wb_defer_flush_coalesce;
+        Alcotest.test_case "flush splits runs" `Quick test_wb_flush_splits_runs;
+        Alcotest.test_case "eviction writes only the victim" `Quick
+          test_wb_eviction_writes_only_victim;
+        Alcotest.test_case "pinned dirty frame flushable" `Quick
+          test_wb_pinned_dirty_flushable;
+        Alcotest.test_case "discard on free" `Quick
+          test_wb_dirty_discarded_on_free;
+        Alcotest.test_case "discard on realloc" `Quick
+          test_wb_dirty_discarded_on_realloc;
+        Alcotest.test_case "oversized write falls through" `Quick
+          test_wb_oversized_write_falls_through;
+        Alcotest.test_case "flush resumes after fault" `Quick
+          test_wb_flush_resumes_after_fault;
+        Alcotest.test_case "flush fault precedes drain" `Quick
+          test_wb_flush_fault_point_precedes_drain;
+        Alcotest.test_case "torn flush heals on rewrite" `Quick
+          test_wb_torn_flush_heals_on_rewrite;
+        Alcotest.test_case "shared pool cross-arm eviction" `Quick
+          test_shared_pool_cross_arm_eviction;
+      ] );
     ( "cache.integration",
       [
         Alcotest.test_case "warm probe speedup" `Quick test_warm_probe_speedup;
@@ -471,6 +786,9 @@ let suites =
           test_cache_off_bit_identical;
         Alcotest.test_case "cache-on same answers cheaper" `Quick
           test_cache_on_same_answers_cheaper;
+        Alcotest.test_case "write-back transparent, fewer writes" `Quick
+          test_wb_sim_transparent_and_fewer_writes;
       ] );
-    ("cache.property", qcheck [ prop_cache_transparent ]);
+    ( "cache.property",
+      qcheck [ prop_cache_transparent; prop_write_back_transparent ] );
   ]

@@ -294,6 +294,45 @@ let test_sweep_cache_enabled_all () =
         [ Env.In_place; Env.Simple_shadow; Env.Packed_shadow ])
     Scheme.all
 
+(* PR 4: write-back defers writes to flush drains at the durability
+   barriers, adding On_flush points (crash with a fully dirty pool)
+   and turning each drain's run writes into On_write points of their
+   own.  Every scheme x technique must recover from every point with
+   write-back enabled. *)
+let wb_icfg =
+  {
+    Index.default_config with
+    Index.cache_blocks = Some 64;
+    cache_readahead = 2;
+    cache_write_back = true;
+  }
+
+let test_sweep_write_back_all () =
+  List.iter
+    (fun scheme ->
+      List.iter
+        (fun technique ->
+          let r =
+            Crash_harness.sweep ~icfg:wb_icfg ~scheme ~technique ~w:6 ~n:3
+              ~day:8 ()
+          in
+          Alcotest.(check bool)
+            (Format.asprintf "write-back %a" Crash_harness.pp_report r)
+            true r.Crash_harness.passed)
+        [ Env.In_place; Env.Simple_shadow; Env.Packed_shadow ])
+    Scheme.all
+
+let test_sweep_write_back_has_flush_points () =
+  let r =
+    Crash_harness.sweep ~icfg:wb_icfg ~scheme:Scheme.Del
+      ~technique:Env.Packed_shadow ~w:6 ~n:3 ~day:8 ()
+  in
+  Alcotest.(check bool) "sweep has On_flush points" true
+    (List.exists
+       (fun p -> p.Crash_harness.point.Disk.target = Disk.On_flush)
+       r.Crash_harness.points);
+  Alcotest.(check bool) "and passes them" true r.Crash_harness.passed
+
 let test_sweep_counts_both_targets () =
   let r =
     Crash_harness.sweep ~scheme:Scheme.Reindex ~technique:Env.Packed_shadow
@@ -344,5 +383,9 @@ let suites =
           test_sweep_counts_both_targets;
         Alcotest.test_case "cache-enabled sweep, all combinations" `Quick
           test_sweep_cache_enabled_all;
+        Alcotest.test_case "write-back sweep, all combinations" `Quick
+          test_sweep_write_back_all;
+        Alcotest.test_case "write-back sweep has flush points" `Quick
+          test_sweep_write_back_has_flush_points;
       ] );
   ]

@@ -65,6 +65,49 @@ let test_multidisk_speedup_table () =
   let out = Multi_disk.speedup_table ~store ~w:8 ~n:4 ~disks:[ 1; 2; 4 ] in
   Alcotest.(check bool) "has rows" true (String.length out > 100)
 
+let test_multidisk_shared_pool () =
+  let icfg =
+    {
+      Wave_storage.Index.default_config with
+      Wave_storage.Index.cache_blocks = Some 4;
+      cache_readahead = 0;
+    }
+  in
+  let m =
+    Multi_disk.create ~icfg ~shared_pool:true ~store ~w:8 ~n:4 ~disks:4 ()
+  in
+  Alcotest.(check int) "one stats slice per arm" 4
+    (List.length (Multi_disk.pool_stats m));
+  let misses () =
+    List.fold_left
+      (fun acc (_, s) -> acc + s.Wave_cache.Cache.misses)
+      0 (Multi_disk.pool_stats m)
+  in
+  ignore (Multi_disk.scan m);
+  let m1 = misses () in
+  (* Four arms' working sets cannot share four frames: each arm's scan
+     evicts the previous arms' blocks, so a re-scan misses again —
+     the cross-arm eviction pressure a global buffer manager trades
+     for its single allocation knob. *)
+  ignore (Multi_disk.scan m);
+  let m2 = misses () in
+  Alcotest.(check bool)
+    (Printf.sprintf "re-scan still misses under pressure (%d -> %d)" m1 m2)
+    true (m2 > m1);
+  List.iter
+    (fun (arm, s) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "arm %d slice saw its own traffic" arm)
+        true
+        (s.Wave_cache.Cache.hits + s.Wave_cache.Cache.misses > 0))
+    (Multi_disk.pool_stats m)
+
+let test_multidisk_shared_pool_needs_frames () =
+  Alcotest.check_raises "shared pool without cache_blocks"
+    (Invalid_argument "Multi_disk.create: shared_pool needs cache_blocks")
+    (fun () ->
+      ignore (Multi_disk.create ~shared_pool:true ~store ~w:4 ~n:2 ~disks:2 ()))
+
 (* --- Legacy no-delete constraint ----------------------------------- *)
 
 let legacy_env technique =
@@ -211,6 +254,9 @@ let suites =
         Alcotest.test_case "window maintained" `Quick test_multidisk_window_maintained;
         Alcotest.test_case "validation" `Quick test_multidisk_validation;
         Alcotest.test_case "speedup table" `Quick test_multidisk_speedup_table;
+        Alcotest.test_case "shared pool" `Quick test_multidisk_shared_pool;
+        Alcotest.test_case "shared pool needs frames" `Quick
+          test_multidisk_shared_pool_needs_frames;
       ] );
     ( "ext.legacy",
       [
