@@ -306,22 +306,24 @@ let time_thunk f =
     done;
     (Unix.gettimeofday () -. t0) /. float_of_int reps
 
-let run_json path =
+let measure_json () =
   let runs = 25 in
-  let results =
-    List.map
-      (fun (name, f) ->
-        for _ = 1 to 3 do
-          f ()
-        done;
-        let sample = time_thunk f in
-        let xs = Array.init runs (fun _ -> sample ()) in
-        ( name,
-          Wave_util.Stats.percentile xs 50.0,
-          Wave_util.Stats.percentile xs 95.0,
-          runs ))
-      (json_benchmarks ())
-  in
+  List.map
+    (fun (name, f) ->
+      for _ = 1 to 3 do
+        f ()
+      done;
+      let sample = time_thunk f in
+      let xs = Array.init runs (fun _ -> sample ()) in
+      ( name,
+        Wave_util.Stats.percentile xs 50.0,
+        Wave_util.Stats.percentile xs 95.0,
+        runs ))
+    (json_benchmarks ())
+
+let run_json path =
+  let results = measure_json () in
+  let runs = 25 in
   let open Wave_obs.Json in
   let j =
     Obj
@@ -349,9 +351,49 @@ let run_json path =
   close_out oc;
   Printf.printf "wrote %s (%d benchmarks, wall-clock)\n" path (List.length results)
 
+(* Wall-clock regression gate: re-measure the quick subset and compare
+   against a committed baseline.  The default threshold is much looser
+   than `waveidx bench --compare`'s model-second gate because wall
+   clock is machine- and load-dependent. *)
+let run_compare ~baseline ~threshold =
+  match Wave_obs.Sink.bench_series_file baseline with
+  | Error e ->
+    Printf.eprintf "bench --compare: %s\n" e;
+    exit 1
+  | Ok base ->
+    let current =
+      List.map
+        (fun (name, p50, p95, _) ->
+          { Wave_obs.Sink.series_name = name; series_p50 = p50; series_p95 = p95 })
+        (measure_json ())
+    in
+    let cmp =
+      Wave_obs.Sink.compare_bench ~threshold_pct:threshold ~baseline:base
+        ~current
+    in
+    Printf.printf "regression gate vs %s (threshold %.1f%%, wall-clock):\n%s"
+      baseline threshold
+      (Wave_obs.Sink.comparison_report cmp);
+    if not (Wave_obs.Sink.bench_ok cmp) then exit 1
+
 let () =
   match Array.to_list Sys.argv with
+  | _ :: "--json" :: path :: "--compare" :: baseline :: rest ->
+    run_json path;
+    let threshold =
+      match rest with
+      | "--threshold" :: t :: _ -> float_of_string t
+      | _ -> 25.0
+    in
+    run_compare ~baseline ~threshold
   | _ :: "--json" :: path :: _ -> run_json path
+  | _ :: "--compare" :: baseline :: rest ->
+    let threshold =
+      match rest with
+      | "--threshold" :: t :: _ -> float_of_string t
+      | _ -> 25.0
+    in
+    run_compare ~baseline ~threshold
   | _ ->
     regenerate ();
     print_endline "============================================================";

@@ -74,6 +74,25 @@ let technique_conv =
   let print ppf t = Format.pp_print_string ppf (Env.technique_name t) in
   Arg.conv (parse, print)
 
+(* Top-k hot-spot table over a profile subtree, shared by the profile
+   subcommand and sim --profile. *)
+let print_top_table ?under ~k title prof =
+  let nodes = Wave_obs.Profile.top_self ?under ~k prof in
+  if nodes <> [] then begin
+    Printf.printf "\n%s\n" title;
+    Printf.printf "  %-52s %6s %12s %12s %8s\n" "path" "calls" "self(ms)"
+      "total(ms)" "seeks";
+    List.iter
+      (fun n ->
+        Printf.printf "  %-52s %6d %12.4f %12.4f %8d\n"
+          (Wave_obs.Profile.path_string n)
+          n.Wave_obs.Profile.calls
+          (n.Wave_obs.Profile.self_model *. 1e3)
+          (n.Wave_obs.Profile.total_model *. 1e3)
+          n.Wave_obs.Profile.seeks)
+      nodes
+  end
+
 let sim_cmd =
   let doc = "Simulate a maintenance scheme over a synthetic workload." in
   let scheme =
@@ -127,12 +146,52 @@ let sim_cmd =
             "defer writes in the pool (flush at transition barriers); \
              requires --cache-blocks")
   in
+  let alerts =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "alerts" ] ~docv:"RULES.json"
+          ~doc:
+            "evaluate declarative alert rules at every day boundary \
+             (JSON: {\"rules\": [{name, metric, stat?, op, threshold, \
+             for_days?}]})")
+  in
+  let alerts_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "alerts-out" ] ~docv:"FILE"
+          ~doc:"write the machine-readable alerts block here (requires --alerts)")
+  in
+  let profile =
+    Arg.(
+      value & flag
+      & info [ "profile" ]
+          ~doc:"trace the run and print per-phase hot-spot tables")
+  in
+  let top =
+    Arg.(value & opt int 8 & info [ "top" ] ~doc:"hot-spot table size for --profile")
+  in
   let run scheme technique w n days postings workload probes scans cache_blocks
-      cache_readahead write_back =
+      cache_readahead write_back alerts alerts_out profile top =
     if write_back && cache_blocks = None then begin
       Printf.eprintf "sim: --write-back requires --cache-blocks\n";
       exit 2
     end;
+    if alerts_out <> None && alerts = None then begin
+      Printf.eprintf "sim: --alerts-out requires --alerts\n";
+      exit 2
+    end;
+    let rules =
+      match alerts with
+      | None -> []
+      | Some path -> (
+        match Wave_obs.Alert.rules_of_file path with
+        | Ok rules -> rules
+        | Error e ->
+          Printf.eprintf "sim: bad alert rules: %s\n" e;
+          exit 2)
+    in
     let store, dist =
       match workload with
       | `Netnews ->
@@ -168,6 +227,10 @@ let sim_cmd =
         cache_write_back = write_back;
       }
     in
+    if profile then begin
+      Wave_obs.Trace.enable ();
+      Wave_obs.Trace.reset ()
+    end;
     let r =
       Wave_sim.Runner.run
         {
@@ -176,7 +239,17 @@ let sim_cmd =
           run_days = days;
           queries = Some queries;
           icfg;
+          alerts = rules;
         }
+    in
+    let prof =
+      if profile then begin
+        let spans = Wave_obs.Trace.spans () in
+        Wave_obs.Trace.disable ();
+        Wave_obs.Trace.reset ();
+        Some (Wave_obs.Profile.of_spans spans)
+      end
+      else None
     in
     Printf.printf "scheme=%s technique=%s W=%d n=%d days=%d\n" (Scheme.name scheme)
       (Env.technique_name technique) w n days;
@@ -204,15 +277,52 @@ let sim_cmd =
     in
     pp_pct "transition latency" r.Wave_sim.Runner.transition_percentiles;
     pp_pct "query latency     " r.Wave_sim.Runner.query_percentiles;
-    match r.Wave_sim.Runner.cache_stats with
+    (match r.Wave_sim.Runner.cache_stats with
     | None -> ()
     | Some cs ->
-      Format.printf "buffer pool        %a@." Wave_cache.Cache.pp_stats cs
+      Format.printf "buffer pool        %a@." Wave_cache.Cache.pp_stats cs);
+    (match alerts with
+    | None -> ()
+    | Some _ ->
+      let events = r.Wave_sim.Runner.alerts in
+      Printf.printf "\nalerts: %d rule(s), %d event(s)\n" (List.length rules)
+        (List.length events);
+      List.iter
+        (fun (e : Wave_obs.Alert.event) ->
+          let rl = e.Wave_obs.Alert.e_rule in
+          Printf.printf "  %-24s %s %s %g: fired day %d, last day %d, %s (value %g)\n"
+            rl.Wave_obs.Alert.name rl.Wave_obs.Alert.metric
+            (Wave_obs.Alert.comparator_name rl.Wave_obs.Alert.comparator)
+            rl.Wave_obs.Alert.threshold e.Wave_obs.Alert.fired_day
+            e.Wave_obs.Alert.last_day
+            (match e.Wave_obs.Alert.resolved_day with
+            | None -> "still active"
+            | Some d -> Printf.sprintf "resolved day %d" d)
+            e.Wave_obs.Alert.value)
+        events;
+      match alerts_out with
+      | None -> ()
+      | Some path ->
+        let oc = open_out path in
+        output_string oc
+          (Wave_obs.Json.to_string ~pretty:true
+             (Wave_obs.Alert.events_json events));
+        output_char oc '\n';
+        close_out oc;
+        Printf.printf "wrote %s\n" path);
+    match prof with
+    | None -> ()
+    | Some prof ->
+      print_top_table ~k:top "hot spots (self model-seconds)" prof;
+      print_top_table ~under:[ "day"; "phase.maintenance" ] ~k:top
+        "maintenance phase" prof;
+      print_top_table ~under:[ "day"; "phase.query" ] ~k:top "query phase" prof
   in
   Cmd.v (Cmd.info "sim" ~doc)
     Term.(
       const run $ scheme $ technique $ w $ n $ days $ postings $ workload
-      $ probes $ scans $ cache_blocks $ cache_readahead $ write_back)
+      $ probes $ scans $ cache_blocks $ cache_readahead $ write_back $ alerts
+      $ alerts_out $ profile $ top)
 
 let model_cmd =
   let doc =
@@ -412,6 +522,129 @@ let trace_cmd =
     Term.(
       const run $ scheme_pos $ tech_pos $ scheme_opt $ w $ n $ days $ out $ format)
 
+(* Run a traced simulation and fold its spans into a profile.  Returns
+   the profile together with the run result so callers can cross-check
+   attribution against day_metrics. *)
+let profiled_run ~scheme ~technique ~w ~n ~days ~postings =
+  if n < 1 || n > w then begin
+    Printf.eprintf "profile: need 1 <= n <= w (got W=%d n=%d)\n" w n;
+    exit 2
+  end;
+  if n < Scheme.min_indexes scheme then begin
+    Printf.eprintf "profile: %s needs at least %d constituents (got n=%d)\n"
+      (Scheme.name scheme)
+      (Scheme.min_indexes scheme)
+      n;
+    exit 2
+  end;
+  Wave_obs.Trace.enable ();
+  Wave_obs.Trace.reset ();
+  let r =
+    Wave_sim.Runner.run
+      {
+        (Wave_sim.Runner.default_config ~scheme ~store:(demo_store postings) ~w ~n) with
+        Wave_sim.Runner.technique;
+        run_days = days;
+        queries = Some demo_queries;
+      }
+  in
+  let spans = Wave_obs.Trace.spans () in
+  Wave_obs.Trace.disable ();
+  Wave_obs.Trace.reset ();
+  (Wave_obs.Profile.of_spans spans, r)
+
+(* The profiler's conservation invariant: the aggregated [day] node is
+   inclusive of everything day_metrics measures, so its total must
+   reproduce the run's maintenance + query model-seconds. *)
+let check_conservation prof (r : Wave_sim.Runner.result) =
+  let expected =
+    r.Wave_sim.Runner.total_maintenance_seconds
+    +. r.Wave_sim.Runner.total_query_seconds
+  in
+  match Wave_obs.Profile.find prof [ "day" ] with
+  | None ->
+    Printf.eprintf "profile: no \"day\" node in the span tree\n";
+    exit 1
+  | Some day ->
+    let diff = Float.abs (day.Wave_obs.Profile.total_model -. expected) in
+    if diff > 1e-6 then begin
+      Printf.eprintf
+        "profile: conservation violated: day tree %.9f vs day_metrics %.9f \
+         model-s (diff %.3g)\n"
+        day.Wave_obs.Profile.total_model expected diff;
+      exit 1
+    end;
+    (expected, diff)
+
+let profile_cmd =
+  let doc =
+    "Profile a traced simulation: aggregate its spans into a call tree, \
+     write flamegraph.pl/speedscope-compatible folded stacks (--out) and \
+     optionally a JSON profile (--json), print per-phase hot-spot tables, \
+     and verify cost conservation against the run's day metrics."
+  in
+  let scheme_pos =
+    Arg.(
+      value
+      & pos 0 (some scheme_conv) None
+      & info [] ~docv:"SCHEME" ~doc:"scheme (DEL | REINDEX | ... | RATA)")
+  in
+  let tech_pos =
+    Arg.(
+      value
+      & pos 1 (some technique_conv) None
+      & info [] ~docv:"TECH" ~doc:"technique (in-place | simple-shadow | packed-shadow)")
+  in
+  let out =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "out" ] ~docv:"FILE" ~doc:"folded-stack output path")
+  in
+  let json =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE" ~doc:"also write the JSON profile here")
+  in
+  let w = Arg.(value & opt int 7 & info [ "window"; "w" ] ~doc:"window length") in
+  let n = Arg.(value & opt int 2 & info [ "indexes"; "n" ] ~doc:"constituent indexes") in
+  let days = Arg.(value & opt int 8 & info [ "days" ] ~doc:"transitions to profile") in
+  let postings =
+    Arg.(value & opt int 200 & info [ "postings" ] ~doc:"mean postings per day")
+  in
+  let top = Arg.(value & opt int 10 & info [ "top" ] ~doc:"table size (hot spots)") in
+  let run scheme_pos tech_pos out json w n days postings top =
+    let scheme = Option.value ~default:Scheme.Del scheme_pos in
+    let technique = Option.value ~default:Env.In_place tech_pos in
+    let prof, r = profiled_run ~scheme ~technique ~w ~n ~days ~postings in
+    Wave_obs.Sink.write_folded ~path:out prof;
+    Printf.printf "wrote %s: folded stacks for %d spans (%d nodes)\n" out
+      (Wave_obs.Profile.span_count prof)
+      (List.length (Wave_obs.Profile.nodes prof));
+    (match json with
+    | None -> ()
+    | Some jpath -> (
+      Wave_obs.Sink.write_profile ~path:jpath prof;
+      match Wave_obs.Sink.validate_profile_file jpath with
+      | Ok nodes -> Printf.printf "wrote %s: JSON profile (%d nodes)\n" jpath nodes
+      | Error e ->
+        Printf.eprintf "profile: emitted JSON failed validation: %s\n" e;
+        exit 1));
+    let expected, diff = check_conservation prof r in
+    Printf.printf
+      "conservation: day tree reproduces %.4f model-s of day metrics (diff %.2g)\n"
+      expected diff;
+    print_top_table ~k:top "hot spots (self model-seconds)" prof;
+    print_top_table ~under:[ "day"; "phase.maintenance" ] ~k:top
+      "maintenance phase" prof;
+    print_top_table ~under:[ "day"; "phase.query" ] ~k:top "query phase" prof
+  in
+  Cmd.v (Cmd.info "profile" ~doc)
+    Term.(
+      const run $ scheme_pos $ tech_pos $ out $ json $ w $ n $ days $ postings
+      $ top)
+
 let bench_cmd =
   let doc =
     "Deterministic micro-benchmarks on the simulated disk: per-scheme \
@@ -449,7 +682,23 @@ let bench_cmd =
             "validate an existing bench snapshot against the current \
              schema instead of running benchmarks (exit 1 on failure)")
   in
-  let run json runs w n postings cache_blocks validate =
+  let compare_to =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "compare" ] ~docv:"BASELINE"
+          ~doc:
+            "regression gate: compare this run's p50/p95 per series against \
+             a committed snapshot; exit 1 on regressions beyond --threshold \
+             or vanished series")
+  in
+  let threshold =
+    Arg.(
+      value & opt float 10.0
+      & info [ "threshold" ] ~docv:"PCT"
+          ~doc:"allowed p50/p95 growth percentage for --compare")
+  in
+  let run json runs w n postings cache_blocks validate compare_to threshold =
     (match validate with
     | Some path -> (
       match Wave_obs.Sink.validate_bench_file path with
@@ -644,10 +893,41 @@ let bench_cmd =
           | Some (coalesced, flushes, blocks) ->
             Printf.sprintf "c=%d f=%d b=%d" coalesced flushes blocks))
       results;
-    match json with
+    (match json with
     | None -> ()
     | Some path ->
+      (* The /4 schema carries a profile summary: where a canonical
+         traced run (DEL, in-place) spends its model-seconds, so a
+         snapshot diff shows cost-attribution drift, not just endpoint
+         latencies. *)
+      let prof, pr =
+        profiled_run ~scheme:Scheme.Del ~technique:Env.In_place ~w ~n:2
+          ~days:6 ~postings
+      in
+      ignore (check_conservation prof pr);
       let open Wave_obs.Json in
+      let profile_json =
+        Obj
+          [
+            ("scheme", Str (Scheme.name Scheme.Del));
+            ("technique", Str (Env.technique_name Env.In_place));
+            ("days", int (List.length pr.Wave_sim.Runner.days));
+            ("total_model_s", Num (Wave_obs.Profile.total_model prof));
+            ( "top",
+              Arr
+                (List.map
+                   (fun nd ->
+                     Obj
+                       [
+                         ("path", Str (Wave_obs.Profile.path_string nd));
+                         ("calls", int nd.Wave_obs.Profile.calls);
+                         ("self_model_s", Num nd.Wave_obs.Profile.self_model);
+                         ("total_model_s", Num nd.Wave_obs.Profile.total_model);
+                         ("seeks", int nd.Wave_obs.Profile.seeks);
+                       ])
+                   (Wave_obs.Profile.top_self ~k:8 prof)) );
+          ]
+      in
       let j =
         Obj
           [
@@ -662,6 +942,7 @@ let bench_cmd =
                   ("runs", int runs);
                   ("cache_blocks", int cache_blocks);
                 ] );
+            ("profile", profile_json);
             ( "benchmarks",
               Arr
                 (List.map
@@ -711,10 +992,40 @@ let bench_cmd =
       | Error e ->
         Printf.eprintf "bench: emitted snapshot failed validation: %s\n" e;
         exit 1);
-      Printf.printf "\nwrote %s (%d benchmarks)\n" path (List.length results)
+      Printf.printf "\nwrote %s (%d benchmarks)\n" path (List.length results));
+    match compare_to with
+    | None -> ()
+    | Some baseline_path -> (
+      let fail msg =
+        Printf.eprintf "bench --compare: %s\n" msg;
+        exit 1
+      in
+      match Wave_obs.Sink.bench_series_file baseline_path with
+      | Error e -> fail e
+      | Ok baseline ->
+          let current =
+            List.map
+              (fun (name, p50, p95, _, _, _) ->
+                {
+                  Wave_obs.Sink.series_name = name;
+                  series_p50 = p50;
+                  series_p95 = p95;
+                })
+              results
+          in
+          let cmp =
+            Wave_obs.Sink.compare_bench ~threshold_pct:threshold ~baseline
+              ~current
+          in
+          Printf.printf "\nregression gate vs %s (threshold %.1f%%):\n%s"
+            baseline_path threshold
+            (Wave_obs.Sink.comparison_report cmp);
+          if not (Wave_obs.Sink.bench_ok cmp) then exit 1)
   in
   Cmd.v (Cmd.info "bench" ~doc)
-    Term.(const run $ json $ runs $ w $ n $ postings $ cache_blocks $ validate)
+    Term.(
+      const run $ json $ runs $ w $ n $ postings $ cache_blocks $ validate
+      $ compare_to $ threshold)
 
 let checkpoint_cmd =
   let doc = "Run a scheme for some days, then write its manifest to a file." in
@@ -886,5 +1197,5 @@ let () =
        (Cmd.group info
           [
             list_cmd; run_cmd; all_cmd; sim_cmd; model_cmd; trace_cmd;
-            bench_cmd; checkpoint_cmd; recover_cmd; crashtest_cmd;
+            profile_cmd; bench_cmd; checkpoint_cmd; recover_cmd; crashtest_cmd;
           ]))

@@ -1,0 +1,253 @@
+type comparator = Gt | Ge | Lt | Le
+type stat = Value | Mean | Min | Max | P50 | P95 | P99 | Count
+
+type rule = {
+  name : string;
+  metric : string;
+  stat : stat;
+  comparator : comparator;
+  threshold : float;
+  for_days : int;
+}
+
+let rule ?(stat = Value) ?(for_days = 1) ~name ~metric comparator threshold =
+  if for_days < 1 then invalid_arg "Alert.rule: for_days < 1";
+  if String.length name = 0 then invalid_arg "Alert.rule: empty name";
+  if String.length metric = 0 then invalid_arg "Alert.rule: empty metric";
+  { name; metric; stat; comparator; threshold; for_days }
+
+type event = {
+  e_rule : rule;
+  fired_day : int;
+  value : float;
+  mutable last_day : int;
+  mutable resolved_day : int option;
+}
+
+(* Per-rule debounce: [streak] counts consecutive satisfied
+   evaluations; [current] is the open event while the rule is firing. *)
+type state = { s_rule : rule; mutable streak : int; mutable current : event option }
+
+type t = { states : state list; mutable history : event list (* newest first *) }
+
+let create rules =
+  { states = List.map (fun r -> { s_rule = r; streak = 0; current = None }) rules;
+    history = [] }
+
+let rules t = List.map (fun s -> s.s_rule) t.states
+
+let comparator_name = function Gt -> ">" | Ge -> ">=" | Lt -> "<" | Le -> "<="
+
+let stat_name = function
+  | Value -> "value"
+  | Mean -> "mean"
+  | Min -> "min"
+  | Max -> "max"
+  | P50 -> "p50"
+  | P95 -> "p95"
+  | P99 -> "p99"
+  | Count -> "count"
+
+let compare_v cmp v threshold =
+  match cmp with
+  | Gt -> v > threshold
+  | Ge -> v >= threshold
+  | Lt -> v < threshold
+  | Le -> v <= threshold
+
+(* Resolve a rule's stat against the registry.  [None] — metric
+   missing, histogram empty, or stat inapplicable to the metric's
+   kind — counts as not-satisfied. *)
+let resolve ?registry r =
+  match Metrics.lookup ?registry r.metric with
+  | None -> None
+  | Some (`Counter v) | Some (`Gauge v) -> (
+    match r.stat with Value -> Some v | _ -> None)
+  | Some (`Histogram None) -> None
+  | Some (`Histogram (Some s)) -> (
+    match r.stat with
+    | Value | Mean -> Some s.Metrics.mean
+    | Min -> Some s.Metrics.min
+    | Max -> Some s.Metrics.max
+    | P50 -> Some s.Metrics.p50
+    | P95 -> Some s.Metrics.p95
+    | P99 -> Some s.Metrics.p99
+    | Count -> Some (float_of_int s.Metrics.count))
+
+let eval ?registry t ~day =
+  List.filter_map
+    (fun st ->
+      let r = st.s_rule in
+      let satisfied, value =
+        match resolve ?registry r with
+        | Some v when compare_v r.comparator v r.threshold -> (true, v)
+        | Some v -> (false, v)
+        | None -> (false, nan)
+      in
+      if satisfied then begin
+        st.streak <- st.streak + 1;
+        (match st.current with
+        | Some e -> e.last_day <- day
+        | None ->
+          if st.streak >= r.for_days then begin
+            let e =
+              { e_rule = r; fired_day = day; value; last_day = day;
+                resolved_day = None }
+            in
+            st.current <- Some e;
+            t.history <- e :: t.history;
+            if Trace.is_enabled () then
+              Trace.instant "alert"
+                ~tags:
+                  [
+                    ("rule", r.name);
+                    ("metric", r.metric);
+                    ("stat", stat_name r.stat);
+                    ("value", Printf.sprintf "%g" value);
+                    ("day", string_of_int day);
+                  ]
+          end);
+        match st.current with Some _ -> Some (r, value) | None -> None
+      end
+      else begin
+        st.streak <- 0;
+        (match st.current with
+        | Some e ->
+          e.resolved_day <- Some day;
+          st.current <- None
+        | None -> ());
+        None
+      end)
+    t.states
+
+let events t = List.rev t.history
+let active t = List.rev (List.filter (fun e -> e.resolved_day = None) t.history)
+
+let event_json e =
+  let r = e.e_rule in
+  Json.Obj
+    [
+      ("rule", Json.Str r.name);
+      ("metric", Json.Str r.metric);
+      ("stat", Json.Str (stat_name r.stat));
+      ("op", Json.Str (comparator_name r.comparator));
+      ("threshold", Json.Num r.threshold);
+      ("for_days", Json.int r.for_days);
+      ("fired_day", Json.int e.fired_day);
+      ("last_day", Json.int e.last_day);
+      ( "resolved_day",
+        match e.resolved_day with None -> Json.Null | Some d -> Json.int d );
+      ("value", Json.Num e.value);
+    ]
+
+let events_json evs =
+  Json.Obj
+    [
+      ("count", Json.int (List.length evs));
+      ("alerts", Json.Arr (List.map event_json evs));
+    ]
+
+let to_json t =
+  let evs = events t in
+  Json.Obj
+    [
+      ("rules", Json.int (List.length t.states));
+      ("count", Json.int (List.length evs));
+      ("alerts", Json.Arr (List.map event_json evs));
+    ]
+
+(* --- rule parsing ------------------------------------------------- *)
+
+let ( let* ) = Result.bind
+
+let stat_of_string = function
+  | "value" -> Ok Value
+  | "mean" -> Ok Mean
+  | "min" -> Ok Min
+  | "max" -> Ok Max
+  | "p50" -> Ok P50
+  | "p95" -> Ok P95
+  | "p99" -> Ok P99
+  | "count" -> Ok Count
+  | s -> Error (Printf.sprintf "unknown stat %S" s)
+
+let comparator_of_string = function
+  | ">" | "gt" -> Ok Gt
+  | ">=" | "ge" -> Ok Ge
+  | "<" | "lt" -> Ok Lt
+  | "<=" | "le" -> Ok Le
+  | s -> Error (Printf.sprintf "unknown op %S (expected >, >=, <, <=)" s)
+
+let rule_of_json i j =
+  let label fields =
+    match List.assoc_opt "name" fields with
+    | Some (Json.Str n) -> Printf.sprintf "rule %S" n
+    | _ -> Printf.sprintf "rule %d" i
+  in
+  match j with
+  | Json.Obj fields ->
+    let where = label fields in
+    let str field =
+      match List.assoc_opt field fields with
+      | Some (Json.Str s) when String.length s > 0 -> Ok s
+      | Some _ -> Error (Printf.sprintf "%s: %S must be a non-empty string" where field)
+      | None -> Error (Printf.sprintf "%s: missing %S" where field)
+    in
+    let* name = str "name" in
+    let* metric = str "metric" in
+    let* op_s = str "op" in
+    let* comparator =
+      Result.map_error (Printf.sprintf "%s: %s" where) (comparator_of_string op_s)
+    in
+    let* threshold =
+      match List.assoc_opt "threshold" fields with
+      | Some (Json.Num v) when Float.is_finite v -> Ok v
+      | Some _ -> Error (Printf.sprintf "%s: \"threshold\" must be a finite number" where)
+      | None -> Error (Printf.sprintf "%s: missing \"threshold\"" where)
+    in
+    let* stat =
+      match List.assoc_opt "stat" fields with
+      | None -> Ok Value
+      | Some (Json.Str s) ->
+        Result.map_error (Printf.sprintf "%s: %s" where) (stat_of_string s)
+      | Some _ -> Error (Printf.sprintf "%s: \"stat\" must be a string" where)
+    in
+    let* for_days =
+      match List.assoc_opt "for_days" fields with
+      | None -> Ok 1
+      | Some (Json.Num v) when Float.is_integer v && v >= 1.0 ->
+        Ok (int_of_float v)
+      | Some _ -> Error (Printf.sprintf "%s: \"for_days\" must be an integer >= 1" where)
+    in
+    Ok { name; metric; stat; comparator; threshold; for_days }
+  | _ -> Error (Printf.sprintf "rule %d: expected an object" i)
+
+let rules_of_json j =
+  let arr =
+    match j with
+    | Json.Obj fields -> (
+      match List.assoc_opt "rules" fields with
+      | Some (Json.Arr items) -> Ok items
+      | Some _ -> Error "\"rules\" must be an array"
+      | None -> Error "expected {\"rules\": [...]} or a top-level array")
+    | Json.Arr items -> Ok items
+    | _ -> Error "expected {\"rules\": [...]} or a top-level array"
+  in
+  let* items = arr in
+  if items = [] then Error "no rules given"
+  else
+    let rec go i acc = function
+      | [] -> Ok (List.rev acc)
+      | item :: rest ->
+        let* r = rule_of_json i item in
+        go (i + 1) (r :: acc) rest
+    in
+    go 0 [] items
+
+let rules_of_file path =
+  match In_channel.with_open_bin path In_channel.input_all with
+  | exception Sys_error msg -> Error msg
+  | text -> (
+    match Json.parse text with
+    | Error e -> Error (Printf.sprintf "%s: %s" path e)
+    | Ok j -> rules_of_json j)

@@ -159,16 +159,22 @@ let parse s =
           advance ();
           let cp = hex4 () in
           let cp =
-            (* Combine a high surrogate with the following \uXXXX. *)
-            if cp >= 0xD800 && cp <= 0xDBFF && !pos + 6 <= n
-               && s.[!pos] = '\\' && s.[!pos + 1] = 'u'
-            then begin
-              pos := !pos + 2;
-              let lo = hex4 () in
-              if lo >= 0xDC00 && lo <= 0xDFFF then
-                0x10000 + (((cp - 0xD800) lsl 10) lor (lo - 0xDC00))
+            (* Combine a high surrogate with the following \uXXXX; a
+               surrogate half with no partner is a parse error rather
+               than WTF-8 output that other tools would choke on. *)
+            if cp >= 0xD800 && cp <= 0xDBFF then begin
+              if
+                !pos + 6 <= n && s.[!pos] = '\\' && s.[!pos + 1] = 'u'
+              then begin
+                pos := !pos + 2;
+                let lo = hex4 () in
+                if lo >= 0xDC00 && lo <= 0xDFFF then
+                  0x10000 + (((cp - 0xD800) lsl 10) lor (lo - 0xDC00))
+                else fail "unpaired surrogate"
+              end
               else fail "unpaired surrogate"
             end
+            else if cp >= 0xDC00 && cp <= 0xDFFF then fail "unpaired surrogate"
             else cp
           in
           add_utf8 buf cp;

@@ -1,9 +1,20 @@
 type counter = { mutable count : float }
 type gauge = { mutable value : float }
 
+(* Bounded histogram: a reservoir of at most [cap] observations (exact
+   while [seen <= cap], algorithm R beyond), plus exact running count /
+   sum / min / max so only the percentiles pay the sampling error.  The
+   PRNG is a private splitmix64 seeded from the histogram's name, so a
+   given workload always retains the same sample. *)
 type histogram = {
-  mutable xs : float array; (* capacity *)
-  mutable len : int; (* observations recorded *)
+  mutable xs : float array; (* capacity grows up to cap *)
+  mutable len : int; (* observations retained *)
+  cap : int;
+  mutable seen : int; (* observations ever recorded *)
+  mutable sum : float;
+  mutable vmin : float;
+  mutable vmax : float;
+  mutable rng : int64;
 }
 
 type item = C of counter | G of gauge | H of histogram
@@ -12,6 +23,13 @@ type registry = (string, item) Hashtbl.t
 
 let create () : registry = Hashtbl.create 32
 let default : registry = create ()
+
+let hist_cap = ref 8192
+let default_histogram_cap () = !hist_cap
+
+let set_default_histogram_cap cap =
+  if cap < 1 then invalid_arg "Metrics.set_default_histogram_cap: cap < 1";
+  hist_cap := cap
 
 let kind_name = function C _ -> "counter" | G _ -> "gauge" | H _ -> "histogram"
 
@@ -42,10 +60,23 @@ let gauge ?(registry = default) name =
       (G g, g))
     (function G g -> Some g | _ -> None)
 
-let histogram ?(registry = default) name =
+let histogram ?(registry = default) ?cap name =
+  let cap = Option.value ~default:!hist_cap cap in
+  if cap < 1 then invalid_arg "Metrics.histogram: cap < 1";
   intern registry name
     (fun () ->
-      let h = { xs = Array.make 16 0.0; len = 0 } in
+      let h =
+        {
+          xs = Array.make (min 16 cap) 0.0;
+          len = 0;
+          cap;
+          seen = 0;
+          sum = 0.0;
+          vmin = infinity;
+          vmax = neg_infinity;
+          rng = Int64.of_int (Hashtbl.hash name lor 1);
+        }
+      in
       (H h, h))
     (function H h -> Some h | _ -> None)
 
@@ -58,16 +89,41 @@ let counter_value c = c.count
 let set g v = g.value <- v
 let gauge_value g = g.value
 
-let observe h x =
-  if h.len = Array.length h.xs then begin
-    let bigger = Array.make (2 * Array.length h.xs) 0.0 in
-    Array.blit h.xs 0 bigger 0 h.len;
-    h.xs <- bigger
-  end;
-  h.xs.(h.len) <- x;
-  h.len <- h.len + 1
+let next_u64 h =
+  h.rng <- Int64.add h.rng 0x9E3779B97F4A7C15L;
+  let z = h.rng in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
 
-let hist_count h = h.len
+(* Uniform in [0, n); the modulo bias at reservoir sizes is far below
+   the sampling error itself. *)
+let rand_below h n =
+  Int64.to_int (Int64.rem (Int64.logand (next_u64 h) Int64.max_int) (Int64.of_int n))
+
+let observe h x =
+  h.seen <- h.seen + 1;
+  h.sum <- h.sum +. x;
+  if x < h.vmin then h.vmin <- x;
+  if x > h.vmax then h.vmax <- x;
+  if h.len < h.cap then begin
+    if h.len = Array.length h.xs then begin
+      let bigger = Array.make (min h.cap (2 * Array.length h.xs)) 0.0 in
+      Array.blit h.xs 0 bigger 0 h.len;
+      h.xs <- bigger
+    end;
+    h.xs.(h.len) <- x;
+    h.len <- h.len + 1
+  end
+  else begin
+    (* Algorithm R: the i-th observation replaces a reservoir slot with
+       probability cap/i. *)
+    let j = rand_below h h.seen in
+    if j < h.cap then h.xs.(j) <- x
+  end
+
+let hist_count h = h.seen
+let hist_sample_size h = h.len
 let hist_values h = Array.sub h.xs 0 h.len
 
 type hist_summary = {
@@ -81,21 +137,30 @@ type hist_summary = {
 }
 
 let hist_summary h =
-  if h.len = 0 then None
+  if h.seen = 0 then None
   else begin
     let xs = hist_values h in
-    let s = Wave_util.Stats.summarize xs in
     Some
       {
-        count = s.Wave_util.Stats.count;
-        mean = s.Wave_util.Stats.mean;
-        min = s.Wave_util.Stats.min;
-        max = s.Wave_util.Stats.max;
+        count = h.seen;
+        mean = h.sum /. float_of_int h.seen;
+        min = h.vmin;
+        max = h.vmax;
         p50 = Wave_util.Stats.percentile xs 50.0;
         p95 = Wave_util.Stats.percentile xs 95.0;
         p99 = Wave_util.Stats.percentile xs 99.0;
       }
   end
+
+type value =
+  [ `Counter of float | `Gauge of float | `Histogram of hist_summary option ]
+
+let lookup ?(registry = default) name : value option =
+  match Hashtbl.find_opt registry name with
+  | None -> None
+  | Some (C c) -> Some (`Counter c.count)
+  | Some (G g) -> Some (`Gauge g.value)
+  | Some (H h) -> Some (`Histogram (hist_summary h))
 
 let reset registry =
   Hashtbl.iter
@@ -103,7 +168,12 @@ let reset registry =
       match item with
       | C c -> c.count <- 0.0
       | G g -> g.value <- 0.0
-      | H h -> h.len <- 0)
+      | H h ->
+        h.len <- 0;
+        h.seen <- 0;
+        h.sum <- 0.0;
+        h.vmin <- infinity;
+        h.vmax <- neg_infinity)
     registry
 
 let sorted_items registry =

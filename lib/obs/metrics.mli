@@ -7,10 +7,19 @@
     hot paths unconditionally (unlike spans, metrics are not gated on
     {!Trace.is_enabled}).
 
-    Histograms keep every observation; {!hist_summary} reduces them
-    with {!Wave_util.Stats} (mean, min/max, p50/p95/p99).  A name maps
-    to exactly one kind — re-registering ["x"] as a different kind
-    raises [Invalid_argument]. *)
+    Histograms are {e bounded}: each keeps at most [cap] observations
+    (default {!default_histogram_cap}).  Below the cap every
+    observation is retained exactly; above it the retained set is a
+    uniform random sample (reservoir algorithm R with a deterministic
+    per-histogram PRNG seeded from the name, so runs are
+    reproducible).  Count, mean, min and max are always exact — they
+    are maintained as running values — while percentiles are computed
+    over the reservoir, with sampling error O(1/sqrt(cap)).  A
+    week-long simulation therefore holds O(cap) floats per histogram
+    instead of one per observation.
+
+    A name maps to exactly one kind — re-registering ["x"] as a
+    different kind raises [Invalid_argument]. *)
 
 type registry
 type counter
@@ -24,7 +33,18 @@ val default : registry
 
 val counter : ?registry:registry -> string -> counter
 val gauge : ?registry:registry -> string -> gauge
-val histogram : ?registry:registry -> string -> histogram
+
+val histogram : ?registry:registry -> ?cap:int -> string -> histogram
+(** [cap] (>= 1, default {!default_histogram_cap}) bounds the retained
+    reservoir.  Only the first registration's cap counts; later lookups
+    of the same name return the existing histogram unchanged. *)
+
+val default_histogram_cap : unit -> int
+(** Reservoir bound used when [?cap] is omitted (initially 8192). *)
+
+val set_default_histogram_cap : int -> unit
+(** Change the default for histograms created afterwards.  Raises
+    [Invalid_argument] below 1. *)
 
 val inc : ?by:float -> counter -> unit
 (** [by] defaults to [1.] and must be non-negative. *)
@@ -35,23 +55,37 @@ val set : gauge -> float -> unit
 val gauge_value : gauge -> float
 
 val observe : histogram -> float -> unit
+
 val hist_count : histogram -> int
+(** Total observations ever recorded (not the reservoir size). *)
+
+val hist_sample_size : histogram -> int
+(** Observations currently retained: [min (hist_count h) cap]. *)
 
 val hist_values : histogram -> float array
-(** A copy of the raw observations, in recording order. *)
+(** A copy of the retained observations — every observation while
+    under the cap (in recording order), a uniform sample beyond it. *)
 
 type hist_summary = {
-  count : int;
-  mean : float;
-  min : float;
-  max : float;
-  p50 : float;
-  p95 : float;
-  p99 : float;
+  count : int;  (** exact: total observations *)
+  mean : float;  (** exact: running sum / count *)
+  min : float;  (** exact *)
+  max : float;  (** exact *)
+  p50 : float;  (** over the reservoir *)
+  p95 : float;  (** over the reservoir *)
+  p99 : float;  (** over the reservoir *)
 }
 
 val hist_summary : histogram -> hist_summary option
 (** [None] for an empty histogram. *)
+
+type value =
+  [ `Counter of float | `Gauge of float | `Histogram of hist_summary option ]
+
+val lookup : ?registry:registry -> string -> value option
+(** Read an existing metric by name without creating it — the alert
+    engine's resolution primitive.  [None] when the name was never
+    registered. *)
 
 val reset : registry -> unit
 (** Zero every counter and gauge and clear every histogram; handles

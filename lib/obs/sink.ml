@@ -190,12 +190,17 @@ let validate_chrome_file path =
 
 (* --- bench snapshot validation --------------------------------------- *)
 
-let bench_schema = "waveidx-bench/3"
+let bench_schema = "waveidx-bench/4"
 
 let validate_benchmark i b =
-  let fail fmt =
-    Printf.ksprintf (fun m -> Error (Printf.sprintf "benchmark %d: %s" i m)) fmt
+  (* Name the series in every error so a failing corpus line is
+     actionable without counting array elements. *)
+  let label =
+    match Option.bind (Json.member "name" b) Json.to_str with
+    | Some name -> Printf.sprintf "benchmark %d (%S)" i name
+    | None -> Printf.sprintf "benchmark %d" i
   in
+  let fail fmt = Printf.ksprintf (fun m -> Error (Printf.sprintf "%s: %s" label m)) fmt in
   let num k o = Option.bind (Json.member k o) Json.to_float in
   let str k o = Option.bind (Json.member k o) Json.to_str in
   let ( let* ) = Result.bind in
@@ -237,6 +242,71 @@ let validate_benchmark i b =
     non_negative wb "writeback"
       [ "writes_coalesced"; "flushes"; "flushed_blocks" ]
 
+(* The /4 schema adds a required "profile" summary block: which traced
+   run produced it and its hottest nodes by self model-seconds. *)
+let validate_profile_block p =
+  let fail fmt = Printf.ksprintf (fun m -> Error (Printf.sprintf "profile: %s" m)) fmt in
+  let num k o = Option.bind (Json.member k o) Json.to_float in
+  let str k o = Option.bind (Json.member k o) Json.to_str in
+  let ( let* ) = Result.bind in
+  let* () =
+    match str "scheme" p with
+    | Some _ -> Ok ()
+    | None -> fail "missing string \"scheme\""
+  in
+  let* () =
+    match str "technique" p with
+    | Some _ -> Ok ()
+    | None -> fail "missing string \"technique\""
+  in
+  let* () =
+    match num "days" p with
+    | Some d when d >= 1.0 -> Ok ()
+    | Some _ -> fail "\"days\" below 1"
+    | None -> fail "missing numeric \"days\""
+  in
+  let* () =
+    match num "total_model_s" p with
+    | Some v when v >= 0.0 -> Ok ()
+    | Some _ -> fail "\"total_model_s\" is negative"
+    | None -> fail "missing numeric \"total_model_s\""
+  in
+  match Option.bind (Json.member "top" p) Json.to_list with
+  | None -> fail "missing \"top\" array"
+  | Some [] -> fail "empty \"top\" array"
+  | Some tops ->
+    let check_top i n =
+      let fail fmt =
+        Printf.ksprintf (fun m -> Error (Printf.sprintf "profile.top[%d]: %s" i m)) fmt
+      in
+      let* () =
+        match str "path" n with
+        | Some _ -> Ok ()
+        | None -> fail "missing string \"path\""
+      in
+      let* () =
+        match num "calls" n with
+        | Some c when c >= 1.0 -> Ok ()
+        | Some _ -> fail "\"calls\" below 1"
+        | None -> fail "missing numeric \"calls\""
+      in
+      List.fold_left
+        (fun acc key ->
+          let* () = acc in
+          match num key n with
+          | Some v when v >= 0.0 -> Ok ()
+          | Some _ -> fail "%S is negative" key
+          | None -> fail "missing numeric %S" key)
+        (Ok ())
+        [ "self_model_s"; "total_model_s"; "seeks" ]
+    in
+    let rec go i = function
+      | [] -> Ok ()
+      | n :: rest -> (
+        match check_top i n with Ok () -> go (i + 1) rest | Error e -> Error e)
+    in
+    go 0 tops
+
 let validate_bench j =
   let str k o = Option.bind (Json.member k o) Json.to_str in
   match str "schema" j with
@@ -249,7 +319,7 @@ let validate_bench j =
       match Option.bind (Json.member "benchmarks" j) Json.to_list with
       | None -> Error "missing \"benchmarks\" array"
       | Some [] -> Error "empty \"benchmarks\" array"
-      | Some bs ->
+      | Some bs -> (
         let rec go i = function
           | [] -> Ok (List.length bs)
           | b :: rest -> (
@@ -257,9 +327,226 @@ let validate_bench j =
             | Ok () -> go (i + 1) rest
             | Error e -> Error e)
         in
-        go 0 bs)
+        match go 0 bs with
+        | Error e -> Error e
+        | Ok n -> (
+          match Json.member "profile" j with
+          | None -> Error "missing \"profile\" block"
+          | Some p -> (
+            match validate_profile_block p with
+            | Error e -> Error e
+            | Ok () -> Ok n))))
     | Some u -> Error (Printf.sprintf "unit %S, expected \"model-seconds\"" u)
     | None -> Error "missing string \"unit\"")
 
 let validate_bench_file path =
   match read_parse path with Error e -> Error e | Ok j -> validate_bench j
+
+(* --- bench regression gate -------------------------------------------- *)
+
+type bench_series = { series_name : string; series_p50 : float; series_p95 : float }
+
+(* Lenient on purpose: the gate reads the "benchmarks" array of any
+   snapshot version so old baselines stay comparable across schema
+   bumps. *)
+let bench_series j =
+  match Option.bind (Json.member "benchmarks" j) Json.to_list with
+  | None -> Error "missing \"benchmarks\" array"
+  | Some bs ->
+    let rec go i acc = function
+      | [] -> Ok (List.rev acc)
+      | b :: rest -> (
+        let num k = Option.bind (Json.member k b) Json.to_float in
+        match Option.bind (Json.member "name" b) Json.to_str with
+        | None -> Error (Printf.sprintf "benchmark %d: missing string \"name\"" i)
+        | Some name -> (
+          match (num "p50", num "p95") with
+          | Some p50, Some p95 ->
+            go (i + 1) ({ series_name = name; series_p50 = p50; series_p95 = p95 } :: acc) rest
+          | None, _ ->
+            Error (Printf.sprintf "benchmark %d (%S): missing numeric \"p50\"" i name)
+          | _, None ->
+            Error (Printf.sprintf "benchmark %d (%S): missing numeric \"p95\"" i name)))
+    in
+    go 0 [] bs
+
+let bench_series_file path =
+  match read_parse path with
+  | Error e -> Error e
+  | Ok j -> (
+    match bench_series j with
+    | Error e -> Error (Printf.sprintf "%s: %s" path e)
+    | Ok xs -> Ok xs)
+
+type bench_delta = {
+  delta_name : string;
+  delta_field : string;  (* "p50" | "p95" *)
+  baseline_value : float;
+  current_value : float;
+  delta_pct : float;
+}
+
+type bench_comparison = {
+  compared : int;
+  missing : string list;
+  added : string list;
+  regressions : bench_delta list;
+  improvements : bench_delta list;
+}
+
+let pct_delta base cur =
+  if base = 0.0 then if cur = 0.0 then 0.0 else infinity
+  else (cur -. base) /. base *. 100.0
+
+let compare_bench ~threshold_pct ~baseline ~current =
+  let find name xs = List.find_opt (fun s -> String.equal s.series_name name) xs in
+  let regressions = ref [] and improvements = ref [] and compared = ref 0 in
+  let consider name field base cur =
+    let d =
+      {
+        delta_name = name;
+        delta_field = field;
+        baseline_value = base;
+        current_value = cur;
+        delta_pct = pct_delta base cur;
+      }
+    in
+    (* The epsilon keeps exact-equal model-second reruns from tripping
+       the gate on float formatting noise. *)
+    if cur > (base *. (1.0 +. (threshold_pct /. 100.0))) +. 1e-9 then
+      regressions := d :: !regressions
+    else if base > (cur *. (1.0 +. (threshold_pct /. 100.0))) +. 1e-9 then
+      improvements := d :: !improvements
+  in
+  let missing =
+    List.filter_map
+      (fun b ->
+        match find b.series_name current with
+        | None -> Some b.series_name
+        | Some c ->
+          incr compared;
+          consider b.series_name "p50" b.series_p50 c.series_p50;
+          consider b.series_name "p95" b.series_p95 c.series_p95;
+          None)
+      baseline
+  in
+  let added =
+    List.filter_map
+      (fun c ->
+        match find c.series_name baseline with
+        | None -> Some c.series_name
+        | Some _ -> None)
+      current
+  in
+  {
+    compared = !compared;
+    missing;
+    added;
+    regressions = List.rev !regressions;
+    improvements = List.rev !improvements;
+  }
+
+let bench_ok c = c.regressions = [] && c.missing = []
+
+let comparison_report c =
+  let buf = Buffer.create 512 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt in
+  line "compared %d series: %d regression(s), %d improvement(s), %d missing, %d new"
+    c.compared
+    (List.length c.regressions)
+    (List.length c.improvements)
+    (List.length c.missing) (List.length c.added);
+  List.iter
+    (fun d ->
+      line "  REGRESSION %-40s %s %.6f -> %.6f (%+.1f%%)" d.delta_name d.delta_field
+        d.baseline_value d.current_value d.delta_pct)
+    c.regressions;
+  List.iter (fun n -> line "  MISSING    %s (present in baseline, absent now)" n) c.missing;
+  List.iter
+    (fun d ->
+      line "  improved   %-40s %s %.6f -> %.6f (%+.1f%%)" d.delta_name d.delta_field
+        d.baseline_value d.current_value d.delta_pct)
+    c.improvements;
+  List.iter (fun n -> line "  new        %s" n) c.added;
+  Buffer.contents buf
+
+(* --- profile documents ------------------------------------------------ *)
+
+let profile_schema = "waveidx-profile/1"
+
+let validate_profile j =
+  let str k o = Option.bind (Json.member k o) Json.to_str in
+  let num k o = Option.bind (Json.member k o) Json.to_float in
+  let rec check_node path n =
+    let fail fmt = Printf.ksprintf (fun m -> Error (Printf.sprintf "%s: %s" path m)) fmt in
+    match str "name" n with
+    | None -> fail "missing string \"name\""
+    | Some name -> (
+      let here = path ^ "/" ^ name in
+      let fail fmt =
+        Printf.ksprintf (fun m -> Error (Printf.sprintf "%s: %s" here m)) fmt
+      in
+      let ( let* ) = Result.bind in
+      let* () =
+        match num "calls" n with
+        | Some c when c >= 1.0 -> Ok ()
+        | Some _ -> fail "\"calls\" below 1"
+        | None -> fail "missing numeric \"calls\""
+      in
+      let* () =
+        List.fold_left
+          (fun acc key ->
+            let* () = acc in
+            match num key n with
+            | Some v when v >= 0.0 -> Ok ()
+            | Some _ -> fail "%S is negative" key
+            | None -> fail "missing numeric %S" key)
+          (Ok ())
+          [
+            "total_model_s"; "self_model_s"; "seeks"; "self_seeks"; "blocks_read";
+            "blocks_written"; "bytes_read"; "bytes_written";
+          ]
+      in
+      match Option.bind (Json.member "children" n) Json.to_list with
+      | None -> fail "missing \"children\" array"
+      | Some kids ->
+        List.fold_left
+          (fun acc kid ->
+            let* count = acc in
+            let* k = check_node here kid in
+            Ok (count + k))
+          (Ok 1) kids)
+  in
+  match str "schema" j with
+  | None -> Error "missing string \"schema\""
+  | Some s when s <> profile_schema ->
+    Error (Printf.sprintf "schema %S, expected %S" s profile_schema)
+  | Some _ -> (
+    match str "unit" j with
+    | Some "model-seconds" -> (
+      match num "total_model_s" j with
+      | None -> Error "missing numeric \"total_model_s\""
+      | Some v when v < 0.0 -> Error "\"total_model_s\" is negative"
+      | Some _ -> (
+        match Option.bind (Json.member "roots" j) Json.to_list with
+        | None -> Error "missing \"roots\" array"
+        | Some roots ->
+          List.fold_left
+            (fun acc r ->
+              match acc with
+              | Error _ as e -> e
+              | Ok count -> (
+                match check_node "" r with
+                | Ok k -> Ok (count + k)
+                | Error _ as e -> e))
+            (Ok 0) roots))
+    | Some u -> Error (Printf.sprintf "unit %S, expected \"model-seconds\"" u)
+    | None -> Error "missing string \"unit\"")
+
+let validate_profile_file path =
+  match read_parse path with Error e -> Error e | Ok j -> validate_profile j
+
+let write_folded ~path profile = write_file path (Profile.folded profile)
+
+let write_profile ~path profile =
+  write_file path (Json.to_string ~pretty:true (Profile.to_json profile))

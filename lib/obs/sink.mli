@@ -46,17 +46,97 @@ val validate_chrome_file : string -> (int, string) result
 
 val bench_schema : string
 (** The current [waveidx bench --json] schema tag,
-    ["waveidx-bench/3"]. *)
+    ["waveidx-bench/4"]. *)
 
 val validate_bench : Json.t -> (int, string) result
 (** Check a [BENCH_wave.json] snapshot against {!bench_schema}: the
-    exact schema tag, ["unit"] = "model-seconds", and a non-empty
+    exact schema tag, ["unit"] = "model-seconds", a non-empty
     ["benchmarks"] array whose records carry a string ["name"],
     non-negative ["p50"]/["p95"], ["runs"] >= 1, an optional ["cache"]
     object (["hit_ratio"] in [0, 1]; non-negative ["hits"],
     ["misses"], ["frames"]) and an optional ["writeback"] object
     (non-negative ["writes_coalesced"], ["flushes"],
-    ["flushed_blocks"]).  Returns the benchmark count. *)
+    ["flushed_blocks"]), plus a required ["profile"] summary block
+    (string ["scheme"]/["technique"], ["days"] >= 1, non-negative
+    ["total_model_s"], and a non-empty ["top"] array of hot nodes each
+    with a string ["path"], ["calls"] >= 1, non-negative
+    ["self_model_s"]/["total_model_s"]/["seeks"]).  Every error names
+    the offending series ([benchmark i ("name")]) and field.  Returns
+    the benchmark count. *)
 
 val validate_bench_file : string -> (int, string) result
 (** Read and parse [path], then {!validate_bench}. *)
+
+(** {1 Bench regression gate}
+
+    [bench --compare BASELINE.json --threshold PCT] re-parses a
+    committed snapshot, matches series by name against a fresh run, and
+    fails on regressions: {!bench_series} extracts the comparable
+    series (leniently — any snapshot version with a ["benchmarks"]
+    array works, so old baselines survive schema bumps), and
+    {!compare_bench} classifies each p50/p95 pair. *)
+
+type bench_series = {
+  series_name : string;
+  series_p50 : float;
+  series_p95 : float;
+}
+
+val bench_series : Json.t -> (bench_series list, string) result
+(** Extract name/p50/p95 from a snapshot's ["benchmarks"] array,
+    without checking the schema tag.  Errors name the series. *)
+
+val bench_series_file : string -> (bench_series list, string) result
+(** Read and parse [path], then {!bench_series}. *)
+
+type bench_delta = {
+  delta_name : string;
+  delta_field : string;  (** ["p50"] or ["p95"] *)
+  baseline_value : float;
+  current_value : float;
+  delta_pct : float;  (** (current - baseline) / baseline * 100 *)
+}
+
+type bench_comparison = {
+  compared : int;  (** series present on both sides *)
+  missing : string list;  (** in baseline, vanished from current — a failure *)
+  added : string list;  (** new series, informational *)
+  regressions : bench_delta list;
+  improvements : bench_delta list;
+}
+
+val compare_bench :
+  threshold_pct:float ->
+  baseline:bench_series list ->
+  current:bench_series list ->
+  bench_comparison
+(** A p50 or p95 that grew beyond [threshold_pct] percent (with a 1e-9
+    absolute epsilon so bit-identical reruns never trip) is a
+    regression; shrunk beyond it, an improvement. *)
+
+val bench_ok : bench_comparison -> bool
+(** No regressions and no vanished series. *)
+
+val comparison_report : bench_comparison -> string
+(** Human-readable per-series delta report, one line per regression /
+    missing / improvement / new series. *)
+
+(** {1 Profile documents} *)
+
+val profile_schema : string
+(** ["waveidx-profile/1"] — the {!Profile.to_json} schema tag. *)
+
+val validate_profile : Json.t -> (int, string) result
+(** Check a profile document: schema tag, ["unit"] = "model-seconds",
+    non-negative ["total_model_s"], and a ["roots"] tree whose every
+    node carries a string ["name"], ["calls"] >= 1, the non-negative
+    cost fields, and a ["children"] array.  Errors carry the node's
+    path.  Returns the node count. *)
+
+val validate_profile_file : string -> (int, string) result
+
+val write_folded : path:string -> Profile.t -> unit
+(** Write {!Profile.folded} stacks to [path]. *)
+
+val write_profile : path:string -> Profile.t -> unit
+(** Write pretty-printed {!Profile.to_json} to [path]. *)

@@ -33,6 +33,7 @@ type result = {
   transition_percentiles : percentiles;
   query_percentiles : percentiles;
   cache_stats : Cache.stats option;
+  alerts : Wave_obs.Alert.event list;
 }
 
 type config = {
@@ -45,6 +46,7 @@ type config = {
   queries : Wave_workload.Query_gen.spec option;
   icfg : Wave_storage.Index.config;
   validate : bool;
+  alerts : Wave_obs.Alert.rule list;
 }
 
 let default_config ~scheme ~store ~w ~n =
@@ -58,6 +60,7 @@ let default_config ~scheme ~store ~w ~n =
     queries = None;
     icfg = Wave_storage.Index.default_config;
     validate = true;
+    alerts = [];
   }
 
 let run_queries env frame spec ~day =
@@ -128,6 +131,18 @@ let run config =
   let h_query_uncached =
     Wave_obs.Metrics.histogram "runner.query_seconds.uncached_estimate"
   in
+  (* Per-day gauges the alert engine can target: the latest day's raw
+     values, complementing the run-wide histograms above. *)
+  let g_transition = Wave_obs.Metrics.gauge "runner.day.transition_seconds" in
+  let g_query = Wave_obs.Metrics.gauge "runner.day.query_seconds" in
+  let g_wave = Wave_obs.Metrics.gauge "runner.day.wave_length" in
+  let g_space = Wave_obs.Metrics.gauge "runner.day.space_bytes" in
+  let g_dirty = Wave_obs.Metrics.gauge "cache.dirty_frames" in
+  let engine =
+    match config.alerts with
+    | [] -> None
+    | rules -> Some (Wave_obs.Alert.create rules)
+  in
   let days = ref [] in
   for _ = 1 to config.run_days do
     let this_day = Scheme.current_day s + 1 in
@@ -187,7 +202,20 @@ let run config =
             blocks_read = c1.Disk.blocks_read - c0.Disk.blocks_read;
             blocks_written = c1.Disk.blocks_written - c0.Disk.blocks_written;
           }
-          :: !days)
+          :: !days);
+    (* Alert rules are evaluated at the day boundary, outside the day
+       span, so a firing's Trace instant sits between days. *)
+    (match !days with
+    | d :: _ ->
+      Wave_obs.Metrics.set g_transition d.transition_seconds;
+      Wave_obs.Metrics.set g_query d.query_seconds;
+      Wave_obs.Metrics.set g_wave (float_of_int d.wave_length);
+      Wave_obs.Metrics.set g_space (float_of_int d.space_bytes);
+      Option.iter
+        (fun p -> Wave_obs.Metrics.set g_dirty (float_of_int (Cache.dirty_frames p)))
+        pool;
+      Option.iter (fun e -> ignore (Wave_obs.Alert.eval e ~day:d.day)) engine
+    | [] -> ())
   done;
   let days = List.rev !days in
   let nd = float_of_int (max 1 (List.length days)) in
@@ -215,4 +243,6 @@ let run config =
       (let snap = Option.map Cache.stats pool in
        Cache.detach disk;
        snap);
+    alerts =
+      (match engine with None -> [] | Some e -> Wave_obs.Alert.events e);
   }

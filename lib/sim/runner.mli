@@ -65,6 +65,10 @@ type result = {
           ["runner.query_seconds.uncached_estimate"] histograms in
           {!Wave_obs.Metrics} (the estimate adds back the pool's
           per-day saved model-seconds, net of metadata charges). *)
+  alerts : Wave_obs.Alert.event list;
+      (** alert events (active and resolved, oldest first) from the
+          run's {!config.alerts} rules; [[]] when no rules were
+          configured *)
 }
 
 type config = {
@@ -77,11 +81,19 @@ type config = {
   queries : Wave_workload.Query_gen.spec option;
   icfg : Wave_storage.Index.config;
   validate : bool;  (** check window invariants after every day *)
+  alerts : Wave_obs.Alert.rule list;
+      (** rules evaluated once per day boundary against the always-on
+          metrics.  Besides the run-wide histograms, each day the
+          runner publishes gauges targetable by rules:
+          ["runner.day.transition_seconds"],
+          ["runner.day.query_seconds"], ["runner.day.wave_length"],
+          ["runner.day.space_bytes"], and — with a buffer pool —
+          ["cache.dirty_frames"]. *)
 }
 
 val default_config :
   scheme:Scheme.kind -> store:Env.day_store -> w:int -> n:int -> config
 (** 2w run days, in-place updating, default index config, no queries,
-    validation on. *)
+    validation on, no alert rules. *)
 
 val run : config -> result

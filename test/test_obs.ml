@@ -88,6 +88,84 @@ let test_json_accessors () =
   | _ -> Alcotest.fail "missing member x");
   Alcotest.(check bool) "absent member" true (Json.member "zzz" j = None)
 
+let test_json_surrogate_pairs () =
+  (* 😀 is U+1F600 (grinning face) encoded as a UTF-16
+     surrogate pair; the parser must combine it into 4 UTF-8 bytes. *)
+  (match Json.parse {|"😀"|} with
+  | Ok (Json.Str s) ->
+    Alcotest.(check string) "surrogate pair combined" "\xf0\x9f\x98\x80" s
+  | Ok _ -> Alcotest.fail "expected string"
+  | Error e -> Alcotest.failf "surrogate parse failed: %s" e);
+  (* The combined scalar survives a print -> parse round trip. *)
+  (match
+     Json.parse (Json.to_string (Json.Str "\xf0\x9f\x98\x80"))
+   with
+  | Ok (Json.Str s) -> Alcotest.(check string) "roundtrip" "\xf0\x9f\x98\x80" s
+  | Ok _ -> Alcotest.fail "expected string"
+  | Error e -> Alcotest.failf "roundtrip failed: %s" e);
+  (* Unpaired or malformed surrogates are parse errors, not mojibake. *)
+  List.iter
+    (fun input ->
+      match Json.parse input with
+      | Ok _ -> Alcotest.failf "accepted lone surrogate %S" input
+      | Error _ -> ())
+    [ {|"\ud83d"|}; {|"\ud83dA"|}; {|"\ude00"|} ]
+
+let test_json_non_finite () =
+  (* Non-finite floats degrade to null everywhere they can appear, so
+     emitted documents always re-parse. *)
+  let j =
+    Json.Arr [ Json.Num Float.nan; Json.Num Float.neg_infinity; Json.Num 1.0 ]
+  in
+  let s = Json.to_string j in
+  Alcotest.(check string) "non-finite -> null" "[null,null,1]" s;
+  match Json.parse s with
+  | Ok (Json.Arr [ Json.Null; Json.Null; Json.Num v ]) -> exact "finite kept" 1.0 v
+  | Ok _ -> Alcotest.fail "reparse shape"
+  | Error e -> Alcotest.failf "reparse failed: %s" e
+
+let test_json_deep_nesting () =
+  let depth = 500 in
+  let rec build n = if n = 0 then Json.int 7 else Json.Arr [ build (n - 1) ] in
+  let deep = build depth in
+  match Json.parse (Json.to_string deep) with
+  | Ok parsed ->
+    Alcotest.(check bool) "deep document round-trips" true (Json.equal deep parsed)
+  | Error e -> Alcotest.failf "deep parse failed: %s" e
+
+(* parse (to_string j) = j over random finite documents. *)
+let json_roundtrip_prop =
+  let open QCheck2.Gen in
+  let scalar =
+    oneof
+      [
+        pure Json.Null;
+        map (fun b -> Json.Bool b) bool;
+        (* eighths are exact in binary, so equality is not confounded
+           by decimal printing *)
+        map (fun i -> Json.Num (float_of_int i /. 8.0)) (int_range (-8000) 8000);
+        map (fun s -> Json.Str s) (string_size ~gen:printable (int_range 0 12));
+      ]
+  in
+  let gen =
+    sized @@ fix (fun self n ->
+        if n = 0 then scalar
+        else
+          oneof
+            [
+              scalar;
+              map (fun xs -> Json.Arr xs) (list_size (int_range 0 4) (self (n / 2)));
+              map
+                (fun kvs -> Json.Obj kvs)
+                (list_size (int_range 0 4)
+                   (pair (string_size ~gen:printable (int_range 0 8)) (self (n / 2))));
+            ])
+  in
+  QCheck2.Test.make ~name:"parse (to_string j) = j" ~count:300 gen (fun j ->
+      match Json.parse (Json.to_string j) with
+      | Ok j' -> Json.equal j j'
+      | Error _ -> false)
+
 (* ------------------------------------------------------------------ *)
 (* Trace                                                              *)
 (* ------------------------------------------------------------------ *)
@@ -533,6 +611,253 @@ let test_runner_untraced_has_no_spans () =
   Alcotest.(check int) "days simulated" 3 (List.length r.Wave_sim.Runner.days);
   Alcotest.(check int) "no spans collected" 0 (List.length (Trace.spans ()))
 
+(* ------------------------------------------------------------------ *)
+(* Bounded histograms (reservoir sampling)                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_metrics_reservoir_bounded () =
+  let r = Metrics.create () in
+  let cap = 2048 in
+  let n = 50_000 in
+  let h = Metrics.histogram ~registry:r ~cap "test.reservoir" in
+  for i = 1 to n do
+    Metrics.observe h (float_of_int i)
+  done;
+  Alcotest.(check int) "count stays exact past the cap" n (Metrics.hist_count h);
+  Alcotest.(check int) "reservoir bounded" cap (Metrics.hist_sample_size h);
+  Alcotest.(check int)
+    "hist_values bounded" cap
+    (Array.length (Metrics.hist_values h));
+  match Metrics.hist_summary h with
+  | None -> Alcotest.fail "summary missing"
+  | Some s ->
+    (* Running aggregates are exact even while sampling. *)
+    Alcotest.(check int) "summary count exact" n s.Metrics.count;
+    exact "min exact" 1.0 s.Metrics.min;
+    exact "max exact" (float_of_int n) s.Metrics.max;
+    exact "mean exact" (float_of_int (n + 1) /. 2.0) s.Metrics.mean;
+    (* Percentiles come from the reservoir: for a uniform stream the
+       p-th percentile of a cap-sized uniform sample is within a few
+       percent with overwhelming probability; 10% is a loose bound that
+       never flakes with the deterministic per-name PRNG. *)
+    let within name expected got tol =
+      let rel = Float.abs (got -. expected) /. expected in
+      if rel > tol then
+        Alcotest.failf "%s: expected ~%g, got %g (rel err %.3f > %.2f)" name
+          expected got rel tol
+    in
+    within "p50" (float_of_int n /. 2.0) s.Metrics.p50 0.10;
+    within "p95" (float_of_int n *. 0.95) s.Metrics.p95 0.10
+
+let test_metrics_reservoir_exact_below_cap () =
+  let r = Metrics.create () in
+  let h = Metrics.histogram ~registry:r ~cap:1000 "test.small" in
+  for i = 1 to 200 do
+    Metrics.observe h (float_of_int i)
+  done;
+  Alcotest.(check int)
+    "everything retained below cap" 200
+    (Metrics.hist_sample_size h);
+  (* Recording order is preserved while under the cap. *)
+  let vs = Metrics.hist_values h in
+  exact "first retained" 1.0 vs.(0);
+  exact "last retained" 200.0 vs.(199);
+  match Metrics.hist_summary h with
+  | None -> Alcotest.fail "summary missing"
+  | Some s ->
+    exact "p50 exact below cap" 100.5 s.Metrics.p50;
+    (* linear interpolation at rank 0.95 * 199 = 189.05 *)
+    Alcotest.(check bool)
+      "p95 exact below cap" true
+      (Float.abs (s.Metrics.p95 -. 190.05) < 1e-9)
+
+let test_metrics_reservoir_deterministic () =
+  (* Same name and stream => same reservoir, byte for byte: the PRNG
+     is seeded from the histogram name. *)
+  let run () =
+    let r = Metrics.create () in
+    let h = Metrics.histogram ~registry:r ~cap:64 "test.seeded" in
+    for i = 1 to 5_000 do
+      Metrics.observe h (float_of_int i)
+    done;
+    Metrics.hist_values h
+  in
+  Alcotest.(check bool) "reservoir reproducible" true (run () = run ())
+
+let test_metrics_default_cap () =
+  let original = Metrics.default_histogram_cap () in
+  Alcotest.(check int) "initial default" 8192 original;
+  Fun.protect
+    ~finally:(fun () -> Metrics.set_default_histogram_cap original)
+    (fun () ->
+      Metrics.set_default_histogram_cap 16;
+      let r = Metrics.create () in
+      let h = Metrics.histogram ~registry:r "test.defaulted" in
+      for i = 1 to 100 do
+        Metrics.observe h (float_of_int i)
+      done;
+      Alcotest.(check int) "new default applies" 16 (Metrics.hist_sample_size h);
+      Alcotest.check_raises "cap below 1 rejected"
+        (Invalid_argument "Metrics.set_default_histogram_cap: cap < 1")
+        (fun () -> Metrics.set_default_histogram_cap 0))
+
+(* ------------------------------------------------------------------ *)
+(* Bench snapshot validation corpus                                   *)
+(* ------------------------------------------------------------------ *)
+
+let contains ~sub s =
+  let n = String.length sub and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+  n = 0 || go 0
+
+(* A minimal document that satisfies every waveidx-bench/4 rule; the
+   corpus below perturbs it one field at a time. *)
+let valid_bench_doc ?(schema = Sink.bench_schema) ?(unit_ = "model-seconds")
+    ?(p50 = 0.5) ?(runs = 5.0) ?(hit_ratio = 0.9) ?(flushes = 3.0)
+    ?(name = Some "probe/DEL") ?(benchmarks = None) ?(profile = None) () =
+  let bench =
+    Json.Obj
+      ((match name with Some n -> [ ("name", Json.Str n) ] | None -> [])
+      @ [
+          ("p50", Json.Num p50);
+          ("p95", Json.Num 0.9);
+          ("runs", Json.Num runs);
+          ( "cache",
+            Json.Obj
+              [
+                ("hit_ratio", Json.Num hit_ratio);
+                ("hits", Json.Num 10.0);
+                ("misses", Json.Num 2.0);
+                ("frames", Json.Num 64.0);
+              ] );
+          ( "writeback",
+            Json.Obj
+              [
+                ("writes_coalesced", Json.Num 4.0);
+                ("flushes", Json.Num flushes);
+                ("flushed_blocks", Json.Num 9.0);
+              ] );
+        ])
+  in
+  let default_profile =
+    Json.Obj
+      [
+        ("scheme", Json.Str "DEL");
+        ("technique", Json.Str "in-place");
+        ("days", Json.Num 6.0);
+        ("total_model_s", Json.Num 37.0);
+        ( "top",
+          Json.Arr
+            [
+              Json.Obj
+                [
+                  ("path", Json.Str "day;maintenance");
+                  ("calls", Json.Num 6.0);
+                  ("self_model_s", Json.Num 20.0);
+                  ("total_model_s", Json.Num 30.0);
+                  ("seeks", Json.Num 120.0);
+                ];
+            ] );
+      ]
+  in
+  Json.Obj
+    [
+      ("schema", Json.Str schema);
+      ("unit", Json.Str unit_);
+      ( "benchmarks",
+        match benchmarks with Some bs -> bs | None -> Json.Arr [ bench ] );
+      ( "profile",
+        match profile with Some p -> p | None -> default_profile );
+    ]
+
+let test_sink_validate_bench_accepts_valid () =
+  match Sink.validate_bench (valid_bench_doc ()) with
+  | Ok n -> Alcotest.(check int) "one benchmark" 1 n
+  | Error e -> Alcotest.failf "valid /4 document rejected: %s" e
+
+let expect_error name doc frags =
+  match Sink.validate_bench doc with
+  | Ok _ -> Alcotest.failf "%s: accepted" name
+  | Error e ->
+    List.iter
+      (fun frag ->
+        if not (contains ~sub:frag e) then
+          Alcotest.failf "%s: error %S does not mention %S" name e frag)
+      frags
+
+let test_sink_validate_bench_bad_corpus () =
+  (* One case per validation class; every error must name the series
+     (or the profile path) and the offending field. *)
+  expect_error "wrong schema"
+    (valid_bench_doc ~schema:"waveidx-bench/3" ())
+    [ "schema"; "waveidx-bench/4" ];
+  expect_error "wrong unit"
+    (valid_bench_doc ~unit_:"wall-seconds" ())
+    [ "unit"; "model-seconds" ];
+  expect_error "empty benchmarks"
+    (valid_bench_doc ~benchmarks:(Some (Json.Arr [])) ())
+    [ "empty \"benchmarks\"" ];
+  expect_error "missing series name"
+    (valid_bench_doc ~name:None ())
+    [ "benchmark 0"; "\"name\"" ];
+  expect_error "negative p50"
+    (valid_bench_doc ~p50:(-0.1) ())
+    [ "probe/DEL"; "p50" ];
+  expect_error "runs below 1"
+    (valid_bench_doc ~runs:0.0 ())
+    [ "probe/DEL"; "runs" ];
+  expect_error "hit_ratio above 1"
+    (valid_bench_doc ~hit_ratio:1.5 ())
+    [ "probe/DEL"; "hit_ratio" ];
+  expect_error "negative writeback field"
+    (valid_bench_doc ~flushes:(-1.0) ())
+    [ "probe/DEL"; "flushes" ];
+  expect_error "missing profile block"
+    (match valid_bench_doc () with
+    | Json.Obj kvs -> Json.Obj (List.remove_assoc "profile" kvs)
+    | _ -> assert false)
+    [ "profile" ];
+  expect_error "profile missing total"
+    (valid_bench_doc
+       ~profile:
+         (Some
+            (Json.Obj
+               [
+                 ("scheme", Json.Str "DEL");
+                 ("technique", Json.Str "in-place");
+                 ("days", Json.Num 6.0);
+                 ("top", Json.Arr []);
+               ]))
+       ())
+    [ "profile"; "total_model_s" ];
+  expect_error "bad profile.top entry"
+    (valid_bench_doc
+       ~profile:
+         (Some
+            (Json.Obj
+               [
+                 ("scheme", Json.Str "DEL");
+                 ("technique", Json.Str "in-place");
+                 ("days", Json.Num 6.0);
+                 ("total_model_s", Json.Num 37.0);
+                 ( "top",
+                   Json.Arr
+                     [
+                       Json.Obj
+                         [
+                           ("path", Json.Str "day");
+                           ("calls", Json.Num 0.0);
+                           ("self_model_s", Json.Num 1.0);
+                           ("total_model_s", Json.Num 1.0);
+                           ("seeks", Json.Num 0.0);
+                         ];
+                     ] );
+               ]))
+       ())
+    [ "profile.top[0]"; "calls" ]
+
+let qcheck tests = List.map QCheck_alcotest.to_alcotest tests
+
 let suites =
   [
     ( "obs.json",
@@ -542,7 +867,11 @@ let suites =
         Alcotest.test_case "integers compact" `Quick test_json_integers_compact;
         Alcotest.test_case "parse errors" `Quick test_json_parse_errors;
         Alcotest.test_case "accessors" `Quick test_json_accessors;
-      ] );
+        Alcotest.test_case "surrogate pairs" `Quick test_json_surrogate_pairs;
+        Alcotest.test_case "non-finite floats" `Quick test_json_non_finite;
+        Alcotest.test_case "deep nesting" `Quick test_json_deep_nesting;
+      ]
+      @ qcheck [ json_roundtrip_prop ] );
     ( "obs.trace",
       [
         Alcotest.test_case "disabled passthrough" `Quick
@@ -561,6 +890,13 @@ let suites =
         Alcotest.test_case "histogram" `Quick test_metrics_histogram;
         Alcotest.test_case "to_json" `Quick test_metrics_json;
         Alcotest.test_case "btree counters flow" `Quick test_btree_counters_flow;
+        Alcotest.test_case "reservoir bounded" `Quick
+          test_metrics_reservoir_bounded;
+        Alcotest.test_case "reservoir exact below cap" `Quick
+          test_metrics_reservoir_exact_below_cap;
+        Alcotest.test_case "reservoir deterministic" `Quick
+          test_metrics_reservoir_deterministic;
+        Alcotest.test_case "default cap" `Quick test_metrics_default_cap;
       ] );
     ( "obs.sink",
       [
@@ -569,6 +905,10 @@ let suites =
         Alcotest.test_case "chrome rejects malformed" `Quick
           test_sink_chrome_rejects_malformed;
         Alcotest.test_case "jsonl" `Quick test_sink_jsonl;
+        Alcotest.test_case "validate_bench accepts valid /4" `Quick
+          test_sink_validate_bench_accepts_valid;
+        Alcotest.test_case "validate_bench bad corpus" `Quick
+          test_sink_validate_bench_bad_corpus;
       ] );
     ( "obs.runner",
       [
