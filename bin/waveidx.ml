@@ -74,6 +74,50 @@ let technique_conv =
   let print ppf t = Format.pp_print_string ppf (Env.technique_name t) in
   Arg.conv (parse, print)
 
+let disk_conv =
+  let parse s =
+    match String.lowercase_ascii s with
+    | "sim" -> Ok Wave_disk.Disk.Sim
+    | _ -> (
+      match String.index_opt s ':' with
+      | Some i when String.lowercase_ascii (String.sub s 0 i) = "file" ->
+        let path = String.sub s (i + 1) (String.length s - i - 1) in
+        if path = "" then Error (`Msg "file: needs a path")
+        else Ok (Wave_disk.Disk.File path)
+      | _ -> Error (`Msg (Printf.sprintf "bad disk backend %S (sim | file:PATH)" s)))
+  in
+  let print ppf = function
+    | Wave_disk.Disk.Sim -> Format.pp_print_string ppf "sim"
+    | Wave_disk.Disk.File p -> Format.fprintf ppf "file:%s" p
+  in
+  Arg.conv (parse, print)
+
+(* Real-I/O counter block, printed after any run on a file backend. *)
+let print_file_io_stats () =
+  let v name =
+    match Wave_obs.Metrics.lookup ("disk.file." ^ name) with
+    | Some (`Counter f) -> f
+    | _ -> 0.0
+  in
+  Printf.printf
+    "real I/O           preads=%.0f pwrites=%.0f fsyncs=%.0f renames=%.0f \
+     read=%.0fB written=%.0fB\n"
+    (v "preads") (v "pwrites") (v "fsyncs") (v "renames") (v "bytes_read")
+    (v "bytes_written");
+  Printf.printf "real I/O faults    retries=%.0f giveups=%.0f stalls=%.0f\n"
+    (v "retries") (v "giveups") (v "stalls");
+  match Wave_obs.Metrics.lookup "disk.file.io_wall_s" with
+  | Some (`Histogram (Some h)) ->
+    Printf.printf
+      "real I/O wall      %d calls  mean %.1fus  p95 %.1fus  p99 %.1fus  max \
+       %.1fus\n"
+      h.Wave_obs.Metrics.count
+      (h.Wave_obs.Metrics.mean *. 1e6)
+      (h.Wave_obs.Metrics.p95 *. 1e6)
+      (h.Wave_obs.Metrics.p99 *. 1e6)
+      (h.Wave_obs.Metrics.max *. 1e6)
+  | _ -> ()
+
 (* Top-k hot-spot table over a profile subtree, shared by the profile
    subcommand and sim --profile. *)
 let print_top_table ?under ~k title prof =
@@ -172,8 +216,35 @@ let sim_cmd =
   let top =
     Arg.(value & opt int 8 & info [ "top" ] ~doc:"hot-spot table size for --profile")
   in
+  let disk =
+    Arg.(
+      value
+      & opt disk_conv Wave_disk.Disk.Sim
+      & info [ "disk" ] ~docv:"BACKEND"
+          ~doc:
+            "sim (the paper's pure cost model, default) or file:PATH — the \
+             same disk over a real block file at PATH, every write landing \
+             through the syscall shim (retry/backoff, disk.file.* metrics)")
+  in
+  let stall_after =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "stall-after" ] ~docv:"K"
+          ~doc:
+            "arm a stall fault on the K-th write operation of the run \
+             (charges --stall-seconds of model time, then proceeds); pair \
+             with --alerts to watch the day's transition alert fire")
+  in
+  let stall_seconds =
+    Arg.(
+      value
+      & opt float 30.0
+      & info [ "stall-seconds" ] ~docv:"S" ~doc:"stall duration for --stall-after")
+  in
   let run scheme technique w n days postings workload probes scans cache_blocks
-      cache_readahead write_back alerts alerts_out profile top =
+      cache_readahead write_back alerts alerts_out profile top disk stall_after
+      stall_seconds =
     if write_back && cache_blocks = None then begin
       Printf.eprintf "sim: --write-back requires --cache-blocks\n";
       exit 2
@@ -225,12 +296,23 @@ let sim_cmd =
         Wave_storage.Index.cache_blocks;
         cache_readahead;
         cache_write_back = write_back;
+        disk_backend = disk;
       }
     in
     if profile then begin
       Wave_obs.Trace.enable ();
       Wave_obs.Trace.reset ()
     end;
+    let run_env = ref None in
+    let on_env env =
+      run_env := Some env;
+      match stall_after with
+      | None -> ()
+      | Some k ->
+        Wave_disk.Disk.arm_fault env.Env.disk
+          ~mode:(Wave_disk.Disk.Stall stall_seconds)
+          { Wave_disk.Disk.target = Wave_disk.Disk.On_write; at = k }
+    in
     let r =
       Wave_sim.Runner.run
         {
@@ -240,8 +322,12 @@ let sim_cmd =
           queries = Some queries;
           icfg;
           alerts = rules;
+          on_env = Some on_env;
         }
     in
+    (match !run_env with
+    | Some env -> Wave_disk.Disk.close env.Env.disk
+    | None -> ());
     let prof =
       if profile then begin
         let spans = Wave_obs.Trace.spans () in
@@ -281,6 +367,16 @@ let sim_cmd =
     | None -> ()
     | Some cs ->
       Format.printf "buffer pool        %a@." Wave_cache.Cache.pp_stats cs);
+    (match Wave_obs.Metrics.lookup "disk.stalls" with
+    | Some (`Counter s) when s > 0.0 ->
+      Printf.printf "injected stalls    %10.0f (%.1f model-seconds each)\n" s
+        stall_seconds
+    | _ -> ());
+    (match disk with
+    | Wave_disk.Disk.Sim -> ()
+    | Wave_disk.Disk.File path ->
+      Printf.printf "block file         %s\n" path;
+      print_file_io_stats ());
     (match alerts with
     | None -> ()
     | Some _ ->
@@ -322,7 +418,7 @@ let sim_cmd =
     Term.(
       const run $ scheme $ technique $ w $ n $ days $ postings $ workload
       $ probes $ scans $ cache_blocks $ cache_readahead $ write_back $ alerts
-      $ alerts_out $ profile $ top)
+      $ alerts_out $ profile $ top $ disk $ stall_after $ stall_seconds)
 
 let model_cmd =
   let doc =
@@ -875,7 +971,34 @@ let bench_cmd =
                    (Env.technique_name technique))
                 samples;
               Wave_cache.Cache.detach disk)
-            [ Env.In_place; Env.Packed_shadow ]
+            [ Env.In_place; Env.Packed_shadow ];
+          (* Real-I/O twin of the in-place transition benchmark: the
+             same disk over a real block file, each sample measured in
+             wall seconds (syscalls included, fsync'd per transition).
+             Unlike every other series these numbers are machine-
+             dependent; they live under the transition+file/ prefix so
+             a baseline diff can treat them accordingly. *)
+          let blocks = Filename.temp_file "waveidx_bench" ".blocks" in
+          let icfg =
+            {
+              Wave_storage.Index.default_config with
+              Wave_storage.Index.disk_backend = Wave_disk.Disk.File blocks;
+            }
+          in
+          let disk = Wave_storage.Index.make_disk icfg in
+          let env = Env.create ~disk ~icfg ~store ~w ~n () in
+          let s = Scheme.start scheme env in
+          Scheme.advance_to s (2 * w);
+          record
+            (Printf.sprintf "transition+file/%s/in-place" sname)
+            (List.init runs (fun _ ->
+                 let t0 = Unix.gettimeofday () in
+                 Scheme.transition s;
+                 Wave_disk.Disk.fsync disk;
+                 Unix.gettimeofday () -. t0));
+          Wave_disk.Disk.close disk;
+          (try Sys.remove blocks with Sys_error _ -> ());
+          try Sys.remove (blocks ^ ".alloc") with Sys_error _ -> ()
         end)
       Scheme.all;
     let results = List.rev !results in
@@ -1107,7 +1230,29 @@ let crashtest_cmd =
             "sweep with the pool in write-back mode (adds flush / \
              dirty-pool fault points); requires --cache-blocks")
   in
-  let run w n days verbose cache_blocks write_back =
+  let kill_dir =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "kill" ] ~docv:"DIR"
+          ~doc:
+            "kill-and-recover mode: run every instance on a real file-backed \
+             disk in its own checkpoint directory under DIR, crash by \
+             killing the process state (close the block file, drop all \
+             memory), and recover with Checkpoint.reopen from the surviving \
+             files alone; failing points keep their directories as \
+             artifacts")
+  in
+  let double =
+    Arg.(
+      value & flag
+      & info [ "double" ]
+          ~doc:
+            "additionally sweep double faults: crash the transition, then \
+             crash recovery itself at its own enumerated points, then \
+             recover again (proves recovery is re-entrant)")
+  in
+  let run w n days verbose cache_blocks write_back kill_dir double =
     if write_back && cache_blocks = None then begin
       Printf.eprintf "crashtest: --write-back requires --cache-blocks\n";
       exit 2
@@ -1133,14 +1278,19 @@ let crashtest_cmd =
         cache_blocks
     in
     let sweep_days = List.init days (fun i -> w + 2 + i) in
-    Printf.printf "crash sweep: W=%d n=%d days %d..%d, every fault point%s\n\n" w n
+    Printf.printf "crash sweep%s: W=%d n=%d days %d..%d, every fault point%s%s\n\n"
+      (match kill_dir with None -> "" | Some _ -> " (kill-and-recover)")
+      w n
       (List.hd sweep_days)
       (List.nth sweep_days (days - 1))
       (match cache_blocks with
       | None -> ""
       | Some b ->
         Printf.sprintf ", %d-frame buffer pool%s" b
-          (if write_back then " (write-back)" else ""));
+          (if write_back then " (write-back)" else ""))
+      (match kill_dir with
+      | None -> ""
+      | Some d -> Printf.sprintf ", block files under %s" d);
     Printf.printf "%-10s" "scheme";
     List.iter
       (fun t -> Printf.printf " %18s" (Env.technique_name t))
@@ -1155,8 +1305,18 @@ let crashtest_cmd =
             let reports =
               List.map
                 (fun day ->
-                  Wave_sim.Crash_harness.sweep ?icfg ~scheme ~technique ~w ~n
-                    ~day ())
+                  match kill_dir with
+                  | None ->
+                    Wave_sim.Crash_harness.sweep ?icfg ~scheme ~technique ~w ~n
+                      ~day ()
+                  | Some root ->
+                    let dir =
+                      Filename.concat root
+                        (Printf.sprintf "%s_%s_d%d" (Scheme.name scheme)
+                           (Env.technique_name technique) day)
+                    in
+                    Wave_sim.Crash_harness.kill_sweep ?icfg ~scheme ~technique
+                      ~w ~n ~day ~dir ())
                 sweep_days
             in
             let points =
@@ -1180,6 +1340,54 @@ let crashtest_cmd =
           techniques;
         print_newline ())
       Scheme.all;
+    if double then begin
+      Printf.printf
+        "\ndouble faults (crash recovery, recover again; 0 pts = recovery \
+         charges no I/O)\n";
+      Printf.printf "%-10s" "scheme";
+      List.iter
+        (fun t -> Printf.printf " %18s" (Env.technique_name t))
+        techniques;
+      print_newline ();
+      List.iter
+        (fun scheme ->
+          Printf.printf "%-10s" (Scheme.name scheme);
+          List.iter
+            (fun technique ->
+              let reports =
+                List.map
+                  (fun day ->
+                    Wave_sim.Crash_harness.sweep_double ?icfg ~scheme
+                      ~technique ~w ~n ~day ())
+                  sweep_days
+              in
+              let points =
+                List.fold_left
+                  (fun a r ->
+                    a + List.length r.Wave_sim.Crash_harness.dr_points)
+                  0 reports
+              in
+              let ok =
+                List.for_all
+                  (fun r -> r.Wave_sim.Crash_harness.dr_passed)
+                  reports
+              in
+              if not ok then incr failures;
+              Printf.printf " %13s %4s"
+                (Printf.sprintf "%d pts" points)
+                (if ok then "ok" else "FAIL");
+              if verbose || not ok then
+                List.iter
+                  (fun r ->
+                    if verbose || not r.Wave_sim.Crash_harness.dr_passed then
+                      print_string
+                        (Format.asprintf "@.%a"
+                           Wave_sim.Crash_harness.pp_double_report r))
+                  reports)
+            techniques;
+          print_newline ())
+        Scheme.all
+    end;
     if !failures > 0 then begin
       Printf.printf "\n%d combination(s) FAILED\n" !failures;
       exit 1
@@ -1187,7 +1395,9 @@ let crashtest_cmd =
     else print_string "\nall combinations recovered consistently\n"
   in
   Cmd.v (Cmd.info "crashtest" ~doc)
-    Term.(const run $ w $ n $ days $ verbose $ cache_blocks $ write_back)
+    Term.(
+      const run $ w $ n $ days $ verbose $ cache_blocks $ write_back $ kill_dir
+      $ double)
 
 let () =
   let doc = "Wave-Indices (SIGMOD 1997) reproduction driver" in

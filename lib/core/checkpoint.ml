@@ -11,6 +11,7 @@ type t = {
   journal : Journal.t; (* durable: append-only intent log *)
   mutable durable : durable_slot array; (* durable slot -> extents map *)
   mutable recovered : Frame.t option; (* queryable frame after recovery *)
+  dir : string option; (* durable checkpoint directory (file backend) *)
 }
 
 type recovery = {
@@ -60,7 +61,42 @@ let snapshot_slots frame =
 let scheme_exn t =
   match t.scheme with Some s -> s | None -> raise Crashed
 
-let start kind env =
+(* Durable metadata commit, [dir] mode only.  Ordering is the
+   protocol's: everything the manifest/journal describe must be on the
+   platter first — data blocks ([Disk.fsync]), then the allocator
+   snapshot the reopened disk will be rebuilt from, then the atomic
+   manifest swap, then the journal rewrite. *)
+let persist_meta t =
+  match t.dir with
+  | None -> ()
+  | Some dir ->
+    Disk.fsync t.env.Env.disk;
+    Disk.checkpoint_alloc t.env.Env.disk;
+    Store_dir.write_manifest dir t.manifest;
+    Store_dir.write_journal dir t.journal
+
+(* Journal-only durable write: the intent record must be on disk before
+   the dangerous region starts, but the manifest stays untouched. *)
+let persist_journal t =
+  match t.dir with
+  | None -> ()
+  | Some dir ->
+    Disk.fsync t.env.Env.disk;
+    Store_dir.write_journal dir t.journal
+
+let start ?dir kind env =
+  (match dir with
+  | None -> ()
+  | Some d -> (
+    match Disk.backend env.Env.disk with
+    | Disk.File path when path = Store_dir.blocks_path d -> ()
+    | Disk.File path ->
+      invalid_arg
+        (Printf.sprintf
+           "Checkpoint.start: disk is backed by %s, not %s" path
+           (Store_dir.blocks_path d))
+    | Disk.Sim ->
+      invalid_arg "Checkpoint.start: a checkpoint dir needs a file-backed disk"));
   let s = Scheme.start kind env in
   let m = Manifest.capture s in
   let t =
@@ -72,10 +108,12 @@ let start kind env =
       journal = Journal.create ();
       durable = snapshot_slots (Scheme.frame s);
       recovered = None;
+      dir;
     }
   in
   flush_disk env.Env.disk;
   metadata_write t (String.length (Manifest.to_string m));
+  persist_meta t;
   t
 
 let scheme = scheme_exn
@@ -140,6 +178,7 @@ let transition t =
     Journal.append scratch record;
     metadata_write t (String.length (Journal.to_string scratch));
     Journal.append t.journal record;
+    persist_journal t;
     (* 2. The dangerous region. *)
     Scheme.transition s;
     (* 3. Atomic checkpoint: write the new manifest to a fresh file and
@@ -154,10 +193,21 @@ let transition t =
     metadata_write t (String.length (Manifest.to_string m));
     t.manifest <- m;
     t.durable <- snapshot_slots (Scheme.frame s);
+    (* In [dir] mode the manifest swap is a real fsync'd rename; the
+       data and allocator snapshot it describes land first. *)
+    (match t.dir with
+    | None -> ()
+    | Some dir ->
+      Disk.fsync t.env.Env.disk;
+      Disk.checkpoint_alloc t.env.Env.disk;
+      Store_dir.write_manifest dir m);
     (* 4. Close the intent and truncate the log. *)
     metadata_write t 16;
     Journal.append t.journal (Journal.Commit { day_to = intent.Journal.day_to });
-    Journal.truncate t.journal
+    Journal.truncate t.journal;
+    (match t.dir with
+    | None -> ()
+    | Some dir -> Store_dir.write_journal dir t.journal)
   with Disk.Disk_error _ as e ->
     (* The machine died: volatile state (the running scheme, its
        private temporaries' directories, the pool's dirty frames) is
@@ -219,16 +269,35 @@ let recover t =
   discard_dirty_disk disk;
   let t0 = Disk.elapsed disk in
   let fr = Frame.create t.env in
+  (* In-process recovery reuses the surviving in-memory constituents of
+     the last checkpoint.  After a process kill ({!reopen}) there are
+     none — the cost model persists stamps, not payloads — so every
+     surviving slot is rebuilt from the day store at its manifest
+     time-set.  The roll-forward/roll-back decision is unchanged; only
+     where untouched slots come from differs. *)
   let install_durable ?(except = []) () =
-    Array.iteri
-      (fun i d ->
-        if not (List.mem (i + 1) except) then
-          Frame.set_slot fr (i + 1) d.d_index d.d_days)
-      t.durable
+    if Array.length t.durable > 0 then
+      Array.iteri
+        (fun i d ->
+          if not (List.mem (i + 1) except) then
+            Frame.set_slot fr (i + 1) d.d_index d.d_days)
+        t.durable
+    else
+      List.iteri
+        (fun i days ->
+          if not (List.mem (i + 1) except) then begin
+            let idx = Update.build_days t.env (Dayset.elements days) in
+            Frame.set_slot fr (i + 1) idx days
+          end)
+        t.manifest.Manifest.slots
   in
   let finish ~rolled_forward ~recovered_day ~rebuilt_slots =
     let freed_blocks = sweep_leaks t fr in
     Journal.truncate t.journal;
+    (* Post-recovery checkpoint made durable: if a second fault kills
+       the recovery before this completes, the old manifest + journal
+       still describe a recoverable state and [reopen] can run again. *)
+    persist_meta t;
     t.durable <- snapshot_slots fr;
     t.recovered <- Some fr;
     {
@@ -303,3 +372,50 @@ let recover t =
       in
       { r with freed_blocks = r.freed_blocks + freed_before }
     end
+
+let dir t = t.dir
+
+(* Kill-and-recover: rebuild the whole instance from the checkpoint
+   directory alone — the process that armed the fault is gone.  The
+   manifest (falling back to [MANIFEST.prev] if the newest commit was
+   torn) names the scheme, technique and geometry; {!Disk.open_file}
+   restores the allocator from its sidecar and verifies every live
+   extent's stamps, so real damage — torn prefixes, truncated tails,
+   stale-generation reuse — surfaces through the same [torn] state the
+   simulated sweep exercises; the journal (unreadable reads as empty)
+   says whether a transition was in flight.  [recover] then makes the
+   roll decision exactly as in-process recovery does, except that every
+   surviving slot is rebuilt from the day store. *)
+let reopen ?icfg ?allow_deletes ?(seek_time = 0.014) ?(transfer_rate = 10e6)
+    ~dir ~store () =
+  let icfg =
+    match icfg with Some c -> c | None -> Index.default_config
+  in
+  let blocks = Store_dir.blocks_path dir in
+  let icfg = { icfg with Index.disk_backend = Disk.File blocks } in
+  let m, _fell_back = Store_dir.read_manifest dir in
+  let disk =
+    Disk.open_file
+      ~params:
+        { Disk.seek_time; transfer_rate; block_size = icfg.Index.entry_bytes }
+      ~path:blocks ()
+  in
+  let journal = Store_dir.read_journal dir in
+  let env =
+    Env.create ~disk ~icfg ~technique:m.Manifest.technique ?allow_deletes
+      ~store ~w:m.Manifest.w ~n:m.Manifest.n ()
+  in
+  let t =
+    {
+      env;
+      kind = m.Manifest.scheme;
+      scheme = None;
+      manifest = m;
+      journal;
+      durable = [||];
+      recovered = None;
+      dir = Some dir;
+    }
+  in
+  let r = recover t in
+  (t, r)

@@ -40,8 +40,16 @@ exception Crashed
 (** Raised when the live scheme is demanded after a crash and before
     {!recover}. *)
 
-val start : Scheme.kind -> Env.t -> t
-(** Start the scheme and write the initial checkpoint. *)
+val start : ?dir:string -> Scheme.kind -> Env.t -> t
+(** Start the scheme and write the initial checkpoint.
+
+    With [dir], durable state is {e really} persisted under the
+    {!Store_dir} layout: the environment's disk must be file-backed at
+    [Store_dir.blocks_path dir] (raises [Invalid_argument] otherwise),
+    and every protocol step lands on storage in commit order — data
+    blocks fsync'd, the allocator sidecar snapshotted, the manifest
+    atomically swapped, the journal rewritten.  A process killed at any
+    point can then be brought back with {!reopen}. *)
 
 val transition : t -> unit
 (** One journalled, checkpointed transition.  If the disk's armed fault
@@ -54,7 +62,32 @@ val advance_to : t -> int -> unit
 val recover : t -> recovery
 (** Cold-start recovery from durable state only.  Rolls the pending
     intent forward or back as described above, sweeps unclaimed
-    extents, re-checkpoints, and leaves a queryable {!frame}. *)
+    extents, re-checkpoints, and leaves a queryable {!frame}.
+    Re-entrant: if a second fault interrupts recovery itself, calling
+    it again (or {!reopen}, after a kill) starts over from the same
+    durable state — all in-memory commits happen after the last I/O. *)
+
+val reopen :
+  ?icfg:Wave_storage.Index.config ->
+  ?allow_deletes:bool ->
+  ?seek_time:float ->
+  ?transfer_rate:float ->
+  dir:string ->
+  store:Env.day_store ->
+  unit ->
+  t * recovery
+(** Kill-and-recover: rebuild an instance from a {!Store_dir} checkpoint
+    directory after the process died.  Reads the manifest (falling back
+    to [MANIFEST.prev] when the newest commit was torn, cleaning stale
+    temp files), reopens the block file with stamp verification, reads
+    the journal (unreadable = empty), and runs {!recover}.  Because the
+    cost model persists block stamps rather than index payloads, every
+    surviving slot is rebuilt from the day store — [rebuilt_slots] still
+    reports only the interrupted intent's slots.  Raises
+    {!Wave_disk.Disk.Disk_error} when no readable manifest or allocator
+    snapshot survives. *)
+
+val dir : t -> string option
 
 val scheme : t -> Scheme.t
 (** The live scheme.  @raise Crashed after a crash. *)

@@ -18,13 +18,17 @@ type counters = {
   elapsed : float;
 }
 
-exception Disk_error of string
+(* Real-I/O failures from the file backend surface through the same
+   exception all cost-model violations use, so every existing
+   [Disk_error] handler — checkpoint, crash harness, tests — catches
+   shim errors with no call-site changes. *)
+exception Disk_error = Io.Io_error
 
 (* --- fault plans ---------------------------------------------------- *)
 
 type fault_target = On_seek | On_write | On_flush
 
-type fault_mode = Fail_stop | Torn
+type fault_mode = Fail_stop | Torn | Stall of float
 
 type fault_point = { target : fault_target; at : int }
 
@@ -44,6 +48,17 @@ end
 
 module Live = Map.Make (Extent_key)
 
+(* One armed injection: the [p_in]-th next op of class [p_target] is
+   hit.  Plans queue: only the head counts down; firing pops it, so a
+   second plan can name a point inside recovery from the first. *)
+type plan = {
+  p_target : fault_target;
+  p_mode : fault_mode;
+  mutable p_in : int;
+}
+
+type backend = Sim | File of string
+
 type t = {
   uid : int; (* process-unique disk identity, for client-side attachments *)
   params : params;
@@ -58,17 +73,20 @@ type t = {
   mutable write_ops : int;
   mutable flushes : int;
   mutable elapsed : float;
-  mutable fault_in : int; (* 0 = disarmed; k = fail on the k-th matching op *)
-  mutable fault_target : fault_target;
-  mutable fault_mode : fault_mode;
+  mutable faults : plan list; (* [] = disarmed; head counts down first *)
+  mutable stalls : int; (* stall plans fired *)
   torn : (int, unit) Hashtbl.t; (* start block -> extent contents invalid *)
   mutable alloc_seq : int; (* allocations ever made; generation source *)
   gen : (int, int) Hashtbl.t; (* start block -> allocation generation *)
+  backing : Block_file.t option; (* the real block file, [File] backend only *)
+  mutable write_seq : int; (* write ops ever stamped into the backing file *)
 }
+
+let m_stalls = Wave_obs.Metrics.counter "disk.stalls"
 
 let next_uid = ref 0
 
-let create ?(params = default_params) () =
+let make ?(params = default_params) backing =
   if params.seek_time < 0.0 || params.transfer_rate <= 0.0 || params.block_size <= 0
   then raise (Disk_error "invalid parameters");
   incr next_uid;
@@ -86,16 +104,24 @@ let create ?(params = default_params) () =
     write_ops = 0;
     flushes = 0;
     elapsed = 0.0;
-    fault_in = 0;
-    fault_target = On_seek;
-    fault_mode = Fail_stop;
+    faults = [];
+    stalls = 0;
     torn = Hashtbl.create 8;
     alloc_seq = 0;
     gen = Hashtbl.create 64;
+    backing;
+    write_seq = 0;
   }
+
+let create ?params () = make ?params None
 
 let params t = t.params
 let id t = t.uid
+
+let backend t =
+  match t.backing with None -> Sim | Some bf -> File (Block_file.path bf)
+
+let backing t = t.backing
 
 let block_seconds t blocks =
   float_of_int (blocks * t.params.block_size) /. t.params.transfer_rate
@@ -105,31 +131,62 @@ let block_seconds t blocks =
    exact same increments the disk's own counters see.  The hooks are
    single-flag no-ops when tracing is disabled. *)
 
+(* Countdown on the queue head for one op of class [target].  Returns
+   the fired plan's mode for the caller to act on; a [Stall] is fully
+   handled here — charge the delay, pop, let the operation proceed. *)
+let fault_check t target =
+  match t.faults with
+  | [] -> None
+  | { p_target; _ } :: _ when p_target <> target -> None
+  | ({ p_mode; _ } as p) :: rest ->
+    p.p_in <- p.p_in - 1;
+    if p.p_in > 0 then None
+    else begin
+      t.faults <- rest;
+      match p_mode with
+      | Stall d ->
+        t.stalls <- t.stalls + 1;
+        Wave_obs.Metrics.inc m_stalls;
+        t.elapsed <- t.elapsed +. d;
+        Wave_obs.Trace.on_model_seconds d;
+        None
+      | mode -> Some mode
+    end
+
 let charge_seek t =
-  if t.fault_in > 0 && t.fault_target = On_seek then begin
-    t.fault_in <- t.fault_in - 1;
-    if t.fault_in = 0 then raise (Disk_error "injected fault")
-  end;
+  (match fault_check t On_seek with
+  | Some _ -> raise (Disk_error "injected fault")
+  | None -> ());
   t.seeks <- t.seeks + 1;
   t.elapsed <- t.elapsed +. t.params.seek_time;
   Wave_obs.Trace.on_seek ();
   Wave_obs.Trace.on_model_seconds t.params.seek_time
 
 (* Countdown for write-targeted faults; called with the destination
-   extent before any cost is charged.  In [Torn] mode the extent's
+   range before any cost is charged.  In [Torn] mode the extent's
    contents are marked invalid before the crash is raised: the space
    stays allocated but reads of it fail until it is freed or fully
-   rewritten — the classic torn write. *)
-let write_fault_check t ext =
-  if t.fault_in > 0 && t.fault_target = On_write then begin
-    t.fault_in <- t.fault_in - 1;
-    if t.fault_in = 0 then
-      match t.fault_mode with
-      | Fail_stop -> raise (Disk_error "injected fault")
-      | Torn ->
-        Hashtbl.replace t.torn ext.start ();
-        raise (Disk_error "injected fault: torn write")
-  end
+   rewritten — the classic torn write.  With a backing file the tear
+   is also physical: stamps for roughly half the range reach the file
+   before the "crash". *)
+let write_fault_check t ext ~off ~blocks =
+  match fault_check t On_write with
+  | None -> ()
+  | Some (Stall _) -> assert false (* consumed inside [fault_check] *)
+  | Some Fail_stop -> raise (Disk_error "injected fault")
+  | Some Torn ->
+    (match t.backing with
+    | Some bf when blocks > 0 ->
+      t.write_seq <- t.write_seq + 1;
+      let gen =
+        match Hashtbl.find_opt t.gen ext.start with Some g -> g | None -> 0
+      in
+      ignore
+        (Block_file.write_torn_prefix bf ~start:(ext.start + off) ~blocks
+           ~ext_start:ext.start ~gen ~seq:t.write_seq)
+    | _ -> ());
+    Hashtbl.replace t.torn ext.start ();
+    raise (Disk_error "injected fault: torn write")
 
 let charge_delay t seconds =
   if seconds < 0.0 then raise (Disk_error "negative delay");
@@ -174,6 +231,12 @@ let alloc t ~blocks =
   t.alloc_seq <- t.alloc_seq + 1;
   Hashtbl.replace t.gen start t.alloc_seq;
   note_alloc t blocks;
+  (* Zero the range so the valid-stamp-or-zero read rule is sound for
+     reused space (stale stamps from a freed tenant would otherwise
+     look like damage — or worse, like valid old data). *)
+  (match t.backing with
+  | Some bf -> Block_file.zero_range bf ~start ~blocks
+  | None -> ());
   { start; length = blocks }
 
 let lookup_live t ext =
@@ -231,6 +294,41 @@ let check_readable t ext =
   if Hashtbl.mem t.torn ext.start then
     raise (Disk_error "torn extent: contents invalid after interrupted write")
 
+(* Physical read + stamp verification of a prefix of a live extent.
+   Damage found in the file is remembered in the torn table (the next
+   read fails without re-reading) and raised like any torn extent. *)
+let backed_read t ext ~blocks =
+  match t.backing with
+  | None -> ()
+  | Some bf ->
+    if blocks > 0 then begin
+      let gen =
+        match Hashtbl.find_opt t.gen ext.start with Some g -> g | None -> 0
+      in
+      if
+        not
+          (Block_file.verify_range bf ~start:ext.start ~blocks
+             ~ext_start:ext.start ~gen)
+      then begin
+        Hashtbl.replace t.torn ext.start ();
+        raise (Disk_error "torn extent: contents invalid after interrupted write")
+      end
+    end
+
+(* Physical stamped write of a run inside a live extent. *)
+let backed_write t ext ~off ~blocks =
+  match t.backing with
+  | None -> ()
+  | Some bf ->
+    if blocks > 0 then begin
+      t.write_seq <- t.write_seq + 1;
+      let gen =
+        match Hashtbl.find_opt t.gen ext.start with Some g -> g | None -> 0
+      in
+      Block_file.write_range bf ~start:(ext.start + off) ~blocks
+        ~ext_start:ext.start ~gen ~seq:t.write_seq
+    end
+
 let assert_readable t ext =
   lookup_live t ext;
   check_readable t ext
@@ -251,7 +349,8 @@ let read_blocks t ext ~blocks =
   t.blocks_read <- t.blocks_read + blocks;
   t.elapsed <- t.elapsed +. block_seconds t blocks;
   Wave_obs.Trace.on_read ~blocks ~bytes:(blocks * t.params.block_size);
-  Wave_obs.Trace.on_model_seconds (block_seconds t blocks)
+  Wave_obs.Trace.on_model_seconds (block_seconds t blocks);
+  backed_read t ext ~blocks
 
 let read t ext = read_blocks t ext ~blocks:ext.length
 
@@ -259,7 +358,7 @@ let write_blocks t ext ~blocks =
   lookup_live t ext;
   if blocks < 0 || blocks > ext.length then
     raise (Disk_error "write_blocks: out of extent bounds");
-  write_fault_check t ext;
+  write_fault_check t ext ~off:0 ~blocks;
   charge_seek t;
   t.write_ops <- t.write_ops + 1;
   t.blocks_written <- t.blocks_written + blocks;
@@ -267,7 +366,8 @@ let write_blocks t ext ~blocks =
   Wave_obs.Trace.on_write ~blocks ~bytes:(blocks * t.params.block_size);
   Wave_obs.Trace.on_model_seconds (block_seconds t blocks);
   (* A complete rewrite of the extent replaces any torn contents. *)
-  if blocks = ext.length then Hashtbl.remove t.torn ext.start
+  if blocks = ext.length then Hashtbl.remove t.torn ext.start;
+  backed_write t ext ~off:0 ~blocks
 
 let write t ext = write_blocks t ext ~blocks:ext.length
 
@@ -281,14 +381,15 @@ let write_run t ext ~off ~blocks =
   lookup_live t ext;
   if off < 0 || blocks < 0 || off + blocks > ext.length then
     raise (Disk_error "write_run: out of extent bounds");
-  write_fault_check t ext;
+  write_fault_check t ext ~off ~blocks;
   charge_seek t;
   t.write_ops <- t.write_ops + 1;
   t.blocks_written <- t.blocks_written + blocks;
   t.elapsed <- t.elapsed +. block_seconds t blocks;
   Wave_obs.Trace.on_write ~blocks ~bytes:(blocks * t.params.block_size);
   Wave_obs.Trace.on_model_seconds (block_seconds t blocks);
-  if off = 0 && blocks = ext.length then Hashtbl.remove t.torn ext.start
+  if off = 0 && blocks = ext.length then Hashtbl.remove t.torn ext.start;
+  backed_write t ext ~off ~blocks
 
 (* One buffer-pool flush drain.  The drain itself moves no bytes (its
    runs charge their own seeks and transfers through [write_run]); it
@@ -296,10 +397,9 @@ let write_run t ext ~off ~blocks =
    the sweep can crash with a dirty pool before any deferred write of
    the drain has happened. *)
 let note_flush t =
-  if t.fault_in > 0 && t.fault_target = On_flush then begin
-    t.fault_in <- t.fault_in - 1;
-    if t.fault_in = 0 then raise (Disk_error "injected fault: flush")
-  end;
+  (match fault_check t On_flush with
+  | Some _ -> raise (Disk_error "injected fault: flush")
+  | None -> ());
   t.flushes <- t.flushes + 1
 
 let sequential_read t exts =
@@ -315,7 +415,8 @@ let sequential_read t exts =
       t.elapsed <- t.elapsed +. block_seconds t ext.length;
       Wave_obs.Trace.on_read ~blocks:ext.length
         ~bytes:(ext.length * t.params.block_size);
-      Wave_obs.Trace.on_model_seconds (block_seconds t ext.length))
+      Wave_obs.Trace.on_model_seconds (block_seconds t ext.length);
+      backed_read t ext ~blocks:ext.length)
     exts
 
 let counters t =
@@ -355,24 +456,41 @@ let pp_counters ppf (c : counters) =
 
 (* --- fault arming --------------------------------------------------- *)
 
-let arm_fault t ?(mode = Fail_stop) point =
+let validate_plan (point, mode) =
   if point.at < 1 then raise (Disk_error "arm_fault: need at >= 1");
-  if mode = Torn && point.target <> On_write then
-    raise (Disk_error "arm_fault: torn mode applies to writes only");
-  t.fault_in <- point.at;
-  t.fault_target <- point.target;
-  t.fault_mode <- mode
+  match mode with
+  | Torn ->
+    if point.target <> On_write then
+      raise (Disk_error "arm_fault: torn mode applies to writes only")
+  | Stall d -> if d < 0.0 then raise (Disk_error "arm_fault: negative stall")
+  | Fail_stop -> ()
+
+let arm_faults t plans =
+  List.iter validate_plan plans;
+  t.faults <-
+    List.map
+      (fun ((point : fault_point), mode) ->
+        { p_target = point.target; p_mode = mode; p_in = point.at })
+      plans
+
+let arm_fault t ?(mode = Fail_stop) point = arm_faults t [ (point, mode) ]
 
 let set_fault t ~after_seeks =
   if after_seeks < 1 then raise (Disk_error "set_fault: need after_seeks >= 1");
   arm_fault t { target = On_seek; at = after_seeks }
 
-let clear_fault t = t.fault_in <- 0
-let fault_armed t = t.fault_in > 0
+let clear_fault t = t.faults <- []
+let fault_armed t = t.faults <> []
 
 let armed_fault t =
-  if t.fault_in = 0 then None
-  else Some ({ target = t.fault_target; at = t.fault_in }, t.fault_mode)
+  match t.faults with
+  | [] -> None
+  | p :: _ -> Some ({ target = p.p_target; at = p.p_in }, p.p_mode)
+
+let armed_faults t =
+  List.map (fun p -> ({ target = p.p_target; at = p.p_in }, p.p_mode)) t.faults
+
+let stall_count t = t.stalls
 
 let fault_schedule ~(before : counters) ~(after : counters) =
   let seeks = max 0 (after.seeks - before.seeks) in
@@ -387,3 +505,148 @@ let fault_schedule ~(before : counters) ~(after : counters) =
 let is_torn t ext = Hashtbl.mem t.torn ext.start
 let torn_at t ~start = Hashtbl.mem t.torn start
 let torn_count t = Hashtbl.length t.torn
+
+(* --- file backend lifecycle ------------------------------------------ *)
+
+let close t =
+  match t.backing with Some bf -> Block_file.close bf | None -> ()
+
+let fsync t = match t.backing with Some bf -> Block_file.fsync bf | None -> ()
+
+let create_file ?(params = default_params) ~path () =
+  make ~params (Some (Block_file.create ~path ~block_size:params.block_size))
+
+let alloc_sidecar path = path ^ ".alloc"
+
+(* Allocator snapshot: a versioned line-oriented sidecar naming the
+   frontier, sequence counters and every live extent with its
+   generation.  Written with the durable tmp + fsync + rename dance so
+   a crash leaves either the old snapshot or the new one, never a
+   partial file. *)
+let checkpoint_alloc t =
+  match t.backing with
+  | None -> ()
+  | Some bf ->
+    let path = alloc_sidecar (Block_file.path bf) in
+    let buf = Buffer.create 256 in
+    Buffer.add_string buf "waveidx-alloc/1\n";
+    Printf.ksprintf (Buffer.add_string buf) "block_size %d\n"
+      t.params.block_size;
+    Printf.ksprintf (Buffer.add_string buf) "frontier %d\n" t.frontier;
+    Printf.ksprintf (Buffer.add_string buf) "alloc_seq %d\n" t.alloc_seq;
+    Printf.ksprintf (Buffer.add_string buf) "write_seq %d\n" t.write_seq;
+    Live.iter
+      (fun start length ->
+        let g =
+          match Hashtbl.find_opt t.gen start with Some g -> g | None -> 0
+        in
+        Printf.ksprintf (Buffer.add_string buf) "extent %d %d %d\n" start
+          length g)
+      t.live;
+    let tmp = path ^ ".tmp" in
+    let fd =
+      try Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644
+      with Unix.Unix_error (e, _, _) ->
+        raise
+          (Disk_error (Printf.sprintf "open %s: %s" tmp (Unix.error_message e)))
+    in
+    (try
+       Io.pwrite fd (Buffer.to_bytes buf) ~off:0;
+       Io.fsync fd;
+       Unix.close fd
+     with e ->
+       (try Unix.close fd with Unix.Unix_error _ -> ());
+       raise e);
+    Io.rename tmp path
+
+let open_file ?(params = default_params) ~path () =
+  let sidecar = alloc_sidecar path in
+  (* A crash inside [checkpoint_alloc] can leave its temp file behind;
+     it lost the commit race, so drop it. *)
+  (try Sys.remove (sidecar ^ ".tmp") with Sys_error _ -> ());
+  let corrupt () =
+    raise
+      (Disk_error
+         (Printf.sprintf "open_file: corrupt allocator snapshot %s" sidecar))
+  in
+  let lines =
+    match open_in sidecar with
+    | exception Sys_error _ ->
+      raise
+        (Disk_error
+           (Printf.sprintf "open_file: missing allocator snapshot %s" sidecar))
+    | ic ->
+      let rec go acc =
+        match input_line ic with
+        | line -> go (line :: acc)
+        | exception End_of_file ->
+          close_in ic;
+          List.rev acc
+      in
+      go []
+  in
+  let int s = match int_of_string_opt s with Some n -> n | None -> corrupt () in
+  (match lines with
+  | "waveidx-alloc/1" :: _ -> ()
+  | _ -> corrupt ());
+  let frontier = ref 0
+  and alloc_seq = ref 0
+  and write_seq = ref 0
+  and extents = ref [] in
+  List.iteri
+    (fun i line ->
+      if i > 0 then
+        match String.split_on_char ' ' line with
+        | [ "block_size"; b ] ->
+          if int b <> params.block_size then
+            raise
+              (Disk_error
+                 (Printf.sprintf
+                    "open_file: block size mismatch (file %s, params %d)" b
+                    params.block_size))
+        | [ "frontier"; n ] -> frontier := int n
+        | [ "alloc_seq"; n ] -> alloc_seq := int n
+        | [ "write_seq"; n ] -> write_seq := int n
+        | [ "extent"; s; l; g ] -> extents := (int s, int l, int g) :: !extents
+        | [ "" ] | [] -> ()
+        | _ -> corrupt ())
+    lines;
+  let extents = List.rev !extents in
+  let bf = Block_file.open_existing ~path ~block_size:params.block_size in
+  let t = make ~params (Some bf) in
+  t.frontier <- !frontier;
+  t.alloc_seq <- !alloc_seq;
+  t.write_seq <- !write_seq;
+  List.iter
+    (fun (start, len, g) ->
+      if len <= 0 || start < 0 || start + len > t.frontier then corrupt ();
+      t.live <- Live.add start len t.live;
+      Hashtbl.replace t.gen start g;
+      t.live_blocks <- t.live_blocks + len)
+    extents;
+  t.peak_blocks <- t.live_blocks;
+  (* Free list: the holes below the frontier not covered by a live
+     extent (Live iterates in address order). *)
+  let holes = ref [] and cursor = ref 0 in
+  Live.iter
+    (fun start len ->
+      if start > !cursor then holes := (!cursor, start - !cursor) :: !holes;
+      cursor := start + len)
+    t.live;
+  if t.frontier > !cursor then holes := (!cursor, t.frontier - !cursor) :: !holes;
+  t.free_list <- List.rev !holes;
+  (* Verify what the file really holds against the snapshot: every
+     block of a live extent must carry that extent's stamp or be
+     zero.  Failures — truncation, foreign or stale-generation stamps,
+     CRC damage — mark the extent torn, exactly like an interrupted
+     simulated write, so recovery's intactness test sees them. *)
+  List.iter
+    (fun (start, len, g) ->
+      let intact =
+        try
+          Block_file.verify_range bf ~start ~blocks:len ~ext_start:start ~gen:g
+        with Disk_error _ -> false
+      in
+      if not intact then Hashtbl.replace t.torn start ())
+    extents;
+  t

@@ -32,11 +32,57 @@ type extent = private { start : int; length : int }
     Obtained from {!alloc} only. *)
 
 exception Disk_error of string
-(** Raised on protocol violations: double free, foreign extent, etc. *)
+(** Raised on protocol violations: double free, foreign extent, etc.
+    A rebinding of {!Io.Io_error}, so real-I/O failures surfacing from
+    the file backend are caught by existing [Disk_error] handlers. *)
 
 val create : ?params:params -> unit -> t
 
 val params : t -> params
+
+(** {1 Backends}
+
+    {!create} makes the paper's pure cost simulator.  {!create_file}
+    and {!open_file} put the {e same} disk — same allocator, same cost
+    model, same fault points — over a real block file: every write
+    additionally stamps its blocks into the file through the {!Io}
+    syscall shim and every read verifies what it finds
+    (see {!Block_file}), so schemes, journal, checkpoint, buffer pool
+    and crash harness run unchanged on real I/O. *)
+
+type backend = Sim | File of string
+
+val backend : t -> backend
+
+val create_file : ?params:params -> path:string -> unit -> t
+(** A fresh file-backed disk over a new (truncated) block file at
+    [path].  The block size must be at least {!Block_file.stamp_bytes}. *)
+
+val open_file : ?params:params -> path:string -> unit -> t
+(** Reopen a file-backed disk from [path] and its allocator snapshot
+    [path ^ ".alloc"] (written by {!checkpoint_alloc}; a stale
+    [.alloc.tmp] is cleaned up).  Every live extent's blocks are
+    verified against the valid-stamp-or-zero rule; extents that fail —
+    foreign or stale-generation stamps, CRC damage, truncated tail —
+    are marked torn, exactly as an interrupted in-memory write would
+    be, so recovery's [change_intact] test sees real damage.  Raises
+    {!Disk_error} on a missing or unparseable snapshot. *)
+
+val close : t -> unit
+(** Close the backing file (no-op on the simulator).  Idempotent. *)
+
+val fsync : t -> unit
+(** Durability barrier on the backing file (no-op on the simulator). *)
+
+val checkpoint_alloc : t -> unit
+(** Persist the allocator snapshot to [path ^ ".alloc"] — tmp, fsync,
+    atomic rename — so {!open_file} can rebuild allocation state.
+    Called by the checkpoint layer after flushing data and before
+    committing its manifest.  No-op on the simulator. *)
+
+val backing : t -> Block_file.t option
+(** The real block file, when this disk has one.  The crash harness
+    uses it to truncate the tail behind a kill. *)
 
 val id : t -> int
 (** Process-unique identity of this disk (creation order).  Client
@@ -195,14 +241,25 @@ val pp_counters : Format.formatter -> counters -> unit
     drain's deferred writes — the crash-with-a-fully-dirty-pool case;
     crashes inside the drain are the drain's own [On_write] points.
 
-    Exactly one plan is armed at a time: arming again {e replaces} the
-    previous plan (last arm wins).  An armed plan survives
-    {!reset_counters} — counters are observability state, the plan is
-    injected-failure state — and {!clear_fault} is idempotent. *)
+    A {e queue} of plans can be armed at once ({!arm_faults}): only the
+    head plan counts down; when it fires, the queue pops and the next
+    plan starts counting from that operation on.  This is how the
+    double-fault sweep injects a second crash {e during recovery} from
+    the first.  Arming again {e replaces} the whole queue (last arm
+    wins).  An armed queue survives {!reset_counters} — counters are
+    observability state, plans are injected-failure state — and
+    {!clear_fault} is idempotent. *)
 
 type fault_target = On_seek | On_write | On_flush
 
-type fault_mode = Fail_stop | Torn
+type fault_mode =
+  | Fail_stop
+  | Torn
+  | Stall of float
+      (** slow I/O rather than failure: charge this many model seconds
+          of delay at the fault point, then let the operation proceed
+          (and pop to the next plan).  Any target; on a file-backed
+          disk the real syscall still runs. *)
 
 type fault_point = { target : fault_target; at : int }
 (** The [at]-th next operation of class [target] (1-based). *)
@@ -210,8 +267,22 @@ type fault_point = { target : fault_target; at : int }
 val pp_fault_point : Format.formatter -> fault_point -> unit
 
 val arm_fault : t -> ?mode:fault_mode -> fault_point -> unit
-(** Arm a plan (default mode [Fail_stop]).  Raises {!Disk_error} when
-    [at < 1] or when [Torn] is combined with anything but [On_write]. *)
+(** Arm a single plan (default mode [Fail_stop]), replacing any queue.
+    Raises {!Disk_error} when [at < 1], when [Torn] is combined with
+    anything but [On_write], or on a negative stall. *)
+
+val arm_faults : t -> (fault_point * fault_mode) list -> unit
+(** Arm a whole queue in firing order.  Validates every plan as
+    {!arm_fault} does; the empty list disarms. *)
+
+val armed_faults : t -> (fault_point * fault_mode) list
+(** The remaining queue, head first, with the head's [at] counted down
+    to the operations left before it fires. *)
+
+val stall_count : t -> int
+(** Stall plans fired so far (also counted in the [disk.stalls]
+    metric).  Not part of {!counters}: stalls charge their delay into
+    [elapsed] and are injection state, not an operation class. *)
 
 val set_fault : t -> after_seeks:int -> unit
 (** [set_fault t ~after_seeks:k] makes the k-th next seek fail (k >= 1);

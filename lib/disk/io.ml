@@ -1,0 +1,267 @@
+exception Io_error of string
+
+type syscall = Pread | Pwrite | Fsync | Rename
+
+let syscall_name = function
+  | Pread -> "pread"
+  | Pwrite -> "pwrite"
+  | Fsync -> "fsync"
+  | Rename -> "rename"
+
+type transient = Eintr | Eio | Short
+
+type fault =
+  | Fail_stop
+  | Torn_write of float
+  | Transient of transient * int
+  | Stall of float
+
+type retry_policy = {
+  max_retries : int;
+  backoff_s : float;
+  backoff_mult : float;
+  max_backoff_s : float;
+}
+
+let default_retry_policy =
+  { max_retries = 4; backoff_s = 1e-3; backoff_mult = 2.0; max_backoff_s = 5e-2 }
+
+let policy = ref default_retry_policy
+
+let set_retry_policy p =
+  if p.max_retries < 0 then invalid_arg "Io.set_retry_policy: max_retries < 0";
+  if p.backoff_s <= 0.0 then invalid_arg "Io.set_retry_policy: backoff_s <= 0";
+  if p.backoff_mult < 1.0 then invalid_arg "Io.set_retry_policy: backoff_mult < 1";
+  if p.max_backoff_s < p.backoff_s then
+    invalid_arg "Io.set_retry_policy: max_backoff_s < backoff_s";
+  policy := p
+
+let retry_policy () = !policy
+
+let default_sleeper = Unix.sleepf
+let sleeper = ref default_sleeper
+let set_sleeper f = sleeper := f
+
+(* --- metrics --------------------------------------------------------- *)
+
+module M = Wave_obs.Metrics
+
+let m_preads = M.counter "disk.file.preads"
+let m_pwrites = M.counter "disk.file.pwrites"
+let m_fsyncs = M.counter "disk.file.fsyncs"
+let m_renames = M.counter "disk.file.renames"
+let m_bytes_read = M.counter "disk.file.bytes_read"
+let m_bytes_written = M.counter "disk.file.bytes_written"
+let m_retries = M.counter "disk.file.retries"
+let m_giveups = M.counter "disk.file.giveups"
+let m_stalls = M.counter "disk.file.stalls"
+let m_wall = M.histogram "disk.file.io_wall_s"
+
+(* --- fault plan ------------------------------------------------------ *)
+
+type plan = { target : syscall; fault : fault; mutable countdown : int }
+
+let armed_plan : plan option ref = ref None
+
+let arm ?(at = 1) target fault =
+  if at < 1 then invalid_arg "Io.arm: need at >= 1";
+  (match fault with
+  | Torn_write f ->
+    if target <> Pwrite then invalid_arg "Io.arm: torn fault targets pwrite";
+    if f < 0.0 || f > 1.0 then invalid_arg "Io.arm: torn fraction outside [0,1]"
+  | Transient (_, k) -> if k < 0 then invalid_arg "Io.arm: negative transient count"
+  | Stall s -> if s < 0.0 then invalid_arg "Io.arm: negative stall"
+  | Fail_stop -> ());
+  armed_plan := Some { target; fault; countdown = at }
+
+let clear () = armed_plan := None
+
+let armed () =
+  match !armed_plan with
+  | None -> None
+  | Some p -> Some (p.target, p.fault, p.countdown)
+
+(* An injected condition for the duration of one wrapped call: the plan
+   fired on call entry and is consumed (disarmed); [injected] then
+   feeds the call's attempt loop. *)
+type injection = No_injection | Inject_transient of transient * int ref
+
+let fire_plan target =
+  match !armed_plan with
+  | Some p when p.target = target ->
+    p.countdown <- p.countdown - 1;
+    if p.countdown > 0 then No_injection
+    else begin
+      armed_plan := None;
+      match p.fault with
+      | Fail_stop ->
+        raise (Io_error (Printf.sprintf "injected I/O fault: %s" (syscall_name target)))
+      | Stall s ->
+        M.inc m_stalls;
+        !sleeper s;
+        No_injection
+      | Transient (kind, k) -> Inject_transient (kind, ref k)
+      | Torn_write _ ->
+        (* handled by the pwrite path, which needs the payload *)
+        armed_plan := Some p;
+        No_injection
+    end
+  | _ -> No_injection
+
+(* The torn-write plan is consumed by pwrite itself (it must write a
+   prefix of this very payload before dying). *)
+let fire_torn_write () =
+  match !armed_plan with
+  | Some { target = Pwrite; fault = Torn_write frac; countdown } ->
+    if countdown > 1 then begin
+      (match !armed_plan with Some p -> p.countdown <- countdown - 1 | None -> ());
+      None
+    end
+    else begin
+      armed_plan := None;
+      Some frac
+    end
+  | _ -> None
+
+(* --- retry loop ------------------------------------------------------ *)
+
+type attempt = Done of int | Again of string  (* bytes moved | transient *)
+
+let with_wall f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  M.observe m_wall (Unix.gettimeofday () -. t0);
+  r
+
+(* Run [attempt] until the whole [len] is transferred, retrying
+   transient conditions (injected or real EINTR/EAGAIN/EIO) under the
+   policy.  [attempt done_so_far] moves some bytes and returns how
+   many, or signals a transient failure. *)
+let retry_exact ~what ~len attempt =
+  let p = !policy in
+  let rec go moved retries backoff =
+    let outcome =
+      match attempt moved with
+      | a -> a
+      | exception Unix.Unix_error ((Unix.EINTR | Unix.EAGAIN), _, _) ->
+        Again "EINTR"
+      | exception Unix.Unix_error (Unix.EIO, _, _) -> Again "EIO"
+      | exception Unix.Unix_error (e, _, _) ->
+        raise (Io_error (Printf.sprintf "%s: %s" what (Unix.error_message e)))
+    in
+    match outcome with
+    | Done n when moved + n >= len -> ()
+    | Done n when n > 0 ->
+      (* short transfer with progress: keep going, no backoff *)
+      go (moved + n) retries backoff
+    | Done _ | Again _ ->
+      let reason = match outcome with Again r -> r | Done _ -> "short transfer" in
+      if retries >= p.max_retries then begin
+        M.inc m_giveups;
+        raise
+          (Io_error
+             (Printf.sprintf "%s: giving up after %d retries (%s)" what retries
+                reason))
+      end
+      else begin
+        M.inc m_retries;
+        !sleeper backoff;
+        go moved (retries + 1) (Float.min (backoff *. p.backoff_mult) p.max_backoff_s)
+      end
+  in
+  go 0 0 p.backoff_s
+
+(* --- wrapped syscalls ------------------------------------------------ *)
+
+let pread fd buf ~off =
+  let len = Bytes.length buf in
+  let injection = fire_plan Pread in
+  M.inc m_preads;
+  with_wall @@ fun () ->
+  retry_exact ~what:"pread" ~len (fun moved ->
+      match injection with
+      | Inject_transient (Eintr, k) when !k > 0 ->
+        decr k;
+        Again "injected EINTR"
+      | Inject_transient (Eio, k) when !k > 0 ->
+        decr k;
+        Again "injected EIO"
+      | Inject_transient (Short, k) when !k > 0 ->
+        decr k;
+        let want = (len - moved + 1) / 2 in
+        ignore (Unix.lseek fd (off + moved) Unix.SEEK_SET);
+        let n = Unix.read fd buf moved want in
+        if n = 0 then raise (Io_error "pread: unexpected end of file");
+        M.inc ~by:(float_of_int n) m_bytes_read;
+        (* report no progress so the short transfer is retried/backed off *)
+        Again "injected short read"
+      | _ ->
+        ignore (Unix.lseek fd (off + moved) Unix.SEEK_SET);
+        let n = Unix.read fd buf moved (len - moved) in
+        if n = 0 then raise (Io_error "pread: unexpected end of file");
+        M.inc ~by:(float_of_int n) m_bytes_read;
+        Done n)
+
+let pwrite fd buf ~off =
+  let len = Bytes.length buf in
+  (match fire_torn_write () with
+  | Some frac ->
+    let torn = int_of_float (frac *. float_of_int len) in
+    M.inc m_pwrites;
+    if torn > 0 then begin
+      ignore (Unix.lseek fd off Unix.SEEK_SET);
+      let n = Unix.write fd buf 0 torn in
+      M.inc ~by:(float_of_int n) m_bytes_written
+    end;
+    raise (Io_error "injected torn write")
+  | None -> ());
+  let injection = fire_plan Pwrite in
+  M.inc m_pwrites;
+  with_wall @@ fun () ->
+  retry_exact ~what:"pwrite" ~len (fun moved ->
+      match injection with
+      | Inject_transient (Eintr, k) when !k > 0 ->
+        decr k;
+        Again "injected EINTR"
+      | Inject_transient (Eio, k) when !k > 0 ->
+        decr k;
+        Again "injected EIO"
+      | Inject_transient (Short, k) when !k > 0 ->
+        decr k;
+        let want = (len - moved + 1) / 2 in
+        ignore (Unix.lseek fd (off + moved) Unix.SEEK_SET);
+        let n = Unix.write fd buf moved want in
+        M.inc ~by:(float_of_int n) m_bytes_written;
+        Done n
+      | _ ->
+        ignore (Unix.lseek fd (off + moved) Unix.SEEK_SET);
+        let n = Unix.write fd buf moved (len - moved) in
+        M.inc ~by:(float_of_int n) m_bytes_written;
+        Done n)
+
+let fsync fd =
+  let injection = fire_plan Fsync in
+  M.inc m_fsyncs;
+  with_wall @@ fun () ->
+  retry_exact ~what:"fsync" ~len:1 (fun _ ->
+      match injection with
+      | Inject_transient ((Eintr | Eio | Short), k) when !k > 0 ->
+        decr k;
+        Again "injected transient"
+      | _ ->
+        Unix.fsync fd;
+        Done 1)
+
+let rename src dst =
+  let injection = fire_plan Rename in
+  M.inc m_renames;
+  with_wall @@ fun () ->
+  retry_exact ~what:"rename" ~len:1 (fun _ ->
+      match injection with
+      | Inject_transient ((Eintr | Eio | Short), k) when !k > 0 ->
+        decr k;
+        Again "injected transient"
+      | _ ->
+        (try Sys.rename src dst
+         with Sys_error e -> raise (Io_error (Printf.sprintf "rename: %s" e)));
+        Done 1)

@@ -23,6 +23,7 @@ type point_result = {
   space_ok : bool;
   recovery_seconds : float;
   wasted_seconds : float;
+  torn_tail : bool; (* kill sweep: block file tail truncated behind the kill *)
 }
 
 type report = {
@@ -120,6 +121,7 @@ let run_point ?icfg ~scheme ~technique ~w ~n ~store ~day ~before_ref ~after_ref
         space_ok = space_consistent cp;
         recovery_seconds = r.Checkpoint.recovery_seconds;
         wasted_seconds;
+        torn_tail = false;
       }
     in
     release cp;
@@ -139,6 +141,7 @@ let run_point ?icfg ~scheme ~technique ~w ~n ~store ~day ~before_ref ~after_ref
         space_ok = space_consistent cp;
         recovery_seconds = 0.0;
         wasted_seconds;
+        torn_tail = false;
       }
     in
     release cp;
@@ -183,14 +186,377 @@ let sweep ?(store = default_store) ?icfg ~scheme ~technique ~w ~n ~day () =
   in
   { scheme; technique; w; n; day; points; passed }
 
+(* --- kill-and-recover sweep on the file backend ---------------------- *)
+
+let rec rm_rf path =
+  match Unix.lstat path with
+  | exception Unix.Unix_error _ -> ()
+  | { Unix.st_kind = Unix.S_DIR; _ } ->
+    Array.iter
+      (fun name -> rm_rf (Filename.concat path name))
+      (Sys.readdir path);
+    (try Unix.rmdir path with Unix.Unix_error _ -> ())
+  | _ -> ( try Sys.remove path with Sys_error _ -> ())
+
+let file_instance ?icfg ~scheme ~technique ~w ~n ~store dir =
+  Store_dir.init dir;
+  let icfg = match icfg with Some c -> c | None -> Index.default_config in
+  let icfg =
+    { icfg with Index.disk_backend = Disk.File (Store_dir.blocks_path dir) }
+  in
+  let disk = Index.make_disk icfg in
+  let env = Env.create ~disk ~icfg ~technique ~store ~w ~n () in
+  (Checkpoint.start ~dir scheme env, icfg)
+
+let run_kill_point ?icfg ~scheme ~technique ~w ~n ~store ~day ~before_ref
+    ~after_ref ~mode ~truncate_tail subdir point =
+  rm_rf subdir;
+  let cp, icfg = file_instance ?icfg ~scheme ~technique ~w ~n ~store subdir in
+  Checkpoint.advance_to cp (day - 1);
+  ignore (capture ~w (Checkpoint.frame cp) (day - 1));
+  let disk = (Checkpoint.env cp).Env.disk in
+  Disk.arm_fault disk ~mode point;
+  let t0 = Disk.elapsed disk in
+  let fired =
+    match Checkpoint.transition cp with
+    | () -> false
+    | exception Disk.Disk_error _ -> true
+  in
+  let wasted_seconds = Disk.elapsed disk -. t0 in
+  Disk.clear_fault disk;
+  if not fired then begin
+    (* Twin/instance divergence: report without killing so the frame is
+       still queryable. *)
+    let res =
+      {
+        point;
+        mode;
+        fired;
+        rolled_forward = false;
+        recovered_day = Checkpoint.current_day cp;
+        consistent = matches ~w (Checkpoint.frame cp) after_ref;
+        space_ok = space_consistent cp;
+        recovery_seconds = 0.0;
+        wasted_seconds;
+        torn_tail = false;
+      }
+    in
+    release cp;
+    Disk.close disk;
+    res
+  end
+  else begin
+    (* The kill: the process dies here.  Scheme, buffer pool and
+       allocator evaporate; only the checkpoint directory survives. *)
+    release cp;
+    Disk.close disk;
+    if truncate_tail then begin
+      (* The platter also lost the tail of the block file — the torn
+         last write taken to its worst case. *)
+      let blocks = Store_dir.blocks_path subdir in
+      let size = (Unix.stat blocks).Unix.st_size in
+      let bs = icfg.Index.entry_bytes in
+      Unix.truncate blocks (size / bs / 2 * bs)
+    end;
+    let cp2, r = Checkpoint.reopen ~icfg ~dir:subdir ~store () in
+    let reference =
+      if r.Checkpoint.recovered_day = day then after_ref else before_ref
+    in
+    let res =
+      {
+        point;
+        mode;
+        fired;
+        rolled_forward = r.Checkpoint.rolled_forward;
+        recovered_day = r.Checkpoint.recovered_day;
+        consistent =
+          r.Checkpoint.recovered_day = reference.ref_day
+          && matches ~w (Checkpoint.frame cp2) reference;
+        space_ok = space_consistent cp2;
+        recovery_seconds = r.Checkpoint.recovery_seconds;
+        wasted_seconds;
+        torn_tail = truncate_tail;
+      }
+    in
+    release cp2;
+    Disk.close (Checkpoint.env cp2).Env.disk;
+    res
+  end
+
+let kill_sweep ?(store = default_store) ?icfg ~scheme ~technique ~w ~n ~day
+    ~dir () =
+  if day <= w then invalid_arg "Crash_harness.kill_sweep: day must exceed w";
+  Store_dir.init dir;
+  (* File-backed uncrashed twin: the backing adds no model operations,
+     so the discovered schedule is the simulator's, but discovering it
+     on the real backend keeps the two paths honest about each other. *)
+  let twin_dir = Filename.concat dir "twin" in
+  rm_rf twin_dir;
+  let twin, _ = file_instance ?icfg ~scheme ~technique ~w ~n ~store twin_dir in
+  Checkpoint.advance_to twin (day - 1);
+  let twin_disk = (Checkpoint.env twin).Env.disk in
+  let before_ref = capture ~w (Checkpoint.frame twin) (day - 1) in
+  let before = Disk.counters twin_disk in
+  Checkpoint.transition twin;
+  let after = Disk.counters twin_disk in
+  let after_ref = capture ~w (Checkpoint.frame twin) day in
+  let schedule = Disk.fault_schedule ~before ~after in
+  release twin;
+  Disk.close twin_disk;
+  rm_rf twin_dir;
+  let last_write =
+    List.fold_left
+      (fun acc (p : Disk.fault_point) ->
+        if p.Disk.target = Disk.On_write then Some p else acc)
+      None schedule
+  in
+  let points =
+    List.concat_map
+      (fun (p : Disk.fault_point) ->
+        let modes =
+          match p.Disk.target with
+          | Disk.On_seek -> [ Disk.Fail_stop ]
+          | Disk.On_write -> [ Disk.Fail_stop; Disk.Torn ]
+          | Disk.On_flush -> [ Disk.Fail_stop ]
+        in
+        List.concat_map
+          (fun mode ->
+            (* The last write point additionally runs a torn-tail
+               variant: the file is truncated behind the kill. *)
+            let variants =
+              if mode = Disk.Torn && last_write = Some p then [ false; true ]
+              else [ false ]
+            in
+            List.map
+              (fun truncate_tail ->
+                let subdir =
+                  Filename.concat dir
+                    (Format.asprintf "%a_%s%s" Disk.pp_fault_point p
+                       (match mode with
+                       | Disk.Torn -> "torn"
+                       | _ -> "failstop")
+                       (if truncate_tail then "_tail" else ""))
+                in
+                let res =
+                  run_kill_point ?icfg ~scheme ~technique ~w ~n ~store ~day
+                    ~before_ref ~after_ref ~mode ~truncate_tail subdir p
+                in
+                (* Passing points clean up after themselves; a failing
+                   point keeps its directory — torn block file, sidecar,
+                   manifests — as the debugging artifact. *)
+                if res.fired && res.consistent && res.space_ok then
+                  rm_rf subdir;
+                res)
+              variants)
+          modes)
+      schedule
+  in
+  let passed =
+    points <> []
+    && List.for_all (fun r -> r.fired && r.consistent && r.space_ok) points
+  in
+  { scheme; technique; w; n; day; points; passed }
+
+(* --- double-fault sweep: crash during recovery ----------------------- *)
+
+type double_point = {
+  d_first : Disk.fault_point * Disk.fault_mode;
+  d_second : Disk.fault_point * Disk.fault_mode;
+  d_fired_both : bool;
+  d_rolled_forward : bool;
+  d_recovered_day : int;
+  d_consistent : bool;
+  d_space_ok : bool;
+}
+
+type double_report = {
+  dr_scheme : Scheme.kind;
+  dr_technique : Env.technique;
+  dr_w : int;
+  dr_n : int;
+  dr_day : int;
+  dr_points : double_point list;
+  dr_passed : bool;
+}
+
+(* First, middle and last of a list — the bounded selection that keeps
+   the quadratic double sweep affordable while still covering both
+   edges and the bulk of each schedule. *)
+let ends_and_middle = function
+  | [] -> []
+  | [ x ] -> [ x ]
+  | l ->
+    let n = List.length l in
+    List.sort_uniq compare [ List.nth l 0; List.nth l (n / 2); List.nth l (n - 1) ]
+
+let run_double_point ?icfg ~scheme ~technique ~w ~n ~store ~day ~before_ref
+    ~after_ref (p1, m1) (p2, m2) =
+  let cp = fresh_instance ?icfg ~scheme ~technique ~w ~n ~store () in
+  Checkpoint.advance_to cp (day - 1);
+  ignore (capture ~w (Checkpoint.frame cp) (day - 1));
+  let disk = (Checkpoint.env cp).Env.disk in
+  Disk.arm_faults disk [ (p1, m1); (p2, m2) ];
+  let fired1 =
+    match Checkpoint.transition cp with
+    | () -> false
+    | exception Disk.Disk_error _ -> true
+  in
+  (* The queue popped to the second plan when the first fired; recovery
+     now crashes at its own enumerated point and must be re-entrant. *)
+  let fired2 =
+    fired1
+    &&
+    match Checkpoint.recover cp with
+    | _ -> false
+    | exception Disk.Disk_error _ -> true
+  in
+  Disk.clear_fault disk;
+  let res =
+    if not (fired1 && fired2) then
+      {
+        d_first = (p1, m1);
+        d_second = (p2, m2);
+        d_fired_both = false;
+        d_rolled_forward = false;
+        d_recovered_day = -1;
+        d_consistent = false;
+        d_space_ok = false;
+      }
+    else begin
+      let r = Checkpoint.recover cp in
+      let reference =
+        if r.Checkpoint.recovered_day = day then after_ref else before_ref
+      in
+      {
+        d_first = (p1, m1);
+        d_second = (p2, m2);
+        d_fired_both = true;
+        d_rolled_forward = r.Checkpoint.rolled_forward;
+        d_recovered_day = r.Checkpoint.recovered_day;
+        d_consistent =
+          r.Checkpoint.recovered_day = reference.ref_day
+          && matches ~w (Checkpoint.frame cp) reference;
+        d_space_ok = space_consistent cp;
+      }
+    end
+  in
+  release cp;
+  res
+
+let sweep_double ?(store = default_store) ?icfg ~scheme ~technique ~w ~n ~day
+    () =
+  if day <= w then invalid_arg "Crash_harness.sweep_double: day must exceed w";
+  let twin = fresh_instance ?icfg ~scheme ~technique ~w ~n ~store () in
+  Checkpoint.advance_to twin (day - 1);
+  let twin_disk = (Checkpoint.env twin).Env.disk in
+  let before_ref = capture ~w (Checkpoint.frame twin) (day - 1) in
+  let before = Disk.counters twin_disk in
+  Checkpoint.transition twin;
+  let after = Disk.counters twin_disk in
+  let after_ref = capture ~w (Checkpoint.frame twin) day in
+  let schedule = Disk.fault_schedule ~before ~after in
+  release twin;
+  let firsts =
+    List.concat_map
+      (fun (p : Disk.fault_point) ->
+        match p.Disk.target with
+        | Disk.On_write -> [ (p, Disk.Fail_stop); (p, Disk.Torn) ]
+        | Disk.On_seek | Disk.On_flush -> [ (p, Disk.Fail_stop) ])
+      (ends_and_middle schedule)
+  in
+  let points =
+    List.concat_map
+      (fun (p1, m1) ->
+        (* Recovery twin for this first fault: crash there once, then
+           bracket the recovery to enumerate its own fault points.  A
+           roll-back with zero charged I/O has an empty schedule — no
+           second fault can land inside it, so the pair is skipped. *)
+        let cp = fresh_instance ?icfg ~scheme ~technique ~w ~n ~store () in
+        Checkpoint.advance_to cp (day - 1);
+        ignore (capture ~w (Checkpoint.frame cp) (day - 1));
+        let disk = (Checkpoint.env cp).Env.disk in
+        Disk.arm_fault disk ~mode:m1 p1;
+        let fired =
+          match Checkpoint.transition cp with
+          | () -> false
+          | exception Disk.Disk_error _ -> true
+        in
+        Disk.clear_fault disk;
+        let rec_schedule =
+          if not fired then []
+          else begin
+            let rb = Disk.counters disk in
+            ignore (Checkpoint.recover cp);
+            Disk.fault_schedule ~before:rb ~after:(Disk.counters disk)
+          end
+        in
+        release cp;
+        List.map
+          (fun p2 ->
+            run_double_point ?icfg ~scheme ~technique ~w ~n ~store ~day
+              ~before_ref ~after_ref (p1, m1) (p2, Disk.Fail_stop))
+          (ends_and_middle rec_schedule))
+      firsts
+  in
+  (* Vacuously passes when every pair was skipped (a technique whose
+     recovery is always a pure roll-back): the single-fault sweep
+     already covers those; there is no recovery I/O to interrupt. *)
+  let passed =
+    List.for_all
+      (fun r -> r.d_fired_both && r.d_consistent && r.d_space_ok)
+      points
+  in
+  {
+    dr_scheme = scheme;
+    dr_technique = technique;
+    dr_w = w;
+    dr_n = n;
+    dr_day = day;
+    dr_points = points;
+    dr_passed = passed;
+  }
+
 let pp_point_result ppf r =
-  Format.fprintf ppf "%a %s: %s day=%d recover=%.3fs wasted=%.3fs%s%s"
+  Format.fprintf ppf "%a %s%s: %s day=%d recover=%.3fs wasted=%.3fs%s%s"
     Disk.pp_fault_point r.point
-    (match r.mode with Disk.Fail_stop -> "fail-stop" | Disk.Torn -> "torn")
+    (match r.mode with
+    | Disk.Fail_stop -> "fail-stop"
+    | Disk.Torn -> "torn"
+    | Disk.Stall _ -> "stall")
+    (if r.torn_tail then "+tail" else "")
     (if r.rolled_forward then "roll-forward" else "roll-back")
     r.recovered_day r.recovery_seconds r.wasted_seconds
     (if r.consistent then "" else " INCONSISTENT")
     (if r.space_ok then "" else " SPACE-LEAK")
+
+let pp_double_point ppf r =
+  let mode = function
+    | Disk.Fail_stop -> "fail-stop"
+    | Disk.Torn -> "torn"
+    | Disk.Stall _ -> "stall"
+  in
+  Format.fprintf ppf "%a %s then %a %s: %s day=%d%s%s%s"
+    Disk.pp_fault_point (fst r.d_first)
+    (mode (snd r.d_first))
+    Disk.pp_fault_point (fst r.d_second)
+    (mode (snd r.d_second))
+    (if r.d_rolled_forward then "roll-forward" else "roll-back")
+    r.d_recovered_day
+    (if r.d_fired_both then "" else " DID-NOT-FIRE")
+    (if r.d_consistent then "" else " INCONSISTENT")
+    (if r.d_space_ok then "" else " SPACE-LEAK")
+
+let pp_double_report ppf t =
+  Format.fprintf ppf "%s x %s (W=%d n=%d day=%d): %d double points %s@."
+    (Scheme.name t.dr_scheme)
+    (Env.technique_name t.dr_technique)
+    t.dr_w t.dr_n t.dr_day (List.length t.dr_points)
+    (if t.dr_passed then "PASS" else "FAIL");
+  List.iter
+    (fun r ->
+      if not (r.d_fired_both && r.d_consistent && r.d_space_ok) then
+        Format.fprintf ppf "  %a@." pp_double_point r)
+    t.dr_points
 
 let pp_report ppf t =
   Format.fprintf ppf "%s x %s (W=%d n=%d day=%d): %d points %s@."

@@ -35,6 +35,9 @@ type point_result = {
   space_ok : bool;  (** no leaked, double-freed or torn extents *)
   recovery_seconds : float;
   wasted_seconds : float;  (** model time burnt in the doomed transition *)
+  torn_tail : bool;
+      (** {!kill_sweep} only: the block file's tail was truncated behind
+          the kill before reopening *)
 }
 
 type report = {
@@ -66,6 +69,75 @@ val sweep :
     twin and every fault instance see identical pool states, keeping
     the discovered schedule exact. *)
 
+val kill_sweep :
+  ?store:Env.day_store ->
+  ?icfg:Wave_storage.Index.config ->
+  scheme:Scheme.kind ->
+  technique:Env.technique ->
+  w:int ->
+  n:int ->
+  day:int ->
+  dir:string ->
+  unit ->
+  report
+(** The sweep taken to the real backend: every instance runs on a
+    file-backed disk in its own checkpoint directory under [dir], the
+    crash is a {e kill} — buffer pool detached, block file closed, all
+    in-memory state dropped — and recovery is
+    {!Wave_core.Checkpoint.reopen} from the surviving files alone.  The
+    last write point's torn variant additionally runs with the block
+    file's tail truncated behind the kill ([torn_tail]).  Directories
+    of passing points are removed; a failing point keeps its directory
+    (torn block file, sidecar, manifests) as the debugging artifact. *)
+
+(** {1 Double faults}
+
+    A second fault injected {e during recovery} from the first, proving
+    recovery is re-entrant: the interrupted recovery is simply run
+    again from the same durable state.  For each selected transition
+    fault, a recovery twin enumerates the recovery's own fault
+    schedule; first/middle/last of both schedules bound the sweep. *)
+
+type double_point = {
+  d_first : Disk.fault_point * Disk.fault_mode;
+  d_second : Disk.fault_point * Disk.fault_mode;
+      (** the recovery-time fault, relative to recovery start *)
+  d_fired_both : bool;
+  d_rolled_forward : bool;
+  d_recovered_day : int;
+  d_consistent : bool;
+  d_space_ok : bool;
+}
+
+type double_report = {
+  dr_scheme : Scheme.kind;
+  dr_technique : Env.technique;
+  dr_w : int;
+  dr_n : int;
+  dr_day : int;
+  dr_points : double_point list;
+  dr_passed : bool;
+}
+
+val sweep_double :
+  ?store:Env.day_store ->
+  ?icfg:Wave_storage.Index.config ->
+  scheme:Scheme.kind ->
+  technique:Env.technique ->
+  w:int ->
+  n:int ->
+  day:int ->
+  unit ->
+  double_report
+(** Crash the transition at a bounded selection of points, then crash
+    the resulting recovery at a bounded selection of {e its} points,
+    then recover again and assert consistency.  First-fault pairs whose
+    recovery charges no I/O (a pure roll-back) are skipped — no second
+    fault can land inside them. *)
+
 val pp_point_result : Format.formatter -> point_result -> unit
 val pp_report : Format.formatter -> report -> unit
 (** One summary line; failing points are detailed below it. *)
+
+val pp_double_point : Format.formatter -> double_point -> unit
+val pp_double_report : Format.formatter -> double_report -> unit

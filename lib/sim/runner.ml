@@ -47,6 +47,7 @@ type config = {
   icfg : Wave_storage.Index.config;
   validate : bool;
   alerts : Wave_obs.Alert.rule list;
+  on_env : (Env.t -> unit) option;
 }
 
 let default_config ~scheme ~store ~w ~n =
@@ -61,6 +62,7 @@ let default_config ~scheme ~store ~w ~n =
     icfg = Wave_storage.Index.default_config;
     validate = true;
     alerts = [];
+    on_env = None;
   }
 
 let run_queries env frame spec ~day =
@@ -106,6 +108,7 @@ let run config =
     Env.create ~disk ~icfg:config.icfg ~technique:config.technique
       ~store:config.store ~w:config.w ~n:config.n ()
   in
+  (match config.on_env with Some f -> f env | None -> ());
   let run_tags day () =
     [
       ("scheme", Scheme.name config.scheme);

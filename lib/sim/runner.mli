@@ -89,6 +89,11 @@ type config = {
           ["runner.day.query_seconds"], ["runner.day.wave_length"],
           ["runner.day.space_bytes"], and — with a buffer pool —
           ["cache.dirty_frames"]. *)
+  on_env : (Env.t -> unit) option;
+      (** called once with the run's environment after it is created
+          and before the scheme starts — the hook for arming disk
+          faults (e.g. a {!Wave_disk.Disk.Stall} plan) or inspecting
+          the disk of a run whose environment is otherwise internal *)
 }
 
 val default_config :

@@ -11,6 +11,7 @@ type config = {
   cache_blocks : int option;
   cache_readahead : int;
   cache_write_back : bool;
+  disk_backend : Disk.backend;
 }
 
 let default_config =
@@ -24,6 +25,7 @@ let default_config =
     cache_blocks = None;
     cache_readahead = 0;
     cache_write_back = false;
+    disk_backend = Disk.Sim;
   }
 
 exception Index_error of string
@@ -36,10 +38,12 @@ let fail fmt = Printf.ksprintf (fun s -> raise (Index_error s)) fmt
 let span = Wave_obs.Trace.with_span
 
 let make_disk ?(seek_time = 0.014) ?(transfer_rate = 10e6) cfg =
-  Disk.create
-    ~params:
-      { Disk.seek_time; transfer_rate; block_size = cfg.entry_bytes }
-    ()
+  let params =
+    { Disk.seek_time; transfer_rate; block_size = cfg.entry_bytes }
+  in
+  match cfg.disk_backend with
+  | Disk.Sim -> Disk.create ~params ()
+  | Disk.File path -> Disk.create_file ~params ~path ()
 
 (* Disk extents are allocated with a granularity of one entry per block,
    so that packed indexes are charged exactly their minimal size.  The

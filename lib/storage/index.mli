@@ -40,11 +40,16 @@ type config = {
           explicit {!Wave_cache.Cache.flush} (coalescing repeated bucket
           rewrites); [false] (the default) keeps write-through, which is
           bit-identical to the uncached fault schedule *)
+  disk_backend : Disk.backend;
+      (** [Sim] (the default) is the paper's pure cost model;
+          [File path] puts the same disk over a real block file at
+          [path] ({!Disk.create_file}), so every charged write also
+          lands on storage through the {!Wave_disk.Io} shim. *)
 }
 
 val default_config : config
 (** 100-byte entries, [g = 2.0], B+tree directory, zero CPU charges,
-    no buffer pool. *)
+    no buffer pool, simulated backend. *)
 
 type t
 

@@ -1,0 +1,561 @@
+(* Tests for the real file-backed disk: the Io syscall shim (fault
+   injection, retry/backoff), the block-file stamp verification on
+   reopen, checkpoint directory atomicity, and the kill-and-recover
+   crash sweeps. *)
+
+open Wave_core
+open Wave_disk
+open Wave_storage
+open Wave_sim
+module Metrics = Wave_obs.Metrics
+module Alert = Wave_obs.Alert
+module Cache = Wave_cache.Cache
+
+let store = Crash_harness.default_store
+
+(* Every test gets its own directory under the dune sandbox cwd. *)
+let rec rm_rf path =
+  match Unix.lstat path with
+  | { Unix.st_kind = Unix.S_DIR; _ } ->
+    Array.iter (fun n -> rm_rf (Filename.concat path n)) (Sys.readdir path);
+    (try Unix.rmdir path with Unix.Unix_error _ -> ())
+  | _ -> ( try Sys.remove path with Sys_error _ -> ())
+  | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ()
+
+let with_dir name f =
+  rm_rf name;
+  Unix.mkdir name 0o755;
+  Fun.protect ~finally:(fun () -> rm_rf name) (fun () -> f name)
+
+(* Install a sleep recorder so retry/stall schedules are asserted
+   without real delays, and guarantee the global shim state (plan,
+   sleeper, policy) is restored whatever the test does. *)
+let with_recorded_sleeps f =
+  let sleeps = ref [] in
+  Io.set_sleeper (fun s -> sleeps := s :: !sleeps);
+  Fun.protect
+    ~finally:(fun () ->
+      Io.clear ();
+      Io.set_sleeper Io.default_sleeper;
+      Io.set_retry_policy Io.default_retry_policy)
+    (fun () -> f (fun () -> List.rev !sleeps))
+
+let counter_delta name f =
+  let c = Metrics.counter name in
+  let before = Metrics.counter_value c in
+  let r = f () in
+  (r, Metrics.counter_value c -. before)
+
+let small_params =
+  { Disk.default_params with Disk.block_size = 64; transfer_rate = 1e9 }
+
+(* --- Io shim --------------------------------------------------------- *)
+
+let with_scratch_fd f =
+  let path = "rd_scratch.bin" in
+  let fd = Unix.openfile path [ Unix.O_RDWR; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
+  Fun.protect
+    ~finally:(fun () ->
+      Unix.close fd;
+      try Sys.remove path with Sys_error _ -> ())
+    (fun () -> f fd)
+
+let test_io_transient_retries () =
+  with_recorded_sleeps @@ fun sleeps ->
+  with_scratch_fd @@ fun fd ->
+  let payload = Bytes.make 64 'x' in
+  Io.arm Io.Pwrite (Io.Transient (Io.Eintr, 2));
+  let (), retries =
+    counter_delta "disk.file.retries" (fun () -> Io.pwrite fd payload ~off:0)
+  in
+  Alcotest.(check (list (float 1e-9)))
+    "exponential backoff" [ 0.001; 0.002 ] (sleeps ());
+  Alcotest.(check (float 0.)) "two retries" 2.0 retries;
+  let back = Bytes.create 64 in
+  Io.pread fd back ~off:0;
+  Alcotest.(check bool) "payload round-trips" true (Bytes.equal payload back)
+
+let test_io_transient_giveup () =
+  with_recorded_sleeps @@ fun sleeps ->
+  with_scratch_fd @@ fun fd ->
+  Io.arm Io.Pwrite (Io.Transient (Io.Eio, 99));
+  let caught, giveups =
+    counter_delta "disk.file.giveups" (fun () ->
+        (* the shim's failure must be catchable as Disk_error: the
+           rebinding is what lets every existing handler see real I/O
+           faults *)
+        try
+          Io.pwrite fd (Bytes.make 32 'y') ~off:0;
+          false
+        with Disk.Disk_error msg ->
+          let contains s sub =
+            let n = String.length s and m = String.length sub in
+            let rec at i = i + m <= n && (String.sub s i m = sub || at (i + 1)) in
+            at 0
+          in
+          Alcotest.(check bool)
+            "message names the giveup" true
+            (contains msg "giving up");
+          true)
+  in
+  Alcotest.(check bool) "raised" true caught;
+  Alcotest.(check (float 0.)) "one giveup" 1.0 giveups;
+  Alcotest.(check int) "budget exhausted"
+    Io.default_retry_policy.Io.max_retries
+    (List.length (sleeps ()))
+
+let test_io_short_write_progress () =
+  with_recorded_sleeps @@ fun sleeps ->
+  with_scratch_fd @@ fun fd ->
+  let payload = Bytes.init 64 (fun i -> Char.chr (i land 0xff)) in
+  Io.arm Io.Pwrite (Io.Transient (Io.Short, 1));
+  Io.pwrite fd payload ~off:0;
+  (* a short transfer that makes progress continues without backoff *)
+  Alcotest.(check (list (float 0.))) "no backoff" [] (sleeps ());
+  let back = Bytes.create 64 in
+  Io.pread fd back ~off:0;
+  Alcotest.(check bool) "whole payload landed" true (Bytes.equal payload back)
+
+let test_io_stall () =
+  with_recorded_sleeps @@ fun sleeps ->
+  with_scratch_fd @@ fun fd ->
+  Io.arm Io.Fsync (Io.Stall 0.25);
+  let (), stalls = counter_delta "disk.file.stalls" (fun () -> Io.fsync fd) in
+  Alcotest.(check (list (float 1e-9))) "slept the stall" [ 0.25 ] (sleeps ());
+  Alcotest.(check (float 0.)) "counted" 1.0 stalls;
+  Alcotest.(check bool) "plan consumed" true (Io.armed () = None)
+
+let test_io_torn_write_visible () =
+  with_recorded_sleeps @@ fun _ ->
+  with_scratch_fd @@ fun fd ->
+  ignore (Unix.write fd (Bytes.make 64 '\000') 0 64);
+  Io.arm Io.Pwrite (Io.Torn_write 0.5);
+  (try
+     Io.pwrite fd (Bytes.make 64 'z') ~off:0;
+     Alcotest.fail "torn write did not raise"
+   with Io.Io_error _ -> ());
+  let back = Bytes.create 64 in
+  Io.pread fd back ~off:0;
+  let wrote = ref 0 in
+  Bytes.iter (fun c -> if c = 'z' then incr wrote) back;
+  Alcotest.(check int) "exactly the torn prefix landed" 32 !wrote
+
+let test_io_arm_validation () =
+  Alcotest.check_raises "at < 1" (Invalid_argument "Io.arm: need at >= 1")
+    (fun () -> Io.arm ~at:0 Io.Pread Io.Fail_stop);
+  Alcotest.check_raises "torn targets pwrite"
+    (Invalid_argument "Io.arm: torn fault targets pwrite") (fun () ->
+      Io.arm Io.Fsync (Io.Torn_write 0.5))
+
+(* --- file-backed disk: persistence and verification ------------------ *)
+
+let test_file_disk_roundtrip () =
+  with_dir "rd_roundtrip" @@ fun dir ->
+  let path = Filename.concat dir "BLOCKS" in
+  let d = Disk.create_file ~params:small_params ~path () in
+  let e = Disk.alloc d ~blocks:3 in
+  Disk.write d e;
+  Disk.read d e;
+  let gen = Disk.generation_at d ~start:e.Disk.start in
+  Disk.checkpoint_alloc d;
+  Disk.close d;
+  let d2 = Disk.open_file ~params:small_params ~path () in
+  Alcotest.(check int) "one live extent" 1 (List.length (Disk.live_extents d2));
+  Alcotest.(check bool) "same shape" true
+    (Disk.live_at d2 ~start:e.Disk.start ~length:3);
+  Alcotest.(check bool) "generation survives" true
+    (Disk.generation_at d2 ~start:e.Disk.start = gen);
+  Alcotest.(check int) "nothing torn" 0 (Disk.torn_count d2);
+  (* reads on the reopened disk verify the stamps for real *)
+  List.iter (Disk.read d2) (Disk.live_extents d2);
+  Disk.close d2
+
+let test_file_disk_unwritten_extent_intact () =
+  with_dir "rd_zero" @@ fun dir ->
+  let path = Filename.concat dir "BLOCKS" in
+  let d = Disk.create_file ~params:small_params ~path () in
+  let e = Disk.alloc d ~blocks:2 in
+  Disk.checkpoint_alloc d;
+  Disk.close d;
+  ignore e;
+  (* never written: all-zero blocks satisfy valid-stamp-or-zero *)
+  let d2 = Disk.open_file ~params:small_params ~path () in
+  Alcotest.(check int) "live" 1 (List.length (Disk.live_extents d2));
+  Alcotest.(check int) "not torn" 0 (Disk.torn_count d2);
+  Disk.close d2
+
+let test_file_disk_stale_generation_detected () =
+  with_dir "rd_gen" @@ fun dir ->
+  let path = Filename.concat dir "BLOCKS" in
+  let d = Disk.create_file ~params:small_params ~path () in
+  let a = Disk.alloc d ~blocks:3 in
+  Disk.write d a;
+  Disk.checkpoint_alloc d;
+  (* after the snapshot: free and reallocate the same space, write the
+     new generation's stamps, then die without a new snapshot *)
+  Disk.free d a;
+  let b = Disk.alloc d ~blocks:3 in
+  Alcotest.(check int) "first-fit reused the space" a.Disk.start b.Disk.start;
+  Disk.write d b;
+  Disk.close d;
+  let d2 = Disk.open_file ~params:small_params ~path () in
+  Alcotest.(check bool) "snapshot's extent is back" true
+    (Disk.live_at d2 ~start:a.Disk.start ~length:3);
+  Alcotest.(check bool) "but marked torn (stale generation)" true
+    (Disk.torn_at d2 ~start:a.Disk.start);
+  Disk.close d2
+
+let test_file_disk_truncated_tail_detected () =
+  with_dir "rd_trunc" @@ fun dir ->
+  let path = Filename.concat dir "BLOCKS" in
+  let d = Disk.create_file ~params:small_params ~path () in
+  let e = Disk.alloc d ~blocks:4 in
+  Disk.write d e;
+  Disk.checkpoint_alloc d;
+  Disk.close d;
+  Unix.truncate path (2 * small_params.Disk.block_size);
+  let d2 = Disk.open_file ~params:small_params ~path () in
+  Alcotest.(check bool) "truncated extent torn" true
+    (Disk.torn_at d2 ~start:e.Disk.start);
+  Disk.close d2
+
+let test_file_disk_missing_sidecar () =
+  with_dir "rd_nosidecar" @@ fun dir ->
+  let path = Filename.concat dir "BLOCKS" in
+  let d = Disk.create_file ~params:small_params ~path () in
+  Disk.close d;
+  Alcotest.(check bool) "open without snapshot refused" true
+    (try
+       ignore (Disk.open_file ~params:small_params ~path ());
+       false
+     with Disk.Disk_error _ -> true)
+
+(* --- simulated disk: fault queue and stalls -------------------------- *)
+
+let test_sim_fault_queue () =
+  let d = Disk.create () in
+  let e = Disk.alloc d ~blocks:1 in
+  Disk.write d e;
+  Disk.arm_faults d
+    [
+      ({ Disk.target = Disk.On_seek; at = 2 }, Disk.Fail_stop);
+      ({ Disk.target = Disk.On_seek; at = 1 }, Disk.Fail_stop);
+    ];
+  Disk.read d e;
+  (* first plan fires on the second seek after arming *)
+  Alcotest.check_raises "head fires" (Disk.Disk_error "injected fault")
+    (fun () -> Disk.read d e);
+  Alcotest.(check int) "queue popped" 1 (List.length (Disk.armed_faults d));
+  (* the popped queue's head counts from here: the very next seek *)
+  Alcotest.check_raises "second fires" (Disk.Disk_error "injected fault")
+    (fun () -> Disk.read d e);
+  Alcotest.(check bool) "queue drained" true (Disk.armed_faults d = []);
+  Disk.read d e
+
+let test_sim_stall () =
+  let d = Disk.create () in
+  let e = Disk.alloc d ~blocks:1 in
+  Disk.write d e;
+  Disk.arm_fault d ~mode:(Disk.Stall 5.0) { Disk.target = Disk.On_seek; at = 1 };
+  let t0 = Disk.elapsed d in
+  let (), stalled =
+    counter_delta "disk.stalls" (fun () -> Disk.read d e)
+  in
+  Alcotest.(check bool) "operation completed and charged the stall" true
+    (Disk.elapsed d -. t0 >= 5.0);
+  Alcotest.(check int) "stall_count" 1 (Disk.stall_count d);
+  Alcotest.(check (float 0.)) "disk.stalls metric" 1.0 stalled;
+  Alcotest.(check bool) "plan consumed" true (not (Disk.fault_armed d))
+
+let test_sim_stall_validation () =
+  let d = Disk.create () in
+  Alcotest.(check bool) "negative stall rejected" true
+    (try
+       Disk.arm_fault d ~mode:(Disk.Stall (-1.0))
+         { Disk.target = Disk.On_seek; at = 1 };
+       false
+     with Disk.Disk_error _ -> true)
+
+(* --- runner: backend equivalence and the stall alert ----------------- *)
+
+let test_runner_file_backend_equivalence () =
+  with_recorded_sleeps @@ fun _ ->
+  with_dir "rd_eqv" @@ fun dir ->
+  let base = Runner.default_config ~scheme:Scheme.Del ~store ~w:6 ~n:3 in
+  let base = { base with Runner.run_days = 6 } in
+  let r_sim = Runner.run base in
+  let icfg =
+    {
+      Index.default_config with
+      Index.disk_backend = Disk.File (Filename.concat dir "BLOCKS");
+    }
+  in
+  (* a transient fault mid-run is absorbed by the retry loop: the run
+     completes and stays bit-identical to the simulator *)
+  Io.arm ~at:40 Io.Pwrite (Io.Transient (Io.Eio, 2));
+  let r_file, retries =
+    counter_delta "disk.file.retries" (fun () ->
+        Runner.run { base with Runner.icfg })
+  in
+  Alcotest.(check bool) "model metrics bit-identical to simulator" true
+    (r_sim.Runner.days = r_file.Runner.days);
+  Alcotest.(check bool) "retries happened and were counted" true
+    (retries >= 2.0);
+  Alcotest.(check bool) "real writes happened" true
+    (Metrics.counter_value (Metrics.counter "disk.file.pwrites") > 0.0)
+
+let test_runner_stall_alert () =
+  let rule =
+    Alert.rule ~name:"stalled-disk" ~metric:"runner.day.transition_seconds"
+      Alert.Gt 10.0
+  in
+  let base = Runner.default_config ~scheme:Scheme.Del ~store ~w:6 ~n:3 in
+  let stall_everything env =
+    Disk.arm_faults env.Env.disk
+      (List.init 1000 (fun _ ->
+           ({ Disk.target = Disk.On_write; at = 1 }, Disk.Stall 30.0)))
+  in
+  let cfg =
+    {
+      base with
+      Runner.run_days = 4;
+      alerts = [ rule ];
+      on_env = Some stall_everything;
+    }
+  in
+  let r = Runner.run cfg in
+  Alcotest.(check bool) "alert fired on the stalled transitions" true
+    (List.exists
+       (fun e -> e.Alert.e_rule.Alert.name = "stalled-disk")
+       r.Runner.alerts);
+  (* the same run without the stalls stays quiet *)
+  let quiet = Runner.run { cfg with Runner.on_env = None } in
+  Alcotest.(check (list reject)) "no alerts unstalled" [] quiet.Runner.alerts
+
+(* --- checkpoint directory: atomicity under syscall faults ------------ *)
+
+let dir_instance dir =
+  Store_dir.init dir;
+  let icfg =
+    {
+      Index.default_config with
+      Index.disk_backend = Disk.File (Store_dir.blocks_path dir);
+    }
+  in
+  let disk = Index.make_disk icfg in
+  let env =
+    Env.create ~disk ~icfg ~technique:Env.Packed_shadow ~store ~w:6 ~n:3 ()
+  in
+  Checkpoint.start ~dir Scheme.Del env
+
+let kill cp =
+  let disk = (Checkpoint.env cp).Env.disk in
+  Cache.detach disk;
+  Disk.close disk
+
+let reopened_consistent dir ~day =
+  let cp2, rcv = Checkpoint.reopen ~dir ~store () in
+  let ok =
+    (rcv.Checkpoint.recovered_day = day - 1
+    || rcv.Checkpoint.recovered_day = day)
+    && Checkpoint.current_day cp2 = rcv.Checkpoint.recovered_day
+    && Disk.torn_count (Checkpoint.env cp2).Env.disk = 0
+    && Disk.live_blocks (Checkpoint.env cp2).Env.disk > 0
+  in
+  kill cp2;
+  ok
+
+(* Kill the transition at every fsync and every rename it performs —
+   counted on a clean twin — and prove a committed manifest plus a
+   consistent wave always survives.  This is the behavioral check that
+   each rename really is preceded by its fsync: killing at any fsync
+   leaves the pre-commit files, killing at any rename leaves either the
+   old or the new commit, never a half-written one. *)
+let test_checkpoint_syscall_kill_matrix () =
+  with_recorded_sleeps @@ fun _ ->
+  with_dir "rd_sys" @@ fun root ->
+  let day = 9 in
+  let twin_dir = Filename.concat root "twin" in
+  let twin = dir_instance twin_dir in
+  Checkpoint.advance_to twin (day - 1);
+  let count name f =
+    let c = Metrics.counter name in
+    let before = Metrics.counter_value c in
+    f ();
+    int_of_float (Metrics.counter_value c -. before)
+  in
+  let fsyncs = ref 0 and renames = ref 0 in
+  let c_ren = Metrics.counter "disk.file.renames" in
+  let before_ren = Metrics.counter_value c_ren in
+  fsyncs := count "disk.file.fsyncs" (fun () -> Checkpoint.transition twin);
+  renames := int_of_float (Metrics.counter_value c_ren -. before_ren);
+  kill twin;
+  Alcotest.(check bool) "transition fsyncs" true (!fsyncs >= 3);
+  Alcotest.(check bool) "transition renames" true (!renames >= 3);
+  let run_point syscall at label =
+    let dir = Filename.concat root label in
+    let cp = dir_instance dir in
+    Checkpoint.advance_to cp (day - 1);
+    Io.arm ~at syscall Io.Fail_stop;
+    let fired =
+      match Checkpoint.transition cp with
+      | () -> false
+      | exception Disk.Disk_error _ -> true
+    in
+    Io.clear ();
+    kill cp;
+    Alcotest.(check bool) (label ^ " fired") true fired;
+    Alcotest.(check bool) (label ^ " recovers") true
+      (reopened_consistent dir ~day)
+  in
+  for at = 1 to !fsyncs do
+    run_point Io.Fsync at (Printf.sprintf "fsync%d" at)
+  done;
+  for at = 1 to !renames do
+    run_point Io.Rename at (Printf.sprintf "rename%d" at)
+  done
+
+let test_checkpoint_stale_tmp_cleanup () =
+  with_recorded_sleeps @@ fun _ ->
+  with_dir "rd_tmp" @@ fun dir ->
+  let cp = dir_instance dir in
+  Checkpoint.advance_to cp 8;
+  kill cp;
+  let stale = Store_dir.manifest_path dir ^ ".tmp" in
+  let oc = open_out stale in
+  output_string oc "half a manifest";
+  close_out oc;
+  Alcotest.(check bool) "reopen consistent" true
+    (reopened_consistent dir ~day:9);
+  Alcotest.(check bool) "stale tmp removed" false (Sys.file_exists stale)
+
+let test_checkpoint_corrupt_manifest_falls_back () =
+  with_recorded_sleeps @@ fun _ ->
+  with_dir "rd_corrupt" @@ fun dir ->
+  let cp = dir_instance dir in
+  Checkpoint.advance_to cp 9;
+  kill cp;
+  (* smash the newest commit; the rotated previous checkpoint (day 8)
+     must take over *)
+  let oc = open_out (Store_dir.manifest_path dir) in
+  output_string oc "{ not a manifest";
+  close_out oc;
+  let cp2, rcv = Checkpoint.reopen ~dir ~store () in
+  Alcotest.(check int) "previous checkpoint's day" 8
+    rcv.Checkpoint.recovered_day;
+  Alcotest.(check int) "frame serves it" 8 (Checkpoint.current_day cp2);
+  kill cp2
+
+(* --- kill-and-recover sweeps ----------------------------------------- *)
+
+let check_kill_report (r : Crash_harness.report) =
+  if not r.Crash_harness.passed then
+    Alcotest.failf "kill sweep failed:@\n%a" Crash_harness.pp_report r;
+  Alcotest.(check bool) "has points" true (r.Crash_harness.points <> []);
+  Alcotest.(check bool) "torn-tail variant ran" true
+    (List.exists (fun p -> p.Crash_harness.torn_tail) r.Crash_harness.points)
+
+let test_kill_sweep_packed_shadow () =
+  with_recorded_sleeps @@ fun _ ->
+  with_dir "rd_kill" @@ fun dir ->
+  check_kill_report
+    (Crash_harness.kill_sweep ~scheme:Scheme.Del ~technique:Env.Packed_shadow
+       ~w:6 ~n:3 ~day:9 ~dir ())
+
+let test_kill_sweep_write_back () =
+  with_recorded_sleeps @@ fun _ ->
+  with_dir "rd_kill_wb" @@ fun dir ->
+  let icfg =
+    {
+      Index.default_config with
+      Index.cache_blocks = Some 64;
+      cache_write_back = true;
+    }
+  in
+  check_kill_report
+    (Crash_harness.kill_sweep ~icfg ~scheme:Scheme.Del
+       ~technique:Env.Packed_shadow ~w:6 ~n:3 ~day:9 ~dir ())
+
+let test_double_fault_sweep () =
+  (* In-place updating always rolls forward, so recovery charges real
+     I/O and the second fault has somewhere to land. *)
+  let r =
+    Crash_harness.sweep_double ~scheme:Scheme.Del ~technique:Env.In_place ~w:6
+      ~n:3 ~day:9 ()
+  in
+  if not r.Crash_harness.dr_passed then
+    Alcotest.failf "double-fault sweep failed:@\n%a" Crash_harness.pp_double_report
+      r;
+  Alcotest.(check bool) "has double points" true
+    (r.Crash_harness.dr_points <> [])
+
+let test_double_fault_rollback_vacuous () =
+  (* Packed shadow's recovery is a pure roll-back: every pair is
+     skipped and the sweep passes vacuously with zero points. *)
+  let r =
+    Crash_harness.sweep_double ~scheme:Scheme.Del ~technique:Env.Packed_shadow
+      ~w:6 ~n:3 ~day:9 ()
+  in
+  Alcotest.(check bool) "passes" true r.Crash_harness.dr_passed;
+  Alcotest.(check bool) "all pairs skipped" true
+    (r.Crash_harness.dr_points = [])
+
+let suites =
+  [
+    ( "disk.io",
+      [
+        Alcotest.test_case "transient retries with backoff" `Quick
+          test_io_transient_retries;
+        Alcotest.test_case "giveup after budget" `Quick test_io_transient_giveup;
+        Alcotest.test_case "short write makes progress" `Quick
+          test_io_short_write_progress;
+        Alcotest.test_case "stall" `Quick test_io_stall;
+        Alcotest.test_case "torn write visible in file" `Quick
+          test_io_torn_write_visible;
+        Alcotest.test_case "arm validation" `Quick test_io_arm_validation;
+      ] );
+    ( "disk.file_backend",
+      [
+        Alcotest.test_case "roundtrip through reopen" `Quick
+          test_file_disk_roundtrip;
+        Alcotest.test_case "unwritten extent intact" `Quick
+          test_file_disk_unwritten_extent_intact;
+        Alcotest.test_case "stale generation detected" `Quick
+          test_file_disk_stale_generation_detected;
+        Alcotest.test_case "truncated tail detected" `Quick
+          test_file_disk_truncated_tail_detected;
+        Alcotest.test_case "missing sidecar refused" `Quick
+          test_file_disk_missing_sidecar;
+      ] );
+    ( "disk.fault_queue",
+      [
+        Alcotest.test_case "fault queue ordering" `Quick test_sim_fault_queue;
+        Alcotest.test_case "stall charges and continues" `Quick test_sim_stall;
+        Alcotest.test_case "stall validation" `Quick test_sim_stall_validation;
+      ] );
+    ( "sim.realdisk",
+      [
+        Alcotest.test_case "file backend bit-identical + transient" `Quick
+          test_runner_file_backend_equivalence;
+        Alcotest.test_case "stall alert fires" `Quick test_runner_stall_alert;
+      ] );
+    ( "core.store_dir",
+      [
+        Alcotest.test_case "syscall kill matrix" `Quick
+          test_checkpoint_syscall_kill_matrix;
+        Alcotest.test_case "stale tmp cleanup" `Quick
+          test_checkpoint_stale_tmp_cleanup;
+        Alcotest.test_case "corrupt manifest falls back" `Quick
+          test_checkpoint_corrupt_manifest_falls_back;
+      ] );
+    ( "sim.kill_recover",
+      [
+        Alcotest.test_case "kill sweep packed shadow" `Quick
+          test_kill_sweep_packed_shadow;
+        Alcotest.test_case "kill sweep write-back pool" `Quick
+          test_kill_sweep_write_back;
+        Alcotest.test_case "double-fault sweep" `Quick test_double_fault_sweep;
+        Alcotest.test_case "double-fault rollback vacuous" `Quick
+          test_double_fault_rollback_vacuous;
+      ] );
+  ]
