@@ -196,9 +196,11 @@ let sim_cmd =
       & opt (some string) None
       & info [ "alerts" ] ~docv:"RULES.json"
           ~doc:
-            "evaluate declarative alert rules at every day boundary \
-             (JSON: {\"rules\": [{name, metric, stat?, op, threshold, \
-             for_days?}]})")
+            "evaluate declarative alert rules (JSON: {\"rules\": [{name, \
+             metric, stat?, op, threshold, for_days?, scope?}]}): \
+             scope \"day\" rules at every day boundary, scope \
+             \"transition\" rules after every transition step over the \
+             runner.transition.* gauges")
   in
   let alerts_out =
     Arg.(
@@ -242,9 +244,20 @@ let sim_cmd =
       & opt float 30.0
       & info [ "stall-seconds" ] ~docv:"S" ~doc:"stall duration for --stall-after")
   in
+  let flight_recorder =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "flight-recorder" ] ~docv:"FILE"
+          ~doc:
+            "dump the always-on flight recorder (bounded ring of recent \
+             span ends, gauge sets, alert firings and file-backend \
+             syscall outcomes) to FILE as waveidx-flight/1 JSONL: \
+             immediately on every alert firing, and once at end of run")
+  in
   let run scheme technique w n days postings workload probes scans cache_blocks
       cache_readahead write_back alerts alerts_out profile top disk stall_after
-      stall_seconds =
+      stall_seconds flight_recorder =
     if write_back && cache_blocks = None then begin
       Printf.eprintf "sim: --write-back requires --cache-blocks\n";
       exit 2
@@ -303,6 +316,8 @@ let sim_cmd =
       Wave_obs.Trace.enable ();
       Wave_obs.Trace.reset ()
     end;
+    Wave_obs.Recorder.clear ();
+    Wave_obs.Recorder.set_dump_path flight_recorder;
     let run_env = ref None in
     let on_env env =
       run_env := Some env;
@@ -386,8 +401,11 @@ let sim_cmd =
       List.iter
         (fun (e : Wave_obs.Alert.event) ->
           let rl = e.Wave_obs.Alert.e_rule in
-          Printf.printf "  %-24s %s %s %g: fired day %d, last day %d, %s (value %g)\n"
-            rl.Wave_obs.Alert.name rl.Wave_obs.Alert.metric
+          Printf.printf
+            "  %-24s [%s] %s %s %g: fired day %d, last day %d, %s (value %g)\n"
+            rl.Wave_obs.Alert.name
+            (Wave_obs.Alert.scope_name rl.Wave_obs.Alert.scope)
+            rl.Wave_obs.Alert.metric
             (Wave_obs.Alert.comparator_name rl.Wave_obs.Alert.comparator)
             rl.Wave_obs.Alert.threshold e.Wave_obs.Alert.fired_day
             e.Wave_obs.Alert.last_day
@@ -406,6 +424,20 @@ let sim_cmd =
         output_char oc '\n';
         close_out oc;
         Printf.printf "wrote %s\n" path);
+    (match flight_recorder with
+    | None -> Wave_obs.Recorder.set_dump_path None
+    | Some path ->
+      Wave_obs.Recorder.dump_to ~reason:"sim: end of run" path;
+      Wave_obs.Recorder.set_dump_path None;
+      (* Self-check: the dump must pass its own schema validation. *)
+      (match Wave_obs.Sink.validate_flight_file path with
+      | Ok events ->
+        Printf.printf "wrote %s: %d flight event(s), %d dropped from the ring\n"
+          path events
+          (Wave_obs.Recorder.dropped ())
+      | Error e ->
+        Printf.eprintf "sim: invalid flight dump %s: %s\n" path e;
+        exit 1));
     match prof with
     | None -> ()
     | Some prof ->
@@ -418,7 +450,8 @@ let sim_cmd =
     Term.(
       const run $ scheme $ technique $ w $ n $ days $ postings $ workload
       $ probes $ scans $ cache_blocks $ cache_readahead $ write_back $ alerts
-      $ alerts_out $ profile $ top $ disk $ stall_after $ stall_seconds)
+      $ alerts_out $ profile $ top $ disk $ stall_after $ stall_seconds
+      $ flight_recorder)
 
 let model_cmd =
   let doc =
@@ -573,6 +606,12 @@ let trace_cmd =
     end;
     Wave_obs.Trace.enable ();
     Wave_obs.Trace.reset ();
+    (* A JSONL target doubles as the mid-run flush sink: alert firings
+       and exceptional exits write the events collected so far to the
+       same path, which the end-of-run write below then replaces. *)
+    (match format with
+    | `Jsonl -> Wave_obs.Sink.set_flush_path (Some path)
+    | `Chrome -> ());
     let r =
       Wave_sim.Runner.run
         {
@@ -586,6 +625,7 @@ let trace_cmd =
     let instants = Wave_obs.Trace.instants () in
     Wave_obs.Trace.disable ();
     Wave_obs.Trace.reset ();
+    Wave_obs.Sink.set_flush_path None;
     (match format with
     | `Chrome -> (
       Wave_obs.Sink.write_chrome ~path ~spans ~instants ();
@@ -620,8 +660,11 @@ let trace_cmd =
 
 (* Run a traced simulation and fold its spans into a profile.  Returns
    the profile together with the run result so callers can cross-check
-   attribution against day_metrics. *)
-let profiled_run ~scheme ~technique ~w ~n ~days ~postings =
+   attribution against day_metrics.  [stall_after] arms a model-time
+   stall on the K-th write, so a --diff against an unstalled baseline
+   attributes the slowdown to the node the stall landed in. *)
+let profiled_run ?stall_after ?(stall_seconds = 30.0) ~scheme ~technique ~w ~n
+    ~days ~postings () =
   if n < 1 || n > w then begin
     Printf.eprintf "profile: need 1 <= n <= w (got W=%d n=%d)\n" w n;
     exit 2
@@ -635,6 +678,14 @@ let profiled_run ~scheme ~technique ~w ~n ~days ~postings =
   end;
   Wave_obs.Trace.enable ();
   Wave_obs.Trace.reset ();
+  let on_env env =
+    match stall_after with
+    | None -> ()
+    | Some k ->
+      Wave_disk.Disk.arm_fault env.Env.disk
+        ~mode:(Wave_disk.Disk.Stall stall_seconds)
+        { Wave_disk.Disk.target = Wave_disk.Disk.On_write; at = k }
+  in
   let r =
     Wave_sim.Runner.run
       {
@@ -642,6 +693,7 @@ let profiled_run ~scheme ~technique ~w ~n ~days ~postings =
         Wave_sim.Runner.technique;
         run_days = days;
         queries = Some demo_queries;
+        on_env = Some on_env;
       }
   in
   let spans = Wave_obs.Trace.spans () in
@@ -710,10 +762,54 @@ let profile_cmd =
     Arg.(value & opt int 200 & info [ "postings" ] ~doc:"mean postings per day")
   in
   let top = Arg.(value & opt int 10 & info [ "top" ] ~doc:"table size (hot spots)") in
-  let run scheme_pos tech_pos out json w n days postings top =
+  let diff =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "diff" ] ~docv:"BASELINE.json"
+          ~doc:
+            "diff this run against a baseline waveidx-profile/1 document \
+             (a --json emission): trees are aligned by span-stack path \
+             and the top regressing/improving nodes printed by |self \
+             model-seconds delta|")
+  in
+  let diff_json =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "diff-json" ] ~docv:"FILE"
+          ~doc:
+            "also write the machine-readable waveidx-profile-diff/1 \
+             document here (requires --diff)")
+  in
+  let stall_after =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "stall-after" ] ~docv:"K"
+          ~doc:
+            "arm a stall fault on the K-th write of the run; with --diff \
+             against an unstalled baseline, the report attributes the \
+             slowdown to the node the stall landed in")
+  in
+  let stall_seconds =
+    Arg.(
+      value
+      & opt float 30.0
+      & info [ "stall-seconds" ] ~docv:"S" ~doc:"stall duration for --stall-after")
+  in
+  let run scheme_pos tech_pos out json diff diff_json stall_after stall_seconds w
+      n days postings top =
     let scheme = Option.value ~default:Scheme.Del scheme_pos in
     let technique = Option.value ~default:Env.In_place tech_pos in
-    let prof, r = profiled_run ~scheme ~technique ~w ~n ~days ~postings in
+    if diff_json <> None && diff = None then begin
+      Printf.eprintf "profile: --diff-json requires --diff\n";
+      exit 2
+    end;
+    let prof, r =
+      profiled_run ?stall_after ~stall_seconds ~scheme ~technique ~w ~n ~days
+        ~postings ()
+    in
     Wave_obs.Sink.write_folded ~path:out prof;
     Printf.printf "wrote %s: folded stacks for %d spans (%d nodes)\n" out
       (Wave_obs.Profile.span_count prof)
@@ -727,19 +823,51 @@ let profile_cmd =
       | Error e ->
         Printf.eprintf "profile: emitted JSON failed validation: %s\n" e;
         exit 1));
-    let expected, diff = check_conservation prof r in
+    let expected, cons_diff = check_conservation prof r in
     Printf.printf
       "conservation: day tree reproduces %.4f model-s of day metrics (diff %.2g)\n"
-      expected diff;
+      expected cons_diff;
     print_top_table ~k:top "hot spots (self model-seconds)" prof;
     print_top_table ~under:[ "day"; "phase.maintenance" ] ~k:top
       "maintenance phase" prof;
-    print_top_table ~under:[ "day"; "phase.query" ] ~k:top "query phase" prof
+    print_top_table ~under:[ "day"; "phase.query" ] ~k:top "query phase" prof;
+    match diff with
+    | None -> ()
+    | Some bpath ->
+      let baseline =
+        match In_channel.with_open_bin bpath In_channel.input_all with
+        | exception Sys_error e ->
+          Printf.eprintf "profile: --diff: %s\n" e;
+          exit 2
+        | text -> (
+          match Wave_obs.Json.parse text with
+          | Error e ->
+            Printf.eprintf "profile: --diff %s: bad JSON: %s\n" bpath e;
+            exit 2
+          | Ok j -> (
+            match Wave_obs.Profile.of_json j with
+            | Error e ->
+              Printf.eprintf "profile: --diff %s: %s\n" bpath e;
+              exit 2
+            | Ok p -> p))
+      in
+      let d = Wave_obs.Profile.diff ~baseline ~current:prof in
+      print_newline ();
+      print_string (Wave_obs.Profile.diff_report ~k:top d);
+      (match diff_json with
+      | None -> ()
+      | Some dpath ->
+        let oc = open_out dpath in
+        output_string oc
+          (Wave_obs.Json.to_string ~pretty:true (Wave_obs.Profile.diff_json d));
+        output_char oc '\n';
+        close_out oc;
+        Printf.printf "wrote %s\n" dpath)
   in
   Cmd.v (Cmd.info "profile" ~doc)
     Term.(
-      const run $ scheme_pos $ tech_pos $ out $ json $ w $ n $ days $ postings
-      $ top)
+      const run $ scheme_pos $ tech_pos $ out $ json $ diff $ diff_json
+      $ stall_after $ stall_seconds $ w $ n $ days $ postings $ top)
 
 let bench_cmd =
   let doc =
@@ -1025,7 +1153,7 @@ let bench_cmd =
          latencies. *)
       let prof, pr =
         profiled_run ~scheme:Scheme.Del ~technique:Env.In_place ~w ~n:2
-          ~days:6 ~postings
+          ~days:6 ~postings ()
       in
       ignore (check_conservation prof pr);
       let open Wave_obs.Json in
@@ -1143,7 +1271,33 @@ let bench_cmd =
           Printf.printf "\nregression gate vs %s (threshold %.1f%%):\n%s"
             baseline_path threshold
             (Wave_obs.Sink.comparison_report cmp);
-          if not (Wave_obs.Sink.bench_ok cmp) then exit 1)
+          (* Profile-node gate: re-profile the snapshot's canonical run
+             and hold each committed hot node's self/total model-seconds
+             to the same threshold — a cost migration between phases
+             fails here even when every series total is flat.  On
+             failure, a full tree diff against the committed nodes shows
+             where the time went. *)
+          let profile_ok =
+            match Wave_obs.Sink.bench_profile_top_file baseline_path with
+            | Error e ->
+              (* pre-/4 baselines have no profile block; the series gate
+                 above already covers them *)
+              Printf.printf "profile-node gate: skipped (%s)\n" e;
+              true
+            | Ok top_nodes ->
+              let prof, pr =
+                profiled_run ~scheme:Scheme.Del ~technique:Env.In_place ~w ~n:2
+                  ~days:6 ~postings ()
+              in
+              ignore (check_conservation prof pr);
+              let gate =
+                Wave_obs.Sink.compare_profile_top ~threshold_pct:threshold
+                  ~baseline:top_nodes ~current:prof
+              in
+              print_string (Wave_obs.Sink.profile_gate_report gate);
+              Wave_obs.Sink.profile_gate_ok gate
+          in
+          if not (Wave_obs.Sink.bench_ok cmp && profile_ok) then exit 1)
   in
   Cmd.v (Cmd.info "bench" ~doc)
     Term.(
@@ -1252,7 +1406,18 @@ let crashtest_cmd =
              crash recovery itself at its own enumerated points, then \
              recover again (proves recovery is re-entrant)")
   in
-  let run w n days verbose cache_blocks write_back kill_dir double =
+  let artifacts =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "artifacts" ] ~docv:"DIR"
+          ~doc:
+            "simulated sweeps: write a flight-recorder dump \
+             (waveidx-flight/1 JSONL) per failing point under DIR \
+             (--kill mode already keeps each failing point's directory \
+             with a flight.jsonl inside)")
+  in
+  let run w n days verbose cache_blocks write_back kill_dir double artifacts =
     if write_back && cache_blocks = None then begin
       Printf.eprintf "crashtest: --write-back requires --cache-blocks\n";
       exit 2
@@ -1307,8 +1472,16 @@ let crashtest_cmd =
                 (fun day ->
                   match kill_dir with
                   | None ->
-                    Wave_sim.Crash_harness.sweep ?icfg ~scheme ~technique ~w ~n
-                      ~day ()
+                    let artifact_dir =
+                      Option.map
+                        (fun root ->
+                          Filename.concat root
+                            (Printf.sprintf "%s_%s_d%d" (Scheme.name scheme)
+                               (Env.technique_name technique) day))
+                        artifacts
+                    in
+                    Wave_sim.Crash_harness.sweep ?icfg ?artifact_dir ~scheme
+                      ~technique ~w ~n ~day ()
                   | Some root ->
                     let dir =
                       Filename.concat root
@@ -1397,15 +1570,36 @@ let crashtest_cmd =
   Cmd.v (Cmd.info "crashtest" ~doc)
     Term.(
       const run $ w $ n $ days $ verbose $ cache_blocks $ write_back $ kill_dir
-      $ double)
+      $ double $ artifacts)
 
 let () =
   let doc = "Wave-Indices (SIGMOD 1997) reproduction driver" in
   let info = Cmd.info "waveidx" ~version:"1.0.0" ~doc in
-  exit
-    (Cmd.eval
-       (Cmd.group info
-          [
-            list_cmd; run_cmd; all_cmd; sim_cmd; model_cmd; trace_cmd;
-            profile_cmd; bench_cmd; checkpoint_cmd; recover_cmd; crashtest_cmd;
-          ]))
+  let group =
+    Cmd.group info
+      [
+        list_cmd; run_cmd; all_cmd; sim_cmd; model_cmd; trace_cmd;
+        profile_cmd; bench_cmd; checkpoint_cmd; recover_cmd; crashtest_cmd;
+      ]
+  in
+  (* [~catch:false] so an uncaught exception reaches this handler: the
+     flight recorder and any armed trace flush path are the black box —
+     persist both before the process dies, then re-raise with the
+     original backtrace. *)
+  match Cmd.eval ~catch:false group with
+  | code -> exit code
+  | exception e ->
+    let bt = Printexc.get_raw_backtrace () in
+    Wave_obs.Sink.flush_traces ~reason:"uncaught exception";
+    let path =
+      match Wave_obs.Recorder.dump_path () with
+      | Some p -> p
+      | None -> "waveidx-flight.jsonl"
+    in
+    (try
+       Wave_obs.Recorder.dump_to
+         ~reason:("uncaught exception: " ^ Printexc.to_string e)
+         path;
+       Printf.eprintf "waveidx: flight recorder dumped to %s\n" path
+     with Sys_error _ -> ());
+    Printexc.raise_with_backtrace e bt

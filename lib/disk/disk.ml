@@ -133,7 +133,18 @@ let block_seconds t blocks =
 
 (* Countdown on the queue head for one op of class [target].  Returns
    the fired plan's mode for the caller to act on; a [Stall] is fully
-   handled here — charge the delay, pop, let the operation proceed. *)
+   handled here — charge the delay, pop, let the operation proceed.
+   Every firing also lands in the flight recorder under the op-class
+   name, so a crash-sweep artifact's last event is the injected fault
+   that killed the run. *)
+let target_name = function
+  | On_seek -> "seek"
+  | On_write -> "write"
+  | On_flush -> "flush"
+
+let record_fault target ~outcome ~bytes =
+  Wave_obs.Recorder.record_io ~syscall:(target_name target) ~outcome ~bytes
+
 let fault_check t target =
   match t.faults with
   | [] -> None
@@ -147,10 +158,15 @@ let fault_check t target =
       | Stall d ->
         t.stalls <- t.stalls + 1;
         Wave_obs.Metrics.inc m_stalls;
+        record_fault target ~outcome:"stall" ~bytes:0;
         t.elapsed <- t.elapsed +. d;
         Wave_obs.Trace.on_model_seconds d;
         None
-      | mode -> Some mode
+      | mode ->
+        record_fault target
+          ~outcome:(match mode with Torn -> "torn" | _ -> "fault")
+          ~bytes:0;
+        Some mode
     end
 
 let charge_seek t =

@@ -248,7 +248,12 @@ val pp_counters : Format.formatter -> counters -> unit
     the first.  Arming again {e replaces} the whole queue (last arm
     wins).  An armed queue survives {!reset_counters} — counters are
     observability state, plans are injected-failure state — and
-    {!clear_fault} is idempotent. *)
+    {!clear_fault} is idempotent.
+
+    Every firing also lands in {!Wave_obs.Recorder} as an [io] event
+    (syscall [seek]/[write]/[flush], outcome
+    ["fault"]/["torn"]/["stall"]), so a crash-sweep flight dump ends
+    with the injected fault that killed the run. *)
 
 type fault_target = On_seek | On_write | On_flush
 

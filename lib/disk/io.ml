@@ -45,6 +45,7 @@ let set_sleeper f = sleeper := f
 (* --- metrics --------------------------------------------------------- *)
 
 module M = Wave_obs.Metrics
+module R = Wave_obs.Recorder
 
 let m_preads = M.counter "disk.file.preads"
 let m_pwrites = M.counter "disk.file.pwrites"
@@ -95,9 +96,11 @@ let fire_plan target =
       armed_plan := None;
       match p.fault with
       | Fail_stop ->
+        R.record_io ~syscall:(syscall_name target) ~outcome:"fault" ~bytes:0;
         raise (Io_error (Printf.sprintf "injected I/O fault: %s" (syscall_name target)))
       | Stall s ->
         M.inc m_stalls;
+        R.record_io ~syscall:(syscall_name target) ~outcome:"stall" ~bytes:0;
         !sleeper s;
         No_injection
       | Transient (kind, k) -> Inject_transient (kind, ref k)
@@ -158,6 +161,7 @@ let retry_exact ~what ~len attempt =
       let reason = match outcome with Again r -> r | Done _ -> "short transfer" in
       if retries >= p.max_retries then begin
         M.inc m_giveups;
+        R.record_io ~syscall:what ~outcome:"giveup" ~bytes:moved;
         raise
           (Io_error
              (Printf.sprintf "%s: giving up after %d retries (%s)" what retries
@@ -165,6 +169,7 @@ let retry_exact ~what ~len attempt =
       end
       else begin
         M.inc m_retries;
+        R.record_io ~syscall:what ~outcome:"retry" ~bytes:moved;
         !sleeper backoff;
         go moved (retries + 1) (Float.min (backoff *. p.backoff_mult) p.max_backoff_s)
       end
@@ -200,7 +205,8 @@ let pread fd buf ~off =
         let n = Unix.read fd buf moved (len - moved) in
         if n = 0 then raise (Io_error "pread: unexpected end of file");
         M.inc ~by:(float_of_int n) m_bytes_read;
-        Done n)
+        Done n);
+  R.record_io ~syscall:"pread" ~outcome:"ok" ~bytes:len
 
 let pwrite fd buf ~off =
   let len = Bytes.length buf in
@@ -213,6 +219,7 @@ let pwrite fd buf ~off =
       let n = Unix.write fd buf 0 torn in
       M.inc ~by:(float_of_int n) m_bytes_written
     end;
+    R.record_io ~syscall:"pwrite" ~outcome:"torn" ~bytes:torn;
     raise (Io_error "injected torn write")
   | None -> ());
   let injection = fire_plan Pwrite in
@@ -237,7 +244,8 @@ let pwrite fd buf ~off =
         ignore (Unix.lseek fd (off + moved) Unix.SEEK_SET);
         let n = Unix.write fd buf moved (len - moved) in
         M.inc ~by:(float_of_int n) m_bytes_written;
-        Done n)
+        Done n);
+  R.record_io ~syscall:"pwrite" ~outcome:"ok" ~bytes:len
 
 let fsync fd =
   let injection = fire_plan Fsync in
@@ -250,7 +258,8 @@ let fsync fd =
         Again "injected transient"
       | _ ->
         Unix.fsync fd;
-        Done 1)
+        Done 1);
+  R.record_io ~syscall:"fsync" ~outcome:"ok" ~bytes:0
 
 let rename src dst =
   let injection = fire_plan Rename in
@@ -264,4 +273,5 @@ let rename src dst =
       | _ ->
         (try Sys.rename src dst
          with Sys_error e -> raise (Io_error (Printf.sprintf "rename: %s" e)));
-        Done 1)
+        Done 1);
+  R.record_io ~syscall:"rename" ~outcome:"ok" ~bytes:0

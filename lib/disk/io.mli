@@ -14,7 +14,13 @@
     - {e metrics}: every call, byte, retry, giveup and stall is counted
       in {!Wave_obs.Metrics} under the [disk.file.*] names below, and
       per-call wall seconds land in the [disk.file.io_wall_s]
-      histogram, so real I/O time is visible next to the model clock.
+      histogram, so real I/O time is visible next to the model clock;
+    - {e flight recording}: every outcome also lands in
+      {!Wave_obs.Recorder} as an [io] event — ["ok"] on a completed
+      call (with the bytes transferred), ["retry"]/["giveup"] from the
+      retry loop, and ["fault"]/["stall"]/["torn"] when an armed plan
+      fires — so a crash dump shows the exact syscall tail that led to
+      the failure.
 
     Like the tracer, the shim is process-global: exactly one fault plan
     is armed at a time and one retry policy is active.  This mirrors

@@ -1,6 +1,12 @@
 type comparator = Gt | Ge | Lt | Le
 type stat = Value | Mean | Min | Max | P50 | P95 | P99 | Count
 
+(* Day-scoped rules are evaluated once per day boundary (the original
+   semantics); transition-scoped rules after every transition step,
+   over the runner.transition.* gauges, so a single-transition spike is
+   seen before day-level aggregation averages it away. *)
+type scope = Day | Transition
+
 type rule = {
   name : string;
   metric : string;
@@ -8,13 +14,15 @@ type rule = {
   comparator : comparator;
   threshold : float;
   for_days : int;
+  scope : scope;
 }
 
-let rule ?(stat = Value) ?(for_days = 1) ~name ~metric comparator threshold =
+let rule ?(stat = Value) ?(for_days = 1) ?(scope = Day) ~name ~metric comparator
+    threshold =
   if for_days < 1 then invalid_arg "Alert.rule: for_days < 1";
   if String.length name = 0 then invalid_arg "Alert.rule: empty name";
   if String.length metric = 0 then invalid_arg "Alert.rule: empty metric";
-  { name; metric; stat; comparator; threshold; for_days }
+  { name; metric; stat; comparator; threshold; for_days; scope }
 
 type event = {
   e_rule : rule;
@@ -37,6 +45,7 @@ let create rules =
 let rules t = List.map (fun s -> s.s_rule) t.states
 
 let comparator_name = function Gt -> ">" | Ge -> ">=" | Lt -> "<" | Le -> "<="
+let scope_name = function Day -> "day" | Transition -> "transition"
 
 let stat_name = function
   | Value -> "value"
@@ -74,10 +83,17 @@ let resolve ?registry r =
     | P99 -> Some s.Metrics.p99
     | Count -> Some (float_of_int s.Metrics.count))
 
-let eval ?registry t ~day =
+(* [?scope] filters which rules this evaluation touches: [None] (the
+   pre-scope behavior) advances every rule; [Some s] advances only
+   rules of scope [s], leaving the others' debounce streaks and open
+   episodes untouched — a transition-step evaluation must not reset a
+   day rule's streak, and vice versa. *)
+let eval ?registry ?scope t ~day =
   List.filter_map
     (fun st ->
       let r = st.s_rule in
+      if match scope with Some s -> s <> r.scope | None -> false then None
+      else
       let satisfied, value =
         match resolve ?registry r with
         | Some v when compare_v r.comparator v r.threshold -> (true, v)
@@ -103,9 +119,19 @@ let eval ?registry t ~day =
                     ("rule", r.name);
                     ("metric", r.metric);
                     ("stat", stat_name r.stat);
+                    ("scope", scope_name r.scope);
                     ("value", Printf.sprintf "%g" value);
                     ("day", string_of_int day);
-                  ]
+                  ];
+            (* A firing is flight-recorder material in its own right,
+               and the moment to persist volatile evidence: dump the
+               ring if a dump path is armed, and flush the streaming
+               trace sink so the events leading here survive a
+               subsequent crash. *)
+            Recorder.record_alert ~rule:r.name ~metric:r.metric ~value ~day
+              ~scope:(scope_name r.scope);
+            Recorder.dump_if_configured ~reason:("alert:" ^ r.name);
+            Sink.flush_traces ~reason:("alert:" ^ r.name)
           end);
         match st.current with Some _ -> Some (r, value) | None -> None
       end
@@ -133,6 +159,7 @@ let event_json e =
       ("op", Json.Str (comparator_name r.comparator));
       ("threshold", Json.Num r.threshold);
       ("for_days", Json.int r.for_days);
+      ("scope", Json.Str (scope_name r.scope));
       ("fired_day", Json.int e.fired_day);
       ("last_day", Json.int e.last_day);
       ( "resolved_day",
@@ -178,6 +205,11 @@ let comparator_of_string = function
   | "<=" | "le" -> Ok Le
   | s -> Error (Printf.sprintf "unknown op %S (expected >, >=, <, <=)" s)
 
+let scope_of_string = function
+  | "day" -> Ok Day
+  | "transition" -> Ok Transition
+  | s -> Error (Printf.sprintf "unknown scope %S (expected day | transition)" s)
+
 let rule_of_json i j =
   let label fields =
     match List.assoc_opt "name" fields with
@@ -219,7 +251,14 @@ let rule_of_json i j =
         Ok (int_of_float v)
       | Some _ -> Error (Printf.sprintf "%s: \"for_days\" must be an integer >= 1" where)
     in
-    Ok { name; metric; stat; comparator; threshold; for_days }
+    let* scope =
+      match List.assoc_opt "scope" fields with
+      | None -> Ok Day
+      | Some (Json.Str s) ->
+        Result.map_error (Printf.sprintf "%s: %s" where) (scope_of_string s)
+      | Some _ -> Error (Printf.sprintf "%s: \"scope\" must be a string" where)
+    in
+    Ok { name; metric; stat; comparator; threshold; for_days; scope }
   | _ -> Error (Printf.sprintf "rule %d: expected an object" i)
 
 let rules_of_json j =

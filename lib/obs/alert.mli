@@ -27,9 +27,21 @@
     ({!rules_of_json}): [{"rules": [{"name": "p95-ceiling", "metric":
     "runner.query_seconds", "stat": "p95", "op": ">", "threshold":
     0.25, "for_days": 2}]}] (a bare top-level array also parses;
-    [stat] defaults to ["value"], [for_days] to 1). *)
+    [stat] defaults to ["value"], [for_days] to 1, ["scope"] to
+    ["day"] — set ["scope": "transition"] for per-transition
+    evaluation). *)
 
 type comparator = Gt | Ge | Lt | Le
+
+type scope = Day | Transition
+(** Evaluation cadence a rule subscribes to.  [Day] rules (the
+    default) are evaluated by the runner once per day boundary;
+    [Transition] rules after {e every} transition step, over the
+    [runner.transition.*] gauges — so a one-transition spike is caught
+    before day-level aggregation averages it away.  Debounce
+    ([for_days]) counts consecutive evaluations {e of that scope}: an
+    evaluation of the other scope leaves a rule's streak and open
+    episode untouched. *)
 
 type stat = Value | Mean | Min | Max | P50 | P95 | P99 | Count
 (** How to reduce the metric to a number.  [Value] reads a counter or
@@ -46,19 +58,22 @@ type rule = {
   comparator : comparator;
   threshold : float;
   for_days : int;  (** debounce: consecutive satisfied evaluations, >= 1 *)
+  scope : scope;
 }
 
 val rule :
   ?stat:stat ->
   ?for_days:int ->
+  ?scope:scope ->
   name:string ->
   metric:string ->
   comparator ->
   float ->
   rule
 (** [rule ~name ~metric cmp threshold] with [stat] defaulting to
-    [Value] and [for_days] to 1.  Raises [Invalid_argument] when
-    [for_days < 1] or [name]/[metric] is empty. *)
+    [Value], [for_days] to 1 and [scope] to [Day].  Raises
+    [Invalid_argument] when [for_days < 1] or [name]/[metric] is
+    empty. *)
 
 type event = {
   e_rule : rule;
@@ -76,13 +91,19 @@ val create : rule list -> t
 
 val rules : t -> rule list
 
-val eval : ?registry:Metrics.registry -> t -> day:int -> (rule * float) list
-(** Evaluate every rule against the registry (default
-    {!Metrics.default}), advancing debounce state, firing and resolving
-    events.  Returns the rules active after this evaluation with their
-    observed values.  A metric that is missing, an empty histogram, or
-    a stat that does not apply to the metric's kind counts as
-    not-satisfied (and re-arms the debounce). *)
+val eval :
+  ?registry:Metrics.registry -> ?scope:scope -> t -> day:int -> (rule * float) list
+(** Evaluate rules against the registry (default {!Metrics.default}),
+    advancing debounce state, firing and resolving events.  [?scope]
+    restricts the evaluation to rules of that scope, leaving the
+    others' debounce state untouched; omitted, every rule is evaluated
+    (the pre-scope behavior).  Returns the rules active after this
+    evaluation with their observed values.  A metric that is missing,
+    an empty histogram, or a stat that does not apply to the metric's
+    kind counts as not-satisfied (and re-arms the debounce).  A firing
+    additionally lands in the flight recorder
+    ({!Recorder.record_alert}), triggers {!Recorder.dump_if_configured}
+    and {!Sink.flush_traces}. *)
 
 val active : t -> event list
 (** Events not yet resolved, oldest first. *)
@@ -94,6 +115,8 @@ val comparator_name : comparator -> string
 (** [">"], [">="], ["<"], ["<="]. *)
 
 val stat_name : stat -> string
+val scope_name : scope -> string
+(** ["day"] / ["transition"]. *)
 
 val event_json : event -> Json.t
 val events_json : event list -> Json.t

@@ -1,5 +1,9 @@
 type counter = { mutable count : float }
-type gauge = { mutable value : float }
+
+(* Gauges carry their name so [set] can record the update into the
+   flight recorder; counters and histograms stay nameless — they are
+   hot-path and would flood the ring. *)
+type gauge = { g_name : string; mutable value : float }
 
 (* Bounded histogram: a reservoir of at most [cap] observations (exact
    while [seen <= cap], algorithm R beyond), plus exact running count /
@@ -56,7 +60,7 @@ let counter ?(registry = default) name =
 let gauge ?(registry = default) name =
   intern registry name
     (fun () ->
-      let g = { value = 0.0 } in
+      let g = { g_name = name; value = 0.0 } in
       (G g, g))
     (function G g -> Some g | _ -> None)
 
@@ -86,7 +90,10 @@ let inc ?(by = 1.0) c =
 
 let counter_value c = c.count
 
-let set g v = g.value <- v
+let set g v =
+  Recorder.record_metric ~name:g.g_name ~value:v ~delta:(v -. g.value);
+  g.value <- v
+
 let gauge_value g = g.value
 
 let next_u64 h =
@@ -176,9 +183,23 @@ let reset registry =
         h.vmax <- neg_infinity)
     registry
 
+let reset_all () = reset default
+
 let sorted_items registry =
   Hashtbl.fold (fun name item acc -> (name, item) :: acc) registry []
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let snapshot ?(registry = default) () : (string * value) list =
+  List.map
+    (fun (name, item) ->
+      let v : value =
+        match item with
+        | C c -> `Counter c.count
+        | G g -> `Gauge g.value
+        | H h -> `Histogram (hist_summary h)
+      in
+      (name, v))
+    (sorted_items registry)
 
 let to_json registry =
   let items = sorted_items registry in

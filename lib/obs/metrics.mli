@@ -52,6 +52,10 @@ val inc : ?by:float -> counter -> unit
 val counter_value : counter -> float
 
 val set : gauge -> float -> unit
+(** Also records the update (name, new value, delta) into
+    {!Recorder} — gauges are low-frequency per-day / per-transition
+    signals, so every change is flight-recorder material. *)
+
 val gauge_value : gauge -> float
 
 val observe : histogram -> float -> unit
@@ -90,6 +94,16 @@ val lookup : ?registry:registry -> string -> value option
 val reset : registry -> unit
 (** Zero every counter and gauge and clear every histogram; handles
     stay valid. *)
+
+val reset_all : unit -> unit
+(** {!reset} the {!default} registry — call between repeated in-process
+    runs (tests, advisor loops) so counters don't accumulate across
+    them. *)
+
+val snapshot : ?registry:registry -> unit -> (string * value) list
+(** Point-in-time copy of every metric's current value, names sorted.
+    Pair with {!reset_all} to measure one run in isolation: snapshot,
+    run, snapshot, diff. *)
 
 val to_json : registry -> Json.t
 (** [{"counters": {...}, "gauges": {...}, "histograms": {name:

@@ -235,3 +235,217 @@ let to_json t =
       ("spans", Json.int t.span_count);
       ("roots", Json.Arr (List.map node_json t.tree));
     ]
+
+(* --- parsing: read a profile document back ---------------------------- *)
+
+let ( let* ) = Result.bind
+
+(* Lenient on the cost fields (0 when absent) so hand-trimmed baselines
+   still load; strict on the tree shape (name, calls, children). *)
+let rec node_of_json parent_path j =
+  let str k = Option.bind (Json.member k j) Json.to_str in
+  let num k = Option.bind (Json.member k j) Json.to_float in
+  let fnum k = Option.value ~default:0.0 (num k) in
+  let inum k = int_of_float (fnum k) in
+  match str "name" with
+  | None ->
+    Error
+      (Printf.sprintf "%s: node missing string \"name\""
+         (String.concat "/" parent_path))
+  | Some name -> (
+    let path = parent_path @ [ name ] in
+    let where = String.concat "/" path in
+    let* calls =
+      match num "calls" with
+      | Some c when c >= 1.0 -> Ok (int_of_float c)
+      | _ -> Error (Printf.sprintf "%s: \"calls\" missing or below 1" where)
+    in
+    match Option.bind (Json.member "children" j) Json.to_list with
+    | None -> Error (Printf.sprintf "%s: missing \"children\" array" where)
+    | Some kids ->
+      let* children =
+        List.fold_left
+          (fun acc kid ->
+            let* acc = acc in
+            let* c = node_of_json path kid in
+            Ok (c :: acc))
+          (Ok []) kids
+      in
+      Ok
+        {
+          name;
+          path;
+          calls;
+          total_model = fnum "total_model_s";
+          self_model = fnum "self_model_s";
+          seeks = inum "seeks";
+          self_seeks = inum "self_seeks";
+          blocks_read = inum "blocks_read";
+          self_blocks_read = inum "self_blocks_read";
+          blocks_written = inum "blocks_written";
+          self_blocks_written = inum "self_blocks_written";
+          bytes_read = inum "bytes_read";
+          self_bytes_read = inum "self_bytes_read";
+          bytes_written = inum "bytes_written";
+          self_bytes_written = inum "self_bytes_written";
+          children = List.rev children;
+        })
+
+let of_json j =
+  let str k = Option.bind (Json.member k j) Json.to_str in
+  match str "schema" with
+  | None -> Error "missing string \"schema\""
+  | Some s when s <> "waveidx-profile/1" ->
+    Error (Printf.sprintf "schema %S, expected \"waveidx-profile/1\"" s)
+  | Some _ -> (
+    let spans =
+      match Option.bind (Json.member "spans" j) Json.to_float with
+      | Some v -> int_of_float v
+      | None -> 0
+    in
+    match Option.bind (Json.member "roots" j) Json.to_list with
+    | None -> Error "missing \"roots\" array"
+    | Some roots ->
+      let* tree =
+        List.fold_left
+          (fun acc r ->
+            let* acc = acc in
+            let* n = node_of_json [] r in
+            Ok (n :: acc))
+          (Ok []) roots
+      in
+      Ok { tree = List.rev tree; span_count = spans })
+
+(* --- diffing: align two trees by span-stack path ---------------------- *)
+
+type diff_status = Common | Added | Removed
+
+type diff_entry = {
+  d_path : string list;
+  d_status : diff_status;
+  d_base : node option;
+  d_cur : node option;
+  d_calls : int;
+  d_total : float;
+  d_self : float;
+  d_seeks : int;
+  d_blocks : int;
+  d_bytes : int;
+}
+
+type diff = {
+  entries : diff_entry list;
+  base_total : float;
+  cur_total : float;
+}
+
+let entry_of ~path ~base ~cur =
+  let f get = function Some n -> get n | None -> 0.0 in
+  let i get = function Some n -> get n | None -> 0 in
+  let blocks n = n.blocks_read + n.blocks_written in
+  let bytes n = n.bytes_read + n.bytes_written in
+  {
+    d_path = path;
+    d_status =
+      (match (base, cur) with
+      | Some _, Some _ -> Common
+      | None, Some _ -> Added
+      | Some _, None -> Removed
+      | None, None -> assert false);
+    d_base = base;
+    d_cur = cur;
+    d_calls = i (fun n -> n.calls) cur - i (fun n -> n.calls) base;
+    d_total = f (fun n -> n.total_model) cur -. f (fun n -> n.total_model) base;
+    d_self = f (fun n -> n.self_model) cur -. f (fun n -> n.self_model) base;
+    d_seeks = i (fun n -> n.seeks) cur - i (fun n -> n.seeks) base;
+    d_blocks = i blocks cur - i blocks base;
+    d_bytes = i bytes cur - i bytes base;
+  }
+
+let diff ~baseline ~current =
+  (* Alignment is by path, so two trees whose siblings merely reordered
+     (cost shifts re-sort children) still pair node for node. *)
+  let index t =
+    let tbl = Hashtbl.create 64 in
+    List.iter (fun n -> Hashtbl.replace tbl (path_string n) n) (nodes t);
+    tbl
+  in
+  let b = index baseline and c = index current in
+  let seen = Hashtbl.create 64 in
+  let entries = ref [] in
+  let consider n =
+    let key = path_string n in
+    if not (Hashtbl.mem seen key) then begin
+      Hashtbl.replace seen key ();
+      entries :=
+        entry_of ~path:n.path ~base:(Hashtbl.find_opt b key)
+          ~cur:(Hashtbl.find_opt c key)
+        :: !entries
+    end
+  in
+  List.iter consider (nodes current);
+  List.iter consider (nodes baseline);
+  let by_magnitude a b =
+    match Float.compare (Float.abs b.d_self) (Float.abs a.d_self) with
+    | 0 -> compare a.d_path b.d_path
+    | c -> c
+  in
+  {
+    entries = List.sort by_magnitude !entries;
+    base_total = total_model baseline;
+    cur_total = total_model current;
+  }
+
+let diff_top ?(k = 10) d = List.filteri (fun i _ -> i < k) d.entries
+
+let diff_status_name = function
+  | Common -> "common"
+  | Added -> "added"
+  | Removed -> "removed"
+
+let diff_report ?(k = 10) d =
+  let buf = Buffer.create 1024 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt in
+  let pct =
+    if d.base_total = 0.0 then if d.cur_total = 0.0 then 0.0 else infinity
+    else (d.cur_total -. d.base_total) /. d.base_total *. 100.0
+  in
+  line "profile diff: total %.4f -> %.4f model-s (%+.1f%%), %d node(s) changed"
+    d.base_total d.cur_total pct
+    (List.length
+       (List.filter
+          (fun e -> e.d_status <> Common || Float.abs e.d_self > 0.0)
+          d.entries));
+  line "  %-52s %8s %12s %12s %8s %8s" "path" "status" "dself(ms)" "dtotal(ms)"
+    "dseeks" "dblocks";
+  List.iter
+    (fun e ->
+      line "  %-52s %8s %+12.4f %+12.4f %+8d %+8d"
+        (String.concat "/" e.d_path)
+        (diff_status_name e.d_status)
+        (e.d_self *. 1e3) (e.d_total *. 1e3) e.d_seeks e.d_blocks)
+    (diff_top ~k d);
+  Buffer.contents buf
+
+let diff_entry_json e =
+  Json.Obj
+    [
+      ("path", Json.Str (String.concat "/" e.d_path));
+      ("status", Json.Str (diff_status_name e.d_status));
+      ("delta_calls", Json.int e.d_calls);
+      ("delta_total_model_s", Json.Num e.d_total);
+      ("delta_self_model_s", Json.Num e.d_self);
+      ("delta_seeks", Json.int e.d_seeks);
+      ("delta_blocks", Json.int e.d_blocks);
+      ("delta_bytes", Json.int e.d_bytes);
+    ]
+
+let diff_json d =
+  Json.Obj
+    [
+      ("schema", Json.Str "waveidx-profile-diff/1");
+      ("unit", Json.Str "model-seconds");
+      ("baseline_total_model_s", Json.Num d.base_total);
+      ("current_total_model_s", Json.Num d.cur_total);
+      ("entries", Json.Arr (List.map diff_entry_json d.entries));
+    ]

@@ -89,3 +89,59 @@ val to_json : t -> Json.t
     "total_model_s": ..., "spans": ..., "roots": [node...]}] where each
     node carries name, calls, total/self model-seconds, total/self
     seeks, blocks and bytes, and its children. *)
+
+val of_json : Json.t -> (t, string) result
+(** Parse a {!to_json} document back into a profile — the [--diff]
+    baseline loader.  Strict on the tree shape (schema tag, ["name"],
+    ["calls"] >= 1, ["children"]); lenient on cost fields (0 when
+    absent) so trimmed baselines still load.  Node order is preserved
+    as written. *)
+
+(** {1 Differential profiles}
+
+    Two call trees aligned by span-stack path: a node's identity is
+    its root-relative name chain, so sibling reordering (children
+    re-sort by cost) never produces a spurious add/remove pair.
+    Identical trees diff to all-zero deltas exactly — both sides were
+    built from the same float arithmetic, so [cur -. base] is [0.]
+    bitwise, not epsilon-close. *)
+
+type diff_status =
+  | Common  (** present on both sides *)
+  | Added  (** only in the current tree *)
+  | Removed  (** only in the baseline *)
+
+type diff_entry = {
+  d_path : string list;
+  d_status : diff_status;
+  d_base : node option;
+  d_cur : node option;
+  d_calls : int;  (** current - baseline; an absent side counts 0 *)
+  d_total : float;  (** inclusive model-seconds delta *)
+  d_self : float;  (** self model-seconds delta *)
+  d_seeks : int;
+  d_blocks : int;  (** read + written *)
+  d_bytes : int;  (** read + written *)
+}
+
+type diff = {
+  entries : diff_entry list;
+      (** union of both trees' paths, sorted by |self delta| largest
+          first (ties by path) *)
+  base_total : float;
+  cur_total : float;
+}
+
+val diff : baseline:t -> current:t -> diff
+
+val diff_top : ?k:int -> diff -> diff_entry list
+(** First [k] (default 10) entries — the top regressing / improving
+    nodes by |self delta|. *)
+
+val diff_report : ?k:int -> diff -> string
+(** Human-readable table: totals line, then one row per top-[k] entry
+    with status and self/total/seeks/blocks deltas. *)
+
+val diff_json : diff -> Json.t
+(** [{"schema": "waveidx-profile-diff/1", ...}] with every entry's
+    deltas — the machine-readable companion of {!diff_report}. *)

@@ -550,3 +550,273 @@ let write_folded ~path profile = write_file path (Profile.folded profile)
 
 let write_profile ~path profile =
   write_file path (Json.to_string ~pretty:true (Profile.to_json profile))
+
+(* --- streaming trace flush -------------------------------------------- *)
+
+(* An armed mid-run flush target: on alert firings and exceptional
+   exits the tracer's collected events are written here immediately, so
+   the evidence trail survives even if the process never reaches its
+   normal end-of-run write.  The flush file is ordinary sink JSONL
+   behind one "flush" header line carrying the reason. *)
+let flush_target : string option ref = ref None
+
+let set_flush_path p = flush_target := p
+let flush_path () = !flush_target
+
+let flush_traces ~reason =
+  match !flush_target with
+  | None -> ()
+  | Some path -> (
+    try
+      let spans = Trace.spans () and instants = Trace.instants () in
+      let buf = Buffer.create 4096 in
+      Buffer.add_string buf
+        (Json.to_string
+           (Json.Obj
+              [
+                ("type", Json.Str "flush");
+                ("reason", Json.Str reason);
+                ("spans", Json.int (List.length spans));
+                ("instants", Json.int (List.length instants));
+              ]));
+      Buffer.add_char buf '\n';
+      Buffer.add_string buf (jsonl ~spans ~instants);
+      write_file path (Buffer.contents buf)
+    with Sys_error _ -> ())
+
+(* --- flight-recorder dumps -------------------------------------------- *)
+
+let flight_schema = "waveidx-flight/1"
+
+let validate_flight_event i j =
+  let fail fmt =
+    Printf.ksprintf (fun m -> Error (Printf.sprintf "event %d: %s" i m)) fmt
+  in
+  let num k = Option.bind (Json.member k j) Json.to_float in
+  let str k = Option.bind (Json.member k j) Json.to_str in
+  let ( let* ) = Result.bind in
+  let require_num keys =
+    List.fold_left
+      (fun acc k ->
+        let* () = acc in
+        match num k with
+        | Some v when Float.is_finite v -> Ok ()
+        | Some _ -> fail "non-finite %S" k
+        | None -> fail "missing numeric %S" k)
+      (Ok ()) keys
+  in
+  let require_str keys =
+    List.fold_left
+      (fun acc k ->
+        let* () = acc in
+        match str k with
+        | Some _ -> Ok ()
+        | None -> fail "missing string %S" k)
+      (Ok ()) keys
+  in
+  let* () = require_num [ "seq"; "model_s"; "wall_s" ] in
+  match str "type" with
+  | Some "span" ->
+    let* () = require_str [ "name" ] in
+    require_num
+      [ "dur_model_s"; "seeks"; "blocks_read"; "blocks_written"; "bytes_read";
+        "bytes_written" ]
+  | Some "metric" ->
+    let* () = require_str [ "name" ] in
+    require_num [ "value"; "delta" ]
+  | Some "alert" ->
+    let* () = require_str [ "rule"; "metric"; "scope" ] in
+    require_num [ "value"; "day" ]
+  | Some "io" ->
+    let* () = require_str [ "syscall"; "outcome" ] in
+    require_num [ "bytes" ]
+  | Some t -> fail "unknown type %S" t
+  | None -> fail "missing string \"type\""
+
+(* The dump is JSONL, so validation takes the raw text: a header line
+   (schema tag, reason, counts) followed by one event object per line
+   with strictly increasing "seq".  Returns the event count. *)
+let validate_flight text =
+  let lines =
+    String.split_on_char '\n' text
+    |> List.filter (fun l -> String.trim l <> "")
+  in
+  match lines with
+  | [] -> Error "empty dump"
+  | header :: events -> (
+    match Json.parse header with
+    | Error e -> Error (Printf.sprintf "header: bad JSON: %s" e)
+    | Ok h -> (
+      let num k = Option.bind (Json.member k h) Json.to_float in
+      let str k = Option.bind (Json.member k h) Json.to_str in
+      match str "schema" with
+      | None -> Error "header: missing string \"schema\""
+      | Some s when s <> flight_schema ->
+        Error (Printf.sprintf "header: schema %S, expected %S" s flight_schema)
+      | Some _ -> (
+        match str "reason" with
+        | None -> Error "header: missing string \"reason\""
+        | Some _ -> (
+          match (num "events", num "dropped") with
+          | Some ev, Some dr when ev >= 0.0 && dr >= 0.0 -> (
+            if int_of_float ev <> List.length events then
+              Error
+                (Printf.sprintf "header claims %d events, dump has %d"
+                   (int_of_float ev) (List.length events))
+            else
+              let rec go i last_seq = function
+                | [] -> Ok (List.length events)
+                | line :: rest -> (
+                  match Json.parse line with
+                  | Error e ->
+                    Error (Printf.sprintf "event %d: bad JSON: %s" i e)
+                  | Ok j -> (
+                    match validate_flight_event i j with
+                    | Error e -> Error e
+                    | Ok () -> (
+                      match Option.bind (Json.member "seq" j) Json.to_float with
+                      | Some seq when seq > last_seq -> go (i + 1) seq rest
+                      | Some _ ->
+                        Error
+                          (Printf.sprintf "event %d: non-increasing \"seq\"" i)
+                      | None -> assert false)))
+              in
+              go 0 neg_infinity events)
+          | _ -> Error "header: missing numeric \"events\"/\"dropped\""))))
+
+let validate_flight_file path =
+  match In_channel.with_open_bin path In_channel.input_all with
+  | exception Sys_error msg -> Error msg
+  | text -> validate_flight text
+
+(* --- profile-node gate ------------------------------------------------ *)
+
+type profile_top_node = {
+  top_path : string;
+  top_calls : int;
+  top_self : float;
+  top_total : float;
+}
+
+(* Extract the bench snapshot's "profile" block top nodes — the flat
+   hot list committed in BENCH_wave.json, not a full tree. *)
+let bench_profile_top j =
+  match Json.member "profile" j with
+  | None -> Error "missing \"profile\" block"
+  | Some p -> (
+    match Option.bind (Json.member "top" p) Json.to_list with
+    | None -> Error "profile: missing \"top\" array"
+    | Some tops ->
+      let rec go i acc = function
+        | [] -> Ok (List.rev acc)
+        | n :: rest -> (
+          let num k = Option.bind (Json.member k n) Json.to_float in
+          match Option.bind (Json.member "path" n) Json.to_str with
+          | None ->
+            Error (Printf.sprintf "profile.top[%d]: missing string \"path\"" i)
+          | Some path -> (
+            match (num "calls", num "self_model_s", num "total_model_s") with
+            | Some calls, Some self, Some total ->
+              go (i + 1)
+                ({
+                   top_path = path;
+                   top_calls = int_of_float calls;
+                   top_self = self;
+                   top_total = total;
+                 }
+                :: acc)
+                rest
+            | _ ->
+              Error
+                (Printf.sprintf
+                   "profile.top[%d] (%S): missing numeric \
+                    \"calls\"/\"self_model_s\"/\"total_model_s\""
+                   i path)))
+      in
+      go 0 [] tops)
+
+let bench_profile_top_file path =
+  match read_parse path with
+  | Error e -> Error e
+  | Ok j -> (
+    match bench_profile_top j with
+    | Error e -> Error (Printf.sprintf "%s: %s" path e)
+    | Ok xs -> Ok xs)
+
+type profile_gate = {
+  pg_compared : int;
+  pg_missing : string list;
+  pg_regressions : bench_delta list;
+  pg_improvements : bench_delta list;
+}
+
+(* Self model-seconds carry float-subtraction noise (self = total -
+   children, clamped at zero), so the gate's absolute epsilon is the
+   profiler's own conservation tolerance, not the series gate's 1e-9 —
+   a baseline node with self 0.0 must not trip on 1e-12 of rounding. *)
+let profile_epsilon = 1e-6
+
+let compare_profile_top ~threshold_pct ~baseline ~(current : Profile.t) =
+  let regressions = ref [] and improvements = ref [] and compared = ref 0 in
+  let consider path field base cur =
+    let d =
+      {
+        delta_name = path;
+        delta_field = field;
+        baseline_value = base;
+        current_value = cur;
+        delta_pct = pct_delta base cur;
+      }
+    in
+    if cur > (base *. (1.0 +. (threshold_pct /. 100.0))) +. profile_epsilon then
+      regressions := d :: !regressions
+    else if base > (cur *. (1.0 +. (threshold_pct /. 100.0))) +. profile_epsilon
+    then improvements := d :: !improvements
+  in
+  let missing =
+    List.filter_map
+      (fun b ->
+        match Profile.find current (String.split_on_char '/' b.top_path) with
+        | None -> Some b.top_path
+        | Some n ->
+          incr compared;
+          consider b.top_path "self_model_s" b.top_self
+            n.Profile.self_model;
+          consider b.top_path "total_model_s" b.top_total
+            n.Profile.total_model;
+          None)
+      baseline
+  in
+  {
+    pg_compared = !compared;
+    pg_missing = missing;
+    pg_regressions = List.rev !regressions;
+    pg_improvements = List.rev !improvements;
+  }
+
+let profile_gate_ok g = g.pg_regressions = [] && g.pg_missing = []
+
+let profile_gate_report g =
+  let buf = Buffer.create 512 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt in
+  line
+    "profile-node gate: %d node(s) compared, %d regression(s), %d \
+     improvement(s), %d missing"
+    g.pg_compared
+    (List.length g.pg_regressions)
+    (List.length g.pg_improvements)
+    (List.length g.pg_missing);
+  List.iter
+    (fun d ->
+      line "  REGRESSION %-58s %s %.6f -> %.6f (%+.1f%%)" d.delta_name
+        d.delta_field d.baseline_value d.current_value d.delta_pct)
+    g.pg_regressions;
+  List.iter
+    (fun p -> line "  MISSING    %s (baseline hot node absent from this run)" p)
+    g.pg_missing;
+  List.iter
+    (fun d ->
+      line "  improved   %-58s %s %.6f -> %.6f (%+.1f%%)" d.delta_name
+        d.delta_field d.baseline_value d.current_value d.delta_pct)
+    g.pg_improvements;
+  Buffer.contents buf

@@ -140,3 +140,89 @@ val write_folded : path:string -> Profile.t -> unit
 
 val write_profile : path:string -> Profile.t -> unit
 (** Write pretty-printed {!Profile.to_json} to [path]. *)
+
+(** {1 Streaming trace flush}
+
+    A mid-run escape hatch: arm a path with {!set_flush_path} and every
+    {!flush_traces} call (the alert engine fires one per alert, the CLI
+    one on uncaught exceptions) immediately writes the tracer's
+    collected spans/instants there as JSONL behind a ["flush"] header
+    line carrying the reason — so the evidence trail survives even if
+    the process never reaches its normal end-of-run write. *)
+
+val set_flush_path : string option -> unit
+(** Arm ([Some path]) or disarm ([None], the initial state) the flush
+    target. *)
+
+val flush_path : unit -> string option
+
+val flush_traces : reason:string -> unit
+(** Write the current {!Trace.spans}/{!Trace.instants} to the armed
+    path; a no-op when disarmed.  Write errors are swallowed — flushing
+    is best-effort evidence preservation, never a new failure mode. *)
+
+(** {1 Flight-recorder dumps} *)
+
+val flight_schema : string
+(** ["waveidx-flight/1"] — the {!Recorder.to_jsonl} schema tag. *)
+
+val validate_flight : string -> (int, string) result
+(** Validate a flight-recorder dump (raw JSONL text, not parsed JSON):
+    a header line with the schema tag, a string ["reason"] and
+    non-negative ["events"]/["dropped"] counts, followed by exactly
+    [events] event lines, each a well-typed object
+    (span/metric/alert/io payload fields present) with strictly
+    increasing ["seq"].  Returns the event count. *)
+
+val validate_flight_file : string -> (int, string) result
+(** Read [path], then {!validate_flight}. *)
+
+(** {1 Profile-node gate}
+
+    The series gate above watches end-to-end latency; this one watches
+    {e where the time goes}.  [bench --compare] additionally extracts
+    the committed snapshot's ["profile"]["top"] hot-node list and
+    re-resolves each path against a freshly profiled run: a node whose
+    self model-seconds grew beyond the threshold fails the gate even
+    when every series total is flat — the cost migrated between phases
+    rather than growing in aggregate. *)
+
+type profile_top_node = {
+  top_path : string;  (** '/'-joined span-stack path *)
+  top_calls : int;
+  top_self : float;  (** self model-seconds *)
+  top_total : float;  (** inclusive model-seconds *)
+}
+
+val bench_profile_top : Json.t -> (profile_top_node list, string) result
+(** Extract the hot-node list from a bench snapshot's ["profile"]
+    block.  Errors name the offending node. *)
+
+val bench_profile_top_file : string -> (profile_top_node list, string) result
+
+type profile_gate = {
+  pg_compared : int;  (** baseline nodes resolved in the current tree *)
+  pg_missing : string list;
+      (** baseline hot paths absent from the current tree — a failure *)
+  pg_regressions : bench_delta list;
+      (** [delta_field] is ["self_model_s"] or ["total_model_s"] *)
+  pg_improvements : bench_delta list;
+}
+
+val compare_profile_top :
+  threshold_pct:float ->
+  baseline:profile_top_node list ->
+  current:Profile.t ->
+  profile_gate
+(** Compare each baseline hot node's self and total model-seconds
+    against the node at the same path in [current].  The absolute
+    epsilon is 1e-6 (not the series gate's 1e-9): self = total −
+    children carries float-subtraction noise, and a baseline node with
+    self 0.0 must not trip on rounding dust. *)
+
+val profile_gate_ok : profile_gate -> bool
+(** No regressions and no missing nodes. *)
+
+val profile_gate_report : profile_gate -> string
+(** Human-readable summary line plus one row per regression / missing /
+    improved node. *)

@@ -39,6 +39,10 @@ let next_id = ref 0
 let now_model () =
   match !model_clock with Some f -> f () | None -> !model_now
 
+(* The flight recorder lives below this module; give it our model
+   clock so its events carry model timestamps during traced runs. *)
+let () = Recorder.set_model_clock now_model
+
 let now_wall () = Unix.gettimeofday ()
 
 let is_enabled () = !enabled
@@ -88,7 +92,10 @@ let end_span s =
     (* Out-of-order unwind (an exception skipped intermediate frames):
        drop the span wherever it sits. *)
     stack := List.filter (fun x -> x != s) !stack);
-  finished := s :: !finished
+  finished := s :: !finished;
+  Recorder.record_span ~name:s.name ~model_s:(model_seconds s) ~seeks:s.seeks
+    ~blocks_read:s.blocks_read ~blocks_written:s.blocks_written
+    ~bytes_read:s.bytes_read ~bytes_written:s.bytes_written
 
 let with_span ?(tags = []) name f =
   if not !enabled then f ()

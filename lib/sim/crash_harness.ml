@@ -84,6 +84,9 @@ let space_consistent cp =
 
 let run_point ?icfg ~scheme ~technique ~w ~n ~store ~day ~before_ref ~after_ref
     ~mode point =
+  (* Each point gets a fresh flight-recorder window, so a failing
+     point's dump holds exactly the events of that point's run. *)
+  Wave_obs.Recorder.clear ();
   let cp = fresh_instance ?icfg ~scheme ~technique ~w ~n ~store () in
   Checkpoint.advance_to cp (day - 1);
   (* Replay the twin's pre-transition reference capture: with a buffer
@@ -148,7 +151,26 @@ let run_point ?icfg ~scheme ~technique ~w ~n ~store ~day ~before_ref ~after_ref
     res
   end
 
-let sweep ?(store = default_store) ?icfg ~scheme ~technique ~w ~n ~day () =
+(* Best-effort flight dump for a failing point; never a new failure
+   mode of its own. *)
+let dump_flight ~reason path =
+  try Wave_obs.Recorder.dump_to ~reason path with Sys_error _ -> ()
+
+let ensure_dir dir =
+  try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+
+let point_slug mode truncate_tail (p : Disk.fault_point) =
+  Format.asprintf "%a_%s%s" Disk.pp_fault_point p
+    (match mode with
+    | Disk.Torn -> "torn"
+    | Disk.Stall _ -> "stall"
+    | Disk.Fail_stop -> "failstop")
+    (if truncate_tail then "_tail" else "")
+
+let point_passed r = r.fired && r.consistent && r.space_ok
+
+let sweep ?(store = default_store) ?icfg ?artifact_dir ~scheme ~technique ~w ~n
+    ~day () =
   if day <= w then invalid_arg "Crash_harness.sweep: day must exceed w";
   (* Uncrashed twin: discover the transition's fault points and capture
      the reference answers on both sides of it.  With a buffer pool in
@@ -174,16 +196,26 @@ let sweep ?(store = default_store) ?icfg ~scheme ~technique ~w ~n ~day () =
         in
         List.map
           (fun mode ->
-            run_point ?icfg ~scheme ~technique ~w ~n ~store ~day ~before_ref
-              ~after_ref ~mode p)
+            let res =
+              run_point ?icfg ~scheme ~technique ~w ~n ~store ~day ~before_ref
+                ~after_ref ~mode p
+            in
+            (* The simulated sweep has no per-point directory of its
+               own; with [artifact_dir] set, a failing point still
+               leaves its flight-recorder dump behind. *)
+            (match artifact_dir with
+            | Some adir when not (point_passed res) ->
+              ensure_dir adir;
+              let slug = point_slug mode false p in
+              dump_flight ~reason:("sweep failure: " ^ slug)
+                (Filename.concat adir (slug ^ ".flight.jsonl"))
+            | _ -> ());
+            res)
           modes)
       schedule
   in
   release twin;
-  let passed =
-    points <> []
-    && List.for_all (fun r -> r.fired && r.consistent && r.space_ok) points
-  in
+  let passed = points <> [] && List.for_all point_passed points in
   { scheme; technique; w; n; day; points; passed }
 
 (* --- kill-and-recover sweep on the file backend ---------------------- *)
@@ -211,6 +243,7 @@ let file_instance ?icfg ~scheme ~technique ~w ~n ~store dir =
 let run_kill_point ?icfg ~scheme ~technique ~w ~n ~store ~day ~before_ref
     ~after_ref ~mode ~truncate_tail subdir point =
   rm_rf subdir;
+  Wave_obs.Recorder.clear ();
   let cp, icfg = file_instance ?icfg ~scheme ~technique ~w ~n ~store subdir in
   Checkpoint.advance_to cp (day - 1);
   ignore (capture ~w (Checkpoint.frame cp) (day - 1));
@@ -329,32 +362,26 @@ let kill_sweep ?(store = default_store) ?icfg ~scheme ~technique ~w ~n ~day
             in
             List.map
               (fun truncate_tail ->
-                let subdir =
-                  Filename.concat dir
-                    (Format.asprintf "%a_%s%s" Disk.pp_fault_point p
-                       (match mode with
-                       | Disk.Torn -> "torn"
-                       | _ -> "failstop")
-                       (if truncate_tail then "_tail" else ""))
-                in
+                let slug = point_slug mode truncate_tail p in
+                let subdir = Filename.concat dir slug in
                 let res =
                   run_kill_point ?icfg ~scheme ~technique ~w ~n ~store ~day
                     ~before_ref ~after_ref ~mode ~truncate_tail subdir p
                 in
                 (* Passing points clean up after themselves; a failing
                    point keeps its directory — torn block file, sidecar,
-                   manifests — as the debugging artifact. *)
-                if res.fired && res.consistent && res.space_ok then
-                  rm_rf subdir;
+                   manifests, and the flight-recorder dump of the run
+                   that died there — as the debugging artifact. *)
+                if point_passed res then rm_rf subdir
+                else
+                  dump_flight ~reason:("kill_sweep failure: " ^ slug)
+                    (Filename.concat subdir "flight.jsonl");
                 res)
               variants)
           modes)
       schedule
   in
-  let passed =
-    points <> []
-    && List.for_all (fun r -> r.fired && r.consistent && r.space_ok) points
-  in
+  let passed = points <> [] && List.for_all point_passed points in
   { scheme; technique; w; n; day; points; passed }
 
 (* --- double-fault sweep: crash during recovery ----------------------- *)

@@ -53,6 +53,7 @@ type report = {
 val sweep :
   ?store:Env.day_store ->
   ?icfg:Wave_storage.Index.config ->
+  ?artifact_dir:string ->
   scheme:Scheme.kind ->
   technique:Env.technique ->
   w:int ->
@@ -67,7 +68,13 @@ val sweep :
     sweep run with a buffer pool attached ([cache_blocks]): the pool is
     write-through, so the write fault points are unchanged, and the
     twin and every fault instance see identical pool states, keeping
-    the discovered schedule exact. *)
+    the discovered schedule exact.
+
+    The {!Wave_obs.Recorder} ring is cleared at the start of every
+    point, so at any failure the ring holds exactly that point's
+    events; with [artifact_dir] set, each failing point writes its
+    flight dump to [artifact_dir/<point>_<mode>.flight.jsonl]
+    (best-effort — dump errors never fail the sweep). *)
 
 val kill_sweep :
   ?store:Env.day_store ->
@@ -88,7 +95,10 @@ val kill_sweep :
     last write point's torn variant additionally runs with the block
     file's tail truncated behind the kill ([torn_tail]).  Directories
     of passing points are removed; a failing point keeps its directory
-    (torn block file, sidecar, manifests) as the debugging artifact. *)
+    (torn block file, sidecar, manifests) as the debugging artifact,
+    plus a [flight.jsonl] {!Wave_obs.Recorder} dump of the killed
+    run's last events ({!Wave_obs.Sink.validate_flight} checks its
+    shape). *)
 
 (** {1 Double faults}
 

@@ -102,8 +102,10 @@ let span name tags f =
 
 let run config =
   let disk = Wave_storage.Index.make_disk config.icfg in
-  if Wave_obs.Trace.is_enabled () then
-    Wave_obs.Trace.set_model_clock (fun () -> Disk.elapsed disk);
+  (* Registered unconditionally: spans only exist while tracing is on,
+     but the flight recorder stamps every event with this clock, and it
+     runs whether or not tracing does. *)
+  Wave_obs.Trace.set_model_clock (fun () -> Disk.elapsed disk);
   let env =
     Env.create ~disk ~icfg:config.icfg ~technique:config.technique
       ~store:config.store ~w:config.w ~n:config.n ()
@@ -141,6 +143,18 @@ let run config =
   let g_wave = Wave_obs.Metrics.gauge "runner.day.wave_length" in
   let g_space = Wave_obs.Metrics.gauge "runner.day.space_bytes" in
   let g_dirty = Wave_obs.Metrics.gauge "cache.dirty_frames" in
+  (* Per-transition gauges, set right after each maintenance step so
+     transition-scoped alert rules see a single step's raw cost before
+     any day-level aggregation. *)
+  let g_t_seconds = Wave_obs.Metrics.gauge "runner.transition.seconds" in
+  let g_t_precompute =
+    Wave_obs.Metrics.gauge "runner.transition.precompute_seconds"
+  in
+  let g_t_seeks = Wave_obs.Metrics.gauge "runner.transition.seeks" in
+  let g_t_blocks_read = Wave_obs.Metrics.gauge "runner.transition.blocks_read" in
+  let g_t_blocks_written =
+    Wave_obs.Metrics.gauge "runner.transition.blocks_written"
+  in
   let engine =
     match config.alerts with
     | [] -> None
@@ -161,6 +175,24 @@ let run config =
             Option.iter Cache.flush pool);
         let maintenance = Disk.elapsed disk -. before in
         let transition = Scheme.last_transition_seconds s in
+        (* Intra-day alerting: publish this transition step's gauges and
+           evaluate only the transition-scoped rules, here inside the
+           day — a one-step spike must fire before the day boundary. *)
+        let cm = Disk.counters disk in
+        Wave_obs.Metrics.set g_t_seconds transition;
+        Wave_obs.Metrics.set g_t_precompute
+          (Float.max 0.0 (maintenance -. transition));
+        Wave_obs.Metrics.set g_t_seeks (float_of_int (cm.Disk.seeks - c0.Disk.seeks));
+        Wave_obs.Metrics.set g_t_blocks_read
+          (float_of_int (cm.Disk.blocks_read - c0.Disk.blocks_read));
+        Wave_obs.Metrics.set g_t_blocks_written
+          (float_of_int (cm.Disk.blocks_written - c0.Disk.blocks_written));
+        Option.iter
+          (fun e ->
+            ignore
+              (Wave_obs.Alert.eval ~scope:Wave_obs.Alert.Transition e
+                 ~day:this_day))
+          engine;
         if config.validate then begin
           Scheme.check_window_invariant s;
           Frame.validate (Scheme.frame s)
@@ -206,8 +238,9 @@ let run config =
             blocks_written = c1.Disk.blocks_written - c0.Disk.blocks_written;
           }
           :: !days);
-    (* Alert rules are evaluated at the day boundary, outside the day
-       span, so a firing's Trace instant sits between days. *)
+    (* Day-scoped alert rules are evaluated at the day boundary,
+       outside the day span, so a firing's Trace instant sits between
+       days; transition-scoped rules were already evaluated above. *)
     (match !days with
     | d :: _ ->
       Wave_obs.Metrics.set g_transition d.transition_seconds;
@@ -217,7 +250,10 @@ let run config =
       Option.iter
         (fun p -> Wave_obs.Metrics.set g_dirty (float_of_int (Cache.dirty_frames p)))
         pool;
-      Option.iter (fun e -> ignore (Wave_obs.Alert.eval e ~day:d.day)) engine
+      Option.iter
+        (fun e ->
+          ignore (Wave_obs.Alert.eval ~scope:Wave_obs.Alert.Day e ~day:d.day))
+        engine
     | [] -> ())
   done;
   let days = List.rev !days in

@@ -82,13 +82,20 @@ type config = {
   icfg : Wave_storage.Index.config;
   validate : bool;  (** check window invariants after every day *)
   alerts : Wave_obs.Alert.rule list;
-      (** rules evaluated once per day boundary against the always-on
-          metrics.  Besides the run-wide histograms, each day the
-          runner publishes gauges targetable by rules:
+      (** rules evaluated against the always-on metrics: day-scoped
+          rules once per day boundary, transition-scoped rules
+          ({!Wave_obs.Alert.scope}) right after {e every} transition
+          step.  Besides the run-wide histograms, each day the runner
+          publishes gauges targetable by day rules:
           ["runner.day.transition_seconds"],
           ["runner.day.query_seconds"], ["runner.day.wave_length"],
           ["runner.day.space_bytes"], and — with a buffer pool —
-          ["cache.dirty_frames"]. *)
+          ["cache.dirty_frames"]; and after each transition step,
+          gauges for transition rules: ["runner.transition.seconds"],
+          ["runner.transition.precompute_seconds"],
+          ["runner.transition.seeks"],
+          ["runner.transition.blocks_read"],
+          ["runner.transition.blocks_written"]. *)
   on_env : (Env.t -> unit) option;
       (** called once with the run's environment after it is created
           and before the scheme starts — the hook for arming disk

@@ -349,6 +349,79 @@ let test_sweep_counts_both_targets () =
   Alcotest.(check bool) "torn mode swept" true
     (List.exists (fun p -> p.Crash_harness.mode = Disk.Torn) writes)
 
+(* --- Flight-recorder artifacts on sweep failure ---------------------- *)
+
+let rec rm_rf path =
+  match Unix.lstat path with
+  | exception Unix.Unix_error _ -> ()
+  | { Unix.st_kind = Unix.S_DIR; _ } ->
+    Array.iter (fun n -> rm_rf (Filename.concat path n)) (Sys.readdir path);
+    (try Unix.rmdir path with Unix.Unix_error _ -> ())
+  | _ -> ( try Sys.remove path with Sys_error _ -> ())
+
+(* A store that poisons [poison_day]'s batch for every instantiation
+   after the first: the uncrashed twin sees the canonical data, every
+   crashed replay sees an extra posting, so roll-forward recovery
+   disagrees with the twin and the point fails — on purpose, to
+   exercise the failure-artifact path. *)
+let divergent_store ~poison_day =
+  let instances = ref 0 in
+  fun day ->
+    if day = 1 then incr instances;
+    if day = poison_day && !instances > 1 then
+      Entry.batch_create ~day
+        (Array.init 9 (fun i ->
+             {
+               Entry.value = 1 + ((day + i) mod 6);
+               entry = { Entry.rid = (day * 100) + i; day; info = i + 1 };
+             }))
+    else Crash_harness.default_store day
+
+let point_failed (p : Crash_harness.point_result) =
+  not (p.Crash_harness.fired && p.Crash_harness.consistent
+      && p.Crash_harness.space_ok)
+
+let test_sweep_failure_writes_flight_artifacts () =
+  let adir = "crash_sweep_artifacts" in
+  rm_rf adir;
+  Fun.protect ~finally:(fun () -> rm_rf adir) @@ fun () ->
+  (* In-place always rolls forward, so every point replays the poisoned
+     day 7 batch into the recovered wave and fails consistency. *)
+  let r =
+    Crash_harness.sweep
+      ~store:(divergent_store ~poison_day:7)
+      ~artifact_dir:adir ~scheme:Scheme.Del ~technique:Env.In_place ~w:6 ~n:3
+      ~day:7 ()
+  in
+  Alcotest.(check bool) "sweep fails by construction" false
+    r.Crash_harness.passed;
+  let failing = List.filter point_failed r.Crash_harness.points in
+  Alcotest.(check bool) "has failing points" true (failing <> []);
+  let dumps = Array.to_list (Sys.readdir adir) in
+  Alcotest.(check int) "one dump per failing point" (List.length failing)
+    (List.length dumps);
+  List.iter
+    (fun f ->
+      Alcotest.(check bool) (f ^ " named *.flight.jsonl") true
+        (Filename.check_suffix f ".flight.jsonl");
+      match Wave_obs.Sink.validate_flight_file (Filename.concat adir f) with
+      | Ok n ->
+        (* The per-point ring was cleared at replay start, so the dump
+           is that point's own tail — at minimum the injected fault. *)
+        Alcotest.(check bool) (f ^ " holds the fatal event") true (n > 0)
+      | Error e -> Alcotest.failf "%s invalid: %s" f e)
+    dumps;
+  (* A passing sweep with an artifact dir armed writes nothing — the
+     directory is not even created. *)
+  let clean = Filename.concat adir "clean" in
+  let r2 =
+    Crash_harness.sweep ~artifact_dir:clean ~scheme:Scheme.Del
+      ~technique:Env.In_place ~w:6 ~n:3 ~day:7 ()
+  in
+  Alcotest.(check bool) "clean sweep passes" true r2.Crash_harness.passed;
+  Alcotest.(check bool) "no artifacts from a clean sweep" true
+    (not (Sys.file_exists clean))
+
 let suites =
   [
     ( "core.journal",
@@ -387,5 +460,7 @@ let suites =
           test_sweep_write_back_all;
         Alcotest.test_case "write-back sweep has flush points" `Quick
           test_sweep_write_back_has_flush_points;
+        Alcotest.test_case "failing sweep writes flight artifacts" `Quick
+          test_sweep_failure_writes_flight_artifacts;
       ] );
   ]

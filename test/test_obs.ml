@@ -341,18 +341,53 @@ let test_metrics_json () =
 
 let test_btree_counters_flow () =
   (* The substrate counters are always on; nodes split during plain
-     index use must show up in the default registry. *)
-  let before =
-    Metrics.counter_value (Metrics.counter "btree.inserts")
-  in
+     index use must show up in the default registry.  [reset_all]
+     gives this run a clean slate, so the value below is this run's
+     own count rather than a delta against whatever earlier tests left
+     behind in the process-global registry. *)
+  Metrics.reset_all ();
   let t = Wave_storage.Btree.create ~order:8 () in
   for k = 1 to 500 do
     Wave_storage.Btree.insert t k k
   done;
-  let after = Metrics.counter_value (Metrics.counter "btree.inserts") in
-  Alcotest.(check bool)
-    "insert counter advanced by 500" true
-    (after -. before = 500.0)
+  exact "insert counter" 500.0
+    (Metrics.counter_value (Metrics.counter "btree.inserts"));
+  (* The snapshot sees the same value without touching handles. *)
+  match List.assoc_opt "btree.inserts" (Metrics.snapshot ()) with
+  | Some (`Counter v) -> exact "snapshot agrees" 500.0 v
+  | _ -> Alcotest.fail "snapshot missing btree.inserts"
+
+let test_metrics_snapshot_and_reset () =
+  let r = Metrics.create () in
+  Metrics.inc ~by:2.0 (Metrics.counter ~registry:r "c");
+  Metrics.set (Metrics.gauge ~registry:r "g") 9.0;
+  Metrics.observe (Metrics.histogram ~registry:r "h") 4.0;
+  let snap = Metrics.snapshot ~registry:r () in
+  (match snap with
+  | [ ("c", `Counter c); ("g", `Gauge g); ("h", `Histogram (Some s)) ] ->
+    exact "counter" 2.0 c;
+    exact "gauge" 9.0 g;
+    Alcotest.(check int) "hist count" 1 s.Metrics.count;
+    exact "hist mean" 4.0 s.Metrics.mean
+  | l -> Alcotest.failf "unexpected snapshot shape (%d entries)" (List.length l));
+  Metrics.reset r;
+  (* The earlier snapshot is a copy, unchanged by the reset... *)
+  (match List.assoc_opt "c" snap with
+  | Some (`Counter c) -> exact "snapshot immutable" 2.0 c
+  | _ -> Alcotest.fail "counter vanished from snapshot");
+  (* ...while a fresh one sees the zeroed registry, handles intact. *)
+  match Metrics.snapshot ~registry:r () with
+  | [ ("c", `Counter c); ("g", `Gauge g); ("h", `Histogram None) ] ->
+    exact "counter zeroed" 0.0 c;
+    exact "gauge zeroed" 0.0 g
+  | _ -> Alcotest.fail "post-reset snapshot shape"
+
+let test_metrics_reset_all_default () =
+  let c = Metrics.counter "obs.test.reset_all" in
+  Metrics.inc c;
+  Alcotest.(check bool) "advanced" true (Metrics.counter_value c >= 1.0);
+  Metrics.reset_all ();
+  exact "default registry zeroed" 0.0 (Metrics.counter_value c)
 
 (* ------------------------------------------------------------------ *)
 (* Sinks                                                              *)
@@ -856,6 +891,208 @@ let test_sink_validate_bench_bad_corpus () =
        ())
     [ "profile.top[0]"; "calls" ]
 
+(* ------------------------------------------------------------------ *)
+(* Flight recorder                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_recorder_ring_bounds () =
+  Recorder.clear ();
+  let cap = Recorder.capacity () in
+  for i = 1 to cap + 10 do
+    Recorder.record_metric ~name:"m" ~value:(float_of_int i) ~delta:1.0
+  done;
+  Alcotest.(check int) "count capped at capacity" cap (Recorder.count ());
+  Alcotest.(check int) "total keeps counting" (cap + 10) (Recorder.total ());
+  Alcotest.(check int) "dropped = overflow" 10 (Recorder.dropped ());
+  let evs = Recorder.events () in
+  Alcotest.(check int) "events = count" cap (List.length evs);
+  (* Oldest-first with the 10 oldest overwritten: sequence numbers
+     start at 0, so the window opens at seq 10. *)
+  (match evs with
+  | first :: _ ->
+    Alcotest.(check int) "oldest surviving seq" 10 first.Recorder.seq
+  | [] -> Alcotest.fail "empty ring");
+  let rec mono = function
+    | a :: (b :: _ as rest) ->
+      Alcotest.(check bool) "seq strictly increasing" true
+        (b.Recorder.seq > a.Recorder.seq);
+      mono rest
+    | _ -> ()
+  in
+  mono evs;
+  Recorder.clear ();
+  Alcotest.(check int) "clear empties the ring" 0 (Recorder.count ());
+  Alcotest.(check int) "clear resets total" 0 (Recorder.total ())
+
+let test_recorder_capacity_and_enable () =
+  let cap0 = Recorder.capacity () in
+  Fun.protect ~finally:(fun () ->
+      Recorder.set_enabled true;
+      Recorder.set_capacity cap0)
+  @@ fun () ->
+  Recorder.set_capacity 4;
+  for i = 1 to 6 do
+    Recorder.record_io ~syscall:"pwrite" ~outcome:"ok" ~bytes:i
+  done;
+  Alcotest.(check int) "resized ring holds 4" 4 (Recorder.count ());
+  Alcotest.(check int) "dropped 2" 2 (Recorder.dropped ());
+  Alcotest.(check bool) "capacity below 1 rejected" true
+    (try
+       Recorder.set_capacity 0;
+       false
+     with Invalid_argument _ -> true);
+  Recorder.set_capacity 4;
+  Recorder.set_enabled false;
+  Recorder.record_metric ~name:"x" ~value:1.0 ~delta:1.0;
+  Alcotest.(check int) "disabled records nothing" 0 (Recorder.total ())
+
+let test_recorder_metric_hook () =
+  Recorder.clear ();
+  let r = Metrics.create () in
+  let g = Metrics.gauge ~registry:r "t.gauge" in
+  Metrics.set g 5.0;
+  Metrics.set g 3.0;
+  match Recorder.events () with
+  | [ e1; e2 ] -> (
+    match (e1.Recorder.kind, e2.Recorder.kind) with
+    | ( Recorder.Metric { m_name; m_value = v1; m_delta = d1 },
+        Recorder.Metric { m_value = v2; m_delta = d2; _ } ) ->
+      Alcotest.(check string) "gauge name" "t.gauge" m_name;
+      exact "first value" 5.0 v1;
+      exact "first delta (from 0)" 5.0 d1;
+      exact "second value" 3.0 v2;
+      exact "second delta" (-2.0) d2
+    | _ -> Alcotest.fail "expected two metric events")
+  | l -> Alcotest.failf "expected 2 events, got %d" (List.length l)
+
+let test_recorder_flight_roundtrip () =
+  Recorder.clear ();
+  Recorder.record_span ~name:"s" ~model_s:1.5 ~seeks:2 ~blocks_read:1
+    ~blocks_written:0 ~bytes_read:100 ~bytes_written:0;
+  Recorder.record_metric ~name:"m" ~value:1.0 ~delta:1.0;
+  Recorder.record_alert ~rule:"r" ~metric:"m" ~value:1.0 ~day:3
+    ~scope:"transition";
+  Recorder.record_io ~syscall:"pwrite" ~outcome:"ok" ~bytes:4096;
+  let text = Recorder.to_jsonl ~reason:"unit-test" () in
+  (match Sink.validate_flight text with
+  | Ok n -> Alcotest.(check int) "all four kinds validate" 4 n
+  | Error e -> Alcotest.failf "flight invalid: %s" e);
+  (match String.index_opt text '\n' with
+  | Some i -> (
+    match Json.parse (String.sub text 0 i) with
+    | Ok h ->
+      Alcotest.(check (option string))
+        "schema" (Some "waveidx-flight/1")
+        (Option.bind (Json.member "schema" h) Json.to_str);
+      Alcotest.(check (option string))
+        "reason" (Some "unit-test")
+        (Option.bind (Json.member "reason" h) Json.to_str)
+    | Error e -> Alcotest.failf "header unparseable: %s" e)
+  | None -> Alcotest.fail "single-line dump");
+  let path = Filename.temp_file "wave_flight" ".jsonl" in
+  Fun.protect ~finally:(fun () -> Sys.remove path) @@ fun () ->
+  Recorder.dump_to ~reason:"unit-test" path;
+  match Sink.validate_flight_file path with
+  | Ok n -> Alcotest.(check int) "file validates" 4 n
+  | Error e -> Alcotest.failf "file invalid: %s" e
+
+let test_flight_validator_rejects () =
+  let reject label text =
+    match Sink.validate_flight text with
+    | Ok _ -> Alcotest.failf "accepted %s" label
+    | Error _ -> ()
+  in
+  reject "empty input" "";
+  reject "wrong schema"
+    {|{"schema": "waveidx-flight/9", "reason": "x", "events": 0, "dropped": 0}|};
+  let header n =
+    Printf.sprintf
+      {|{"schema": "waveidx-flight/1", "reason": "x", "events": %d, "dropped": 0}|}
+      n
+  in
+  let metric seq =
+    Printf.sprintf
+      {|{"type": "metric", "seq": %d, "model_s": 0, "wall_s": 0, "name": "m", "value": 1, "delta": 1}|}
+      seq
+  in
+  reject "header count above line count" (header 2 ^ "\n" ^ metric 0);
+  reject "header count below line count"
+    (header 1 ^ "\n" ^ metric 0 ^ "\n" ^ metric 1);
+  reject "non-increasing seq" (header 2 ^ "\n" ^ metric 1 ^ "\n" ^ metric 1);
+  reject "unknown event type"
+    (header 1
+    ^ "\n" ^ {|{"type": "bogus", "seq": 0, "model_s": 0, "wall_s": 0}|});
+  reject "metric without delta"
+    (header 1
+    ^ "\n"
+    ^ {|{"type": "metric", "seq": 0, "model_s": 0, "wall_s": 0, "name": "m", "value": 1}|}
+    );
+  (* The well-formed equivalent passes. *)
+  match Sink.validate_flight (header 2 ^ "\n" ^ metric 0 ^ "\n" ^ metric 7) with
+  | Ok n -> Alcotest.(check int) "sparse seq ok, count 2" 2 n
+  | Error e -> Alcotest.failf "rejected a valid dump: %s" e
+
+let test_alert_fire_records_and_dumps () =
+  Recorder.clear ();
+  let dump = Filename.temp_file "wave_flight_dump" ".jsonl" in
+  Fun.protect ~finally:(fun () ->
+      Recorder.set_dump_path None;
+      try Sys.remove dump with Sys_error _ -> ())
+  @@ fun () ->
+  Recorder.set_dump_path (Some dump);
+  let reg = Metrics.create () in
+  let g = Metrics.gauge ~registry:reg "m.hot" in
+  let eng =
+    Alert.create [ Alert.rule ~name:"hot" ~metric:"m.hot" Alert.Gt 1.0 ]
+  in
+  Metrics.set g 5.0;
+  ignore (Alert.eval ~registry:reg eng ~day:2);
+  let is_alert e =
+    match e.Recorder.kind with
+    | Recorder.Alert_fire { a_rule; a_scope; a_day; _ } ->
+      a_rule = "hot" && a_scope = "day" && a_day = 2
+    | _ -> false
+  in
+  Alcotest.(check bool) "firing landed in the ring" true
+    (List.exists is_alert (Recorder.events ()));
+  (* The firing also dumped the ring to the armed path. *)
+  match Sink.validate_flight_file dump with
+  | Ok n -> Alcotest.(check bool) "dump holds the lead-up" true (n >= 2)
+  | Error e -> Alcotest.failf "alert dump invalid: %s" e
+
+let test_sink_flush_traces () =
+  with_clean_tracer @@ fun () ->
+  Trace.enable ();
+  Trace.with_span "outer" (fun () -> Trace.instant "tick");
+  (* Disarmed: a no-op, never an error. *)
+  Sink.set_flush_path None;
+  Sink.flush_traces ~reason:"ignored";
+  let path = Filename.temp_file "wave_flush" ".jsonl" in
+  Fun.protect ~finally:(fun () ->
+      Sink.set_flush_path None;
+      try Sys.remove path with Sys_error _ -> ())
+  @@ fun () ->
+  Sink.set_flush_path (Some path);
+  Alcotest.(check (option string)) "armed" (Some path) (Sink.flush_path ());
+  Sink.flush_traces ~reason:"unit-test";
+  let text = In_channel.with_open_text path In_channel.input_all in
+  let lines =
+    List.filter (fun l -> String.trim l <> "") (String.split_on_char '\n' text)
+  in
+  match lines with
+  | header :: rest ->
+    (match Json.parse header with
+    | Ok h ->
+      Alcotest.(check (option string))
+        "flush header" (Some "flush")
+        (Option.bind (Json.member "type" h) Json.to_str);
+      Alcotest.(check (option string))
+        "reason" (Some "unit-test")
+        (Option.bind (Json.member "reason" h) Json.to_str)
+    | Error e -> Alcotest.failf "flush header unparseable: %s" e);
+    Alcotest.(check int) "span + instant flushed" 2 (List.length rest)
+  | [] -> Alcotest.fail "empty flush file"
+
 let qcheck tests = List.map QCheck_alcotest.to_alcotest tests
 
 let suites =
@@ -897,6 +1134,23 @@ let suites =
         Alcotest.test_case "reservoir deterministic" `Quick
           test_metrics_reservoir_deterministic;
         Alcotest.test_case "default cap" `Quick test_metrics_default_cap;
+        Alcotest.test_case "snapshot and reset" `Quick
+          test_metrics_snapshot_and_reset;
+        Alcotest.test_case "reset_all on default" `Quick
+          test_metrics_reset_all_default;
+      ] );
+    ( "obs.recorder",
+      [
+        Alcotest.test_case "ring bounds" `Quick test_recorder_ring_bounds;
+        Alcotest.test_case "capacity and enable" `Quick
+          test_recorder_capacity_and_enable;
+        Alcotest.test_case "gauge hook" `Quick test_recorder_metric_hook;
+        Alcotest.test_case "flight roundtrip" `Quick
+          test_recorder_flight_roundtrip;
+        Alcotest.test_case "flight validator rejects" `Quick
+          test_flight_validator_rejects;
+        Alcotest.test_case "alert fire records and dumps" `Quick
+          test_alert_fire_records_and_dumps;
       ] );
     ( "obs.sink",
       [
@@ -909,6 +1163,7 @@ let suites =
           test_sink_validate_bench_accepts_valid;
         Alcotest.test_case "validate_bench bad corpus" `Quick
           test_sink_validate_bench_bad_corpus;
+        Alcotest.test_case "flush traces" `Quick test_sink_flush_traces;
       ] );
     ( "obs.runner",
       [

@@ -619,6 +619,402 @@ let test_gate_series_extraction () =
       "error names the series" true
       (contains e "half/series")
 
+(* ------------------------------------------------------------------ *)
+(* Differential profiles                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_diff_identical_exact_zero () =
+  let prof = Profile.of_spans sample_spans in
+  let d = Profile.diff ~baseline:prof ~current:(Profile.of_spans sample_spans) in
+  exact "base total" 12.0 d.Profile.base_total;
+  exact "cur total" 12.0 d.Profile.cur_total;
+  Alcotest.(check int) "one entry per node" 3 (List.length d.Profile.entries);
+  List.iter
+    (fun (e : Profile.diff_entry) ->
+      let p = String.concat "/" e.Profile.d_path in
+      Alcotest.(check bool) (p ^ " common") true
+        (e.Profile.d_status = Profile.Common);
+      (* Identical trees come from identical float arithmetic: the
+         deltas are bitwise zero, not epsilon-close. *)
+      exact (p ^ " dself") 0.0 e.Profile.d_self;
+      exact (p ^ " dtotal") 0.0 e.Profile.d_total;
+      Alcotest.(check int) (p ^ " dcalls") 0 e.Profile.d_calls;
+      Alcotest.(check int) (p ^ " dseeks") 0 e.Profile.d_seeks;
+      Alcotest.(check int) (p ^ " dblocks") 0 e.Profile.d_blocks;
+      Alcotest.(check int) (p ^ " dbytes") 0 e.Profile.d_bytes)
+    d.Profile.entries
+
+let diff_find d path =
+  match List.find_opt (fun e -> e.Profile.d_path = path) d.Profile.entries with
+  | Some e -> e
+  | None -> Alcotest.failf "no diff entry for %s" (String.concat "/" path)
+
+let diff_baseline_spans =
+  [
+    mk ~id:1 ~parent:0 ~name:"root" ~m:10.0 ();
+    mk ~id:2 ~parent:1 ~name:"a" ~m:4.0 ~seeks:2 ();
+    mk ~id:3 ~parent:1 ~name:"b" ~m:3.0 ();
+  ]
+
+(* Sibling order flipped and span ids shifted relative to the baseline:
+   alignment is by span-stack path, nothing else. *)
+let diff_current_spans =
+  [
+    mk ~id:5 ~parent:4 ~name:"c" ~m:1.0 ();
+    mk ~id:6 ~parent:4 ~name:"b" ~m:6.0 ~seeks:1 ();
+    mk ~id:4 ~parent:0 ~name:"root" ~m:12.0 ();
+  ]
+
+let test_diff_added_removed_reordered () =
+  let baseline = Profile.of_spans diff_baseline_spans in
+  let current = Profile.of_spans diff_current_spans in
+  let d = Profile.diff ~baseline ~current in
+  exact "base total" 10.0 d.Profile.base_total;
+  exact "cur total" 12.0 d.Profile.cur_total;
+  Alcotest.(check int) "union of both trees" 4 (List.length d.Profile.entries);
+  let a = diff_find d [ "root"; "a" ] in
+  Alcotest.(check bool) "a removed" true (a.Profile.d_status = Profile.Removed);
+  Alcotest.(check bool) "a has no current side" true (a.Profile.d_cur = None);
+  exact "a dself" (-4.0) a.Profile.d_self;
+  Alcotest.(check int) "a dcalls" (-1) a.Profile.d_calls;
+  Alcotest.(check int) "a dseeks" (-2) a.Profile.d_seeks;
+  let c = diff_find d [ "root"; "c" ] in
+  Alcotest.(check bool) "c added" true (c.Profile.d_status = Profile.Added);
+  Alcotest.(check bool) "c has no baseline side" true (c.Profile.d_base = None);
+  exact "c dself" 1.0 c.Profile.d_self;
+  Alcotest.(check int) "c dcalls" 1 c.Profile.d_calls;
+  let b = diff_find d [ "root"; "b" ] in
+  Alcotest.(check bool) "b common despite reorder" true
+    (b.Profile.d_status = Profile.Common);
+  exact "b dself" 3.0 b.Profile.d_self;
+  Alcotest.(check int) "b dseeks" 1 b.Profile.d_seeks;
+  let root = diff_find d [ "root" ] in
+  (* baseline self 10 - 7 = 3, current self 12 - 7 = 5 *)
+  exact "root dself" 2.0 root.Profile.d_self;
+  exact "root dtotal" 2.0 root.Profile.d_total;
+  (* Entries sorted by |self delta|, largest first. *)
+  (match d.Profile.entries with
+  | e :: _ ->
+    Alcotest.(check (list string))
+      "largest |dself| first" [ "root"; "a" ] e.Profile.d_path
+  | [] -> Alcotest.fail "empty diff");
+  Alcotest.(check int) "diff_top truncates" 2
+    (List.length (Profile.diff_top ~k:2 d))
+
+let test_diff_of_json_roundtrip () =
+  let prof = Profile.of_spans sample_spans in
+  match Profile.of_json (Profile.to_json prof) with
+  | Error e -> Alcotest.failf "of_json failed: %s" e
+  | Ok reparsed ->
+    let d = Profile.diff ~baseline:reparsed ~current:prof in
+    exact "totals agree" d.Profile.base_total d.Profile.cur_total;
+    List.iter
+      (fun (e : Profile.diff_entry) ->
+        Alcotest.(check bool) "all common" true
+          (e.Profile.d_status = Profile.Common);
+        exact "dself zero" 0.0 e.Profile.d_self;
+        exact "dtotal zero" 0.0 e.Profile.d_total)
+      d.Profile.entries
+
+let test_diff_report_and_json () =
+  let d =
+    Profile.diff
+      ~baseline:(Profile.of_spans diff_baseline_spans)
+      ~current:(Profile.of_spans diff_current_spans)
+  in
+  let rep = Profile.diff_report ~k:10 d in
+  Alcotest.(check bool) "header present" true (contains rep "profile diff:");
+  Alcotest.(check bool) "removed node listed" true (contains rep "root/a");
+  Alcotest.(check bool) "removed flagged" true (contains rep "removed");
+  Alcotest.(check bool) "added flagged" true (contains rep "added");
+  let j = Profile.diff_json d in
+  Alcotest.(check (option string))
+    "schema" (Some "waveidx-profile-diff/1")
+    (Option.bind (Json.member "schema" j) Json.to_str);
+  (match Option.bind (Json.member "entries" j) Json.to_list with
+  | Some es -> Alcotest.(check int) "entry per union node" 4 (List.length es)
+  | None -> Alcotest.fail "entries shape");
+  (* The whole document survives serialization. *)
+  match Json.parse (Json.to_string j) with
+  | Ok j' -> Alcotest.(check bool) "roundtrip" true (Json.equal j j')
+  | Error e -> Alcotest.failf "reparse: %s" e
+
+(* ------------------------------------------------------------------ *)
+(* Profile-node gate                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let topn path calls self total =
+  { Sink.top_path = path; top_calls = calls; top_self = self; top_total = total }
+
+let test_profile_gate_passes () =
+  let current = Profile.of_spans sample_spans in
+  (* Exactly the current tree's own numbers: a bit-identical rerun must
+     pass even at threshold 0. *)
+  let baseline = [ topn "root" 2 4.0 12.0; topn "root/a" 2 5.0 5.0 ] in
+  let g = Sink.compare_profile_top ~threshold_pct:0.0 ~baseline ~current in
+  Alcotest.(check bool) "identical passes at 0%" true (Sink.profile_gate_ok g);
+  Alcotest.(check int) "compared both" 2 g.Sink.pg_compared;
+  Alcotest.(check int) "no regressions" 0 (List.length g.Sink.pg_regressions);
+  Alcotest.(check int) "no improvements" 0 (List.length g.Sink.pg_improvements)
+
+let test_profile_gate_regression () =
+  let current = Profile.of_spans sample_spans in
+  (* root/a's self is 5.0; a baseline of 4.0 makes this a +25% cost
+     migration into the node. *)
+  let baseline = [ topn "root/a" 2 4.0 4.0 ] in
+  let g = Sink.compare_profile_top ~threshold_pct:10.0 ~baseline ~current in
+  Alcotest.(check bool) "25% self growth fails at 10%" false
+    (Sink.profile_gate_ok g);
+  Alcotest.(check bool) "self field reported" true
+    (List.exists
+       (fun r ->
+         r.Sink.delta_name = "root/a" && r.Sink.delta_field = "self_model_s")
+       g.Sink.pg_regressions);
+  let report = Sink.profile_gate_report g in
+  Alcotest.(check bool) "report flags it" true (contains report "REGRESSION");
+  Alcotest.(check bool) "report names the node" true (contains report "root/a");
+  (* The same drift passes a looser gate. *)
+  Alcotest.(check bool) "passes at 30%" true
+    (Sink.profile_gate_ok
+       (Sink.compare_profile_top ~threshold_pct:30.0 ~baseline ~current))
+
+let test_profile_gate_missing_node () =
+  let current = Profile.of_spans sample_spans in
+  let baseline = [ topn "root" 2 4.0 12.0; topn "root/zzz" 1 1.0 1.0 ] in
+  let g = Sink.compare_profile_top ~threshold_pct:10.0 ~baseline ~current in
+  Alcotest.(check bool) "vanished hot node fails" false
+    (Sink.profile_gate_ok g);
+  Alcotest.(check (list string)) "missing names" [ "root/zzz" ] g.Sink.pg_missing;
+  Alcotest.(check int) "the resolvable node still compared" 1 g.Sink.pg_compared;
+  Alcotest.(check bool) "report flags it" true
+    (contains (Sink.profile_gate_report g) "MISSING")
+
+let test_profile_gate_epsilon_absorbs_noise () =
+  (* Self = total - children carries float-subtraction dust, so the
+     gate uses an absolute 1e-6 epsilon on top of the percentage
+     threshold.  Sub-epsilon drift must not trip even a 0% gate... *)
+  let current = Profile.of_spans sample_spans in
+  let baseline = [ topn "root" 2 (4.0 -. 1e-8) (12.0 -. 1e-8) ] in
+  let g = Sink.compare_profile_top ~threshold_pct:0.0 ~baseline ~current in
+  Alcotest.(check bool) "sub-epsilon drift passes at 0%" true
+    (Sink.profile_gate_ok g);
+  (* ...and in particular a baseline node with self 0.0, where any
+     percentage threshold is vacuous, must tolerate rounding dust in
+     the fresh run's subtraction. *)
+  let dusty =
+    Profile.of_spans
+      [
+        mk ~id:1 ~parent:0 ~name:"r" ~m:5.0 ();
+        mk ~id:2 ~parent:1 ~name:"k" ~m:(5.0 -. 1e-9) ();
+      ]
+  in
+  let g2 =
+    Sink.compare_profile_top ~threshold_pct:0.0
+      ~baseline:[ topn "r" 1 0.0 5.0 ]
+      ~current:dusty
+  in
+  Alcotest.(check bool) "zero-self baseline ignores dust" true
+    (Sink.profile_gate_ok g2)
+
+let test_profile_gate_reports_improvements () =
+  let current = Profile.of_spans sample_spans in
+  let baseline = [ topn "root/a" 2 8.0 8.0 ] in
+  let g = Sink.compare_profile_top ~threshold_pct:10.0 ~baseline ~current in
+  Alcotest.(check bool) "improvement still passes" true
+    (Sink.profile_gate_ok g);
+  Alcotest.(check bool) "self improvement reported" true
+    (List.exists
+       (fun r -> r.Sink.delta_field = "self_model_s")
+       g.Sink.pg_improvements)
+
+let test_profile_gate_extraction () =
+  let node path calls self total =
+    Json.Obj
+      [
+        ("path", Json.Str path);
+        ("calls", Json.int calls);
+        ("self_model_s", Json.Num self);
+        ("total_model_s", Json.Num total);
+      ]
+  in
+  let j =
+    Json.Obj
+      [
+        ("schema", Json.Str "waveidx-bench/1");
+        ( "profile",
+          Json.Obj [ ("top", Json.Arr [ node "day/phase.query" 8 1.5 2.0 ]) ] );
+      ]
+  in
+  (match Sink.bench_profile_top j with
+  | Ok [ n ] ->
+    Alcotest.(check string) "path" "day/phase.query" n.Sink.top_path;
+    Alcotest.(check int) "calls" 8 n.Sink.top_calls;
+    exact "self" 1.5 n.Sink.top_self;
+    exact "total" 2.0 n.Sink.top_total
+  | Ok l -> Alcotest.failf "expected 1 node, got %d" (List.length l)
+  | Error e -> Alcotest.failf "extraction failed: %s" e);
+  (* A baseline without a profile block is an error the caller turns
+     into a gate skip, not a crash. *)
+  (match Sink.bench_profile_top (Json.Obj [ ("schema", Json.Str "x") ]) with
+  | Ok _ -> Alcotest.fail "accepted a baseline without profile"
+  | Error e ->
+    Alcotest.(check bool) "error names the block" true (contains e "profile"));
+  (* A half-written node errors with its index and path. *)
+  match
+    Sink.bench_profile_top
+      (Json.Obj
+         [
+           ( "profile",
+             Json.Obj
+               [
+                 ( "top",
+                   Json.Arr
+                     [
+                       Json.Obj
+                         [ ("path", Json.Str "day"); ("calls", Json.int 1) ];
+                     ] );
+               ] );
+         ])
+  with
+  | Ok _ -> Alcotest.fail "accepted a node without self/total"
+  | Error e ->
+    Alcotest.(check bool) "error names the node" true (contains e "\"day\"")
+
+(* ------------------------------------------------------------------ *)
+(* Alert scopes                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_alert_scope_filtering () =
+  let reg = Metrics.create () in
+  let g = Metrics.gauge ~registry:reg "t.step_cost" in
+  let eng =
+    Alert.create
+      [
+        Alert.rule ~scope:Alert.Transition ~for_days:2 ~name:"step-spike"
+          ~metric:"t.step_cost" Alert.Gt 1.0;
+        Alert.rule ~name:"daily" ~metric:"t.step_cost" Alert.Gt 1.0;
+      ]
+  in
+  Metrics.set g 5.0;
+  (* First transition-scoped eval: streak 1/2, nothing fires, and the
+     day rule is not even looked at. *)
+  Alcotest.(check int) "transition eval sees only its rule" 0
+    (List.length (Alert.eval ~registry:reg ~scope:Alert.Transition eng ~day:6));
+  (* A day-scoped eval in between fires the day rule without advancing
+     (or resetting) the transition rule's streak. *)
+  (match Alert.eval ~registry:reg ~scope:Alert.Day eng ~day:6 with
+  | [ (r, v) ] ->
+    Alcotest.(check string) "day rule fired" "daily" r.Alert.name;
+    exact "observed value" 5.0 v
+  | l -> Alcotest.failf "expected 1 active day rule, got %d" (List.length l));
+  (* Second transition eval, on the next day: the streak spans the day
+     boundary and crosses the debounce. *)
+  (match Alert.eval ~registry:reg ~scope:Alert.Transition eng ~day:7 with
+  | [ (r, _) ] ->
+    Alcotest.(check string) "transition rule fired" "step-spike" r.Alert.name
+  | l ->
+    Alcotest.failf "expected 1 active transition rule, got %d" (List.length l));
+  Alcotest.(check int) "two firings total" 2 (List.length (Alert.events eng));
+  (match
+     List.find_opt
+       (fun e -> e.Alert.e_rule.Alert.name = "step-spike")
+       (Alert.events eng)
+   with
+  | Some e ->
+    Alcotest.(check int) "fired when the streak crossed" 7 e.Alert.fired_day
+  | None -> Alcotest.fail "no step-spike event");
+  (* Recovery seen by a day-scoped eval resolves only the day episode;
+     the transition episode stays open until its own scope looks. *)
+  Metrics.set g 0.0;
+  Alcotest.(check int) "day eval resolves the day rule" 0
+    (List.length (Alert.eval ~registry:reg ~scope:Alert.Day eng ~day:8));
+  (match Alert.active eng with
+  | [ e ] ->
+    Alcotest.(check string) "transition episode still open" "step-spike"
+      e.Alert.e_rule.Alert.name
+  | l -> Alcotest.failf "expected 1 open episode, got %d" (List.length l));
+  ignore (Alert.eval ~registry:reg ~scope:Alert.Transition eng ~day:8);
+  Alcotest.(check int) "transition eval closes it" 0
+    (List.length (Alert.active eng))
+
+let test_alert_scope_json () =
+  (match
+     Result.bind
+       (Json.parse
+          {|[{"name": "step", "metric": "m.step", "op": ">", "threshold": 1,
+              "scope": "transition"},
+             {"name": "daily", "metric": "m.day", "op": ">", "threshold": 1}]|})
+       Alert.rules_of_json
+   with
+  | Ok [ r1; r2 ] ->
+    Alcotest.(check bool) "explicit scope" true
+      (r1.Alert.scope = Alert.Transition);
+    Alcotest.(check bool) "default scope is day" true (r2.Alert.scope = Alert.Day)
+  | Ok l -> Alcotest.failf "expected 2 rules, got %d" (List.length l)
+  | Error e -> Alcotest.failf "scope parse failed: %s" e);
+  (match
+     Result.bind
+       (Json.parse
+          {|[{"name": "x", "metric": "m", "op": ">", "threshold": 1,
+              "scope": "hourly"}]|})
+       Alert.rules_of_json
+   with
+  | Ok _ -> Alcotest.fail "accepted a bogus scope"
+  | Error e ->
+    Alcotest.(check bool) "error mentions scope" true (contains e "scope"));
+  (* event_json carries the firing rule's scope. *)
+  let reg = Metrics.create () in
+  let g = Metrics.gauge ~registry:reg "m.step" in
+  Metrics.set g 5.0;
+  let eng =
+    Alert.create
+      [
+        Alert.rule ~scope:Alert.Transition ~name:"step" ~metric:"m.step"
+          Alert.Gt 1.0;
+      ]
+  in
+  ignore (Alert.eval ~registry:reg ~scope:Alert.Transition eng ~day:3);
+  match Alert.events eng with
+  | [ e ] ->
+    Alcotest.(check (option string))
+      "scope in json" (Some "transition")
+      (Option.bind (Json.member "scope" (Alert.event_json e)) Json.to_str)
+  | l -> Alcotest.failf "expected 1 event, got %d" (List.length l)
+
+let test_runner_transition_alerts () =
+  let rules =
+    [
+      (* Every DEL maintenance step does real work: fires from inside
+         the first simulated day. *)
+      Alert.rule ~scope:Alert.Transition ~name:"step-work"
+        ~metric:"runner.transition.seconds" Alert.Gt 0.0;
+      (* The same condition at day scope, debounced past the run's
+         length: the day-level rule stays silent while the
+         transition-scoped one fires. *)
+      Alert.rule ~for_days:100 ~name:"day-sustained"
+        ~metric:"runner.day.transition_seconds" Alert.Gt 0.0;
+    ]
+  in
+  let r, _ = traced_run ~alerts:rules Scheme.Del Env.In_place in
+  (match r.Wave_sim.Runner.alerts with
+  | [ e ] ->
+    Alcotest.(check string) "transition rule fired" "step-work"
+      e.Alert.e_rule.Alert.name;
+    Alcotest.(check bool) "scope" true
+      (e.Alert.e_rule.Alert.scope = Alert.Transition);
+    (* First simulated day is w+1 = 6; the step rule fires inside it,
+       before the first day boundary. *)
+    Alcotest.(check int) "fired on the first step" 6 e.Alert.fired_day;
+    Alcotest.(check bool) "still active at end" true
+      (e.Alert.resolved_day = None)
+  | l -> Alcotest.failf "expected 1 alert event, got %d" (List.length l));
+  (* The per-transition gauges are published to the default registry
+     with the last step's values. *)
+  match Metrics.lookup "runner.transition.seconds" with
+  | Some (`Gauge v) ->
+    Alcotest.(check bool) "last step cost published" true (v > 0.0)
+  | _ -> Alcotest.fail "runner.transition.seconds gauge missing"
+
 let suites =
   [
     ( "profile.tree",
@@ -658,7 +1054,41 @@ let suites =
         Alcotest.test_case "events json" `Quick test_alert_events_json;
       ] );
     ( "profile.alert_runner",
-      [ Alcotest.test_case "rules over a run" `Quick test_runner_alerts ] );
+      [
+        Alcotest.test_case "rules over a run" `Quick test_runner_alerts;
+        Alcotest.test_case "transition scope over a run" `Quick
+          test_runner_transition_alerts;
+      ] );
+    ( "profile.alert_scope",
+      [
+        Alcotest.test_case "scoped eval and debounce" `Quick
+          test_alert_scope_filtering;
+        Alcotest.test_case "scope json" `Quick test_alert_scope_json;
+      ] );
+    ( "profile.diff",
+      [
+        Alcotest.test_case "identical trees diff to zero" `Quick
+          test_diff_identical_exact_zero;
+        Alcotest.test_case "added/removed/reordered" `Quick
+          test_diff_added_removed_reordered;
+        Alcotest.test_case "of_json roundtrip" `Quick test_diff_of_json_roundtrip;
+        Alcotest.test_case "report and json" `Quick test_diff_report_and_json;
+      ] );
+    ( "profile.node_gate",
+      [
+        Alcotest.test_case "passes on identical tree" `Quick
+          test_profile_gate_passes;
+        Alcotest.test_case "fails on self regression" `Quick
+          test_profile_gate_regression;
+        Alcotest.test_case "fails on missing node" `Quick
+          test_profile_gate_missing_node;
+        Alcotest.test_case "epsilon absorbs noise" `Quick
+          test_profile_gate_epsilon_absorbs_noise;
+        Alcotest.test_case "reports improvements" `Quick
+          test_profile_gate_reports_improvements;
+        Alcotest.test_case "baseline extraction" `Quick
+          test_profile_gate_extraction;
+      ] );
     ( "profile.gate",
       [
         Alcotest.test_case "passes within threshold" `Quick

@@ -476,6 +476,54 @@ let test_kill_sweep_write_back () =
     (Crash_harness.kill_sweep ~icfg ~scheme:Scheme.Del
        ~technique:Env.Packed_shadow ~w:6 ~n:3 ~day:9 ~dir ())
 
+(* A store that poisons [poison_day]'s batch for every instantiation
+   after the first: the twin sees canonical data, every kill replay an
+   extra posting, so roll-forward recovery disagrees with the twin and
+   the point fails — on purpose, to exercise the failure artifacts. *)
+let divergent_store ~poison_day =
+  let instances = ref 0 in
+  fun day ->
+    if day = 1 then incr instances;
+    if day = poison_day && !instances > 1 then
+      Entry.batch_create ~day
+        (Array.init 9 (fun i ->
+             {
+               Entry.value = 1 + ((day + i) mod 6);
+               entry = { Entry.rid = (day * 100) + i; day; info = i + 1 };
+             }))
+    else Crash_harness.default_store day
+
+let test_kill_sweep_failure_keeps_flight () =
+  with_recorded_sleeps @@ fun _ ->
+  with_dir "rd_kill_fail" @@ fun dir ->
+  let r =
+    Crash_harness.kill_sweep
+      ~store:(divergent_store ~poison_day:7)
+      ~scheme:Scheme.Del ~technique:Env.In_place ~w:6 ~n:3 ~day:7 ~dir ()
+  in
+  Alcotest.(check bool) "sweep fails by construction" false
+    r.Crash_harness.passed;
+  (* Failing points keep their directories; each must contain a
+     validated flight dump of the killed run's last events. *)
+  let kept =
+    Sys.readdir dir |> Array.to_list
+    |> List.filter (fun n -> Sys.is_directory (Filename.concat dir n))
+  in
+  Alcotest.(check bool) "kept artifact dirs" true (kept <> []);
+  List.iter
+    (fun sub ->
+      let f = Filename.concat (Filename.concat dir sub) "flight.jsonl" in
+      Alcotest.(check bool) (sub ^ " has flight.jsonl") true
+        (Sys.file_exists f);
+      match Wave_obs.Sink.validate_flight_file f with
+      | Ok n ->
+        (* The ring was cleared at the point's start: the dump is the
+           killed run's own syscall tail, ending in the injected
+           fault. *)
+        Alcotest.(check bool) (sub ^ " flight non-empty") true (n > 0)
+      | Error e -> Alcotest.failf "%s flight invalid: %s" sub e)
+    kept
+
 let test_double_fault_sweep () =
   (* In-place updating always rolls forward, so recovery charges real
      I/O and the second fault has somewhere to land. *)
@@ -554,6 +602,8 @@ let suites =
           test_kill_sweep_packed_shadow;
         Alcotest.test_case "kill sweep write-back pool" `Quick
           test_kill_sweep_write_back;
+        Alcotest.test_case "failing kill sweep keeps flight dumps" `Quick
+          test_kill_sweep_failure_keeps_flight;
         Alcotest.test_case "double-fault sweep" `Quick test_double_fault_sweep;
         Alcotest.test_case "double-fault rollback vacuous" `Quick
           test_double_fault_rollback_vacuous;
