@@ -255,9 +255,26 @@ let sim_cmd =
              syscall outcomes) to FILE as waveidx-flight/1 JSONL: \
              immediately on every alert firing, and once at end of run")
   in
+  let concurrent =
+    Arg.(
+      value & flag
+      & info [ "concurrent" ]
+          ~doc:
+            "serve each day's queries during the transition under \
+             epoch-based snapshot isolation instead of after it, and \
+             report mid-transition probe latency (concurrent vs. the \
+             stop-the-world counterfactual)")
+  in
+  let query_rate =
+    Arg.(
+      value
+      & opt float 4.0
+      & info [ "query-rate" ] ~docv:"R"
+          ~doc:"concurrent arrival rate, queries per model-second")
+  in
   let run scheme technique w n days postings workload probes scans cache_blocks
       cache_readahead write_back alerts alerts_out profile top disk stall_after
-      stall_seconds flight_recorder =
+      stall_seconds flight_recorder concurrent query_rate =
     if write_back && cache_blocks = None then begin
       Printf.eprintf "sim: --write-back requires --cache-blocks\n";
       exit 2
@@ -335,6 +352,8 @@ let sim_cmd =
           Wave_sim.Runner.technique;
           run_days = days;
           queries = Some queries;
+          concurrent;
+          query_rate;
           icfg;
           alerts = rules;
           on_env = Some on_env;
@@ -378,6 +397,21 @@ let sim_cmd =
     in
     pp_pct "transition latency" r.Wave_sim.Runner.transition_percentiles;
     pp_pct "query latency     " r.Wave_sim.Runner.query_percentiles;
+    (match r.Wave_sim.Runner.concurrent with
+    | None -> ()
+    | Some cs ->
+      Printf.printf
+        "mid-transition     %d queries (%d snapshot, %d drained, %d queued) \
+         at %g/model-s\n"
+        cs.Wave_sim.Runner.mid_queries cs.Wave_sim.Runner.snapshot_served
+        cs.Wave_sim.Runner.drained_served cs.Wave_sim.Runner.queued_served
+        query_rate;
+      let pp_lat label (p : Wave_sim.Runner.percentiles) =
+        Printf.printf "%s  p50 %.4f  p95 %.4f  p99 %.4f model-seconds\n" label
+          p.Wave_sim.Runner.p50 p.Wave_sim.Runner.p95 p.Wave_sim.Runner.p99
+      in
+      pp_lat "  concurrent      " cs.Wave_sim.Runner.concurrent_latency;
+      pp_lat "  stop-the-world  " cs.Wave_sim.Runner.stopworld_latency);
     (match r.Wave_sim.Runner.cache_stats with
     | None -> ()
     | Some cs ->
@@ -451,7 +485,7 @@ let sim_cmd =
       const run $ scheme $ technique $ w $ n $ days $ postings $ workload
       $ probes $ scans $ cache_blocks $ cache_readahead $ write_back $ alerts
       $ alerts_out $ profile $ top $ disk $ stall_after $ stall_seconds
-      $ flight_recorder)
+      $ flight_recorder $ concurrent $ query_rate)
 
 let model_cmd =
   let doc =
@@ -1126,7 +1160,39 @@ let bench_cmd =
                  Unix.gettimeofday () -. t0));
           Wave_disk.Disk.close disk;
           (try Sys.remove blocks with Sys_error _ -> ());
-          try Sys.remove (blocks ^ ".alloc") with Sys_error _ -> ()
+          (try Sys.remove (blocks ^ ".alloc") with Sys_error _ -> ());
+          (* Concurrent-serving twin of the probe benchmark: a full
+             simulated run (simple shadow) with query arrivals
+             interleaved into each transition's disk schedule under
+             epoch snapshot isolation.  Samples are the mid-transition
+             arrival-to-completion latencies; probe+stopworld is the
+             counterfactual for the same arrival schedule — the
+             transition running alone, then the queued probes serially
+             behind it. *)
+          let r =
+            Wave_sim.Runner.run
+              {
+                (Wave_sim.Runner.default_config ~scheme ~store ~w ~n) with
+                Wave_sim.Runner.technique = Env.Simple_shadow;
+                run_days = 2 * w;
+                queries = Some demo_queries;
+                concurrent = true;
+                query_rate = 200.0;
+              }
+          in
+          match r.Wave_sim.Runner.concurrent with
+          | Some c when Array.length c.Wave_sim.Runner.concurrent_samples > 0 ->
+            record
+              (Printf.sprintf "probe+concurrent/%s" sname)
+              (Array.to_list c.Wave_sim.Runner.concurrent_samples);
+            record
+              (Printf.sprintf "probe+stopworld/%s" sname)
+              (Array.to_list c.Wave_sim.Runner.stopworld_samples)
+          | _ ->
+            Printf.eprintf
+              "bench: %s served no mid-transition queries; concurrent series \
+               skipped\n"
+              sname
         end)
       Scheme.all;
     let results = List.rev !results in
@@ -1417,7 +1483,20 @@ let crashtest_cmd =
              (--kill mode already keeps each failing point's directory \
              with a flight.jsonl inside)")
   in
-  let run w n days verbose cache_blocks write_back kill_dir double artifacts =
+  let concurrent =
+    Arg.(
+      value & flag
+      & info [ "concurrent" ]
+          ~doc:
+            "interleave mid-transition probes under epoch snapshot \
+             isolation in every sweep (twin and instances alike): the \
+             fault schedule then also covers the epoch-swap and \
+             reader-drain window, and each point additionally checks \
+             that every served probe answered from exactly one \
+             committed epoch")
+  in
+  let run w n days verbose cache_blocks write_back kill_dir double artifacts
+      concurrent =
     if write_back && cache_blocks = None then begin
       Printf.eprintf "crashtest: --write-back requires --cache-blocks\n";
       exit 2
@@ -1443,8 +1522,9 @@ let crashtest_cmd =
         cache_blocks
     in
     let sweep_days = List.init days (fun i -> w + 2 + i) in
-    Printf.printf "crash sweep%s: W=%d n=%d days %d..%d, every fault point%s%s\n\n"
+    Printf.printf "crash sweep%s%s: W=%d n=%d days %d..%d, every fault point%s%s\n\n"
       (match kill_dir with None -> "" | Some _ -> " (kill-and-recover)")
+      (if concurrent then " (concurrent probes in flight)" else "")
       w n
       (List.hd sweep_days)
       (List.nth sweep_days (days - 1))
@@ -1480,16 +1560,16 @@ let crashtest_cmd =
                                (Env.technique_name technique) day))
                         artifacts
                     in
-                    Wave_sim.Crash_harness.sweep ?icfg ?artifact_dir ~scheme
-                      ~technique ~w ~n ~day ()
+                    Wave_sim.Crash_harness.sweep ?icfg ?artifact_dir
+                      ~concurrent ~scheme ~technique ~w ~n ~day ()
                   | Some root ->
                     let dir =
                       Filename.concat root
                         (Printf.sprintf "%s_%s_d%d" (Scheme.name scheme)
                            (Env.technique_name technique) day)
                     in
-                    Wave_sim.Crash_harness.kill_sweep ?icfg ~scheme ~technique
-                      ~w ~n ~day ~dir ())
+                    Wave_sim.Crash_harness.kill_sweep ?icfg ~concurrent ~scheme
+                      ~technique ~w ~n ~day ~dir ())
                 sweep_days
             in
             let points =
@@ -1570,7 +1650,7 @@ let crashtest_cmd =
   Cmd.v (Cmd.info "crashtest" ~doc)
     Term.(
       const run $ w $ n $ days $ verbose $ cache_blocks $ write_back $ kill_dir
-      $ double $ artifacts)
+      $ double $ artifacts $ concurrent)
 
 let () =
   let doc = "Wave-Indices (SIGMOD 1997) reproduction driver" in

@@ -690,6 +690,51 @@ let unpin_extent t (ext : Disk.extent) =
   in
   List.iter (fun f -> f.pins <- f.pins - 1) frames
 
+(* Epoch pinning: keep what is already resident of a snapshot extent in
+   the pool for the epoch's lifetime, without charging any I/O (unlike
+   [pin_extent], which reads the extent in).  Only frames whose
+   generation matches the extent's current live generation are pinned —
+   a stale frame is not snapshot contents.  [budget] bounds how many
+   frames one epoch may pin so that a small pool can never end up fully
+   pinned (eviction would then have no victim); the returned addresses
+   are exactly the blocks pinned, to be released with [unpin_blocks].
+
+   Eviction invariant (see [victim]): a frame with [pins > 0] is never
+   selected, whatever its reference bit — so a frame pinned by a
+   retired-but-undrained epoch survives any amount of cache pressure
+   until the epoch's last reader drains and unpins it. *)
+let pin_resident_blocks t (ext : Disk.extent) ~budget =
+  let gen = live_gen t ext in
+  let pinned = ref [] in
+  let left = ref budget in
+  for i = 0 to ext.Disk.length - 1 do
+    if !left > 0 then begin
+      let addr = ext.Disk.start + i in
+      match frame_of t (dkey t addr) with
+      | Some f when f.gen = gen ->
+        f.pins <- f.pins + 1;
+        decr left;
+        pinned := addr :: !pinned
+      | Some _ | None -> ()
+    end
+  done;
+  List.rev !pinned
+
+let unpin_blocks t addrs =
+  (* Validate first so a failed unpin changes nothing; pinned frames
+     cannot be evicted, so every address must still be resident. *)
+  let frames =
+    List.map
+      (fun addr ->
+        match frame_of t (dkey t addr) with
+        | Some f when f.pins > 0 -> f
+        | Some _ ->
+          fail "unpin_blocks: block %d pin count would drop below zero" addr
+        | None -> fail "unpin_blocks: pinned block %d is not resident" addr)
+      addrs
+  in
+  List.iter (fun f -> f.pins <- f.pins - 1) frames
+
 let pinned_frames t =
   Array.fold_left
     (fun acc f -> if f.pins > 0 then acc + 1 else acc)

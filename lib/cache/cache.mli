@@ -202,6 +202,21 @@ val unpin_extent : t -> Disk.extent -> unit
 (** Undo one {!pin_extent}.  Raises {!Cache_error} if any block is not
     resident with a positive pin count (a pin/unpin imbalance). *)
 
+val pin_resident_blocks : t -> Disk.extent -> budget:int -> int list
+(** Pin whatever blocks of the extent are {e already} resident with the
+    extent's current generation — no I/O is charged, absent and stale
+    blocks are skipped — stopping after [budget] pins.  Returns the
+    pinned block addresses (pass them to {!unpin_blocks}).  This is the
+    epoch-snapshot pin: eviction never selects a pinned frame, so a
+    frame pinned by a retired-but-undrained epoch survives any cache
+    pressure until the epoch drains; the budget keeps one epoch from
+    pinning the whole pool and starving eviction. *)
+
+val unpin_blocks : t -> int list -> unit
+(** Undo one {!pin_resident_blocks} given the addresses it returned.
+    Raises {!Cache_error} on a pin imbalance; validates every address
+    before touching any pin count. *)
+
 val pinned_frames : t -> int
 (** Frames currently holding a positive pin count. *)
 

@@ -201,6 +201,12 @@ let transition t =
       Disk.fsync t.env.Env.disk;
       Disk.checkpoint_alloc t.env.Env.disk;
       Store_dir.write_manifest dir m);
+    (* The epoch swap rides the same commit point: the moment the new
+       manifest is the durable truth, the serving epoch retires and new
+       readers see the post-transition wave.  In-flight readers keep
+       the retired snapshot until they drain.  No-op when concurrent
+       serving is off (no epoch open on this disk). *)
+    Wave_epoch.Epoch.commit t.env.Env.disk;
     (* 4. Close the intent and truncate the log. *)
     metadata_write t 16;
     Journal.append t.journal (Journal.Commit { day_to = intent.Journal.day_to });
@@ -214,6 +220,10 @@ let transition t =
        gone.  Durable state — manifest, journal, disk extents —
        survives for [recover]. *)
     discard_dirty_disk t.env.Env.disk;
+    (* Epoch state is volatile too: deferred frees/drops die with the
+       process — recovery's leak sweep reclaims that space from the
+       journal and manifest, so executing them would double-free. *)
+    Wave_epoch.Epoch.on_crash t.env.Env.disk;
     t.scheme <- None;
     raise e
 
@@ -221,6 +231,18 @@ let advance_to t day =
   while current_day t < day do
     transition t
   done
+
+(* Process death outside [transition] — e.g. a fault firing while
+   post-commit readers drain a retired epoch.  Same volatile-state
+   teardown as the transition crash handler; durable state survives
+   for [recover], which will find no pending intent, land on the
+   committed manifest and sweep whatever the epoch gates held. *)
+let kill t =
+  if t.scheme <> None then begin
+    discard_dirty_disk t.env.Env.disk;
+    Wave_epoch.Epoch.on_crash t.env.Env.disk;
+    t.scheme <- None
+  end
 
 (* Free every live extent no surviving constituent claims: interrupted
    shadows, torn extents, orphaned temporaries.  Returns blocks freed. *)
@@ -265,8 +287,11 @@ let recover t =
   recover_span @@ fun () ->
   let disk = t.env.Env.disk in
   (* Defensive: a crash already discarded the dirty frames, but recovery
-     must never trust deferred writes that predate it. *)
+     must never trust deferred writes that predate it.  Likewise any
+     epoch state: snapshots and deferred reclamation are volatile, and
+     the leak sweep below frees what the gates were holding. *)
   discard_dirty_disk disk;
+  Wave_epoch.Epoch.on_crash disk;
   let t0 = Disk.elapsed disk in
   let fr = Frame.create t.env in
   (* In-process recovery reuses the surviving in-memory constituents of

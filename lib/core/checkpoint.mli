@@ -59,6 +59,16 @@ val transition : t -> unit
 
 val advance_to : t -> int -> unit
 
+val kill : t -> unit
+(** Enter the crashed state without a fault inside {!transition}: the
+    process died elsewhere — e.g. while a retired epoch's readers were
+    draining after the commit.  Volatile state (scheme, dirty frames,
+    epoch snapshots and their deferred reclamation) is dropped exactly
+    as the transition crash handler drops it; durable state is
+    preserved for {!recover}, which finds no pending intent, lands on
+    the last committed manifest and sweeps whatever the epoch gates
+    were holding.  No-op when already crashed. *)
+
 val recover : t -> recovery
 (** Cold-start recovery from durable state only.  Rolls the pending
     intent forward or back as described above, sweeps unclaimed

@@ -37,6 +37,12 @@ let slot_index t j = (slot t j).index
 let slot_days t j = (slot t j).days
 let update_days t j days = (slot t j).days <- days
 
+(* The constituent set as an immutable value: what an epoch snapshot
+   captures at open time.  Probes resolved against the returned pairs
+   see the frame exactly as it was, whatever [set_slot] does later. *)
+let snapshot t =
+  Array.to_list (Array.map (fun s -> (s.index, s.days)) t.slots)
+
 let find_slot_with_day t day =
   let rec go j =
     if j > Array.length t.slots then raise Not_found

@@ -30,6 +30,11 @@ val slot_index : t -> int -> Index.t
 val slot_days : t -> int -> Dayset.t
 val update_days : t -> int -> Dayset.t -> unit
 
+val snapshot : t -> (Index.t * Dayset.t) list
+(** The constituent set as an immutable value — one [(index, days)]
+    pair per slot, captured at call time.  An epoch snapshot probes
+    against this list, unaffected by any later {!set_slot}. *)
+
 val find_slot_with_day : t -> int -> int
 (** The slot whose time-set contains the day.  Raises [Not_found]. *)
 

@@ -4,6 +4,9 @@ type t = {
   w : int;
   n : int;
   day : int;
+  epoch : int;
+      (* generation of the serving epoch this checkpoint commits; 0
+         when concurrent serving is off (and in pre-epoch manifests) *)
   slots : Dayset.t list;
 }
 
@@ -16,6 +19,10 @@ let capture s =
     w = env.Env.w;
     n = env.Env.n;
     day = Scheme.current_day s;
+    epoch =
+      (match Wave_epoch.Epoch.current env.Env.disk with
+      | Some e -> Wave_epoch.Epoch.gen e
+      | None -> 0);
     slots =
       List.init (Frame.n frame) (fun i -> Frame.slot_days frame (i + 1));
   }
@@ -28,6 +35,9 @@ let to_string t =
   Printf.bprintf buf "w %d\n" t.w;
   Printf.bprintf buf "n %d\n" t.n;
   Printf.bprintf buf "day %d\n" t.day;
+  (* Written only when epochs are on, so manifests from stop-the-world
+     runs stay byte-identical to the pre-epoch format. *)
+  if t.epoch <> 0 then Printf.bprintf buf "epoch %d\n" t.epoch;
   List.iteri
     (fun i ds ->
       Printf.bprintf buf "slot %d %s\n" (i + 1)
@@ -58,9 +68,18 @@ let of_string s =
         | Some i -> Ok i
         | None -> Error (Printf.sprintf "bad integer for %s" name))
     in
+    (* Absent in pre-epoch manifests: default 0 (stop-the-world). *)
+    let epoch_field =
+      match field "epoch" with
+      | None -> Ok 0
+      | Some v -> (
+        match int_of_string_opt (String.trim v) with
+        | Some i -> Ok i
+        | None -> Error "bad integer for epoch")
+    in
     match (field "scheme", field "technique", int_field "w", int_field "n",
-           int_field "day") with
-    | Some sch, Some tech, Ok w, Ok n, Ok day -> (
+           int_field "day", epoch_field) with
+    | Some sch, Some tech, Ok w, Ok n, Ok day, Ok epoch -> (
       match (Scheme.of_name sch, Env.technique_of_name (String.trim tech)) with
       | Some scheme, Some technique -> (
         let slots =
@@ -91,14 +110,15 @@ let of_string s =
         else
           let slots = List.map Option.get slots in
           if List.length slots <> n then err "slot count does not match n"
-          else Ok { scheme; technique; w; n; day; slots })
+          else Ok { scheme; technique; w; n; day; epoch; slots })
       | None, _ -> err "unknown scheme"
       | _, None -> err "unknown technique")
-    | None, _, _, _, _ -> err "missing field scheme"
-    | _, None, _, _, _ -> err "missing field technique"
-    | _, _, (Error _ as e), _, _ -> e
-    | _, _, _, (Error _ as e), _ -> e
-    | _, _, _, _, (Error _ as e) -> e)
+    | None, _, _, _, _, _ -> err "missing field scheme"
+    | _, None, _, _, _, _ -> err "missing field technique"
+    | _, _, (Error _ as e), _, _, _ -> e
+    | _, _, _, (Error _ as e), _, _ -> e
+    | _, _, _, _, (Error _ as e), _ -> e
+    | _, _, _, _, _, (Error _ as e) -> e)
   | _ -> err "bad or missing manifest header"
 
 let restore_frame t env =

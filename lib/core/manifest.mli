@@ -17,11 +17,19 @@ type t = {
   w : int;
   n : int;
   day : int;  (** most recent absorbed day *)
+  epoch : int;
+      (** generation of the serving epoch committed with this
+          checkpoint — the tag {!Wave_epoch.Epoch} assigns; 0 when
+          concurrent serving is off (and in pre-epoch manifests, which
+          parse with an implicit [epoch 0] and re-serialise without an
+          [epoch] line) *)
   slots : Dayset.t list;  (** time-set per constituent, slot order *)
 }
 
 val capture : Scheme.t -> t
-(** Snapshot a running scheme. *)
+(** Snapshot a running scheme.  [epoch] is the current epoch's
+    generation when one is open on the environment's disk, 0
+    otherwise. *)
 
 val to_string : t -> string
 val of_string : string -> (t, string) result

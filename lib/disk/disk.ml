@@ -80,6 +80,10 @@ type t = {
   gen : (int, int) Hashtbl.t; (* start block -> allocation generation *)
   backing : Block_file.t option; (* the real block file, [File] backend only *)
   mutable write_seq : int; (* write ops ever stamped into the backing file *)
+  mutable free_gate : (extent -> bool) option;
+      (* epoch layer veto: a gated [free] leaves the extent live *)
+  mutable op_observer : (unit -> unit) option;
+      (* fires after every successfully charged operation *)
 }
 
 let m_stalls = Wave_obs.Metrics.counter "disk.stalls"
@@ -111,6 +115,8 @@ let make ?(params = default_params) backing =
     gen = Hashtbl.create 64;
     backing;
     write_seq = 0;
+    free_gate = None;
+    op_observer = None;
   }
 
 let create ?params () = make ?params None
@@ -125,6 +131,15 @@ let backing t = t.backing
 
 let block_seconds t blocks =
   float_of_int (blocks * t.params.block_size) /. t.params.transfer_rate
+
+let set_free_gate t gate = t.free_gate <- gate
+let set_op_observer t obs = t.op_observer <- obs
+
+(* Fired after an operation has been fully charged (never on the
+   faulting path — an injected fault raises before the charge).  The
+   epoch interleaver uses this as its logical clock: each completed
+   disk operation is one tick at which a queued probe may arrive. *)
+let notify t = match t.op_observer with Some f -> f () | None -> ()
 
 (* Every counter/elapsed mutation below is mirrored into the ambient
    trace context (Wave_obs.Trace hooks), so open spans attribute the
@@ -176,7 +191,8 @@ let charge_seek t =
   t.seeks <- t.seeks + 1;
   t.elapsed <- t.elapsed +. t.params.seek_time;
   Wave_obs.Trace.on_seek ();
-  Wave_obs.Trace.on_model_seconds t.params.seek_time
+  Wave_obs.Trace.on_model_seconds t.params.seek_time;
+  notify t
 
 (* Countdown for write-targeted faults; called with the destination
    range before any cost is charged.  In [Torn] mode the extent's
@@ -207,7 +223,8 @@ let write_fault_check t ext ~off ~blocks =
 let charge_delay t seconds =
   if seconds < 0.0 then raise (Disk_error "negative delay");
   t.elapsed <- t.elapsed +. seconds;
-  Wave_obs.Trace.on_model_seconds seconds
+  Wave_obs.Trace.on_model_seconds seconds;
+  notify t
 
 (* Raw streamed transfers (shadow-copy flushes) move bytes without a
    block-granular write, so the trace sees bytes but zero blocks. *)
@@ -215,7 +232,8 @@ let charge_transfer_bytes t bytes =
   if bytes < 0 then raise (Disk_error "negative transfer");
   t.elapsed <- t.elapsed +. (float_of_int bytes /. t.params.transfer_rate);
   Wave_obs.Trace.on_write ~blocks:0 ~bytes;
-  Wave_obs.Trace.on_model_seconds (float_of_int bytes /. t.params.transfer_rate)
+  Wave_obs.Trace.on_model_seconds (float_of_int bytes /. t.params.transfer_rate);
+  notify t
 
 let note_alloc t blocks =
   t.live_blocks <- t.live_blocks + blocks;
@@ -300,11 +318,18 @@ let insert_free free_list (start, len) =
 
 let free t ext =
   lookup_live t ext;
-  t.live <- Live.remove ext.start t.live;
-  Hashtbl.remove t.torn ext.start;
-  Hashtbl.remove t.gen ext.start;
-  t.live_blocks <- t.live_blocks - ext.length;
-  t.free_list <- insert_free t.free_list (ext.start, ext.length)
+  (* A live epoch may still be serving probes out of this extent; the
+     gate defers the free, leaving the extent live so the allocator
+     cannot reuse the space and its generation stays valid.  The epoch
+     layer re-issues the free once the last snapshot drains. *)
+  if match t.free_gate with Some claims -> claims ext | None -> false then ()
+  else begin
+    t.live <- Live.remove ext.start t.live;
+    Hashtbl.remove t.torn ext.start;
+    Hashtbl.remove t.gen ext.start;
+    t.live_blocks <- t.live_blocks - ext.length;
+    t.free_list <- insert_free t.free_list (ext.start, ext.length)
+  end
 
 let check_readable t ext =
   if Hashtbl.mem t.torn ext.start then
@@ -354,7 +379,8 @@ let charge_read_transfer t ~blocks =
   t.blocks_read <- t.blocks_read + blocks;
   t.elapsed <- t.elapsed +. block_seconds t blocks;
   Wave_obs.Trace.on_read ~blocks ~bytes:(blocks * t.params.block_size);
-  Wave_obs.Trace.on_model_seconds (block_seconds t blocks)
+  Wave_obs.Trace.on_model_seconds (block_seconds t blocks);
+  notify t
 
 let read_blocks t ext ~blocks =
   lookup_live t ext;
@@ -366,7 +392,8 @@ let read_blocks t ext ~blocks =
   t.elapsed <- t.elapsed +. block_seconds t blocks;
   Wave_obs.Trace.on_read ~blocks ~bytes:(blocks * t.params.block_size);
   Wave_obs.Trace.on_model_seconds (block_seconds t blocks);
-  backed_read t ext ~blocks
+  backed_read t ext ~blocks;
+  notify t
 
 let read t ext = read_blocks t ext ~blocks:ext.length
 
@@ -383,7 +410,8 @@ let write_blocks t ext ~blocks =
   Wave_obs.Trace.on_model_seconds (block_seconds t blocks);
   (* A complete rewrite of the extent replaces any torn contents. *)
   if blocks = ext.length then Hashtbl.remove t.torn ext.start;
-  backed_write t ext ~off:0 ~blocks
+  backed_write t ext ~off:0 ~blocks;
+  notify t
 
 let write t ext = write_blocks t ext ~blocks:ext.length
 
@@ -405,7 +433,8 @@ let write_run t ext ~off ~blocks =
   Wave_obs.Trace.on_write ~blocks ~bytes:(blocks * t.params.block_size);
   Wave_obs.Trace.on_model_seconds (block_seconds t blocks);
   if off = 0 && blocks = ext.length then Hashtbl.remove t.torn ext.start;
-  backed_write t ext ~off ~blocks
+  backed_write t ext ~off ~blocks;
+  notify t
 
 (* One buffer-pool flush drain.  The drain itself moves no bytes (its
    runs charge their own seeks and transfers through [write_run]); it
@@ -416,7 +445,8 @@ let note_flush t =
   (match fault_check t On_flush with
   | Some _ -> raise (Disk_error "injected fault: flush")
   | None -> ());
-  t.flushes <- t.flushes + 1
+  t.flushes <- t.flushes + 1;
+  notify t
 
 let sequential_read t exts =
   List.iter
@@ -433,7 +463,8 @@ let sequential_read t exts =
         ~bytes:(ext.length * t.params.block_size);
       Wave_obs.Trace.on_model_seconds (block_seconds t ext.length);
       backed_read t ext ~blocks:ext.length)
-    exts
+    exts;
+  notify t
 
 let counters t =
   {

@@ -100,7 +100,23 @@ val alloc : t -> blocks:int -> extent
 val free : t -> extent -> unit
 (** Returns an extent to the free list, coalescing with neighbours.
     Freeing an extent twice or one not produced by this disk raises
-    {!Disk_error}. *)
+    {!Disk_error}.  When a {!set_free_gate} gate claims the extent, the
+    free is deferred: the extent stays live (not reusable, generation
+    intact) and the caller's handle is dead — the gate's owner is now
+    responsible for re-issuing the free once no snapshot needs it. *)
+
+val set_free_gate : t -> (extent -> bool) option -> unit
+(** Install (or clear, with [None]) the free gate.  [free t ext] first
+    asks the gate; a [true] answer defers the free as described above.
+    Installed by {!Wave_epoch} so retired-but-undrained epochs keep the
+    extents their snapshots still read; at most one gate at a time. *)
+
+val set_op_observer : t -> (unit -> unit) option -> unit
+(** Install (or clear) an observer called after every {e successfully}
+    charged operation — seeks, transfers, delays, writes, flush notes.
+    Faulting operations raise before the charge and never notify.  The
+    epoch interleaver uses this as a logical clock to deliver query
+    arrivals between the disk operations of a running transition. *)
 
 val is_live : t -> extent -> bool
 (** Whether the extent is currently allocated on this disk. *)

@@ -1,0 +1,162 @@
+(** Epoch-based snapshot isolation for concurrent wave serving.
+
+    The stop-the-world evaluation of the paper runs maintenance, then
+    queries.  A production wave index answers probes {e while} the
+    day's transition executes.  The shadow techniques already build the
+    next bucket set off to the side; this module turns that into
+    reader-visible snapshot isolation:
+
+    - {!open_} captures the current constituent set (the frame's
+      indexes, their time-sets, and every extent they own) as an
+      immutable {e epoch} — a generation-tagged snapshot handle.
+      Readers {!acquire} the epoch, resolve probes against it with
+      {!probe}/{!scan}, and {!release} it.
+    - The transition mutates the frame freely under the {e next}
+      epoch.  Space it would reclaim from the snapshot is protected by
+      two gates: the disk-level free gate ({!Wave_disk.Disk.set_free_gate})
+      defers frees of snapshot extents — they stay live, so the
+      allocator cannot reuse them and their generations stay valid —
+      and the index-level drop gate ({!Wave_storage.Index.set_drop_gate})
+      defers whole-index teardown, keeping both the extents and the
+      in-memory directory a snapshot probe needs.
+    - {!commit} is the single atomic swap: the open epoch retires.  The
+      caller aligns it with its durability commit point (the atomic
+      checkpoint rename), so the epoch a reader sees is always exactly
+      one committed state, never a blend.
+    - A retired epoch is refcounted.  Only when the last in-flight
+      reader drains (refcount hits zero) are the deferred drops and
+      frees re-issued — each re-checks the gates, so an extent still
+      visible to {e another} live snapshot is re-deferred — and the
+      cache frames the epoch pinned are unpinned.
+
+    Cache interaction: at {!open_} the epoch pins whatever blocks of
+    its snapshot extents are already resident ({!Wave_cache.Cache.pin_resident_blocks},
+    no I/O, bounded budget), so eviction cannot push out a
+    retired-but-undrained epoch's working set.
+
+    Crash safety: {!on_crash} discards every deferred action {e without}
+    executing it and unpins everything.  Recovery's leak sweep then
+    frees the orphaned extents like any other leak of the interrupted
+    transition — a deferred free must never double-fire after recovery
+    rebuilt the allocator.
+
+    Observability: every lifecycle step lands in the flight recorder
+    ([epoch] events), [epoch.*] metrics track active/retired epochs,
+    pinned frames, deferred blocks, swap latency and drained probes,
+    and swap/drain run under [epoch.swap]/[epoch.drain] spans. *)
+
+open Wave_storage
+
+type t
+(** A snapshot handle: one epoch. *)
+
+type range_pred = t1:int -> t2:int -> bool
+(** Whether a slot's time-set intersects [t1..t2] — the probe-routing
+    predicate captured per slot (the core layer builds it from the
+    frame's [Dayset]s, which this library does not depend on). *)
+
+(** {1 Registry lifecycle} *)
+
+val attach : Wave_disk.Disk.t -> unit
+(** Enable epochs on this disk: create its registry entry and install
+    the free gate (and, once per process, the index drop gate).
+    Idempotent.  Without an attach, nothing in this module runs and
+    every gate answers "not claimed" — the stop-the-world paths are
+    bit-identical to a build without epochs. *)
+
+val attached : Wave_disk.Disk.t -> bool
+
+val detach : Wave_disk.Disk.t -> unit
+(** Tear epochs down on this disk {e normally}: requires no live
+    epoch (drain first); removes the registry entry and the free
+    gate.  Raises [Failure] if an epoch is still live. *)
+
+val on_crash : Wave_disk.Disk.t -> unit
+(** Crash-path teardown: unpin everything, {e discard} all deferred
+    drops/frees without executing them, drop every live epoch and
+    remove the registry entry and free gate.  The deferred extents are
+    exactly the leaks recovery's sweep will free from the journal and
+    manifest, so executing them here would double-free.  Idempotent;
+    never raises. *)
+
+(** {1 Epoch lifecycle} *)
+
+val open_ :
+  Wave_disk.Disk.t -> slots:(Index.t * range_pred) list -> t
+(** Capture the constituent set as a new current epoch (refcount 1 —
+    the opener's own lease).  At most one current epoch per disk
+    ([Failure] otherwise); pins resident cache blocks of the snapshot
+    extents when a pool is attached.  Requires {!attach} first. *)
+
+val current : Wave_disk.Disk.t -> t option
+(** The open (not yet committed) epoch, if any. *)
+
+val commit : ?swap_seconds:float -> Wave_disk.Disk.t -> unit
+(** The atomic swap: retire the current epoch.  Readers already inside
+    it keep their snapshot; new readers see post-transition state.
+    [swap_seconds] (the model time the caller attributes to the swap)
+    feeds the [epoch.swap_seconds] histogram.  No-op when no epoch is
+    open. *)
+
+val acquire : t -> unit
+(** Take a reader reference.  Acquiring a retired epoch counts as a
+    {e drained probe} (the reader arrived before the swap and resolves
+    against the retired snapshot).  [Failure] on a drained epoch. *)
+
+val release : t -> unit
+(** Drop a reference.  When the last reference of a {e retired} epoch
+    drains, the epoch's deferred drops and frees re-issue through the
+    gates, its cache pins release, and it becomes drained.  [Failure]
+    on refcount underflow. *)
+
+val gen : t -> int
+(** The epoch's generation tag (monotone per disk, starting at 1). *)
+
+val refcount : t -> int
+
+val is_retired : t -> bool
+val is_drained : t -> bool
+
+(** {1 Snapshot reads} *)
+
+val probe : t -> value:int -> t1:int -> t2:int -> Entry.t list
+(** [TimedIndexProbe] against the snapshot: probes every snapshot
+    constituent whose captured time-set intersects [t1..t2], charging
+    the usual disk costs.  [Failure] on a drained epoch. *)
+
+val scan : t -> t1:int -> t2:int -> Entry.t list
+(** [TimedSegmentScan] against the snapshot. *)
+
+val snapshot_extents : t -> Wave_disk.Disk.extent list
+(** The extents the snapshot owned at {!open_} time.  While the epoch
+    is live, every one of them is kept allocated (tested invariant). *)
+
+(** {1 Introspection (tests, gauges, alerting)} *)
+
+val live_epochs : Wave_disk.Disk.t -> int
+(** Epochs not yet drained on this disk (current + retired). *)
+
+val retired_undrained : Wave_disk.Disk.t -> int
+(** Retired epochs still holding references or deferred work — the
+    epoch-leak signal the transition-scoped alert watches. *)
+
+val pinned_blocks : Wave_disk.Disk.t -> int
+(** Cache blocks currently pinned by this disk's epochs. *)
+
+val deferred_blocks : Wave_disk.Disk.t -> int
+(** Blocks whose reclamation is deferred: gated frees plus the
+    allocation of every gated index drop. *)
+
+(** {1 Interleaved execution} *)
+
+module Interleave : sig
+  val run :
+    Wave_disk.Disk.t -> on_op:(unit -> unit) -> (unit -> 'a) -> 'a
+  (** [run disk ~on_op f] executes [f] with [on_op] invoked after every
+      charged disk operation — the logical schedule: each completed
+      operation is a tick at which queued query arrivals may be served,
+      on the same disk, so served probes contend with the transition
+      under the cost model.  Reentrant ticks are suppressed (a probe
+      served inside [on_op] does not recursively deliver arrivals), and
+      the observer is removed when [f] returns or raises. *)
+end

@@ -31,6 +31,7 @@ type kind =
       a_scope : string;
     }
   | Io of { io_syscall : string; io_outcome : string; io_bytes : int }
+  | Epoch of { e_event : string; e_gen : int; e_refcount : int }
 
 type event = { seq : int; at_model : float; at_wall : float; kind : kind }
 
@@ -98,6 +99,9 @@ let record_alert ~rule ~metric ~value ~day ~scope =
 let record_io ~syscall ~outcome ~bytes =
   record (Io { io_syscall = syscall; io_outcome = outcome; io_bytes = bytes })
 
+let record_epoch ~event ~gen ~refcount =
+  record (Epoch { e_event = event; e_gen = gen; e_refcount = refcount })
+
 let total () = !written
 let count () = min !written (Array.length !ring)
 let dropped () = !written - count ()
@@ -156,6 +160,13 @@ let event_json e =
         ("syscall", Json.Str io.io_syscall);
         ("outcome", Json.Str io.io_outcome);
         ("bytes", Json.int io.io_bytes);
+      ]
+  | Epoch ep ->
+    envelope "epoch"
+      [
+        ("event", Json.Str ep.e_event);
+        ("gen", Json.int ep.e_gen);
+        ("refcount", Json.int ep.e_refcount);
       ]
 
 let to_jsonl ?(reason = "manual") () =

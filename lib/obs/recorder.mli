@@ -1,7 +1,7 @@
 (** Flight recorder: an always-on bounded ring buffer of recent
     observability events — the black box a failing run ships with.
 
-    Four event kinds land here automatically:
+    Five event kinds land here automatically:
 
     - {b spans}: every {!Trace.end_span} (name, model duration, disk
       attribution);
@@ -11,7 +11,10 @@
     - {b alerts}: every {!Alert} firing (rule, metric, value, day,
       scope);
     - {b io}: every {!Wave_disk.Io} syscall outcome (ok / retry /
-      giveup / fault / stall / torn, with bytes moved).
+      giveup / fault / stall / torn, with bytes moved);
+    - {b epoch}: every [Wave_epoch] lifecycle step (open / swap /
+      retire / drain, with the epoch generation and refcount), so a
+      crash dump shows which epoch was live at the fault.
 
     The ring holds the most recent {!capacity} events; older ones are
     overwritten ({!dropped} counts them).  Recording is a few field
@@ -50,6 +53,7 @@ type kind =
       a_scope : string;
     }
   | Io of { io_syscall : string; io_outcome : string; io_bytes : int }
+  | Epoch of { e_event : string; e_gen : int; e_refcount : int }
 
 type event = {
   seq : int;  (** monotonically increasing since the last {!clear} *)
@@ -93,6 +97,11 @@ val record_alert :
   rule:string -> metric:string -> value:float -> day:int -> scope:string -> unit
 
 val record_io : syscall:string -> outcome:string -> bytes:int -> unit
+
+val record_epoch : event:string -> gen:int -> refcount:int -> unit
+(** Record one epoch lifecycle event: ["open"], ["swap"], ["retire"] or
+    ["drain"], with the epoch's generation tag and refcount after the
+    step. *)
 
 val events : unit -> event list
 (** The ring's live window, oldest first. *)

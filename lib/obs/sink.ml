@@ -190,7 +190,9 @@ let validate_chrome_file path =
 
 (* --- bench snapshot validation --------------------------------------- *)
 
-let bench_schema = "waveidx-bench/4"
+(* /5 adds the concurrent-serving series (probe+concurrent/...,
+   probe+stopworld/...) measured by the epoch-interleaved runner. *)
+let bench_schema = "waveidx-bench/5"
 
 let validate_benchmark i b =
   (* Name the series in every error so a failing corpus line is
@@ -630,6 +632,9 @@ let validate_flight_event i j =
   | Some "io" ->
     let* () = require_str [ "syscall"; "outcome" ] in
     require_num [ "bytes" ]
+  | Some "epoch" ->
+    let* () = require_str [ "event" ] in
+    require_num [ "gen"; "refcount" ]
   | Some t -> fail "unknown type %S" t
   | None -> fail "missing string \"type\""
 

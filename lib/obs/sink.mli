@@ -46,7 +46,7 @@ val validate_chrome_file : string -> (int, string) result
 
 val bench_schema : string
 (** The current [waveidx bench --json] schema tag,
-    ["waveidx-bench/4"]. *)
+    ["waveidx-bench/5"]. *)
 
 val validate_bench : Json.t -> (int, string) result
 (** Check a [BENCH_wave.json] snapshot against {!bench_schema}: the

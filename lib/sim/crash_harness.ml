@@ -21,6 +21,7 @@ type point_result = {
   recovered_day : int;
   consistent : bool;
   space_ok : bool;
+  iso_ok : bool;
   recovery_seconds : float;
   wasted_seconds : float;
   torn_tail : bool; (* kill sweep: block file tail truncated behind the kill *)
@@ -66,6 +67,116 @@ let fresh_instance ?icfg ~scheme ~technique ~w ~n ~store () =
   let env = Env.create ?icfg ~technique ~store ~w ~n () in
   Checkpoint.start scheme env
 
+(* --- concurrent serving during the sweep ----------------------------- *)
+
+(* Probes a concurrent sweep serves mid-transition all use the
+   pre-transition window [day-w, day-1] — the window a reader that
+   arrived before the swap is entitled to; that is exactly the window
+   [capture ~w frame (day-1)] records, so [before_ref.probes] doubles
+   as the snapshot-isolation reference. *)
+let old_window_probes ~w frame day =
+  List.init 6 (fun v ->
+      ( v + 1,
+        rids
+          (Frame.timed_index_probe frame ~t1:(day - w) ~t2:(day - 1)
+             ~value:(v + 1)) ))
+
+(* Drive one transition with a deterministic mid-transition arrival
+   schedule under epoch isolation: six probes (one per value), 0.05
+   model-seconds apart, starting when the transition does.  Shadow
+   techniques serve due arrivals against the snapshot epoch at every
+   completed disk operation and drain the stragglers against the
+   retired epoch after the commit; In_place cannot isolate readers from
+   its own mutation, so its arrivals queue until the commit and run
+   against the new wave.  Returns [(fired, served)]: whether an armed
+   fault fired anywhere in the transition-plus-drain window, and every
+   answered probe as [(value, rids, against_snapshot)].  The drain runs
+   with the fault still armed, so the discovered schedule — the twin
+   runs this same driver — includes points inside the epoch-swap and
+   reader-drain window, not just the transition proper. *)
+let drive_concurrent cp ~w ~day =
+  let env = Checkpoint.env cp in
+  let disk = env.Env.disk in
+  let in_place = env.Env.technique = Env.In_place in
+  Wave_epoch.Epoch.attach disk;
+  let slots =
+    List.map
+      (fun (idx, ds) ->
+        (idx, fun ~t1 ~t2 -> Dayset.exists (fun d -> d >= t1 && d <= t2) ds))
+      (Frame.snapshot (Checkpoint.frame cp))
+  in
+  let ep = Wave_epoch.Epoch.open_ disk ~slots in
+  let t1 = day - w and t2 = day - 1 in
+  let t0 = Disk.elapsed disk in
+  let arrivals =
+    ref (List.init 6 (fun i -> (t0 +. (0.05 *. float_of_int (i + 1)), i + 1)))
+  in
+  let served = ref [] in
+  let serve_snapshot v =
+    Wave_epoch.Epoch.acquire ep;
+    Fun.protect
+      ~finally:(fun () -> Wave_epoch.Epoch.release ep)
+      (fun () ->
+        served :=
+          (v, rids (Wave_epoch.Epoch.probe ep ~value:v ~t1 ~t2), true)
+          :: !served)
+  in
+  let rec tick () =
+    match !arrivals with
+    | (a, v) :: rest when a <= Disk.elapsed disk ->
+      arrivals := rest;
+      serve_snapshot v;
+      tick ()
+    | _ -> ()
+  in
+  match
+    (if in_place then Checkpoint.transition cp
+     else
+       Wave_epoch.Epoch.Interleave.run disk ~on_op:tick (fun () ->
+           Checkpoint.transition cp));
+    (* Post-commit drain: stragglers resolve against the retired
+       snapshot (or, In_place, the new wave), then the owner lease
+       drops and the epoch drains for real. *)
+    List.iter
+      (fun (_, v) ->
+        if in_place then
+          served :=
+            ( v,
+              rids
+                (Frame.timed_index_probe (Checkpoint.frame cp) ~t1 ~t2
+                   ~value:v),
+              false )
+            :: !served
+        else serve_snapshot v)
+      !arrivals;
+    arrivals := [];
+    Wave_epoch.Epoch.release ep;
+    Wave_epoch.Epoch.detach disk
+  with
+  | () -> (false, List.rev !served)
+  | exception Disk.Disk_error _ ->
+    (* A mid-transition fault already ran the checkpoint crash path
+       (which tears the epoch down); a fault in the drain above did
+       not — make the teardown unconditional (idempotent). *)
+    Wave_epoch.Epoch.on_crash disk;
+    (true, List.rev !served)
+
+(* Snapshot isolation held iff every probe served against the snapshot
+   matches the pre-transition reference and every queued (In_place)
+   probe matches the post-transition wave over the same window — and no
+   epoch outlived the run. *)
+let iso_consistent disk ~before_ref ~after_conc served =
+  Wave_epoch.Epoch.live_epochs disk = 0
+  && List.for_all
+       (fun (v, answer, snap) ->
+         match
+           if snap then List.assoc_opt v before_ref.probes
+           else List.assoc_opt v after_conc
+         with
+         | Some expect -> answer = expect
+         | None -> false)
+       served
+
 (* Each instance's disk dies with it; free its buffer-pool registry
    slot (a no-op when running uncached). *)
 let release cp = Wave_cache.Cache.detach (Checkpoint.env cp).Env.disk
@@ -83,7 +194,7 @@ let space_consistent cp =
   Disk.live_blocks disk = !claimed && Disk.torn_count disk = 0
 
 let run_point ?icfg ~scheme ~technique ~w ~n ~store ~day ~before_ref ~after_ref
-    ~mode point =
+    ~concurrent ~after_conc ~mode point =
   (* Each point gets a fresh flight-recorder window, so a failing
      point's dump holds exactly the events of that point's run. *)
   Wave_obs.Recorder.clear ();
@@ -99,14 +210,22 @@ let run_point ?icfg ~scheme ~technique ~w ~n ~store ~day ~before_ref ~after_ref
   let disk = (Checkpoint.env cp).Env.disk in
   Disk.arm_fault disk ~mode point;
   let t0 = Disk.elapsed disk in
-  let fired =
-    match Checkpoint.transition cp with
-    | () -> false
-    | exception Disk.Disk_error _ -> true
+  let fired, served =
+    if concurrent then drive_concurrent cp ~w ~day
+    else
+      ( (match Checkpoint.transition cp with
+        | () -> false
+        | exception Disk.Disk_error _ -> true),
+        [] )
   in
   let wasted_seconds = Disk.elapsed disk -. t0 in
   Disk.clear_fault disk;
+  let iso = iso_consistent disk ~before_ref ~after_conc served in
   if fired then begin
+    (* A fault in the post-commit drain window fires outside
+       [Checkpoint.transition]: the transition is durable, but the
+       process still dies there — model it before recovering. *)
+    if not (Checkpoint.crashed cp) then Checkpoint.kill cp;
     let r = Checkpoint.recover cp in
     let reference =
       if r.Checkpoint.recovered_day = day then after_ref else before_ref
@@ -122,6 +241,7 @@ let run_point ?icfg ~scheme ~technique ~w ~n ~store ~day ~before_ref ~after_ref
           r.Checkpoint.recovered_day = reference.ref_day
           && matches ~w (Checkpoint.frame cp) reference;
         space_ok = space_consistent cp;
+        iso_ok = iso;
         recovery_seconds = r.Checkpoint.recovery_seconds;
         wasted_seconds;
         torn_tail = false;
@@ -142,6 +262,7 @@ let run_point ?icfg ~scheme ~technique ~w ~n ~store ~day ~before_ref ~after_ref
         recovered_day = Checkpoint.current_day cp;
         consistent = matches ~w (Checkpoint.frame cp) after_ref;
         space_ok = space_consistent cp;
+        iso_ok = iso;
         recovery_seconds = 0.0;
         wasted_seconds;
         torn_tail = false;
@@ -167,23 +288,30 @@ let point_slug mode truncate_tail (p : Disk.fault_point) =
     | Disk.Fail_stop -> "failstop")
     (if truncate_tail then "_tail" else "")
 
-let point_passed r = r.fired && r.consistent && r.space_ok
+let point_passed r = r.fired && r.consistent && r.space_ok && r.iso_ok
 
-let sweep ?(store = default_store) ?icfg ?artifact_dir ~scheme ~technique ~w ~n
-    ~day () =
+let sweep ?(store = default_store) ?icfg ?artifact_dir ?(concurrent = false)
+    ~scheme ~technique ~w ~n ~day () =
   if day <= w then invalid_arg "Crash_harness.sweep: day must exceed w";
   (* Uncrashed twin: discover the transition's fault points and capture
      the reference answers on both sides of it.  With a buffer pool in
      [icfg], the twin and every fault instance charge the disk through
-     identical pool states, so the discovered schedule stays exact. *)
+     identical pool states, so the discovered schedule stays exact.  A
+     concurrent twin runs the same interleaved driver the instances do,
+     so the schedule also covers the served probes and the epoch
+     swap/drain window. *)
   let twin = fresh_instance ?icfg ~scheme ~technique ~w ~n ~store () in
   Checkpoint.advance_to twin (day - 1);
   let twin_disk = (Checkpoint.env twin).Env.disk in
   let before_ref = capture ~w (Checkpoint.frame twin) (day - 1) in
   let before = Disk.counters twin_disk in
-  Checkpoint.transition twin;
+  if concurrent then ignore (drive_concurrent twin ~w ~day)
+  else Checkpoint.transition twin;
   let after = Disk.counters twin_disk in
   let after_ref = capture ~w (Checkpoint.frame twin) day in
+  let after_conc =
+    if concurrent then old_window_probes ~w (Checkpoint.frame twin) day else []
+  in
   let schedule = Disk.fault_schedule ~before ~after in
   let points =
     List.concat_map
@@ -198,7 +326,7 @@ let sweep ?(store = default_store) ?icfg ?artifact_dir ~scheme ~technique ~w ~n
           (fun mode ->
             let res =
               run_point ?icfg ~scheme ~technique ~w ~n ~store ~day ~before_ref
-                ~after_ref ~mode p
+                ~after_ref ~concurrent ~after_conc ~mode p
             in
             (* The simulated sweep has no per-point directory of its
                own; with [artifact_dir] set, a failing point still
@@ -241,7 +369,7 @@ let file_instance ?icfg ~scheme ~technique ~w ~n ~store dir =
   (Checkpoint.start ~dir scheme env, icfg)
 
 let run_kill_point ?icfg ~scheme ~technique ~w ~n ~store ~day ~before_ref
-    ~after_ref ~mode ~truncate_tail subdir point =
+    ~after_ref ~concurrent ~after_conc ~mode ~truncate_tail subdir point =
   rm_rf subdir;
   Wave_obs.Recorder.clear ();
   let cp, icfg = file_instance ?icfg ~scheme ~technique ~w ~n ~store subdir in
@@ -250,13 +378,17 @@ let run_kill_point ?icfg ~scheme ~technique ~w ~n ~store ~day ~before_ref
   let disk = (Checkpoint.env cp).Env.disk in
   Disk.arm_fault disk ~mode point;
   let t0 = Disk.elapsed disk in
-  let fired =
-    match Checkpoint.transition cp with
-    | () -> false
-    | exception Disk.Disk_error _ -> true
+  let fired, served =
+    if concurrent then drive_concurrent cp ~w ~day
+    else
+      ( (match Checkpoint.transition cp with
+        | () -> false
+        | exception Disk.Disk_error _ -> true),
+        [] )
   in
   let wasted_seconds = Disk.elapsed disk -. t0 in
   Disk.clear_fault disk;
+  let iso = iso_consistent disk ~before_ref ~after_conc served in
   if not fired then begin
     (* Twin/instance divergence: report without killing so the frame is
        still queryable. *)
@@ -269,6 +401,7 @@ let run_kill_point ?icfg ~scheme ~technique ~w ~n ~store ~day ~before_ref
         recovered_day = Checkpoint.current_day cp;
         consistent = matches ~w (Checkpoint.frame cp) after_ref;
         space_ok = space_consistent cp;
+        iso_ok = iso;
         recovery_seconds = 0.0;
         wasted_seconds;
         torn_tail = false;
@@ -279,8 +412,10 @@ let run_kill_point ?icfg ~scheme ~technique ~w ~n ~store ~day ~before_ref
     res
   end
   else begin
-    (* The kill: the process dies here.  Scheme, buffer pool and
-       allocator evaporate; only the checkpoint directory survives. *)
+    (* The kill: the process dies here.  Scheme, buffer pool, epoch
+       registry and allocator evaporate; only the checkpoint directory
+       survives. *)
+    Wave_epoch.Epoch.on_crash disk;
     release cp;
     Disk.close disk;
     if truncate_tail then begin
@@ -306,6 +441,7 @@ let run_kill_point ?icfg ~scheme ~technique ~w ~n ~store ~day ~before_ref
           r.Checkpoint.recovered_day = reference.ref_day
           && matches ~w (Checkpoint.frame cp2) reference;
         space_ok = space_consistent cp2;
+        iso_ok = iso;
         recovery_seconds = r.Checkpoint.recovery_seconds;
         wasted_seconds;
         torn_tail = truncate_tail;
@@ -316,8 +452,8 @@ let run_kill_point ?icfg ~scheme ~technique ~w ~n ~store ~day ~before_ref
     res
   end
 
-let kill_sweep ?(store = default_store) ?icfg ~scheme ~technique ~w ~n ~day
-    ~dir () =
+let kill_sweep ?(store = default_store) ?icfg ?(concurrent = false) ~scheme
+    ~technique ~w ~n ~day ~dir () =
   if day <= w then invalid_arg "Crash_harness.kill_sweep: day must exceed w";
   Store_dir.init dir;
   (* File-backed uncrashed twin: the backing adds no model operations,
@@ -330,9 +466,13 @@ let kill_sweep ?(store = default_store) ?icfg ~scheme ~technique ~w ~n ~day
   let twin_disk = (Checkpoint.env twin).Env.disk in
   let before_ref = capture ~w (Checkpoint.frame twin) (day - 1) in
   let before = Disk.counters twin_disk in
-  Checkpoint.transition twin;
+  if concurrent then ignore (drive_concurrent twin ~w ~day)
+  else Checkpoint.transition twin;
   let after = Disk.counters twin_disk in
   let after_ref = capture ~w (Checkpoint.frame twin) day in
+  let after_conc =
+    if concurrent then old_window_probes ~w (Checkpoint.frame twin) day else []
+  in
   let schedule = Disk.fault_schedule ~before ~after in
   release twin;
   Disk.close twin_disk;
@@ -366,7 +506,8 @@ let kill_sweep ?(store = default_store) ?icfg ~scheme ~technique ~w ~n ~day
                 let subdir = Filename.concat dir slug in
                 let res =
                   run_kill_point ?icfg ~scheme ~technique ~w ~n ~store ~day
-                    ~before_ref ~after_ref ~mode ~truncate_tail subdir p
+                    ~before_ref ~after_ref ~concurrent ~after_conc ~mode
+                    ~truncate_tail subdir p
                 in
                 (* Passing points clean up after themselves; a failing
                    point keeps its directory — torn block file, sidecar,
@@ -554,7 +695,8 @@ let pp_point_result ppf r =
     (if r.rolled_forward then "roll-forward" else "roll-back")
     r.recovered_day r.recovery_seconds r.wasted_seconds
     (if r.consistent then "" else " INCONSISTENT")
-    (if r.space_ok then "" else " SPACE-LEAK")
+    ((if r.space_ok then "" else " SPACE-LEAK")
+    ^ if r.iso_ok then "" else " ISO-VIOLATION")
 
 let pp_double_point ppf r =
   let mode = function
@@ -592,7 +734,5 @@ let pp_report ppf t =
     t.w t.n t.day (List.length t.points)
     (if t.passed then "PASS" else "FAIL");
   List.iter
-    (fun r ->
-      if not (r.fired && r.consistent && r.space_ok) then
-        Format.fprintf ppf "  %a@." pp_point_result r)
+    (fun r -> if not (point_passed r) then Format.fprintf ppf "  %a@." pp_point_result r)
     t.points

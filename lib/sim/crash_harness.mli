@@ -33,6 +33,12 @@ type point_result = {
   recovered_day : int;
   consistent : bool;  (** query-identical to the twin at that day *)
   space_ok : bool;  (** no leaked, double-freed or torn extents *)
+  iso_ok : bool;
+      (** concurrent sweeps only (vacuously true otherwise): every
+          probe served mid-transition or during the drain answered from
+          exactly one committed state — snapshot serves match the
+          pre-transition reference, In_place's queued serves match the
+          post-transition wave — and no epoch outlived the point *)
   recovery_seconds : float;
   wasted_seconds : float;  (** model time burnt in the doomed transition *)
   torn_tail : bool;
@@ -54,6 +60,7 @@ val sweep :
   ?store:Env.day_store ->
   ?icfg:Wave_storage.Index.config ->
   ?artifact_dir:string ->
+  ?concurrent:bool ->
   scheme:Scheme.kind ->
   technique:Env.technique ->
   w:int ->
@@ -74,11 +81,23 @@ val sweep :
     point, so at any failure the ring holds exactly that point's
     events; with [artifact_dir] set, each failing point writes its
     flight dump to [artifact_dir/<point>_<mode>.flight.jsonl]
-    (best-effort — dump errors never fail the sweep). *)
+    (best-effort — dump errors never fail the sweep).
+
+    [concurrent] (default false) runs every transition — the twin's
+    and each instance's — under {!Wave_epoch.Epoch} snapshot isolation
+    with a deterministic mid-transition probe schedule: shadow
+    techniques serve six probes over the pre-transition window against
+    the snapshot while the transition runs and drain stragglers against
+    the retired epoch after the commit; In_place queues them until the
+    commit.  The fault stays armed through the drain, so the discovered
+    schedule gains points inside the epoch-swap and reader-drain window
+    — recovery from those must still land on exactly one committed
+    epoch ([iso_ok]). *)
 
 val kill_sweep :
   ?store:Env.day_store ->
   ?icfg:Wave_storage.Index.config ->
+  ?concurrent:bool ->
   scheme:Scheme.kind ->
   technique:Env.technique ->
   w:int ->
@@ -98,7 +117,9 @@ val kill_sweep :
     (torn block file, sidecar, manifests) as the debugging artifact,
     plus a [flight.jsonl] {!Wave_obs.Recorder} dump of the killed
     run's last events ({!Wave_obs.Sink.validate_flight} checks its
-    shape). *)
+    shape).  [concurrent] interleaves probes exactly as in {!sweep};
+    the kill additionally drops the epoch registry, and recovery must
+    reopen onto exactly one committed epoch. *)
 
 (** {1 Double faults}
 

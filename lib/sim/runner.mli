@@ -40,6 +40,37 @@ type percentiles = { p50 : float; p95 : float; p99 : float }
 (** Per-day latency distribution over the run; all zero for an empty
     run. *)
 
+type concurrent_stats = {
+  mid_queries : int;
+      (** queries whose arrival fell inside a transition window *)
+  snapshot_served : int;
+      (** served against the live snapshot while the transition ran *)
+  drained_served : int;
+      (** served against the retired snapshot after the swap (the
+          arrival predates the swap; the epoch drains once they
+          finish) *)
+  queued_served : int;
+      (** In_place only: arrivals held until the swap and served
+          against the new wave — in-place mutation cannot isolate
+          readers, so mid-transition arrivals wait the transition
+          out *)
+  concurrent_latency : percentiles;
+      (** measured arrival-to-completion latency of mid-transition
+          queries under epoch-based concurrent serving *)
+  stopworld_latency : percentiles;
+      (** counterfactual latency of the {e same} arrival schedule under
+          stop-the-world serving: the transition runs alone (its
+          measured window minus the probe service it absorbed), then
+          the queued probes run serially behind it in arrival order *)
+  concurrent_samples : float array;
+      (** every mid-transition latency sample, arrival order (feeds the
+          bench series) *)
+  stopworld_samples : float array;  (** counterfactual, same order *)
+}
+(** Mid-transition query-latency report of a concurrent run — the
+    wave-index answer to "what do probes pay while maintenance runs?",
+    reported as concurrent vs. stop-the-world percentiles. *)
+
 type result = {
   scheme : Scheme.kind;
   technique : Env.technique;
@@ -65,6 +96,10 @@ type result = {
           ["runner.query_seconds.uncached_estimate"] histograms in
           {!Wave_obs.Metrics} (the estimate adds back the pool's
           per-day saved model-seconds, net of metadata charges). *)
+  concurrent : concurrent_stats option;
+      (** mid-transition latency report when {!config.concurrent} was
+          on (and a query spec was configured); [None] on a
+          stop-the-world run *)
   alerts : Wave_obs.Alert.event list;
       (** alert events (active and resolved, oldest first) from the
           run's {!config.alerts} rules; [[]] when no rules were
@@ -79,6 +114,24 @@ type config = {
   run_days : int;  (** transitions to simulate after the Start phase *)
   store : Env.day_store;
   queries : Wave_workload.Query_gen.spec option;
+  concurrent : bool;
+      (** serve the day's queries {e during} the transition under
+          {!Wave_epoch.Epoch} snapshot isolation instead of after it.
+          Each day the runner opens an epoch over the pre-transition
+          wave, lays the day's queries out as arrivals on the model
+          clock at {!query_rate} per model-second, serves due arrivals
+          at every completed disk operation (shadow techniques; an
+          In_place transition queues them until the swap), commits the
+          epoch when the maintenance flush drains, serves pre-swap
+          stragglers against the retired snapshot, and lets the epoch
+          drain.  Off (the default), no epoch code runs and the run is
+          bit-identical to a build without epochs.  When on,
+          [maintenance_seconds]/[transition_seconds] include the disk
+          contention of mid-transition serving, and the remaining
+          (post-swap) queries run in the usual query phase. *)
+  query_rate : float;
+      (** concurrent arrival rate, queries per model-second (used only
+          when {!concurrent}; non-positive disables) *)
   icfg : Wave_storage.Index.config;
   validate : bool;  (** check window invariants after every day *)
   alerts : Wave_obs.Alert.rule list;
@@ -106,6 +159,7 @@ type config = {
 val default_config :
   scheme:Scheme.kind -> store:Env.day_store -> w:int -> n:int -> config
 (** 2w run days, in-place updating, default index config, no queries,
-    validation on, no alert rules. *)
+    stop-the-world serving (concurrent off, rate 4.0), validation on,
+    no alert rules. *)
 
 val run : config -> result

@@ -392,7 +392,18 @@ let delete_days t expired =
   if !removed > 0 then t.packed <- false;
   !removed)
 
+(* Epoch veto on whole-index teardown.  [drop] both frees extents and
+   clears the in-memory directory, so a gated free alone would leave a
+   snapshot probing an empty index; when the gate claims the index the
+   entire drop is deferred — structure and extents stay intact — and
+   the epoch layer re-calls [drop] (through this gate again, so a
+   second still-live snapshot re-defers) once the last reader drains. *)
+let drop_gate : (t -> bool) ref = ref (fun _ -> false)
+let set_drop_gate f = drop_gate := f
+
 let drop t =
+  if !drop_gate t then ()
+  else begin
   (* Constant-time unlink: free every extent without transfer charges. *)
   let seen_shared = ref [] in
   Directory.iter_ordered t.dir (fun _ b ->
@@ -420,6 +431,7 @@ let drop t =
   t.total_used <- 0;
   t.packed <- true;
   if t.total_alloc <> 0 then fail "drop: allocation accounting leak (%d)" t.total_alloc
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Shadow operations                                                  *)

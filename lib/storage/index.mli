@@ -101,7 +101,16 @@ val delete_days : t -> (int -> bool) -> int
 val drop : t -> unit
 (** Release all disk space and empty the index — the paper's
     [DropIndex] body, a constant-time unlink ("a few milliseconds ...
-    irrespective of the index size"): no data transfer is charged. *)
+    irrespective of the index size"): no data transfer is charged.
+    When the {!set_drop_gate} gate claims the index the whole drop is
+    deferred — structure and extents stay intact so snapshot readers
+    keep probing it — and the gate's owner re-calls [drop] later. *)
+
+val set_drop_gate : (t -> bool) -> unit
+(** Install the global drop gate (default: claims nothing).  [drop t]
+    first asks the gate; [true] defers the drop as described above.
+    Installed once by [Wave_epoch] to protect indexes referenced by
+    live epoch snapshots. *)
 
 (** {1 Queries} *)
 

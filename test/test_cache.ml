@@ -140,6 +140,45 @@ let test_unpin_below_zero_raises () =
     | () -> false
     | exception Cache.Cache_error _ -> true)
 
+let test_resident_pins_survive_pressure () =
+  (* The epoch-snapshot pin: pin_resident_blocks pins what is already
+     resident (no I/O), and eviction must never select those frames —
+     a retired-but-undrained epoch's working set survives any cache
+     pressure until the epoch drains and unpins. *)
+  let disk, pool = mk_pool ~frames:4 () in
+  let snap = Disk.alloc disk ~blocks:2 in
+  Disk.write disk snap;
+  Cache.read pool snap;
+  let t0 = Disk.elapsed disk in
+  let addrs = Cache.pin_resident_blocks pool snap ~budget:2 in
+  Alcotest.(check (float 0.0)) "pinning charges no I/O" 0.0
+    (Disk.elapsed disk -. t0);
+  Alcotest.(check int) "both resident blocks pinned" 2 (List.length addrs);
+  Alcotest.(check int) "pinned frames" 2 (Cache.pinned_frames pool);
+  (* Budget respected: a second caller gets only what remains. *)
+  let cold = Disk.alloc disk ~blocks:3 in
+  Disk.write disk cold;
+  Alcotest.(check int) "absent blocks skipped" 0
+    (List.length (Cache.pin_resident_blocks pool cold ~budget:8));
+  for _ = 1 to 12 do
+    let e = Disk.alloc disk ~blocks:1 in
+    Disk.write disk e;
+    Cache.read pool e
+  done;
+  Alcotest.(check bool) "pinned snapshot blocks still resident" true
+    (Cache.contains pool snap);
+  Alcotest.(check int) "pins intact under pressure" 2
+    (Cache.pinned_frames pool);
+  Cache.unpin_blocks pool addrs;
+  Alcotest.(check int) "drain unpins" 0 (Cache.pinned_frames pool);
+  for _ = 1 to 12 do
+    let e = Disk.alloc disk ~blocks:1 in
+    Disk.write disk e;
+    Cache.read pool e
+  done;
+  Alcotest.(check bool) "unpinned frames evict normally" false
+    (Cache.contains pool snap)
+
 (* --- invalidation on free / realloc ---------------------------------- *)
 
 let test_generation_invalidation () =
@@ -745,6 +784,8 @@ let suites =
           test_oversized_pin_raises;
         Alcotest.test_case "unpin below zero raises" `Quick
           test_unpin_below_zero_raises;
+        Alcotest.test_case "resident pins survive pressure" `Quick
+          test_resident_pins_survive_pressure;
         Alcotest.test_case "generation invalidation" `Quick
           test_generation_invalidation;
         Alcotest.test_case "dead extent raises" `Quick

@@ -745,7 +745,7 @@ let contains ~sub s =
   let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
   n = 0 || go 0
 
-(* A minimal document that satisfies every waveidx-bench/4 rule; the
+(* A minimal document that satisfies every waveidx-bench/5 rule; the
    corpus below perturbs it one field at a time. *)
 let valid_bench_doc ?(schema = Sink.bench_schema) ?(unit_ = "model-seconds")
     ?(p50 = 0.5) ?(runs = 5.0) ?(hit_ratio = 0.9) ?(flushes = 3.0)
@@ -808,7 +808,7 @@ let valid_bench_doc ?(schema = Sink.bench_schema) ?(unit_ = "model-seconds")
 let test_sink_validate_bench_accepts_valid () =
   match Sink.validate_bench (valid_bench_doc ()) with
   | Ok n -> Alcotest.(check int) "one benchmark" 1 n
-  | Error e -> Alcotest.failf "valid /4 document rejected: %s" e
+  | Error e -> Alcotest.failf "valid /5 document rejected: %s" e
 
 let expect_error name doc frags =
   match Sink.validate_bench doc with
@@ -825,7 +825,7 @@ let test_sink_validate_bench_bad_corpus () =
      (or the profile path) and the offending field. *)
   expect_error "wrong schema"
     (valid_bench_doc ~schema:"waveidx-bench/3" ())
-    [ "schema"; "waveidx-bench/4" ];
+    [ "schema"; Sink.bench_schema ];
   expect_error "wrong unit"
     (valid_bench_doc ~unit_:"wall-seconds" ())
     [ "unit"; "model-seconds" ];
@@ -1159,7 +1159,7 @@ let suites =
         Alcotest.test_case "chrome rejects malformed" `Quick
           test_sink_chrome_rejects_malformed;
         Alcotest.test_case "jsonl" `Quick test_sink_jsonl;
-        Alcotest.test_case "validate_bench accepts valid /4" `Quick
+        Alcotest.test_case "validate_bench accepts valid /5" `Quick
           test_sink_validate_bench_accepts_valid;
         Alcotest.test_case "validate_bench bad corpus" `Quick
           test_sink_validate_bench_bad_corpus;

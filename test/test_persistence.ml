@@ -246,7 +246,8 @@ let manifest_gen =
         (let* days = list_size (int_range 0 6) (int_range 1 10_000) in
          return (List.fold_left (fun a d -> Dayset.add d a) Dayset.empty days))
     in
-    return { Manifest.scheme = kind; technique; w; n; day; slots })
+    let* epoch = int_range 0 50 in
+    return { Manifest.scheme = kind; technique; w; n; day; epoch; slots })
 
 let prop_manifest_roundtrip_random =
   QCheck2.Test.make ~name:"manifest serialisation roundtrips random manifests"
@@ -259,6 +260,7 @@ let prop_manifest_roundtrip_random =
         && m'.Manifest.w = m.Manifest.w
         && m'.Manifest.n = m.Manifest.n
         && m'.Manifest.day = m.Manifest.day
+        && m'.Manifest.epoch = m.Manifest.epoch
         && List.length m'.Manifest.slots = List.length m.Manifest.slots
         && List.for_all2 Dayset.equal m'.Manifest.slots m.Manifest.slots)
 
