@@ -74,6 +74,15 @@ let technique_conv =
   let print ppf t = Format.pp_print_string ppf (Env.technique_name t) in
   Arg.conv (parse, print)
 
+let partition_conv =
+  let parse s =
+    match Wave_shard.Partition.kind_of_name s with
+    | Some k -> Ok k
+    | None -> Error (`Msg (Printf.sprintf "unknown partitioning %S (hash | range)" s))
+  in
+  let print ppf k = Format.pp_print_string ppf (Wave_shard.Partition.kind_name k) in
+  Arg.conv (parse, print)
+
 let disk_conv =
   let parse s =
     match String.lowercase_ascii s with
@@ -272,9 +281,43 @@ let sim_cmd =
       & info [ "query-rate" ] ~docv:"R"
           ~doc:"concurrent arrival rate, queries per model-second")
   in
+  let shards =
+    Arg.(
+      value & opt int 1
+      & info [ "shards" ] ~docv:"N"
+          ~doc:
+            "run the sharded wave index: N router arms, each a full scheme \
+             instance on its own disk over its slice of the key space, with \
+             parallel cost semantics (a fan-out costs the max over arms)")
+  in
+  let partition =
+    Arg.(
+      value
+      & opt partition_conv Wave_shard.Partition.Hash
+      & info [ "partition" ] ~docv:"KIND"
+          ~doc:"hash | range — key-space partitioning for --shards")
+  in
+  let query_scale =
+    Arg.(
+      value & opt int 1
+      & info [ "query-scale" ] ~docv:"K"
+          ~doc:
+            "multiply the daily probe/scan counts by K (orders of magnitude \
+             toward a million-user stream)")
+  in
+  let split_threshold =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "split-threshold" ] ~docv:"RATIO"
+          ~doc:
+            "with --shards, split the busiest splittable arm at a day \
+             boundary where the busy skew ratio exceeds $(docv)")
+  in
   let run scheme technique w n days postings workload probes scans cache_blocks
       cache_readahead write_back alerts alerts_out profile top disk stall_after
-      stall_seconds flight_recorder concurrent query_rate =
+      stall_seconds flight_recorder concurrent query_rate shards partition
+      query_scale split_threshold =
     if write_back && cache_blocks = None then begin
       Printf.eprintf "sim: --write-back requires --cache-blocks\n";
       exit 2
@@ -320,6 +363,11 @@ let sim_cmd =
         value_dist = dist;
       }
     in
+    if query_scale < 1 then begin
+      Printf.eprintf "sim: --query-scale must be >= 1\n";
+      exit 2
+    end;
+    let queries = Wave_workload.Query_gen.scale queries ~factor:query_scale in
     let icfg =
       {
         Wave_storage.Index.default_config with
@@ -329,6 +377,76 @@ let sim_cmd =
         disk_backend = disk;
       }
     in
+    if shards > 1 then begin
+      (* The sharded path: a Router over N arms, each on its own
+         simulated disk — one block file cannot back N independent
+         arms, and the runner-side machinery (alerts, profiling,
+         epoch-interleaved serving) stays single-disk for now. *)
+      if disk <> Wave_disk.Disk.Sim then begin
+        Printf.eprintf "sim: --shards supports the sim disk backend only\n";
+        exit 2
+      end;
+      if concurrent || alerts <> None || profile || stall_after <> None then begin
+        Printf.eprintf
+          "sim: --shards composes with the query flags only (not \
+           --concurrent/--alerts/--profile/--stall-after)\n";
+        exit 2
+      end;
+      let vocab =
+        match dist with
+        | Wave_workload.Query_gen.Zipfian { vocab; _ } -> vocab
+        | Wave_workload.Query_gen.Uniform n -> n
+      in
+      let router =
+        Wave_shard.Router.create ~icfg ~technique ~kind:scheme ~partition
+          ~shards ~vocab ~store ~w ~n ()
+      in
+      let res = Wave_shard.Router.run ?split_threshold router ~spec:queries ~days in
+      Printf.printf
+        "scheme=%s technique=%s W=%d n=%d days=%d shards=%d partition=%s\n"
+        (Scheme.name scheme)
+        (Env.technique_name technique)
+        w n days shards
+        (Wave_shard.Partition.kind_name partition);
+      Printf.printf "queries served     %10d (%dx scaled)\n"
+        res.Wave_shard.Router.queries query_scale;
+      Printf.printf "query makespan     %10.4f model-seconds (parallel)\n"
+        res.Wave_shard.Router.query_makespan_s;
+      Printf.printf "query serial cost  %10.4f model-seconds (one-disk twin)\n"
+        res.Wave_shard.Router.query_serial_s;
+      Printf.printf "maintenance        %10.4f model-seconds (parallel)\n"
+        res.Wave_shard.Router.maintenance_makespan_s;
+      Printf.printf "throughput         %10.1f queries/model-second\n"
+        res.Wave_shard.Router.throughput_qps;
+      Printf.printf "parallel speedup   %10.2fx over %d arms\n"
+        res.Wave_shard.Router.speedup
+        (Wave_shard.Router.arms router);
+      Printf.printf "busy skew ratio    %10.2f (max arm / mean arm)\n"
+        res.Wave_shard.Router.skew;
+      Printf.printf "splits committed   %10d\n" res.Wave_shard.Router.splits_done;
+      let clock = Wave_shard.Router.clock router in
+      let rows =
+        List.init (Wave_shard.Router.arms router) (fun i ->
+            let s = Wave_shard.Router.arm_scheme router i in
+            [
+              string_of_int i;
+              Printf.sprintf "%.4f" (Wave_model.Parallel.busy_arm clock i);
+              string_of_int (Scheme.allocated_bytes s);
+              string_of_int (Frame.length (Scheme.frame s));
+            ])
+      in
+      print_string
+        (Wave_util.Table_print.render
+           ~header:[ "arm"; "busy(model-s)"; "space(bytes)"; "wave(days)" ]
+           ~rows);
+      (match Wave_obs.Metrics.lookup "shard.fanout" with
+      | Some (`Histogram (Some h)) ->
+        Printf.printf "fan-out            mean %.2f  max %.0f over %d fan-outs\n"
+          h.Wave_obs.Metrics.mean h.Wave_obs.Metrics.max
+          h.Wave_obs.Metrics.count
+      | _ -> ());
+      exit 0
+    end;
     if profile then begin
       Wave_obs.Trace.enable ();
       Wave_obs.Trace.reset ()
@@ -485,7 +603,8 @@ let sim_cmd =
       const run $ scheme $ technique $ w $ n $ days $ postings $ workload
       $ probes $ scans $ cache_blocks $ cache_readahead $ write_back $ alerts
       $ alerts_out $ profile $ top $ disk $ stall_after $ stall_seconds
-      $ flight_recorder $ concurrent $ query_rate)
+      $ flight_recorder $ concurrent $ query_rate $ shards $ partition
+      $ query_scale $ split_threshold)
 
 let model_cmd =
   let doc =
@@ -1195,6 +1314,50 @@ let bench_cmd =
               sname
         end)
       Scheme.all;
+    (* Sharded throughput scaling (waveidx-bench/6): the same Zipf
+       probe stream fanned over 1/2/4/8 hash arms.  Each sample is the
+       makespan of a 32-probe chunk divided by the chunk size — the
+       effective per-probe latency when arms serve their share of the
+       chunk concurrently — so p50 falling with the arm count IS the
+       throughput scaling curve (4 arms must at least halve the 1-arm
+       latency; the shard.scaling test asserts it). *)
+    List.iter
+      (fun shards ->
+        let router =
+          Wave_shard.Router.create ~kind:Scheme.Del
+            ~partition:Wave_shard.Partition.Hash ~shards ~vocab:5_000 ~store
+            ~w ~n ()
+        in
+        while Wave_shard.Router.current_day router < 2 * w do
+          ignore (Wave_shard.Router.advance router)
+        done;
+        let d = Wave_shard.Router.current_day router in
+        let prng = Wave_util.Prng.create 17 in
+        let zipf = Wave_util.Zipf.create ~n:5_000 ~s:1.0 in
+        let chunk = 32 in
+        record
+          (Printf.sprintf "throughput+shards/%d" shards)
+          (List.init runs (fun _ ->
+               let before =
+                 Array.init (Wave_shard.Router.arms router) (fun i ->
+                     Wave_disk.Disk.elapsed (Wave_shard.Router.arm_disk router i))
+               in
+               for _ = 1 to chunk do
+                 let value = Wave_util.Zipf.sample zipf prng in
+                 ignore
+                   (Wave_shard.Router.probe router ~value ~t1:(d - w + 1) ~t2:d)
+               done;
+               let makespan =
+                 Array.fold_left Float.max 0.0
+                   (Array.mapi
+                      (fun i b ->
+                        Wave_disk.Disk.elapsed
+                          (Wave_shard.Router.arm_disk router i)
+                        -. b)
+                      before)
+               in
+               makespan /. float_of_int chunk)))
+      [ 1; 2; 4; 8 ];
     let results = List.rev !results in
     Printf.printf "%-34s %12s %12s %6s %10s %22s\n" "benchmark" "p50(ms)"
       "p95(ms)" "runs" "hit-ratio" "write-back";
@@ -1652,6 +1815,84 @@ let crashtest_cmd =
       const run $ w $ n $ days $ verbose $ cache_blocks $ write_back $ kill_dir
       $ double $ artifacts $ concurrent)
 
+let shardtest_cmd =
+  let doc =
+    "Crash sweep of the shard-split transition: an uncrashed twin discovers \
+     every disk fault point of a split (on the victim's disk and on the \
+     fresh sibling's), then a fresh router is killed at each point and \
+     recovered — recovery must land on exactly one committed shard map, \
+     with probes bit-identical to the pre-split reference, no leaked \
+     extents, and the split re-runnable to completion."
+  in
+  let w =
+    Arg.(value & opt int 4 & info [ "window"; "w" ] ~doc:"window length in days")
+  in
+  let n = Arg.(value & opt int 2 & info [ "indexes"; "n" ] ~doc:"constituents") in
+  let partition =
+    Arg.(
+      value
+      & opt partition_conv Wave_shard.Partition.Hash
+      & info [ "partition" ] ~docv:"KIND" ~doc:"hash | range")
+  in
+  let shards =
+    Arg.(value & opt int 2 & info [ "shards" ] ~docv:"N" ~doc:"arms before the split")
+  in
+  let artifacts =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "artifacts" ] ~docv:"DIR"
+          ~doc:
+            "write each failing point's flight-recorder dump (waveidx-flight/1 \
+             JSONL) under $(docv); nothing is written when the sweep passes")
+  in
+  let run w n partition shards artifacts =
+    if n < 1 || n > w then begin
+      Printf.eprintf "shardtest: need 1 <= n <= w (got W=%d n=%d)\n" w n;
+      exit 2
+    end;
+    if shards < 2 then begin
+      Printf.eprintf "shardtest: need at least 2 shards\n";
+      exit 2
+    end;
+    let results, table =
+      Wave_shard.Sweep.sweep_matrix ?artifact_dir:artifacts ~shards ~partition
+        ~w ~n ()
+    in
+    print_string table;
+    let total =
+      List.fold_left
+        (fun a r -> a + List.length r.Wave_shard.Sweep.points)
+        0 results
+    in
+    let failed =
+      List.concat_map
+        (fun r ->
+          List.filter_map
+            (fun p ->
+              if Wave_shard.Sweep.point_passed p then None
+              else
+                Some
+                  (Format.asprintf "%s/%s %s %a"
+                     (Scheme.name r.Wave_shard.Sweep.scheme)
+                     (Env.technique_name r.Wave_shard.Sweep.technique)
+                     (if p.Wave_shard.Sweep.on_sibling then "sibling"
+                      else "victim")
+                     Wave_disk.Disk.pp_fault_point p.Wave_shard.Sweep.point))
+            r.Wave_shard.Sweep.points)
+        results
+    in
+    Printf.printf "\n%d fault points, %d recovered, %d failed\n" total
+      (total - List.length failed)
+      (List.length failed);
+    if failed <> [] then begin
+      List.iter (fun f -> Printf.eprintf "FAILED %s\n" f) failed;
+      exit 1
+    end
+  in
+  Cmd.v (Cmd.info "shardtest" ~doc)
+    Term.(const run $ w $ n $ partition $ shards $ artifacts)
+
 let () =
   let doc = "Wave-Indices (SIGMOD 1997) reproduction driver" in
   let info = Cmd.info "waveidx" ~version:"1.0.0" ~doc in
@@ -1660,6 +1901,7 @@ let () =
       [
         list_cmd; run_cmd; all_cmd; sim_cmd; model_cmd; trace_cmd;
         profile_cmd; bench_cmd; checkpoint_cmd; recover_cmd; crashtest_cmd;
+        shardtest_cmd;
       ]
   in
   (* [~catch:false] so an uncaught exception reaches this handler: the

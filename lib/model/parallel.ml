@@ -1,0 +1,44 @@
+type t = { mutable busy : float array; mutable elapsed : float }
+
+let create ~arms =
+  if arms < 1 then invalid_arg "Parallel.create: need at least one arm";
+  { busy = Array.make arms 0.0; elapsed = 0.0 }
+
+let arms t = Array.length t.busy
+
+let grow t ~arms:n =
+  let cur = arms t in
+  if n > cur then begin
+    let busy = Array.make n 0.0 in
+    Array.blit t.busy 0 busy 0 cur;
+    t.busy <- busy
+  end
+
+let record t deltas =
+  let makespan =
+    List.fold_left
+      (fun acc (i, d) ->
+        if i < 0 || i >= arms t then
+          invalid_arg
+            (Printf.sprintf "Parallel.record: arm %d out of range [0,%d)" i
+               (arms t));
+        if d < 0.0 then invalid_arg "Parallel.record: negative delta";
+        t.busy.(i) <- t.busy.(i) +. d;
+        Float.max acc d)
+      0.0 deltas
+  in
+  t.elapsed <- t.elapsed +. makespan;
+  makespan
+
+let elapsed t = t.elapsed
+let serial t = Array.fold_left ( +. ) 0.0 t.busy
+let busy_arm t i = t.busy.(i)
+
+let skew_ratio t =
+  let total = serial t in
+  if total <= 0.0 then 1.0
+  else
+    let mean = total /. float_of_int (arms t) in
+    Array.fold_left Float.max 0.0 t.busy /. mean
+
+let speedup t = if t.elapsed > 0.0 then serial t /. t.elapsed else 1.0

@@ -1,0 +1,48 @@
+(** Parallel cost semantics for fan-out over independent disk arms.
+
+    The single-disk cost model charges every operation to one global
+    clock, so a query that touches N arms pays the {e sum} of the
+    per-arm costs.  Real sharded deployments run the arms concurrently:
+    the fan-out's latency is the {e max} over arms (the makespan), while
+    the sum survives as the total busy time — useful for utilisation and
+    skew accounting.
+
+    A [Parallel.t] accumulates both views.  Callers bracket a fan-out by
+    sampling each arm's [Disk.elapsed] before and after, then [record]
+    the per-arm deltas; the clock advances by the makespan and keeps
+    per-arm busy totals for [skew_ratio]/[speedup]. *)
+
+type t
+
+val create : arms:int -> t
+(** Fresh clock over [arms] arms (>= 1). *)
+
+val grow : t -> arms:int -> unit
+(** Extend to [arms] arms (new arms start with zero busy time).  Used
+    when a shard split adds an arm mid-run.  No-op if [arms] is not
+    larger than the current count. *)
+
+val arms : t -> int
+
+val record : t -> (int * float) list -> float
+(** [record t deltas] charges each [(arm, delta)] pair to that arm's
+    busy total and advances the parallel clock by the max delta (the
+    fan-out's makespan).  Returns the makespan.  Negative deltas and
+    out-of-range arms are rejected with [Invalid_argument].  An empty
+    list costs nothing and returns [0.]. *)
+
+val elapsed : t -> float
+(** Total parallel (makespan) model-seconds accumulated so far. *)
+
+val serial : t -> float
+(** Sum of all per-arm busy time — what a single disk would have paid. *)
+
+val busy_arm : t -> int -> float
+(** Busy total for one arm. *)
+
+val skew_ratio : t -> float
+(** Max per-arm busy time over the mean — 1.0 means perfectly balanced,
+    N means one arm did all the work.  [1.0] when nothing is recorded. *)
+
+val speedup : t -> float
+(** [serial /. elapsed]; [1.0] when nothing has been recorded. *)

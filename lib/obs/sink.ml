@@ -191,8 +191,17 @@ let validate_chrome_file path =
 (* --- bench snapshot validation --------------------------------------- *)
 
 (* /5 adds the concurrent-serving series (probe+concurrent/...,
-   probe+stopworld/...) measured by the epoch-interleaved runner. *)
-let bench_schema = "waveidx-bench/5"
+   probe+stopworld/...) measured by the epoch-interleaved runner.
+   /6 adds the sharded throughput scaling curve: the four
+   throughput+shards/{1,2,4,8} series are required, so a snapshot
+   that silently lost its scaling curve fails validation by name. *)
+let bench_schema = "waveidx-bench/6"
+
+let required_bench_series =
+  [
+    "throughput+shards/1"; "throughput+shards/2"; "throughput+shards/4";
+    "throughput+shards/8";
+  ]
 
 let validate_benchmark i b =
   (* Name the series in every error so a failing corpus line is
@@ -329,8 +338,25 @@ let validate_bench j =
             | Ok () -> go (i + 1) rest
             | Error e -> Error e)
         in
+        let series_present name =
+          List.exists
+            (fun b ->
+              match Option.bind (Json.member "name" b) Json.to_str with
+              | Some s -> s = name
+              | None -> false)
+            bs
+        in
         match go 0 bs with
         | Error e -> Error e
+        | Ok _ when List.exists (fun s -> not (series_present s))
+                      required_bench_series ->
+          let missing =
+            List.filter (fun s -> not (series_present s)) required_bench_series
+          in
+          Error
+            (Printf.sprintf "missing required series %s"
+               (String.concat ", "
+                  (List.map (Printf.sprintf "%S") missing)))
         | Ok n -> (
           match Json.member "profile" j with
           | None -> Error "missing \"profile\" block"
@@ -400,10 +426,19 @@ let pct_delta base cur =
   if base = 0.0 then if cur = 0.0 then 0.0 else infinity
   else (cur -. base) /. base *. 100.0
 
+(* Series measured in machine-dependent wall seconds: real syscall
+   timing jitters far beyond any useful threshold, so the gate reports
+   their drift without ever classifying it as a regression (vanishing
+   still fails via [missing]). *)
+let wallclock_series name =
+  String.length name >= 16 && String.sub name 0 16 = "transition+file/"
+
 let compare_bench ~threshold_pct ~baseline ~current =
   let find name xs = List.find_opt (fun s -> String.equal s.series_name name) xs in
   let regressions = ref [] and improvements = ref [] and compared = ref 0 in
   let consider name field base cur =
+    if wallclock_series name then ()
+    else
     let d =
       {
         delta_name = name;

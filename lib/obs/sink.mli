@@ -46,7 +46,12 @@ val validate_chrome_file : string -> (int, string) result
 
 val bench_schema : string
 (** The current [waveidx bench --json] schema tag,
-    ["waveidx-bench/5"]. *)
+    ["waveidx-bench/6"]. *)
+
+val required_bench_series : string list
+(** Series every /6 snapshot must carry — the sharded throughput
+    scaling curve [throughput+shards/{1,2,4,8}].  {!validate_bench}
+    fails with the missing names otherwise. *)
 
 val validate_bench : Json.t -> (int, string) result
 (** Check a [BENCH_wave.json] snapshot against {!bench_schema}: the
@@ -105,6 +110,13 @@ type bench_comparison = {
   improvements : bench_delta list;
 }
 
+val wallclock_series : string -> bool
+(** Series measured in machine-dependent wall seconds — the
+    [transition+file/] prefix.  {!compare_bench} never classifies
+    their drift as a regression or improvement (real syscall timing
+    jitters far beyond any useful threshold); a vanished wall-clock
+    series still fails via [missing]. *)
+
 val compare_bench :
   threshold_pct:float ->
   baseline:bench_series list ->
@@ -112,7 +124,8 @@ val compare_bench :
   bench_comparison
 (** A p50 or p95 that grew beyond [threshold_pct] percent (with a 1e-9
     absolute epsilon so bit-identical reruns never trip) is a
-    regression; shrunk beyond it, an improvement. *)
+    regression; shrunk beyond it, an improvement.  {!wallclock_series}
+    are exempt from both classifications. *)
 
 val bench_ok : bench_comparison -> bool
 (** No regressions and no vanished series. *)

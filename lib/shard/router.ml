@@ -1,0 +1,323 @@
+open Wave_core
+open Wave_storage
+open Wave_disk
+open Wave_epoch
+open Wave_model
+module Metrics = Wave_obs.Metrics
+
+type arm_state = { id : int; mutable scheme : Scheme.t; disk : Disk.t }
+type intent = { victim_arm : int; sib_disk : Disk.t }
+
+type t = {
+  kind : Scheme.kind;
+  icfg : Index.config;
+  technique : Env.technique;
+  allow_deletes : bool;
+  base_store : Env.day_store;
+  clock : Parallel.t;
+  w : int;
+  n : int;
+  mutable part : Partition.t;
+  mutable arms_arr : arm_state array;
+  mutable day : int;
+  mutable n_splits : int;
+  mutable intent : intent option;
+  mutable served : Entry.t list list;
+}
+
+exception Split_in_progress
+
+let filtered_store base part arm_id d =
+  Entry.batch_filter (base d) ~keep:(fun v ->
+      Partition.arm_of_value part v = arm_id)
+
+let fanout_hist = lazy (Metrics.histogram "shard.fanout")
+
+let update_gauges t =
+  Metrics.set (Metrics.gauge "shard.arms")
+    (float_of_int (Array.length t.arms_arr));
+  Metrics.set (Metrics.gauge "shard.skew_ratio") (Parallel.skew_ratio t.clock);
+  Array.iteri
+    (fun i a ->
+      let g fmt = Metrics.gauge (Printf.sprintf fmt i) in
+      Metrics.set (g "shard.%d.busy_seconds") (Parallel.busy_arm t.clock i);
+      Metrics.set (g "shard.%d.space_bytes")
+        (float_of_int (Scheme.allocated_bytes a.scheme));
+      Metrics.set (g "shard.%d.wave_length")
+        (float_of_int (Frame.length (Scheme.frame a.scheme))))
+    t.arms_arr
+
+let create ?(icfg = Index.default_config) ?(technique = Env.In_place)
+    ?(allow_deletes = true) ~kind ~partition ~shards ~vocab ~store ~w ~n () =
+  let part = Partition.create partition ~arms:shards ~vocab in
+  let arms_arr =
+    Array.init shards (fun id ->
+        let disk = Index.make_disk icfg in
+        let env =
+          Env.create ~disk ~icfg ~technique ~allow_deletes
+            ~store:(filtered_store store part id) ~w ~n ()
+        in
+        { id; scheme = Scheme.start kind env; disk })
+  in
+  let t =
+    {
+      kind;
+      icfg;
+      technique;
+      allow_deletes;
+      base_store = store;
+      clock = Parallel.create ~arms:shards;
+      w;
+      n;
+      part;
+      arms_arr;
+      day = w;
+      n_splits = 0;
+      intent = None;
+      served = [];
+    }
+  in
+  update_gauges t;
+  t
+
+let partition t = t.part
+let arms t = Array.length t.arms_arr
+let current_day t = t.day
+let clock t = t.clock
+let splits t = t.n_splits
+let arm_disk t i = t.arms_arr.(i).disk
+let arm_scheme t i = t.arms_arr.(i).scheme
+let last_served t = t.served
+
+let probe t ~value ~t1 ~t2 =
+  let a = t.arms_arr.(Partition.arm_of_value t.part value) in
+  let before = Disk.elapsed a.disk in
+  let entries =
+    Frame.timed_index_probe (Scheme.frame a.scheme) ~t1 ~t2 ~value
+  in
+  let makespan =
+    Parallel.record t.clock [ (a.id, Disk.elapsed a.disk -. before) ]
+  in
+  Metrics.inc (Metrics.counter "shard.probes");
+  Metrics.observe (Lazy.force fanout_hist) 1.0;
+  (entries, makespan)
+
+let scan t ~t1 ~t2 =
+  let deltas, parts =
+    Array.fold_left
+      (fun (ds, es) a ->
+        let before = Disk.elapsed a.disk in
+        let part = Frame.timed_segment_scan (Scheme.frame a.scheme) ~t1 ~t2 in
+        ((a.id, Disk.elapsed a.disk -. before) :: ds, part :: es))
+      ([], []) t.arms_arr
+  in
+  let makespan = Parallel.record t.clock deltas in
+  Metrics.inc (Metrics.counter "shard.scans");
+  Metrics.observe (Lazy.force fanout_hist)
+    (float_of_int (Array.length t.arms_arr));
+  (List.sort Entry.compare (List.concat parts), makespan)
+
+let advance t =
+  let deltas =
+    Array.fold_left
+      (fun ds a ->
+        let before = Disk.elapsed a.disk in
+        Scheme.transition a.scheme;
+        (a.id, Disk.elapsed a.disk -. before) :: ds)
+      [] t.arms_arr
+  in
+  t.day <- t.day + 1;
+  let makespan = Parallel.record t.clock deltas in
+  update_gauges t;
+  makespan
+
+(* -------------------------------------------------------------------- *)
+(* Rebalancing: split a hot arm as a snapshot-isolated transition.      *)
+(* -------------------------------------------------------------------- *)
+
+let range_pred days ~t1 ~t2 = Dayset.exists (fun d -> d >= t1 && d <= t2) days
+
+let claimed_extents scheme =
+  List.concat_map
+    (fun (idx, _) -> Index.extents idx)
+    (Frame.snapshot (Scheme.frame scheme))
+  @ List.concat_map Index.extents (Scheme.temp_indexes scheme)
+
+let split ?(on_sibling = fun _ -> ()) ?(serve = []) t ~arm =
+  if t.intent <> None then raise Split_in_progress;
+  if not (Partition.can_split t.part ~arm) then
+    invalid_arg (Printf.sprintf "Router.split: arm %d not divisible" arm);
+  let victim = t.arms_arr.(arm) in
+  let new_part = Partition.split t.part ~arm in
+  let new_id = Partition.arms t.part in
+  let sib_disk = Index.make_disk t.icfg in
+  t.intent <- Some { victim_arm = arm; sib_disk };
+  t.served <- [];
+  on_sibling sib_disk;
+  let before_v = Disk.elapsed victim.disk in
+  let before_s = Disk.elapsed sib_disk in
+  Epoch.attach victim.disk;
+  let old_scheme = victim.scheme in
+  let old_slots = Frame.snapshot (Scheme.frame old_scheme) in
+  let epoch =
+    Epoch.open_ victim.disk
+      ~slots:(List.map (fun (idx, days) -> (idx, range_pred days)) old_slots)
+  in
+  let pending = ref serve in
+  let serve_one () =
+    match !pending with
+    | [] -> ()
+    | (v, t1, t2) :: rest ->
+      pending := rest;
+      Epoch.acquire epoch;
+      let r = Epoch.probe epoch ~value:v ~t1 ~t2 in
+      Epoch.release epoch;
+      t.served <- t.served @ [ r ]
+  in
+  Epoch.Interleave.run victim.disk ~on_op:serve_one (fun () ->
+      (* Sibling half first: a fault on the fresh disk must fire before
+         anything irreversible happens on the victim. *)
+      let mk_env disk id =
+        Env.create ~disk ~icfg:t.icfg ~technique:t.technique
+          ~allow_deletes:t.allow_deletes
+          ~store:(filtered_store t.base_store new_part id) ~w:t.w ~n:t.n ()
+      in
+      let sib_scheme = Scheme.start t.kind (mk_env sib_disk new_id) in
+      Scheme.advance_to sib_scheme t.day;
+      (* Retained half rebuilds on the victim's own disk while the
+         epoch keeps the pre-split snapshot probe-able. *)
+      let keep_scheme = Scheme.start t.kind (mk_env victim.disk arm) in
+      Scheme.advance_to keep_scheme t.day;
+      while !pending <> [] do
+        serve_one ()
+      done;
+      (* The atomic swap: commit the new partition and arm set in one
+         in-memory step, aligned with the epoch swap.  Every fault
+         point lands before this line, so recovery always sees the old
+         committed partition. *)
+      t.part <- new_part;
+      victim.scheme <- keep_scheme;
+      t.arms_arr <-
+        Array.append t.arms_arr
+          [| { id = new_id; scheme = sib_scheme; disk = sib_disk } |];
+      Parallel.grow t.clock ~arms:(new_id + 1);
+      t.intent <- None;
+      t.n_splits <- t.n_splits + 1;
+      Epoch.commit ~swap_seconds:0.0 victim.disk;
+      (* Retire the pre-split constituents; drops of snapshot-visible
+         indexes defer through the epoch gates until readers drain. *)
+      List.iter (fun (idx, _) -> Index.drop idx) old_slots;
+      List.iter Index.drop (Scheme.temp_indexes old_scheme));
+  Epoch.release epoch;
+  Epoch.detach victim.disk;
+  Metrics.inc (Metrics.counter "shard.splits");
+  let makespan =
+    Parallel.record t.clock
+      [
+        (arm, Disk.elapsed victim.disk -. before_v);
+        (new_id, Disk.elapsed sib_disk -. before_s);
+      ]
+  in
+  update_gauges t;
+  makespan
+
+let recover t =
+  match t.intent with
+  | None -> ()
+  | Some { victim_arm; sib_disk } ->
+    let victim = t.arms_arr.(victim_arm) in
+    Disk.clear_fault victim.disk;
+    Disk.clear_fault sib_disk;
+    (* Discard the epoch's deferred drops/frees without executing them:
+       the half-built indexes' extents are the leaks the sweep below
+       frees, exactly like transition recovery. *)
+    Epoch.on_crash victim.disk;
+    let claimed = claimed_extents victim.scheme in
+    List.iter
+      (fun e -> if not (List.mem e claimed) then Disk.free victim.disk e)
+      (Disk.live_extents victim.disk);
+    (* The sibling disk was never installed; dropping the reference
+       discards it wholesale. *)
+    t.intent <- None
+
+let check_no_leaks t =
+  Array.iter
+    (fun a ->
+      let claimed = claimed_extents a.scheme in
+      List.iter
+        (fun e ->
+          if not (List.mem e claimed) then
+            failwith
+              (Printf.sprintf
+                 "Router.check_no_leaks: arm %d leaks extent at %d (%d blocks)"
+                 a.id e.Disk.start e.Disk.length))
+        (Disk.live_extents a.disk))
+    t.arms_arr
+
+(* -------------------------------------------------------------------- *)
+(* Driving a sharded run                                                *)
+(* -------------------------------------------------------------------- *)
+
+type run_result = {
+  days_run : int;
+  queries : int;
+  query_makespan_s : float;
+  query_serial_s : float;
+  maintenance_makespan_s : float;
+  splits_done : int;
+  skew : float;
+  speedup : float;
+  throughput_qps : float;
+}
+
+let total_elapsed t =
+  Array.fold_left (fun acc a -> acc +. Disk.elapsed a.disk) 0.0 t.arms_arr
+
+let hottest_splittable t =
+  let best = ref None in
+  Array.iteri
+    (fun i _ ->
+      if Partition.can_split t.part ~arm:i then
+        let busy = Parallel.busy_arm t.clock i in
+        match !best with
+        | Some (_, b) when b >= busy -> ()
+        | _ -> best := Some (i, busy))
+    t.arms_arr;
+  Option.map fst !best
+
+let run ?split_threshold t ~spec ~days =
+  let q_par = ref 0.0 and q_ser = ref 0.0 and m_par = ref 0.0 in
+  let nq = ref 0 in
+  for _ = 1 to days do
+    m_par := !m_par +. advance t;
+    (match split_threshold with
+    | Some thr when Parallel.skew_ratio t.clock > thr -> (
+      match hottest_splittable t with
+      | Some i -> m_par := !m_par +. split t ~arm:i
+      | None -> ())
+    | _ -> ());
+    List.iter
+      (fun q ->
+        incr nq;
+        let before = total_elapsed t in
+        let makespan =
+          match q with
+          | Wave_workload.Query_gen.Probe { value; t1; t2 } ->
+            snd (probe t ~value ~t1 ~t2)
+          | Wave_workload.Query_gen.Scan { t1; t2 } -> snd (scan t ~t1 ~t2)
+        in
+        q_par := !q_par +. makespan;
+        q_ser := !q_ser +. (total_elapsed t -. before))
+      (Wave_workload.Query_gen.day_queries spec ~day:t.day ~w:t.w)
+  done;
+  {
+    days_run = days;
+    queries = !nq;
+    query_makespan_s = !q_par;
+    query_serial_s = !q_ser;
+    maintenance_makespan_s = !m_par;
+    splits_done = t.n_splits;
+    skew = Parallel.skew_ratio t.clock;
+    speedup = Parallel.speedup t.clock;
+    throughput_qps = (if !q_par > 0.0 then float_of_int !nq /. !q_par else 0.0);
+  }

@@ -1,0 +1,133 @@
+(** The shard router: N arms, each a full scheme instance on its own
+    disk, behind one query surface.
+
+    Every arm runs the {e same} scheme x technique over its slice of
+    the key space (its day store is the base store filtered through the
+    committed {!Partition.t}), so the router is transparent: a probe
+    routed to the owning arm returns bit-identical entries to a
+    single-disk run, and a scan is the (sorted) union of the arms'
+    scans.
+
+    Costs use parallel semantics via {!Wave_model.Parallel}: a fan-out
+    is charged the max over the touched arms' disk-clock deltas (its
+    makespan), while per-arm busy totals feed utilisation/skew gauges
+    ([shard.<i>.*], [shard.skew_ratio], [shard.fanout]).
+
+    {2 Rebalancing}
+
+    {!split} carves a hot arm in two as a snapshot-isolated transition
+    on the PR 8 epoch machinery: probes keep resolving against the
+    victim's pre-split epoch while both halves build, the new partition
+    is committed in one atomic swap aligned with [Epoch.commit], and a
+    crash at any disk fault point before the swap {!recover}s to the
+    old committed partition (the half-built indexes are swept as
+    leaks, the sibling disk is discarded).  After the swap the old
+    constituents drop through the epoch's deferred gates as readers
+    drain. *)
+
+open Wave_core
+open Wave_storage
+open Wave_disk
+
+type t
+
+val create :
+  ?icfg:Index.config ->
+  ?technique:Env.technique ->
+  ?allow_deletes:bool ->
+  kind:Scheme.kind ->
+  partition:Partition.kind ->
+  shards:int ->
+  vocab:int ->
+  store:Env.day_store ->
+  w:int ->
+  n:int ->
+  unit ->
+  t
+(** Build [shards] arms, each [Scheme.start]ed over days [1..w] of its
+    filtered store.  Every arm gets its own simulated disk compatible
+    with [icfg]. *)
+
+val partition : t -> Partition.t
+(** The committed partition (the only one queries ever route by). *)
+
+val arms : t -> int
+val current_day : t -> int
+val clock : t -> Wave_model.Parallel.t
+val splits : t -> int
+(** Completed (committed) splits. *)
+
+val arm_disk : t -> int -> Disk.t
+val arm_scheme : t -> int -> Scheme.t
+
+val probe : t -> value:int -> t1:int -> t2:int -> Entry.t list * float
+(** Route to the owning arm (fan-out 1); returns the entries and the
+    makespan charged to the parallel clock. *)
+
+val scan : t -> t1:int -> t2:int -> Entry.t list * float
+(** Fan out to every arm; entries merged in [Entry.compare] order. *)
+
+val advance : t -> float
+(** Absorb the next day on every arm (each arm's transition runs
+    concurrently with the others'); returns the makespan.  Updates the
+    per-arm gauges. *)
+
+exception Split_in_progress
+
+val split :
+  ?on_sibling:(Disk.t -> unit) ->
+  ?serve:(int * int * int) list ->
+  t ->
+  arm:int ->
+  float
+(** Split [arm] (must satisfy [Partition.can_split]).  [on_sibling]
+    runs right after the new arm's disk is created — the crash sweep
+    arms fault injection there.  [serve] is a list of [(value, t1,
+    t2)] probes to serve {e during} the split from the victim's epoch
+    snapshot (interleaved at disk-op ticks); their results are checked
+    against the snapshot by the caller via {!last_served}.  Returns
+    the makespan over the disks the split touched.
+
+    On a disk fault the exception propagates with the router still on
+    the old committed partition; call {!recover}. *)
+
+val last_served : t -> Entry.t list list
+(** Results of the [serve] probes of the most recent {!split}, in
+    order. *)
+
+val recover : t -> unit
+(** Crash recovery for an interrupted {!split}: discard the epoch's
+    deferred work ([Epoch.on_crash]), free the half-built indexes'
+    leaked extents on the victim disk (everything live that no
+    committed index claims), drop the sibling disk, clear fault
+    injection.  Idempotent; a no-op when no split was in flight. *)
+
+val check_no_leaks : t -> unit
+(** Assert every live extent on every arm disk is claimed by that
+    arm's committed constituents or scheme temporaries ([Failure]
+    otherwise) — the sweep's post-recovery invariant. *)
+
+(** {1 Driving a sharded run} *)
+
+type run_result = {
+  days_run : int;
+  queries : int;
+  query_makespan_s : float;  (** parallel model-seconds serving queries *)
+  query_serial_s : float;  (** what one disk would have paid *)
+  maintenance_makespan_s : float;
+  splits_done : int;
+  skew : float;  (** {!Wave_model.Parallel.skew_ratio} at end *)
+  speedup : float;  (** serial / parallel over the whole run *)
+  throughput_qps : float;  (** queries per parallel model-second *)
+}
+
+val run :
+  ?split_threshold:float ->
+  t ->
+  spec:Wave_workload.Query_gen.spec ->
+  days:int ->
+  run_result
+(** Advance [days] days, serving each day's generated queries through
+    the router.  With [split_threshold], a day boundary where the busy
+    skew ratio exceeds the threshold splits the busiest splittable
+    arm. *)

@@ -1,0 +1,221 @@
+open Wave_core
+open Wave_storage
+open Wave_disk
+
+(* Same shape as [Crash_harness.default_store]: 8 postings a day over a
+   6-value vocabulary, rids unique per (day, slot). *)
+let vocab = 6
+
+let store day =
+  Entry.batch_create ~day
+    (Array.init 8 (fun i ->
+         {
+           Entry.value = 1 + ((day + i) mod vocab);
+           entry = { Entry.rid = (day * 100) + i; day; info = i };
+         }))
+
+type reference = { probes : Entry.t list array; scan : Entry.t list }
+
+let capture r ~w =
+  let day = Router.current_day r in
+  let t1 = day - w + 1 and t2 = day in
+  {
+    probes =
+      Array.init vocab (fun i -> fst (Router.probe r ~value:(i + 1) ~t1 ~t2));
+    scan = fst (Router.scan r ~t1 ~t2);
+  }
+
+let ref_equal a b = a.probes = b.probes && a.scan = b.scan
+
+type point_result = {
+  point : Disk.fault_point;
+  on_sibling : bool;
+  fired : bool;
+  rolled_back : bool;
+  probes_ok : bool;
+  served_ok : bool;
+  no_leaks : bool;
+  resplit_ok : bool;
+}
+
+let point_passed p =
+  p.fired && p.rolled_back && p.probes_ok && p.served_ok && p.no_leaks
+  && p.resplit_ok
+
+type result = {
+  scheme : Scheme.kind;
+  technique : Env.technique;
+  points : point_result list;
+}
+
+let result_passed r = r.points <> [] && List.for_all point_passed r.points
+
+let ensure_dir dir = try Sys.mkdir dir 0o755 with Sys_error _ -> ()
+
+let dump_flight ~reason path =
+  try Wave_obs.Recorder.dump_to ~reason path with Sys_error _ -> ()
+
+let no_leaks r =
+  match Router.check_no_leaks r with
+  | () -> true
+  | exception Failure _ -> false
+
+let sweep ?artifact_dir ?(shards = 2) ~scheme ~technique ~partition ~w ~n () =
+  (* Uncrashed twin: reference answers on both sides of the split and
+     the fault schedules of the two disks it touches. *)
+  let make () =
+    Router.create ~kind:scheme ~technique ~partition ~shards ~vocab ~store ~w
+      ~n ()
+  in
+  let twin = make () in
+  ignore (Router.advance twin);
+  let day = Router.current_day twin in
+  let pre_ref = capture twin ~w in
+  let p0 = Router.partition twin in
+  let serve =
+    List.init vocab (fun i -> i + 1)
+    |> List.filter (fun v -> Partition.arm_of_value p0 v = 0)
+    |> List.filteri (fun i _ -> i < 2)
+    |> List.map (fun v -> (v, day - w + 1, day))
+  in
+  let expected_served =
+    List.map (fun (v, _, _) -> pre_ref.probes.(v - 1)) serve
+  in
+  let victim_disk = Router.arm_disk twin 0 in
+  let before_v = Disk.counters victim_disk in
+  let sib_before = ref None in
+  ignore
+    (Router.split twin ~arm:0 ~serve
+       ~on_sibling:(fun d -> sib_before := Some (Disk.counters d)));
+  let after_v = Disk.counters victim_disk in
+  let after_s = Disk.counters (Router.arm_disk twin shards) in
+  let post_ref = capture twin ~w in
+  let sched_v = Disk.fault_schedule ~before:before_v ~after:after_v in
+  let sched_s =
+    Disk.fault_schedule ~before:(Option.get !sib_before) ~after:after_s
+  in
+  let run_point ~on_sibling point =
+    Wave_obs.Recorder.clear ();
+    let r = make () in
+    ignore (Router.advance r);
+    (* Replay the twin's pre-split capture so the victim disk enters
+       the split at the exact counter state the schedule was
+       discovered against. *)
+    ignore (capture r ~w);
+    if not on_sibling then
+      Disk.arm_fault (Router.arm_disk r 0) ~mode:Disk.Fail_stop point;
+    let arm_sibling d =
+      if on_sibling then Disk.arm_fault d ~mode:Disk.Fail_stop point
+    in
+    let fired =
+      match Router.split r ~arm:0 ~serve ~on_sibling:arm_sibling with
+      | _ -> false
+      | exception Disk.Disk_error _ -> true
+    in
+    let served = Router.last_served r in
+    Router.recover r;
+    let rolled_back =
+      fired
+      && Partition.generation (Router.partition r) = 1
+      && Router.arms r = shards
+      && Router.splits r = 0
+    in
+    let probes_ok = fired && ref_equal (capture r ~w) pre_ref in
+    let served_ok =
+      List.length served <= List.length expected_served
+      && List.for_all2
+           (fun got want -> got = want)
+           served
+           (List.filteri (fun i _ -> i < List.length served) expected_served)
+    in
+    let leaks_ok = no_leaks r in
+    let resplit_ok =
+      match Router.split r ~arm:0 ~serve with
+      | _ ->
+        Partition.generation (Router.partition r) = 2
+        && Router.arms r = shards + 1
+        && ref_equal (capture r ~w) post_ref
+        && no_leaks r
+      | exception _ -> false
+    in
+    {
+      point;
+      on_sibling;
+      fired;
+      rolled_back;
+      probes_ok;
+      served_ok;
+      no_leaks = leaks_ok;
+      resplit_ok;
+    }
+  in
+  let run_side ~on_sibling sched =
+    List.map
+      (fun point ->
+        let res = run_point ~on_sibling point in
+        (if not (point_passed res) then
+           match artifact_dir with
+           | None -> ()
+           | Some dir ->
+             ensure_dir dir;
+             let slug =
+               Format.asprintf "%s_%s_%s%a"
+                 (Scheme.name scheme)
+                 (Env.technique_name technique)
+                 (if on_sibling then "sib_" else "victim_")
+                 Disk.pp_fault_point point
+             in
+             dump_flight ~reason:"shard split sweep failure"
+               (Filename.concat dir (slug ^ ".jsonl")));
+        res)
+      sched
+  in
+  {
+    scheme;
+    technique;
+    points = run_side ~on_sibling:false sched_v @ run_side ~on_sibling:true sched_s;
+  }
+
+let sweep_matrix ?artifact_dir ?shards ?(schemes = Scheme.all)
+    ?(techniques = Env.[ In_place; Simple_shadow; Packed_shadow ]) ~partition
+    ~w ~n () =
+  let results =
+    List.concat_map
+      (fun scheme ->
+        List.map
+          (fun technique ->
+            sweep ?artifact_dir ?shards ~scheme ~technique ~partition ~w ~n ())
+          techniques)
+      schemes
+  in
+  let rows =
+    List.map
+      (fun scheme ->
+        Scheme.name scheme
+        :: List.map
+             (fun technique ->
+               match
+                 List.find_opt
+                   (fun r -> r.scheme = scheme && r.technique = technique)
+                   results
+               with
+               | None -> "-"
+               | Some r ->
+                 let total = List.length r.points in
+                 let ok = List.length (List.filter point_passed r.points) in
+                 Printf.sprintf "%d/%d%s" ok total
+                   (if result_passed r then "" else " FAIL"))
+             techniques)
+      schemes
+  in
+  let table =
+    Printf.sprintf
+      "# Shard-split crash sweep (%s partition, W=%d n=%d): recovered \
+       points / fault points\n%s"
+      (Partition.kind_name partition)
+      w n
+      (Wave_util.Table_print.render
+         ~header:("scheme" :: List.map Env.technique_name techniques)
+         ~rows)
+  in
+  (results, table)

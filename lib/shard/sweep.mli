@@ -1,0 +1,60 @@
+(** Crash sweep for the shard-split transition.
+
+    Mirrors [Crash_harness.sweep] for {!Router.split}: an uncrashed
+    twin discovers every disk fault point of a split (on the victim's
+    disk {e and} on the fresh sibling disk), then a fresh router is
+    killed at each point and recovered.  Recovery must land on exactly
+    one committed shard map — the pre-split partition, with probes
+    bit-identical to the pre-split reference, no leaked extents, and
+    the interrupted split re-runnable to the post-split reference. *)
+
+open Wave_core
+open Wave_disk
+
+type point_result = {
+  point : Disk.fault_point;
+  on_sibling : bool;  (** fault armed on the new arm's disk *)
+  fired : bool;
+  rolled_back : bool;  (** recovered to the pre-split committed map *)
+  probes_ok : bool;
+  served_ok : bool;  (** probes served mid-split match the snapshot *)
+  no_leaks : bool;
+  resplit_ok : bool;  (** re-running the split reaches the post-split twin *)
+}
+
+val point_passed : point_result -> bool
+
+type result = {
+  scheme : Scheme.kind;
+  technique : Env.technique;
+  points : point_result list;
+}
+
+val result_passed : result -> bool
+
+val sweep :
+  ?artifact_dir:string ->
+  ?shards:int ->
+  scheme:Scheme.kind ->
+  technique:Env.technique ->
+  partition:Partition.kind ->
+  w:int ->
+  n:int ->
+  unit ->
+  result
+(** One scheme x technique cell.  A failing point writes its
+    flight-recorder dump under [artifact_dir] (created on demand;
+    nothing is written when the sweep passes). *)
+
+val sweep_matrix :
+  ?artifact_dir:string ->
+  ?shards:int ->
+  ?schemes:Scheme.kind list ->
+  ?techniques:Env.technique list ->
+  partition:Partition.kind ->
+  w:int ->
+  n:int ->
+  unit ->
+  (result list * string)
+(** The full matrix (defaults: all 6 schemes x 3 techniques) plus a
+    printable summary table. *)

@@ -36,11 +36,23 @@ let create ?(icfg = Index.default_config) ?(shared_pool = false) ~store ~w ~n
             ~frames ~readahead:icfg.Index.cache_readahead
             ~write_back:icfg.Index.cache_write_back ()));
   let parts = Split.contiguous ~first_day:1 ~days:w ~parts:n in
+  (* LPT placement over per-slot day counts: [Split.contiguous] hands
+     the first slots the larger ranges, so round-robin (slot [i] on
+     disk [i mod disks]) could pile the big slots onto the low-id
+     disks.  Balancing by weight keeps arm block counts within 2x of
+     each other under uniform days. *)
+  let placement =
+    Wave_shard.Partition.place
+      ~weights:
+        (Array.of_list
+           (List.map (fun (lo, hi) -> float_of_int (hi - lo + 1)) parts))
+      ~arms:disks
+  in
   let slots =
     Array.of_list
       (List.mapi
          (fun i (lo, hi) ->
-           let disk_id = i mod disks in
+           let disk_id = placement.(i) in
            let batches = List.init (hi - lo + 1) (fun k -> store (lo + k)) in
            {
              index = Index.build disk_arr.(disk_id) icfg batches;

@@ -6,7 +6,9 @@
     over monolithic indices when we use multiple disks."
 
     This module places each constituent index on its own simulated disk
-    (round-robin when there are more constituents than disks) and
+    (longest-processing-time placement by slot day count, via
+    {!Wave_shard.Partition.place}, when there are more constituents
+    than disks) and
     measures queries and daily maintenance both serially (one disk arm
     doing everything) and in parallel (all disks working concurrently;
     elapsed time is the busiest disk's). *)
@@ -20,7 +22,8 @@ val create :
   ?icfg:Index.config -> ?shared_pool:bool -> store:Env.day_store -> w:int ->
   n:int -> disks:int -> unit -> t
 (** Builds the initial wave (days [1..w] split in [n] clusters as DEL's
-    Start does), constituent [j] on disk [j mod disks].
+    Start does), constituents placed on disks by LPT over their day
+    counts so arm loads stay balanced even when [W mod n <> 0].
     [shared_pool] (default [false]) backs {e all} arms with one
     {!Wave_cache.Cache.attach_shared} pool of [icfg.cache_blocks]
     frames — a global buffer manager in which a hot arm's working set

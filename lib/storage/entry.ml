@@ -22,6 +22,9 @@ let batch_create ~day postings =
 
 let batch_size b = Array.length b.postings
 
+let batch_filter b ~keep =
+  { b with postings = Array.of_list (List.filter (fun p -> keep p.value) (Array.to_list b.postings)) }
+
 let group_by_value postings =
   let tbl = Hashtbl.create 64 in
   Array.iter

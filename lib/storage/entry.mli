@@ -32,6 +32,11 @@ val batch_create : day:int -> posting array -> batch
 
 val batch_size : batch -> int
 
+val batch_filter : batch -> keep:(int -> bool) -> batch
+(** Restricts a batch to the postings whose search value satisfies
+    [keep], preserving order.  Used by the shard router to carve one
+    day store into per-arm stores. *)
+
 val group_by_value : posting array -> (int * t list) list
 (** Groups postings by search value, values ascending, entries in input
     order within a value. *)

@@ -745,11 +745,14 @@ let contains ~sub s =
   let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
   n = 0 || go 0
 
-(* A minimal document that satisfies every waveidx-bench/5 rule; the
-   corpus below perturbs it one field at a time. *)
+(* A minimal document that satisfies every waveidx-bench/6 rule; the
+   corpus below perturbs it one field at a time.  [shard_series] lists
+   the required scaling-curve series appended after the perturbable
+   benchmark (drop one and validation must name it). *)
 let valid_bench_doc ?(schema = Sink.bench_schema) ?(unit_ = "model-seconds")
     ?(p50 = 0.5) ?(runs = 5.0) ?(hit_ratio = 0.9) ?(flushes = 3.0)
-    ?(name = Some "probe/DEL") ?(benchmarks = None) ?(profile = None) () =
+    ?(name = Some "probe/DEL") ?(benchmarks = None) ?(profile = None)
+    ?(shard_series = Sink.required_bench_series) () =
   let bench =
     Json.Obj
       ((match name with Some n -> [ ("name", Json.Str n) ] | None -> [])
@@ -795,20 +798,34 @@ let valid_bench_doc ?(schema = Sink.bench_schema) ?(unit_ = "model-seconds")
             ] );
       ]
   in
+  let shard_bench s =
+    Json.Obj
+      [
+        ("name", Json.Str s);
+        ("p50", Json.Num 0.1);
+        ("p95", Json.Num 0.2);
+        ("runs", Json.Num 5.0);
+      ]
+  in
   Json.Obj
     [
       ("schema", Json.Str schema);
       ("unit", Json.Str unit_);
       ( "benchmarks",
-        match benchmarks with Some bs -> bs | None -> Json.Arr [ bench ] );
+        match benchmarks with
+        | Some bs -> bs
+        | None -> Json.Arr (bench :: List.map shard_bench shard_series) );
       ( "profile",
         match profile with Some p -> p | None -> default_profile );
     ]
 
 let test_sink_validate_bench_accepts_valid () =
   match Sink.validate_bench (valid_bench_doc ()) with
-  | Ok n -> Alcotest.(check int) "one benchmark" 1 n
-  | Error e -> Alcotest.failf "valid /5 document rejected: %s" e
+  | Ok n ->
+    Alcotest.(check int) "benchmark count"
+      (1 + List.length Sink.required_bench_series)
+      n
+  | Error e -> Alcotest.failf "valid /6 document rejected: %s" e
 
 let expect_error name doc frags =
   match Sink.validate_bench doc with
@@ -835,6 +852,14 @@ let test_sink_validate_bench_bad_corpus () =
   expect_error "missing series name"
     (valid_bench_doc ~name:None ())
     [ "benchmark 0"; "\"name\"" ];
+  expect_error "vanished shard series"
+    (valid_bench_doc
+       ~shard_series:
+         (List.filter
+            (fun s -> s <> "throughput+shards/4")
+            Sink.required_bench_series)
+       ())
+    [ "required series"; "throughput+shards/4" ];
   expect_error "negative p50"
     (valid_bench_doc ~p50:(-0.1) ())
     [ "probe/DEL"; "p50" ];

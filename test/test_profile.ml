@@ -571,6 +571,28 @@ let test_gate_reports_improvements () =
     Alcotest.(check (float 1e-9)) "delta pct" (-50.0) d.Sink.delta_pct
   | l -> Alcotest.failf "expected 1 improvement, got %d" (List.length l)
 
+let test_gate_exempts_wallclock_series () =
+  (* transition+file/ series are real wall-seconds: machine-dependent
+     jitter is reported but never a regression — while vanishing
+     entirely still fails the gate. *)
+  Alcotest.(check bool) "prefix recognized" true
+    (Sink.wallclock_series "transition+file/DEL/in-place");
+  Alcotest.(check bool) "model series not exempt" false
+    (Sink.wallclock_series "transition/DEL/in-place");
+  let baseline = [ series "transition+file/DEL/in-place" 0.002 0.003 ] in
+  let current = [ series "transition+file/DEL/in-place" 0.004 0.009 ] in
+  let cmp = Sink.compare_bench ~threshold_pct:10.0 ~baseline ~current in
+  Alcotest.(check bool) "2x wall drift passes" true (Sink.bench_ok cmp);
+  Alcotest.(check int) "still compared" 1 cmp.Sink.compared;
+  Alcotest.(check int) "no improvement classification either" 0
+    (List.length
+       (Sink.compare_bench ~threshold_pct:10.0 ~baseline:current
+          ~current:baseline)
+         .Sink.improvements);
+  let vanished = Sink.compare_bench ~threshold_pct:10.0 ~baseline ~current:[] in
+  Alcotest.(check bool) "vanished wall series still fails" false
+    (Sink.bench_ok vanished)
+
 let test_gate_exact_rerun_is_clean () =
   (* Bit-identical model-second reruns must never trip the gate, even
      at threshold 0. *)
@@ -1099,6 +1121,8 @@ let suites =
           test_gate_fails_on_vanished_series;
         Alcotest.test_case "reports improvements" `Quick
           test_gate_reports_improvements;
+        Alcotest.test_case "wall-clock series exempt from drift" `Quick
+          test_gate_exempts_wallclock_series;
         Alcotest.test_case "exact rerun is clean" `Quick
           test_gate_exact_rerun_is_clean;
         Alcotest.test_case "series extraction" `Quick

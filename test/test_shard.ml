@@ -1,0 +1,439 @@
+(* Tests for the sharded wave index: key-space partitioning, the
+   router's transparency against a single-disk run, parallel cost
+   semantics, the snapshot-isolated shard split with its crash sweep,
+   and the throughput scaling the bench series gates. *)
+
+open Wave_core
+open Wave_shard
+module Parallel = Wave_model.Parallel
+
+let store ?(vocab = 6) ?(postings = 8) day =
+  Wave_storage.Entry.batch_create ~day
+    (Array.init postings (fun i ->
+         {
+           Wave_storage.Entry.value = 1 + (((day * 37) + (i * 13)) mod vocab);
+           entry = { Wave_storage.Entry.rid = (day * 1000) + i; day; info = i };
+         }))
+
+(* --- Partition ----------------------------------------------------- *)
+
+let test_partition_total_and_deterministic () =
+  List.iter
+    (fun kind ->
+      let p = Partition.create kind ~arms:4 ~vocab:500 in
+      for v = 1 to 500 do
+        let a = Partition.arm_of_value p v in
+        Alcotest.(check bool)
+          (Printf.sprintf "%s: value %d in range" (Partition.kind_name kind) v)
+          true
+          (a >= 0 && a < 4);
+        Alcotest.(check int) "deterministic" a (Partition.arm_of_value p v)
+      done)
+    [ Partition.Hash; Partition.Range ]
+
+let test_partition_range_contiguous () =
+  let p = Partition.create Partition.Range ~arms:3 ~vocab:30 in
+  (* Arm of a range partition never decreases... it is contiguous: the
+     set of values owned by each arm forms one run. *)
+  let owners = List.init 30 (fun i -> Partition.arm_of_value p (i + 1)) in
+  let runs =
+    List.fold_left
+      (fun acc o -> match acc with x :: _ when x = o -> acc | _ -> o :: acc)
+      [] owners
+  in
+  Alcotest.(check int) "three contiguous runs" 3 (List.length runs);
+  (* Out-of-domain values clamp to the edge arms. *)
+  Alcotest.(check int) "clamp low" (Partition.arm_of_value p 1)
+    (Partition.arm_of_value p (-5));
+  Alcotest.(check int) "clamp high" (Partition.arm_of_value p 30)
+    (Partition.arm_of_value p 99)
+
+let test_partition_split_moves_only_victim_keys () =
+  List.iter
+    (fun kind ->
+      let p = Partition.create kind ~arms:3 ~vocab:300 in
+      let q = Partition.split p ~arm:1 in
+      Alcotest.(check int) "one more arm" 4 (Partition.arms q);
+      Alcotest.(check int) "generation bumped" 2 (Partition.generation q);
+      let moved = ref 0 in
+      for v = 1 to 300 do
+        let before = Partition.arm_of_value p v in
+        let after = Partition.arm_of_value q v in
+        if before <> 1 then
+          Alcotest.(check int)
+            (Printf.sprintf "%s: untouched arm keeps value %d"
+               (Partition.kind_name kind) v)
+            before after
+        else begin
+          Alcotest.(check bool) "victim value stays or moves to the new arm"
+            true
+            (after = 1 || after = 3);
+          if after = 3 then incr moved
+        end
+      done;
+      Alcotest.(check bool) "some keys moved" true (!moved > 0))
+    [ Partition.Hash; Partition.Range ]
+
+let test_partition_can_split_exhausted () =
+  (* 64 hash arms own one bucket each: no arm is divisible. *)
+  let p = Partition.create Partition.Hash ~arms:Partition.buckets ~vocab:100 in
+  for a = 0 to Partition.buckets - 1 do
+    Alcotest.(check bool) "singleton bucket" false (Partition.can_split p ~arm:a)
+  done;
+  let r = Partition.create Partition.Range ~arms:5 ~vocab:5 in
+  Alcotest.(check bool) "singleton slice" false (Partition.can_split r ~arm:0)
+
+let test_partition_place_lpt () =
+  (* Split.contiguous over W=7, n=3 gives day counts [3; 2; 2]: round
+     robin onto 2 disks piled 3+2 days on disk 0 (2.5x skew); LPT lands
+     3 vs 2+2. *)
+  let placement = Partition.place ~weights:[| 3.0; 2.0; 2.0 |] ~arms:2 in
+  Alcotest.(check (array int)) "heaviest alone" [| 0; 1; 1 |] placement;
+  let loads = Array.make 2 0.0 in
+  Array.iteri
+    (fun i a -> loads.(a) <- loads.(a) +. [| 3.0; 2.0; 2.0 |].(i))
+    placement;
+  Alcotest.(check bool) "within 2x" true
+    (Array.fold_left Float.max 0.0 loads
+    <= 2.0 *. Array.fold_left Float.min infinity loads)
+
+(* --- Parallel cost clock ------------------------------------------- *)
+
+let test_parallel_max_not_sum () =
+  let c = Parallel.create ~arms:3 in
+  let mk = Parallel.record c [ (0, 2.0); (1, 5.0); (2, 1.0) ] in
+  Alcotest.(check (float 1e-9)) "makespan is the max" 5.0 mk;
+  Alcotest.(check (float 1e-9)) "elapsed advances by the max" 5.0
+    (Parallel.elapsed c);
+  Alcotest.(check (float 1e-9)) "serial is the sum" 8.0 (Parallel.serial c);
+  ignore (Parallel.record c [ (0, 3.0) ]);
+  Alcotest.(check (float 1e-9)) "busy per arm" 5.0 (Parallel.busy_arm c 0);
+  Alcotest.(check (float 1e-9)) "speedup = serial/elapsed" (11.0 /. 8.0)
+    (Parallel.speedup c);
+  Alcotest.(check (float 1e-9)) "skew = max/mean" (5.0 /. (11.0 /. 3.0))
+    (Parallel.skew_ratio c);
+  Parallel.grow c ~arms:5;
+  Alcotest.(check int) "grown" 5 (Parallel.arms c);
+  Alcotest.(check (float 1e-9)) "new arms idle" 0.0 (Parallel.busy_arm c 4);
+  Alcotest.check_raises "negative delta"
+    (Invalid_argument "Parallel.record: negative delta") (fun () ->
+      ignore (Parallel.record c [ (0, -1.0) ]));
+  Alcotest.(check (float 1e-9)) "empty fan-out costs nothing" 0.0
+    (Parallel.record c [])
+
+(* --- Entry.batch_filter / Query_gen.scale -------------------------- *)
+
+let test_batch_filter () =
+  let b = store 3 in
+  let f = Wave_storage.Entry.batch_filter b ~keep:(fun v -> v mod 2 = 0) in
+  Alcotest.(check bool) "only kept values" true
+    (Array.for_all
+       (fun p -> p.Wave_storage.Entry.value mod 2 = 0)
+       f.Wave_storage.Entry.postings);
+  let total =
+    Wave_storage.Entry.batch_size f
+    + Array.length
+        (Wave_storage.Entry.batch_filter b ~keep:(fun v -> v mod 2 = 1))
+          .Wave_storage.Entry.postings
+  in
+  Alcotest.(check int) "partition covers the batch"
+    (Wave_storage.Entry.batch_size b)
+    total
+
+let test_query_gen_scale () =
+  let spec = Wave_workload.Query_gen.scam_spec in
+  let big = Wave_workload.Query_gen.scale spec ~factor:1000 in
+  Alcotest.(check int) "probes x1000"
+    (spec.Wave_workload.Query_gen.probes_per_day * 1000)
+    big.Wave_workload.Query_gen.probes_per_day;
+  Alcotest.(check int) "scans x1000"
+    (spec.Wave_workload.Query_gen.scans_per_day * 1000)
+    big.Wave_workload.Query_gen.scans_per_day;
+  Alcotest.(check int) "seed kept" spec.Wave_workload.Query_gen.seed
+    big.Wave_workload.Query_gen.seed;
+  Alcotest.check_raises "factor 0 rejected"
+    (Invalid_argument "Query_gen.scale: factor must be >= 1") (fun () ->
+      ignore (Wave_workload.Query_gen.scale spec ~factor:0))
+
+(* --- Router transparency ------------------------------------------- *)
+
+let vocab = 24
+
+let single_ref ~kind ~technique ~w ~n ~day =
+  let env =
+    Env.create ~technique ~store:(store ~vocab ~postings:12) ~w ~n ()
+  in
+  let s = Scheme.start kind env in
+  Scheme.advance_to s day;
+  Scheme.frame s
+
+let router_for ~kind ~technique ~partition ~shards ~w ~n ~day =
+  let r =
+    Router.create ~technique ~kind ~partition ~shards ~vocab
+      ~store:(store ~vocab ~postings:12) ~w ~n ()
+  in
+  while Router.current_day r < day do
+    ignore (Router.advance r)
+  done;
+  r
+
+(* PRNG property: hash- (and range-) partitioned probe results are
+   bit-identical to the single-disk run, over random arm counts,
+   schemes and probe ranges — the router is invisible to queries. *)
+let prop_router_transparent =
+  QCheck2.Test.make ~name:"sharded probe/scan equal single-disk run" ~count:12
+    QCheck2.Gen.(
+      quad (int_range 1 6) bool (int_range 0 5) (int_range 0 3))
+    (fun (shards, hash, scheme_i, extra_days) ->
+      let kind = List.nth Scheme.all scheme_i in
+      let technique =
+        if scheme_i mod 2 = 0 then Env.Packed_shadow else Env.Simple_shadow
+      in
+      let partition = if hash then Partition.Hash else Partition.Range in
+      let w = 6 and n = 3 in
+      let day = w + extra_days in
+      let frame = single_ref ~kind ~technique ~w ~n ~day in
+      let r = router_for ~kind ~technique ~partition ~shards ~w ~n ~day in
+      let t1 = day - w + 1 and t2 = day in
+      let probes_equal =
+        List.for_all
+          (fun v ->
+            fst (Router.probe r ~value:v ~t1 ~t2)
+            = Frame.timed_index_probe frame ~t1 ~t2 ~value:v)
+          (List.init vocab (fun i -> i + 1))
+      in
+      let scans_equal =
+        fst (Router.scan r ~t1 ~t2)
+        = List.sort Wave_storage.Entry.compare
+            (Frame.timed_segment_scan frame ~t1 ~t2)
+      in
+      probes_equal && scans_equal)
+
+let test_router_fanout_costs () =
+  let r =
+    router_for ~kind:Scheme.Del ~technique:Env.In_place ~partition:Partition.Hash
+      ~shards:4 ~w:6 ~n:3 ~day:8
+  in
+  let clock = Router.clock r in
+  let e0 = Parallel.elapsed clock in
+  let s0 = Parallel.serial clock in
+  let _, mk = Router.scan r ~t1:3 ~t2:8 in
+  Alcotest.(check (float 1e-9)) "scan charged its makespan"
+    (Parallel.elapsed clock -. e0)
+    mk;
+  Alcotest.(check bool) "fan-out makespan below the serial sum" true
+    (mk < Parallel.serial clock -. s0);
+  let pmk =
+    List.fold_left
+      (fun acc v -> acc +. snd (Router.probe r ~value:v ~t1:3 ~t2:8))
+      0.0
+      (List.init vocab (fun i -> i + 1))
+  in
+  Alcotest.(check bool) "probes cost model time" true (pmk > 0.0)
+
+(* --- Multi_disk placement regression ------------------------------- *)
+
+let test_multidisk_balanced_arms () =
+  (* W=7 days over n=3 constituents on 2 disks: contiguous slot sizes
+     are [3; 2; 2], so the old round-robin put 5 of 7 days on disk 0
+     (2.5x skew).  With LPT placement each disk's scan work stays
+     within 2x of the other's.  Per-disk load is read off the scan
+     timing: parallel = busiest disk, serial - parallel = the other. *)
+  let m =
+    Wave_sim.Multi_disk.create ~store:(store ~vocab:6 ~postings:8) ~w:7 ~n:3
+      ~disks:2 ()
+  in
+  let _, t = Wave_sim.Multi_disk.scan m in
+  let busy = t.Wave_sim.Multi_disk.parallel in
+  let other = t.Wave_sim.Multi_disk.serial -. busy in
+  Alcotest.(check bool)
+    (Printf.sprintf "disk loads %.4f vs %.4f within 2x" busy other)
+    true
+    (busy <= 2.0 *. other)
+
+(* --- Shard split --------------------------------------------------- *)
+
+let split_probes r ~w =
+  let day = Router.current_day r in
+  List.init vocab (fun i ->
+      fst (Router.probe r ~value:(i + 1) ~t1:(day - w + 1) ~t2:day))
+
+let test_split_preserves_answers () =
+  let w = 5 and n = 2 in
+  let r =
+    router_for ~kind:Scheme.Rata_star ~technique:Env.Packed_shadow
+      ~partition:Partition.Hash ~shards:2 ~w ~n ~day:(w + 1)
+  in
+  let before = split_probes r ~w in
+  let day = Router.current_day r in
+  let serve = [ (1, day - w + 1, day); (2, day - w + 1, day) ] in
+  let mk = Router.split r ~arm:0 ~serve in
+  Alcotest.(check bool) "split charged the clock" true (mk > 0.0);
+  Alcotest.(check int) "one more arm" 3 (Router.arms r);
+  Alcotest.(check int) "generation bumped" 2
+    (Partition.generation (Router.partition r));
+  Alcotest.(check int) "split counted" 1 (Router.splits r);
+  Alcotest.(check bool) "answers unchanged" true (split_probes r ~w = before);
+  (* Probes served mid-split resolved against the pre-split snapshot:
+     for a value the victim owned that is its full answer, for any
+     other value the victim's slice is empty. *)
+  List.iteri
+    (fun i got ->
+      let v, _, _ = List.nth serve i in
+      let expected =
+        if Partition.arm_of_value (Router.partition r) v = 0 then
+          List.nth before (v - 1)
+        else []
+      in
+      ignore expected;
+      (* The pre-split partition owned both served values on some arm;
+         mid-split answers must be a subset of the full answer. *)
+      List.iter
+        (fun e ->
+          Alcotest.(check bool) "served entry is real" true
+            (List.mem e (List.nth before (v - 1))))
+        got)
+    (Router.last_served r);
+  Router.check_no_leaks r;
+  (* Splitting again on the new partition keeps working. *)
+  ignore (Router.split r ~arm:1);
+  Alcotest.(check int) "four arms" 4 (Router.arms r);
+  Alcotest.(check bool) "still transparent" true (split_probes r ~w = before)
+
+let test_recover_without_split_is_noop () =
+  let r =
+    router_for ~kind:Scheme.Del ~technique:Env.In_place
+      ~partition:Partition.Range ~shards:2 ~w:4 ~n:2 ~day:5
+  in
+  let before = split_probes r ~w:4 in
+  Router.recover r;
+  Router.recover r;
+  Alcotest.(check int) "arms unchanged" 2 (Router.arms r);
+  Alcotest.(check bool) "answers unchanged" true (split_probes r ~w:4 = before)
+
+(* One cell of the rebalance-under-fault sweep per partition kind (the
+   full 6x3 matrix runs under @shard via `waveidx shardtest`): the
+   split killed at every fault point — victim and sibling disks — must
+   recover to exactly one committed shard map. *)
+let test_split_fault_sweep_hash () =
+  let r =
+    Sweep.sweep ~scheme:Scheme.Del ~technique:Env.Simple_shadow
+      ~partition:Partition.Hash ~w:4 ~n:2 ()
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "%d points all recover" (List.length r.Sweep.points))
+    true (Sweep.result_passed r)
+
+let test_split_fault_sweep_range () =
+  let r =
+    Sweep.sweep ~scheme:Scheme.Rata_star ~technique:Env.Packed_shadow
+      ~partition:Partition.Range ~w:4 ~n:2 ()
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "%d points all recover" (List.length r.Sweep.points))
+    true (Sweep.result_passed r)
+
+(* --- Throughput scaling -------------------------------------------- *)
+
+let scaling_store day =
+  Wave_storage.Entry.batch_create ~day
+    (Array.init 100 (fun i ->
+         {
+           Wave_storage.Entry.value = 1 + (((day * 131) + (i * 17)) mod 5_000);
+           entry = { Wave_storage.Entry.rid = (day * 1000) + i; day; info = i };
+         }))
+
+let chunk_latency ~shards =
+  let w = 7 and n = 3 in
+  let r =
+    Router.create ~kind:Scheme.Del ~partition:Partition.Hash ~shards
+      ~vocab:5_000 ~store:scaling_store ~w ~n ()
+  in
+  while Router.current_day r < 2 * w do
+    ignore (Router.advance r)
+  done;
+  let d = Router.current_day r in
+  let prng = Wave_util.Prng.create 17 in
+  let zipf = Wave_util.Zipf.create ~n:5_000 ~s:1.0 in
+  let chunk = 32 and runs = 6 in
+  let samples =
+    Array.init runs (fun _ ->
+        let before =
+          Array.init (Router.arms r) (fun i ->
+              Wave_disk.Disk.elapsed (Router.arm_disk r i))
+        in
+        for _ = 1 to chunk do
+          let value = Wave_util.Zipf.sample zipf prng in
+          ignore (Router.probe r ~value ~t1:(d - w + 1) ~t2:d)
+        done;
+        Array.fold_left Float.max 0.0
+          (Array.mapi
+             (fun i b -> Wave_disk.Disk.elapsed (Router.arm_disk r i) -. b)
+             before)
+        /. float_of_int chunk)
+  in
+  Wave_util.Stats.percentile samples 50.0
+
+(* The bench acceptance bar: the Zipf probe stream's effective
+   per-probe latency falls monotonically with the arm count, and four
+   arms at least double the single-arm throughput. *)
+let test_throughput_scaling () =
+  let l1 = chunk_latency ~shards:1 in
+  let l2 = chunk_latency ~shards:2 in
+  let l4 = chunk_latency ~shards:4 in
+  let l8 = chunk_latency ~shards:8 in
+  Alcotest.(check bool)
+    (Printf.sprintf "monotone: %.5f >= %.5f >= %.5f >= %.5f" l1 l2 l4 l8)
+    true
+    (l1 >= l2 *. 0.999 && l2 >= l4 *. 0.999 && l4 >= l8 *. 0.999);
+  Alcotest.(check bool)
+    (Printf.sprintf "4 arms >= 2x 1 arm (%.2fx)" (l1 /. l4))
+    true
+    (l1 >= 2.0 *. l4)
+
+let qcheck tests = List.map QCheck_alcotest.to_alcotest tests
+
+let suites =
+  [
+    ( "shard.partition",
+      [
+        Alcotest.test_case "total and deterministic" `Quick
+          test_partition_total_and_deterministic;
+        Alcotest.test_case "range slices contiguous, edges clamp" `Quick
+          test_partition_range_contiguous;
+        Alcotest.test_case "split moves only the victim's keys" `Quick
+          test_partition_split_moves_only_victim_keys;
+        Alcotest.test_case "exhausted arms refuse to split" `Quick
+          test_partition_can_split_exhausted;
+        Alcotest.test_case "LPT placement balances W=7 n=3 on 2 disks" `Quick
+          test_partition_place_lpt;
+      ] );
+    ( "shard.router",
+      [
+        Alcotest.test_case "parallel clock: max not sum" `Quick
+          test_parallel_max_not_sum;
+        Alcotest.test_case "batch_filter partitions a day" `Quick
+          test_batch_filter;
+        Alcotest.test_case "query_gen scale multiplies rates" `Quick
+          test_query_gen_scale;
+        Alcotest.test_case "fan-out cost semantics" `Quick
+          test_router_fanout_costs;
+        Alcotest.test_case "multi-disk arms balanced (LPT regression)" `Quick
+          test_multidisk_balanced_arms;
+      ]
+      @ qcheck [ prop_router_transparent ] );
+    ( "shard.split",
+      [
+        Alcotest.test_case "split preserves answers and serves mid-split"
+          `Quick test_split_preserves_answers;
+        Alcotest.test_case "recover without a split is a no-op" `Quick
+          test_recover_without_split_is_noop;
+        Alcotest.test_case "fault sweep: hash, DEL x simple-shadow" `Slow
+          test_split_fault_sweep_hash;
+        Alcotest.test_case "fault sweep: range, RATA* x packed-shadow" `Slow
+          test_split_fault_sweep_range;
+      ] );
+    ( "shard.scaling",
+      [ Alcotest.test_case "4 arms >= 2x 1 arm on Zipf probes" `Slow
+          test_throughput_scaling ] );
+  ]
