@@ -314,10 +314,49 @@ let sim_cmd =
             "with --shards, split the busiest splittable arm at a day \
              boundary where the busy skew ratio exceeds $(docv)")
   in
+  let series_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "series-out" ] ~docv:"FILE"
+          ~doc:
+            "sample every registry metric into bounded ring-buffer \
+             time-series at each transition step and day boundary, and \
+             dump them to FILE as waveidx-series/1 JSON at end of run")
+  in
+  let slos =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "slos" ] ~docv:"FILE"
+          ~doc:
+            "load SLO specs (JSON: {\"slos\": [{\"name\", \"metric\", \
+             \"op\", \"threshold\", \"window_days\", ...}]}) and evaluate \
+             multi-window burn-rate alerts at every day boundary; breach \
+             episodes join the alert report and the flight recorder")
+  in
+  let metrics_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics-out" ] ~docv:"FILE"
+          ~doc:
+            "write the end-of-run metrics registry (plus series-derived \
+             quantile/trend families) to FILE in OpenMetrics/Prometheus \
+             text exposition format")
+  in
+  let dash =
+    Arg.(
+      value & flag
+      & info [ "dash" ]
+          ~doc:
+            "with --shards, redraw a live per-arm dashboard (busy / space \
+             / wave-length / fan-out sparklines) at every day boundary")
+  in
   let run scheme technique w n days postings workload probes scans cache_blocks
       cache_readahead write_back alerts alerts_out profile top disk stall_after
       stall_seconds flight_recorder concurrent query_rate shards partition
-      query_scale split_threshold =
+      query_scale split_threshold series_out slos metrics_out dash =
     if write_back && cache_blocks = None then begin
       Printf.eprintf "sim: --write-back requires --cache-blocks\n";
       exit 2
@@ -335,6 +374,62 @@ let sim_cmd =
         | Error e ->
           Printf.eprintf "sim: bad alert rules: %s\n" e;
           exit 2)
+    in
+    if dash && shards < 2 then begin
+      Printf.eprintf "sim: --dash requires --shards >= 2\n";
+      exit 2
+    end;
+    let slo_specs =
+      match slos with
+      | None -> []
+      | Some path -> (
+        match Wave_obs.Slo.specs_of_file path with
+        | Ok specs -> specs
+        | Error e ->
+          Printf.eprintf "sim: bad slo specs: %s\n" e;
+          exit 2)
+    in
+    (* One store feeds --series-out, --slos and the OpenMetrics
+       quantile families alike; none of the flags -> no store, and the
+       runner samples nothing. *)
+    let series_store =
+      if series_out <> None || metrics_out <> None || slo_specs <> [] || dash
+      then Some (Wave_obs.Series.create ())
+      else None
+    in
+    let write_series_dump () =
+      match (series_out, series_store) with
+      | Some path, Some st ->
+        let oc = open_out path in
+        output_string oc
+          (Wave_obs.Json.to_string ~pretty:true (Wave_obs.Series.to_json st));
+        output_char oc '\n';
+        close_out oc;
+        (* Self-check: the dump must pass its own schema validation. *)
+        (match Wave_obs.Sink.validate_series_file path with
+        | Ok points ->
+          Printf.printf "wrote %s: %d series point(s) over %d metric(s)\n" path
+            points
+            (List.length (Wave_obs.Series.names st))
+        | Error e ->
+          Printf.eprintf "sim: invalid series dump %s: %s\n" path e;
+          exit 1)
+      | _ -> ()
+    in
+    let write_openmetrics () =
+      match metrics_out with
+      | None -> ()
+      | Some path ->
+        let text = Wave_obs.Sink.openmetrics ?series:series_store () in
+        let oc = open_out path in
+        output_string oc text;
+        close_out oc;
+        (match Wave_obs.Sink.validate_openmetrics_file path with
+        | Ok samples ->
+          Printf.printf "wrote %s: %d OpenMetrics sample(s)\n" path samples
+        | Error e ->
+          Printf.eprintf "sim: invalid OpenMetrics exposition %s: %s\n" path e;
+          exit 1)
     in
     let store, dist =
       match workload with
@@ -401,7 +496,55 @@ let sim_cmd =
         Wave_shard.Router.create ~icfg ~technique ~kind:scheme ~partition
           ~shards ~vocab ~store ~w ~n ()
       in
-      let res = Wave_shard.Router.run ?split_threshold router ~spec:queries ~days in
+      let slo_engine =
+        match slo_specs with
+        | [] -> None
+        | specs -> Some (Wave_obs.Slo.create specs)
+      in
+      let draw_dash st day =
+        let arms = Wave_shard.Router.arms router in
+        let clock = Wave_shard.Router.clock router in
+        (* Redraw in place on a terminal; append frames when piped so
+           smoke runs and CI logs stay readable. *)
+        if Unix.isatty Unix.stdout then print_string "\027[H\027[2J";
+        Printf.printf "wave dash  day %d  arms %d  splits %d  skew %.2f\n" day
+          arms
+          (Wave_shard.Router.splits router)
+          (Wave_model.Parallel.skew_ratio clock);
+        let spark name = Wave_obs.Series.sparkline ~width:24 st name in
+        for i = 0 to arms - 1 do
+          let g fmt = Printf.sprintf fmt i in
+          let last name =
+            match Wave_obs.Metrics.lookup name with
+            | Some (`Gauge v) -> v
+            | _ -> 0.0
+          in
+          Printf.printf "arm %d  busy %s %8.2fs  space %s %8.0fB  wave %s %3.0fd\n"
+            i
+            (spark (g "shard.%d.busy_seconds"))
+            (last (g "shard.%d.busy_seconds"))
+            (spark (g "shard.%d.space_bytes"))
+            (last (g "shard.%d.space_bytes"))
+            (spark (g "shard.%d.wave_length"))
+            (last (g "shard.%d.wave_length"))
+        done;
+        Printf.printf "fan-out mean %s  p95 %s\n"
+          (spark "shard.fanout.mean")
+          (spark "shard.fanout.p95");
+        flush stdout
+      in
+      let on_day day =
+        Option.iter (fun st -> Wave_obs.Series.sample st ~day) series_store;
+        (match (slo_engine, series_store) with
+        | Some eng, Some st -> ignore (Wave_obs.Slo.eval eng ~series:st ~day)
+        | _ -> ());
+        if dash then Option.iter (fun st -> draw_dash st day) series_store
+      in
+      let on_day = if series_store = None then None else Some on_day in
+      let res =
+        Wave_shard.Router.run ?split_threshold ?on_day router ~spec:queries
+          ~days
+      in
       Printf.printf
         "scheme=%s technique=%s W=%d n=%d days=%d shards=%d partition=%s\n"
         (Scheme.name scheme)
@@ -441,10 +584,35 @@ let sim_cmd =
            ~rows);
       (match Wave_obs.Metrics.lookup "shard.fanout" with
       | Some (`Histogram (Some h)) ->
-        Printf.printf "fan-out            mean %.2f  max %.0f over %d fan-outs\n"
-          h.Wave_obs.Metrics.mean h.Wave_obs.Metrics.max
+        Printf.printf
+          "fan-out            mean %.2f  p95 %.0f  p99 %.0f  max %.0f over %d \
+           fan-outs\n"
+          h.Wave_obs.Metrics.mean h.Wave_obs.Metrics.p95
+          h.Wave_obs.Metrics.p99 h.Wave_obs.Metrics.max
           h.Wave_obs.Metrics.count
       | _ -> ());
+      (match slo_engine with
+      | None -> ()
+      | Some eng ->
+        let events = Wave_obs.Slo.events eng in
+        Printf.printf "\nslos: %d spec(s), %d episode(s)\n"
+          (List.length slo_specs) (List.length events);
+        List.iter
+          (fun (e : Wave_obs.Alert.event) ->
+            let rl = e.Wave_obs.Alert.e_rule in
+            Printf.printf
+              "  %-24s %s %s %g: fired day %d, last day %d, %s (burn %g)\n"
+              rl.Wave_obs.Alert.name rl.Wave_obs.Alert.metric
+              (Wave_obs.Alert.comparator_name rl.Wave_obs.Alert.comparator)
+              rl.Wave_obs.Alert.threshold e.Wave_obs.Alert.fired_day
+              e.Wave_obs.Alert.last_day
+              (match e.Wave_obs.Alert.resolved_day with
+              | None -> "still active"
+              | Some d -> Printf.sprintf "resolved day %d" d)
+              e.Wave_obs.Alert.value)
+          events);
+      write_series_dump ();
+      write_openmetrics ();
       exit 0
     end;
     if profile then begin
@@ -474,6 +642,8 @@ let sim_cmd =
           query_rate;
           icfg;
           alerts = rules;
+          series = series_store;
+          slos = slo_specs;
           on_env = Some on_env;
         }
     in
@@ -544,12 +714,14 @@ let sim_cmd =
     | Wave_disk.Disk.File path ->
       Printf.printf "block file         %s\n" path;
       print_file_io_stats ());
-    (match alerts with
-    | None -> ()
-    | Some _ ->
+    (if alerts = None && slo_specs = [] then ()
+     else
+      (* [result.alerts] carries rule events first, then SLO burn-rate
+         episodes (whose [value] is the fast-window burn at fire
+         time). *)
       let events = r.Wave_sim.Runner.alerts in
-      Printf.printf "\nalerts: %d rule(s), %d event(s)\n" (List.length rules)
-        (List.length events);
+      Printf.printf "\nalerts: %d rule(s), %d slo(s), %d event(s)\n"
+        (List.length rules) (List.length slo_specs) (List.length events);
       List.iter
         (fun (e : Wave_obs.Alert.event) ->
           let rl = e.Wave_obs.Alert.e_rule in
@@ -576,6 +748,8 @@ let sim_cmd =
         output_char oc '\n';
         close_out oc;
         Printf.printf "wrote %s\n" path);
+    write_series_dump ();
+    write_openmetrics ();
     (match flight_recorder with
     | None -> Wave_obs.Recorder.set_dump_path None
     | Some path ->
@@ -604,7 +778,7 @@ let sim_cmd =
       $ probes $ scans $ cache_blocks $ cache_readahead $ write_back $ alerts
       $ alerts_out $ profile $ top $ disk $ stall_after $ stall_seconds
       $ flight_recorder $ concurrent $ query_rate $ shards $ partition
-      $ query_scale $ split_threshold)
+      $ query_scale $ split_threshold $ series_out $ slos $ metrics_out $ dash)
 
 let model_cmd =
   let doc =
@@ -816,8 +990,8 @@ let trace_cmd =
    attribution against day_metrics.  [stall_after] arms a model-time
    stall on the K-th write, so a --diff against an unstalled baseline
    attributes the slowdown to the node the stall landed in. *)
-let profiled_run ?stall_after ?(stall_seconds = 30.0) ~scheme ~technique ~w ~n
-    ~days ~postings () =
+let profiled_run ?stall_after ?(stall_seconds = 30.0) ?series ~scheme
+    ~technique ~w ~n ~days ~postings () =
   if n < 1 || n > w then begin
     Printf.eprintf "profile: need 1 <= n <= w (got W=%d n=%d)\n" w n;
     exit 2
@@ -846,6 +1020,7 @@ let profiled_run ?stall_after ?(stall_seconds = 30.0) ~scheme ~technique ~w ~n
         Wave_sim.Runner.technique;
         run_days = days;
         queries = Some demo_queries;
+        series;
         on_env = Some on_env;
       }
   in
@@ -1314,7 +1489,7 @@ let bench_cmd =
               sname
         end)
       Scheme.all;
-    (* Sharded throughput scaling (waveidx-bench/6): the same Zipf
+    (* Sharded throughput scaling (required bench series): the same Zipf
        probe stream fanned over 1/2/4/8 hash arms.  Each sample is the
        makespan of a 32-probe chunk divided by the chunk size — the
        effective per-probe latency when arms serve their share of the
@@ -1380,12 +1555,63 @@ let bench_cmd =
          traced run (DEL, in-place) spends its model-seconds, so a
          snapshot diff shows cost-attribution drift, not just endpoint
          latencies. *)
+      let bench_series_store = Wave_obs.Series.create () in
       let prof, pr =
-        profiled_run ~scheme:Scheme.Del ~technique:Env.In_place ~w ~n:2
-          ~days:6 ~postings ()
+        profiled_run ~series:bench_series_store ~scheme:Scheme.Del
+          ~technique:Env.In_place ~w ~n:2 ~days:6 ~postings ()
       in
       ignore (check_conservation prof pr);
       let open Wave_obs.Json in
+      (* The /7 series block: per-metric time-series summaries from the
+         same canonical run the profile block measures, so a snapshot
+         diff can show trajectory drift (a metric trending up across
+         the run) on top of endpoint and attribution drift. *)
+      let series_json =
+        let tracked =
+          List.filter_map
+            (fun name ->
+              match
+                Wave_obs.Series.window_stats bench_series_store name ~n:max_int
+              with
+              | None -> None
+              | Some ws ->
+                let last =
+                  match Wave_obs.Series.last_n bench_series_store name 1 with
+                  | [ p ] -> p.Wave_obs.Series.value
+                  | _ -> ws.Wave_obs.Series.w_mean
+                in
+                let trend =
+                  match
+                    Wave_obs.Series.trend bench_series_store name ~n:max_int
+                  with
+                  | Some s when Float.is_finite s -> Num s
+                  | _ -> Null
+                in
+                if
+                  Float.is_finite last
+                  && Float.is_finite ws.Wave_obs.Series.w_mean
+                  && Float.is_finite ws.Wave_obs.Series.w_p95
+                then
+                  Some
+                    (Obj
+                       [
+                         ("name", Str name);
+                         ("points", int ws.Wave_obs.Series.w_count);
+                         ("last", Num last);
+                         ("mean", Num ws.Wave_obs.Series.w_mean);
+                         ("p95", Num ws.Wave_obs.Series.w_p95);
+                         ("trend", trend);
+                       ])
+                else None)
+            (Wave_obs.Series.names bench_series_store)
+        in
+        Obj
+          [
+            ("schema", Str Wave_obs.Sink.series_schema);
+            ("ticks", int (Wave_obs.Series.tick bench_series_store));
+            ("tracked", Arr tracked);
+          ]
+      in
       let profile_json =
         Obj
           [
@@ -1423,6 +1649,7 @@ let bench_cmd =
                   ("cache_blocks", int cache_blocks);
                 ] );
             ("profile", profile_json);
+            ("series", series_json);
             ( "benchmarks",
               Arr
                 (List.map

@@ -169,6 +169,11 @@ let lookup ?(registry = default) name : value option =
   | Some (G g) -> Some (`Gauge g.value)
   | Some (H h) -> Some (`Histogram (hist_summary h))
 
+let remove ?(registry = default) name =
+  let existed = Hashtbl.mem registry name in
+  Hashtbl.remove registry name;
+  existed
+
 let reset registry =
   Hashtbl.iter
     (fun _ item ->

@@ -91,6 +91,14 @@ val lookup : ?registry:registry -> string -> value option
     engine's resolution primitive.  [None] when the name was never
     registered. *)
 
+val remove : ?registry:registry -> string -> bool
+(** Drop [name]'s binding from the registry (true when it existed) so
+    it no longer appears in {!lookup}/{!snapshot}/{!dump}.  An
+    outstanding handle keeps working but is detached: re-registering
+    the name creates a fresh metric.  The shard router uses this to
+    retire stale [shard.<i>.*] gauges when the live arm count is
+    smaller than a previous router's. *)
+
 val reset : registry -> unit
 (** Zero every counter and gauge and clear every histogram; handles
     stay valid. *)

@@ -194,8 +194,12 @@ let validate_chrome_file path =
    probe+stopworld/...) measured by the epoch-interleaved runner.
    /6 adds the sharded throughput scaling curve: the four
    throughput+shards/{1,2,4,8} series are required, so a snapshot
-   that silently lost its scaling curve fails validation by name. *)
-let bench_schema = "waveidx-bench/6"
+   that silently lost its scaling curve fails validation by name.
+   /7 adds a required "series" block: per-metric time-series summaries
+   (points, last, mean, p95, trend) from the canonical profiled run,
+   so a snapshot also shows the trend shape, not just the endpoint
+   percentiles. *)
+let bench_schema = "waveidx-bench/7"
 
 let required_bench_series =
   [
@@ -318,6 +322,73 @@ let validate_profile_block p =
     in
     go 0 tops
 
+(* The /7 schema's required "series" block: a compact per-metric
+   summary of the canonical run's time-series (the full ring dump
+   belongs to sim --series-out, not the bench snapshot). *)
+let series_schema = "waveidx-series/1"
+
+let validate_series_block sb =
+  let fail fmt = Printf.ksprintf (fun m -> Error (Printf.sprintf "series: %s" m)) fmt in
+  let num k o = Option.bind (Json.member k o) Json.to_float in
+  let str k o = Option.bind (Json.member k o) Json.to_str in
+  let ( let* ) = Result.bind in
+  let* () =
+    match str "schema" sb with
+    | Some s when s = series_schema -> Ok ()
+    | Some s -> fail "schema %S, expected %S" s series_schema
+    | None -> fail "missing string \"schema\""
+  in
+  let* () =
+    match num "ticks" sb with
+    | Some t when t >= 1.0 -> Ok ()
+    | Some _ -> fail "\"ticks\" below 1"
+    | None -> fail "missing numeric \"ticks\""
+  in
+  match Option.bind (Json.member "tracked" sb) Json.to_list with
+  | None -> fail "missing \"tracked\" array"
+  | Some [] -> fail "empty \"tracked\" array"
+  | Some tracked ->
+    let check i e =
+      let fail fmt =
+        Printf.ksprintf
+          (fun m -> Error (Printf.sprintf "series.tracked[%d]: %s" i m))
+          fmt
+      in
+      let* () =
+        match str "name" e with
+        | Some _ -> Ok ()
+        | None -> fail "missing string \"name\""
+      in
+      let* () =
+        match num "points" e with
+        | Some p when p >= 1.0 -> Ok ()
+        | Some _ -> fail "\"points\" below 1"
+        | None -> fail "missing numeric \"points\""
+      in
+      let* () =
+        List.fold_left
+          (fun acc key ->
+            let* () = acc in
+            match num key e with
+            | Some v when Float.is_finite v -> Ok ()
+            | Some _ -> fail "non-finite %S" key
+            | None -> fail "missing numeric %S" key)
+          (Ok ())
+          [ "last"; "mean"; "p95" ]
+      in
+      match Json.member "trend" e with
+      | None -> fail "missing \"trend\" (number or null)"
+      | Some Json.Null -> Ok ()
+      | Some (Json.Num v) when Float.is_finite v -> Ok ()
+      | Some _ -> fail "\"trend\" must be a finite number or null"
+    in
+    let rec go i = function
+      | [] -> Ok ()
+      | e :: rest -> (
+        match check i e with Ok () -> go (i + 1) rest | Error e -> Error e)
+    in
+    go 0 tracked
+
 let validate_bench j =
   let str k o = Option.bind (Json.member k o) Json.to_str in
   match str "schema" j with
@@ -363,7 +434,13 @@ let validate_bench j =
           | Some p -> (
             match validate_profile_block p with
             | Error e -> Error e
-            | Ok () -> Ok n))))
+            | Ok () -> (
+              match Json.member "series" j with
+              | None -> Error "missing \"series\" block"
+              | Some sb -> (
+                match validate_series_block sb with
+                | Error e -> Error e
+                | Ok () -> Ok n))))))
     | Some u -> Error (Printf.sprintf "unit %S, expected \"model-seconds\"" u)
     | None -> Error "missing string \"unit\"")
 
@@ -433,6 +510,23 @@ let pct_delta base cur =
 let wallclock_series name =
   String.length name >= 16 && String.sub name 0 16 = "transition+file/"
 
+(* Unit class of a bench series, for report labeling: everything the
+   model disk measures is model-seconds; the transition+file/ twins are
+   machine wall-clock; ratio series (speedups, hit fractions) are
+   dimensionless.  Today every non-wall series is model-seconds, but
+   the ratio class keeps the report honest if one lands. *)
+let series_unit name =
+  if wallclock_series name then "wall-s"
+  else if
+    (let has sub =
+       let n = String.length name and m = String.length sub in
+       let rec at i = i + m <= n && (String.sub name i m = sub || at (i + 1)) in
+       at 0
+     in
+     has "ratio" || has "speedup")
+  then "ratio"
+  else "model-s"
+
 let compare_bench ~threshold_pct ~baseline ~current =
   let find name xs = List.find_opt (fun s -> String.equal s.series_name name) xs in
   let regressions = ref [] and improvements = ref [] and compared = ref 0 in
@@ -493,18 +587,28 @@ let comparison_report c =
     (List.length c.regressions)
     (List.length c.improvements)
     (List.length c.missing) (List.length c.added);
+  line
+    "units: [model-s] deterministic model-seconds (gated), [wall-s] \
+     machine wall-clock (informational, never gated), [ratio] \
+     dimensionless";
+  let tag n = Printf.sprintf "[%s]" (series_unit n) in
   List.iter
     (fun d ->
-      line "  REGRESSION %-40s %s %.6f -> %.6f (%+.1f%%)" d.delta_name d.delta_field
+      line "  REGRESSION %-40s %-9s %s %.6f -> %.6f (%+.1f%%)" d.delta_name
+        (tag d.delta_name) d.delta_field
         d.baseline_value d.current_value d.delta_pct)
     c.regressions;
-  List.iter (fun n -> line "  MISSING    %s (present in baseline, absent now)" n) c.missing;
+  List.iter
+    (fun n ->
+      line "  MISSING    %-40s %-9s (present in baseline, absent now)" n (tag n))
+    c.missing;
   List.iter
     (fun d ->
-      line "  improved   %-40s %s %.6f -> %.6f (%+.1f%%)" d.delta_name d.delta_field
+      line "  improved   %-40s %-9s %s %.6f -> %.6f (%+.1f%%)" d.delta_name
+        (tag d.delta_name) d.delta_field
         d.baseline_value d.current_value d.delta_pct)
     c.improvements;
-  List.iter (fun n -> line "  new        %s" n) c.added;
+  List.iter (fun n -> line "  new        %-40s %-9s" n (tag n)) c.added;
   Buffer.contents buf
 
 (* --- profile documents ------------------------------------------------ *)
@@ -860,3 +964,436 @@ let profile_gate_report g =
         d.delta_field d.baseline_value d.current_value d.delta_pct)
     g.pg_improvements;
   Buffer.contents buf
+
+(* --- series dumps ----------------------------------------------------- *)
+
+let validate_series j =
+  let str k o = Option.bind (Json.member k o) Json.to_str in
+  let num k o = Option.bind (Json.member k o) Json.to_float in
+  match str "schema" j with
+  | None -> Error "missing string \"schema\""
+  | Some s when s <> series_schema ->
+    Error (Printf.sprintf "schema %S, expected %S" s series_schema)
+  | Some _ -> (
+    match num "cap" j with
+    | None -> Error "missing numeric \"cap\""
+    | Some c when c < 1.0 -> Error "\"cap\" below 1"
+    | Some cap -> (
+      match num "ticks" j with
+      | None -> Error "missing numeric \"ticks\""
+      | Some t when t < 0.0 -> Error "negative \"ticks\""
+      | Some _ -> (
+        match Option.bind (Json.member "series" j) Json.to_list with
+        | None -> Error "missing \"series\" array"
+        | Some entries ->
+          let validate_points label ps =
+            let rec go i last_tick count = function
+              | [] -> Ok count
+              | p :: rest -> (
+                let fail fmt =
+                  Printf.ksprintf
+                    (fun m ->
+                      Error (Printf.sprintf "%s point %d: %s" label i m))
+                    fmt
+                in
+                match
+                  ( Option.bind (Json.member "tick" p) Json.to_float,
+                    Option.bind (Json.member "day" p) Json.to_float,
+                    Option.bind (Json.member "value" p) Json.to_float )
+                with
+                | None, _, _ -> fail "missing numeric \"tick\""
+                | _, None, _ -> fail "missing numeric \"day\""
+                | _, _, None -> fail "missing numeric \"value\""
+                | Some tk, Some _, Some v ->
+                  if tk < 0.0 then fail "negative \"tick\""
+                  else if tk < last_tick then fail "decreasing \"tick\""
+                  else if not (Float.is_finite v) then fail "non-finite \"value\""
+                  else go (i + 1) tk (count + 1) rest)
+            in
+            go 0 neg_infinity 0 ps
+          in
+          let rec go i total = function
+            | [] -> Ok total
+            | e :: rest -> (
+              match str "name" e with
+              | None ->
+                Error (Printf.sprintf "series %d: missing string \"name\"" i)
+              | Some name -> (
+                match Option.bind (Json.member "points" e) Json.to_list with
+                | None ->
+                  Error
+                    (Printf.sprintf "series %d (%S): missing \"points\" array" i
+                       name)
+                | Some ps when List.length ps > int_of_float cap ->
+                  Error
+                    (Printf.sprintf "series %d (%S): %d points exceed cap %d" i
+                       name (List.length ps) (int_of_float cap))
+                | Some ps -> (
+                  match
+                    validate_points (Printf.sprintf "series %d (%S)" i name) ps
+                  with
+                  | Error e -> Error e
+                  | Ok n -> go (i + 1) (total + n) rest)))
+          in
+          go 0 0 entries)))
+
+let validate_series_file path =
+  match read_parse path with Error e -> Error e | Ok j -> validate_series j
+
+(* --- OpenMetrics text exposition -------------------------------------- *)
+
+(* Prometheus/OpenMetrics metric names are [a-zA-Z_:][a-zA-Z0-9_:]*;
+   registry names use dots, so every other character maps to '_'. *)
+let om_name name =
+  let b = Buffer.create (String.length name) in
+  String.iteri
+    (fun i c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '_' | ':' -> Buffer.add_char b c
+      | '0' .. '9' -> if i = 0 then Buffer.add_char b '_' else Buffer.add_char b c
+      | _ -> Buffer.add_char b '_')
+    name;
+  if Buffer.length b = 0 then "_" else Buffer.contents b
+
+let om_escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '"' -> Buffer.add_string b "\\\""
+      | '\n' -> Buffer.add_string b "\\n"
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let om_value v = Printf.sprintf "%.17g" v
+
+let openmetrics ?registry ?series () =
+  let buf = Buffer.create 4096 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt in
+  (* Sanitization can collide ("a.b" and "a_b" share a family); the
+     first metric keeps the family, later collisions are skipped — a
+     duplicate # TYPE would fail the format's own validator. *)
+  let families = Hashtbl.create 32 in
+  let fresh fam = if Hashtbl.mem families fam then false
+    else begin Hashtbl.add families fam (); true end
+  in
+  let head fam kind orig =
+    line "# TYPE %s %s" fam kind;
+    line "# HELP %s %s" fam (om_escape (Printf.sprintf "Registry metric %s." orig))
+  in
+  List.iter
+    (fun (name, v) ->
+      let fam = om_name name in
+      match (v : Metrics.value) with
+      | `Counter x ->
+        if fresh fam && Float.is_finite x then begin
+          head fam "counter" name;
+          line "%s_total %s" fam (om_value x)
+        end
+      | `Gauge x ->
+        if fresh fam && Float.is_finite x then begin
+          head fam "gauge" name;
+          line "%s %s" fam (om_value x)
+        end
+      | `Histogram summary ->
+        if fresh fam then begin
+          head fam "summary" name;
+          (match summary with
+          | None ->
+            line "%s_sum 0" fam;
+            line "%s_count 0" fam
+          | Some s ->
+            let q quantile v =
+              if Float.is_finite v then
+                line "%s{quantile=\"%s\"} %s" fam quantile (om_value v)
+            in
+            q "0.5" s.Metrics.p50;
+            q "0.95" s.Metrics.p95;
+            q "0.99" s.Metrics.p99;
+            let sum = s.Metrics.mean *. float_of_int s.Metrics.count in
+            if Float.is_finite sum then line "%s_sum %s" fam (om_value sum);
+            line "%s_count %d" fam s.Metrics.count)
+        end)
+    (Metrics.snapshot ?registry ());
+  (match series with
+  | None -> ()
+  | Some st ->
+    let names = Series.names st in
+    if names <> [] then begin
+      let quantiles =
+        List.filter_map
+          (fun name ->
+            match Series.window_stats st name ~n:max_int with
+            | None -> None
+            | Some ws -> Some (name, ws))
+          names
+      in
+      if quantiles <> [] && fresh "waveidx_series_quantile" then begin
+        line "# TYPE waveidx_series_quantile gauge";
+        line
+          "# HELP waveidx_series_quantile Windowed quantiles over recorded \
+           metric time-series.";
+        List.iter
+          (fun (name, (ws : Series.window_stats)) ->
+            let q quantile v =
+              if Float.is_finite v then
+                line "waveidx_series_quantile{series=\"%s\",quantile=\"%s\"} %s"
+                  (om_escape name) quantile (om_value v)
+            in
+            q "0.5" ws.Series.w_p50;
+            q "0.95" ws.Series.w_p95;
+            q "0.99" ws.Series.w_p99)
+          quantiles
+      end;
+      let trends =
+        List.filter_map
+          (fun name ->
+            match Series.trend st name ~n:max_int with
+            | Some slope when Float.is_finite slope -> Some (name, slope)
+            | _ -> None)
+          names
+      in
+      if trends <> [] && fresh "waveidx_series_trend" then begin
+        line "# TYPE waveidx_series_trend gauge";
+        line
+          "# HELP waveidx_series_trend Least-squares slope per sample over \
+           each recorded series.";
+        List.iter
+          (fun (name, slope) ->
+            line "waveidx_series_trend{series=\"%s\"} %s" (om_escape name)
+              (om_value slope))
+          trends
+      end
+    end);
+  Buffer.add_string buf "# EOF\n";
+  Buffer.contents buf
+
+(* --- OpenMetrics validation ------------------------------------------- *)
+
+let om_name_ok name =
+  String.length name > 0
+  && (match name.[0] with
+     | 'a' .. 'z' | 'A' .. 'Z' | '_' | ':' -> true
+     | _ -> false)
+  && String.for_all
+       (function 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' -> true | _ -> false)
+       name
+
+let om_label_name_ok name =
+  String.length name > 0
+  && (match name.[0] with 'a' .. 'z' | 'A' .. 'Z' | '_' -> true | _ -> false)
+  && String.for_all
+       (function 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> true | _ -> false)
+       name
+
+(* Parse a sample head [name{k=...,...}] into (name, labels,
+   rest-offset); the label set may be absent.  Label values are quoted
+   with backslash escapes for backslash, quote, and newline. *)
+let om_parse_sample_head line =
+  let n = String.length line in
+  let rec name_end i =
+    if i < n then
+      match line.[i] with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' -> name_end (i + 1)
+      | _ -> i
+    else i
+  in
+  let ne = name_end 0 in
+  if ne = 0 then Error "missing metric name"
+  else
+    let name = String.sub line 0 ne in
+    if not (om_name_ok name) then Error (Printf.sprintf "bad metric name %S" name)
+    else if ne < n && line.[ne] = '{' then begin
+      (* label set *)
+      let labels = ref [] in
+      let i = ref (ne + 1) in
+      let err = ref None in
+      let fail m = if !err = None then err := Some m in
+      let rec parse_pairs () =
+        if !i >= n then fail "unterminated label set"
+        else if line.[!i] = '}' then incr i
+        else begin
+          let ls = !i in
+          while
+            !i < n
+            && (match line.[!i] with
+               | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> true
+               | _ -> false)
+          do
+            incr i
+          done;
+          let lname = String.sub line ls (!i - ls) in
+          if not (om_label_name_ok lname) then
+            fail (Printf.sprintf "bad label name %S" lname)
+          else if !i >= n || line.[!i] <> '=' then fail "expected '=' in label"
+          else begin
+            incr i;
+            if !i >= n || line.[!i] <> '"' then fail "expected quoted label value"
+            else begin
+              incr i;
+              let b = Buffer.create 16 in
+              let closed = ref false in
+              while (not !closed) && !i < n && !err = None do
+                (match line.[!i] with
+                | '"' -> closed := true
+                | '\\' ->
+                  if !i + 1 >= n then fail "dangling escape"
+                  else begin
+                    incr i;
+                    match line.[!i] with
+                    | '\\' -> Buffer.add_char b '\\'
+                    | '"' -> Buffer.add_char b '"'
+                    | 'n' -> Buffer.add_char b '\n'
+                    | c -> fail (Printf.sprintf "bad escape '\\%c'" c)
+                  end
+                | c -> Buffer.add_char b c);
+                incr i
+              done;
+              if not !closed then fail "unterminated label value"
+              else begin
+                labels := (lname, Buffer.contents b) :: !labels;
+                if !i < n && line.[!i] = ',' then begin
+                  incr i;
+                  parse_pairs ()
+                end
+                else if !i < n && line.[!i] = '}' then incr i
+                else fail "expected ',' or '}' after label"
+              end
+            end
+          end
+        end
+      in
+      parse_pairs ();
+      match !err with
+      | Some m -> Error m
+      | None -> Ok (name, List.rev !labels, !i)
+    end
+    else Ok (name, [], ne)
+
+let om_parse_value s =
+  match String.lowercase_ascii s with
+  | "nan" | "+nan" | "-nan" -> Error "non-finite value (NaN)"
+  | "inf" | "+inf" | "-inf" -> Error "non-finite value (Inf)"
+  | _ -> (
+    match float_of_string_opt s with
+    | Some v when Float.is_finite v -> Ok v
+    | Some _ -> Error "non-finite value"
+    | None -> Error (Printf.sprintf "bad sample value %S" s))
+
+(* Family the sample name belongs to under [kind]: counters append
+   _total, summaries/histograms their _sum/_count/_bucket suffixes. *)
+let om_base_name kind sample =
+  let strip suffix =
+    let n = String.length sample and m = String.length suffix in
+    if n > m && String.sub sample (n - m) m = suffix then
+      Some (String.sub sample 0 (n - m))
+    else None
+  in
+  match kind with
+  | "counter" -> strip "_total"
+  | "summary" -> (
+    match strip "_sum" with
+    | Some b -> Some b
+    | None -> (
+      match strip "_count" with Some b -> Some b | None -> Some sample))
+  | "histogram" -> (
+    match strip "_bucket" with
+    | Some b -> Some b
+    | None -> (
+      match strip "_sum" with
+      | Some b -> Some b
+      | None -> (
+        match strip "_count" with Some b -> Some b | None -> None)))
+  | _ -> Some sample
+
+let om_kinds =
+  [ "counter"; "gauge"; "summary"; "histogram"; "untyped"; "unknown" ]
+
+let validate_openmetrics text =
+  let lines = String.split_on_char '\n' text in
+  (* Drop exactly one trailing "" from the final newline; any other
+     blank line is a format violation. *)
+  let lines =
+    match List.rev lines with "" :: rest -> List.rev rest | _ -> lines
+  in
+  let fail i fmt =
+    Printf.ksprintf (fun m -> Error (Printf.sprintf "line %d: %s" (i + 1) m)) fmt
+  in
+  let seen = Hashtbl.create 16 in
+  let rec go i current samples = function
+    | [] -> Error "missing \"# EOF\" terminator"
+    | [ "# EOF" ] -> Ok samples
+    | "# EOF" :: _ -> fail i "content after \"# EOF\""
+    | line :: rest -> (
+      if String.trim line = "" then fail i "blank line"
+      else if String.length line > 0 && line.[0] = '#' then begin
+        match String.split_on_char ' ' line with
+        | "#" :: "TYPE" :: fam :: kind :: [] ->
+          if not (om_name_ok fam) then fail i "bad family name %S" fam
+          else if not (List.mem kind om_kinds) then
+            fail i "unknown metric type %S" kind
+          else if Hashtbl.mem seen fam then fail i "duplicate family %S" fam
+          else begin
+            Hashtbl.add seen fam kind;
+            go (i + 1) (Some (fam, kind)) samples rest
+          end
+        | "#" :: "HELP" :: fam :: _ :: _ -> (
+          match current with
+          | Some (f, _) when f = fam -> go (i + 1) current samples rest
+          | _ -> fail i "HELP for %S outside its family block" fam)
+        | "#" :: "UNIT" :: fam :: _ -> (
+          match current with
+          | Some (f, _) when f = fam -> go (i + 1) current samples rest
+          | _ -> fail i "UNIT for %S outside its family block" fam)
+        | _ -> fail i "unknown comment %S (expected TYPE/HELP/UNIT/EOF)" line
+      end
+      else
+        match om_parse_sample_head line with
+        | Error m -> fail i "%s" m
+        | Ok (sname, labels, off) -> (
+          match current with
+          | None -> fail i "sample %S before any # TYPE" sname
+          | Some (fam, kind) -> (
+            match om_base_name kind sname with
+            | None ->
+              fail i "%s sample %S lacks the required suffix (e.g. _total)"
+                kind sname
+            | Some base when base <> fam ->
+              fail i "sample %S interleaved with family %S" sname fam
+            | Some _ -> (
+              (* counters must never expose the bare family name *)
+              if kind = "counter" && sname = fam then
+                fail i "counter sample %S without _total suffix" sname
+              else
+                let tail =
+                  String.trim
+                    (String.sub line off (String.length line - off))
+                in
+                match String.split_on_char ' ' tail with
+                | [ v ] | [ v; _ ] -> (
+                  match om_parse_value v with
+                  | Error m -> fail i "%s" m
+                  | Ok _ -> (
+                    (* a summary's quantile label must be a fraction *)
+                    match
+                      (kind = "summary" && sname = fam,
+                       List.assoc_opt "quantile" labels)
+                    with
+                    | true, Some q -> (
+                      match float_of_string_opt q with
+                      | Some f when f >= 0.0 && f <= 1.0 ->
+                        go (i + 1) current (samples + 1) rest
+                      | _ -> fail i "quantile %S outside [0, 1]" q)
+                    | true, None ->
+                      fail i "summary sample %S lacks a quantile label" sname
+                    | false, _ -> go (i + 1) current (samples + 1) rest))
+                | _ -> fail i "malformed sample line %S" line))))
+  in
+  go 0 None 0 lines
+
+let validate_openmetrics_file path =
+  match In_channel.with_open_bin path In_channel.input_all with
+  | exception Sys_error msg -> Error msg
+  | text -> validate_openmetrics text

@@ -46,7 +46,9 @@ val validate_chrome_file : string -> (int, string) result
 
 val bench_schema : string
 (** The current [waveidx bench --json] schema tag,
-    ["waveidx-bench/6"]. *)
+    ["waveidx-bench/7"].  /7 adds a required ["series"] block of
+    per-metric time-series summaries (points, last, mean, p95, trend)
+    sampled from the canonical profiled run. *)
 
 val required_bench_series : string list
 (** Series every /6 snapshot must carry — the sharded throughput
@@ -71,6 +73,9 @@ val validate_bench : Json.t -> (int, string) result
 
 val validate_bench_file : string -> (int, string) result
 (** Read and parse [path], then {!validate_bench}. *)
+
+val series_schema : string
+(** ["waveidx-series/1"] — the {!Series.to_json} schema tag. *)
 
 (** {1 Bench regression gate}
 
@@ -130,9 +135,18 @@ val compare_bench :
 val bench_ok : bench_comparison -> bool
 (** No regressions and no vanished series. *)
 
+val series_unit : string -> string
+(** The unit a bench series is measured in: ["wall-s"] for
+    {!wallclock_series}, ["ratio"] for dimensionless series (name
+    contains ["ratio"] or ["speedup"]), ["model-s"] otherwise.
+    {!comparison_report} tags every row with it so a reader never
+    mistakes informational wall-clock drift for a gated model-time
+    regression. *)
+
 val comparison_report : bench_comparison -> string
-(** Human-readable per-series delta report, one line per regression /
-    missing / improvement / new series. *)
+(** Human-readable per-series delta report: a units legend, then one
+    line per regression / missing / improvement / new series, each
+    tagged with its {!series_unit}. *)
 
 (** {1 Profile documents} *)
 
@@ -239,3 +253,51 @@ val profile_gate_ok : profile_gate -> bool
 val profile_gate_report : profile_gate -> string
 (** Human-readable summary line plus one row per regression / missing /
     improved node. *)
+
+(** {1 Series dumps} *)
+
+val validate_series : Json.t -> (int, string) result
+(** Check a [sim --series-out] dump against {!series_schema}: the
+    exact schema tag, ["cap"] >= 1, ["ticks"] >= 0, and a ["series"]
+    array whose entries carry a string ["name"] and a ["points"] array
+    of at most [cap] points, each with a non-negative integer ["tick"]
+    (non-decreasing within a series), an integer ["day"], and a finite
+    ["value"].  Errors name the offending series and point.  Returns
+    the total point count. *)
+
+val validate_series_file : string -> (int, string) result
+(** Read and parse [path], then {!validate_series}. *)
+
+(** {1 OpenMetrics exposition}
+
+    [sim --metrics-out FILE] renders the metrics registry — plus
+    series-derived quantile/trend families when a {!Series} store is
+    live — in Prometheus/OpenMetrics text format: each family opens
+    with [# TYPE]/[# HELP], counters expose [<family>_total],
+    histograms become summaries with [quantile] labels, and the
+    document ends with [# EOF].  Registry dots map to underscores
+    ([runner.day.query_p95] → [runner_day_query_p95]); a
+    post-sanitization family collision keeps the first metric and
+    drops later ones (a duplicate [# TYPE] would be invalid).
+    Non-finite values are skipped at render time — the exposition
+    never contains [NaN]. *)
+
+val openmetrics : ?registry:Metrics.registry -> ?series:Series.t -> unit -> string
+(** Render the registry snapshot (default registry unless given) and,
+    when [series] is passed, the [waveidx_series_quantile] /
+    [waveidx_series_trend] gauge families derived from
+    {!Series.window_stats} and {!Series.trend} over each tracked
+    series' full history. *)
+
+val validate_openmetrics : string -> (int, string) result
+(** Validate OpenMetrics text line-by-line: every sample belongs to a
+    preceding [# TYPE] family (counters via their [_total] suffix —
+    a bare counter sample fails; summaries via [_sum]/[_count] or a
+    [quantile] label in [0, 1]), metric and label names match the
+    format's charset, label values are well-escaped, no family is
+    declared twice, samples never interleave across families, values
+    are finite ([NaN]/[Inf] fail), no blank lines, and the last line
+    is [# EOF].  Returns the sample count. *)
+
+val validate_openmetrics_file : string -> (int, string) result
+(** Read [path], then {!validate_openmetrics}. *)

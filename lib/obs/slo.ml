@@ -1,0 +1,265 @@
+type spec = {
+  slo_name : string;
+  objective : string;
+  comparator : Alert.comparator;
+  threshold : float;
+  goal : float;
+  window_days : int;
+  fast_days : int;
+  slow_days : int;
+  burn_threshold : float;
+}
+
+let spec ?(goal = 0.99) ?fast_days ?slow_days ?(burn_threshold = 1.0) ~name
+    ~objective ~window_days comparator threshold =
+  if String.length name = 0 then invalid_arg "Slo.spec: empty name";
+  if String.length objective = 0 then invalid_arg "Slo.spec: empty objective";
+  if window_days < 1 then invalid_arg "Slo.spec: window_days < 1";
+  if not (goal >= 0.0 && goal < 1.0) then
+    invalid_arg "Slo.spec: goal outside [0, 1)";
+  if not (burn_threshold > 0.0) then
+    invalid_arg "Slo.spec: non-positive burn_threshold";
+  let fast = Option.value ~default:(max 1 (window_days / 8)) fast_days in
+  let slow = Option.value ~default:(max fast (window_days / 2)) slow_days in
+  if not (1 <= fast && fast <= slow && slow <= window_days) then
+    invalid_arg "Slo.spec: need 1 <= fast_days <= slow_days <= window_days";
+  {
+    slo_name = name;
+    objective;
+    comparator;
+    threshold;
+    goal;
+    window_days;
+    fast_days = fast;
+    slow_days = slow;
+    burn_threshold;
+  }
+
+(* The synthesized rule rides inside every episode's Alert.event, so
+   SLO firings flow through the same result/alerts plumbing as rule
+   firings; for_days 1 because debounce lives in the slow window, not
+   in consecutive evaluations. *)
+let rule_of_spec s =
+  {
+    Alert.name = s.slo_name;
+    metric = s.objective;
+    stat = Alert.Value;
+    comparator = s.comparator;
+    threshold = s.threshold;
+    for_days = 1;
+    scope = Alert.Day;
+  }
+
+type state = { s_spec : spec; mutable current : Alert.event option }
+type t = { states : state list; mutable history : Alert.event list (* newest first *) }
+
+let create specs =
+  { states = List.map (fun s -> { s_spec = s; current = None }) specs;
+    history = [] }
+
+let specs t = List.map (fun st -> st.s_spec) t.states
+
+let bad cmp v threshold =
+  match (cmp : Alert.comparator) with
+  | Alert.Gt -> v > threshold
+  | Alert.Ge -> v >= threshold
+  | Alert.Lt -> v < threshold
+  | Alert.Le -> v <= threshold
+
+let burn_rate series s ~window =
+  let days = Series.daily series s.objective in
+  let have = List.length days in
+  if have < window || window < 1 then None
+  else
+    let tail = List.filteri (fun i _ -> i >= have - window) days in
+    let bad_days =
+      List.length
+        (List.filter (fun p -> bad s.comparator p.Series.value s.threshold) tail)
+    in
+    let budget = 1.0 -. s.goal in
+    Some (float_of_int bad_days /. float_of_int window /. budget)
+
+let fire st ~day ~burn =
+  let s = st.s_spec in
+  let e =
+    {
+      Alert.e_rule = rule_of_spec s;
+      fired_day = day;
+      value = burn;
+      last_day = day;
+      resolved_day = None;
+    }
+  in
+  st.current <- Some e;
+  if Trace.is_enabled () then
+    Trace.instant "slo"
+      ~tags:
+        [
+          ("slo", s.slo_name);
+          ("objective", s.objective);
+          ("burn", Printf.sprintf "%g" burn);
+          ("fast_days", string_of_int s.fast_days);
+          ("slow_days", string_of_int s.slow_days);
+          ("day", string_of_int day);
+        ];
+  (* Same evidence trail as an alert firing: the episode lands in the
+     flight ring, a configured dump path captures it immediately, and
+     the streaming trace sink flushes so the lead-up survives a
+     crash. *)
+  Recorder.record_alert ~rule:s.slo_name ~metric:s.objective ~value:burn ~day
+    ~scope:"slo";
+  Recorder.dump_if_configured ~reason:("slo:" ^ s.slo_name);
+  Sink.flush_traces ~reason:("slo:" ^ s.slo_name);
+  e
+
+let eval t ~series ~day =
+  List.filter_map
+    (fun st ->
+      let s = st.s_spec in
+      let burning =
+        match
+          (burn_rate series s ~window:s.fast_days,
+           burn_rate series s ~window:s.slow_days)
+        with
+        | Some bf, Some bs
+          when bf >= s.burn_threshold && bs >= s.burn_threshold ->
+          Some bf
+        | _ -> None
+      in
+      match burning with
+      | Some bf ->
+        (match st.current with
+        | Some e -> e.Alert.last_day <- day
+        | None ->
+          let e = fire st ~day ~burn:bf in
+          t.history <- e :: t.history);
+        Some (s, bf)
+      | None ->
+        (match st.current with
+        | Some e ->
+          e.Alert.resolved_day <- Some day;
+          st.current <- None
+        | None -> ());
+        None)
+    t.states
+
+let events t = List.rev t.history
+
+let active t =
+  List.rev (List.filter (fun e -> e.Alert.resolved_day = None) t.history)
+
+let to_json t =
+  let evs = events t in
+  Json.Obj
+    [
+      ("slos", Json.int (List.length t.states));
+      ("count", Json.int (List.length evs));
+      ("alerts", Json.Arr (List.map Alert.event_json evs));
+    ]
+
+(* --- spec parsing -------------------------------------------------- *)
+
+let ( let* ) = Result.bind
+
+let spec_of_json i j =
+  let label fields =
+    match List.assoc_opt "name" fields with
+    | Some (Json.Str n) -> Printf.sprintf "slo %S" n
+    | _ -> Printf.sprintf "slo %d" i
+  in
+  match j with
+  | Json.Obj fields ->
+    let where = label fields in
+    let str field =
+      match List.assoc_opt field fields with
+      | Some (Json.Str s) when String.length s > 0 -> Ok s
+      | Some _ ->
+        Error (Printf.sprintf "%s: %S must be a non-empty string" where field)
+      | None -> Error (Printf.sprintf "%s: missing %S" where field)
+    in
+    let finite field =
+      match List.assoc_opt field fields with
+      | Some (Json.Num v) when Float.is_finite v -> Ok (Some v)
+      | Some _ ->
+        Error (Printf.sprintf "%s: %S must be a finite number" where field)
+      | None -> Ok None
+    in
+    let int_field field =
+      match List.assoc_opt field fields with
+      | Some (Json.Num v) when Float.is_integer v && v >= 1.0 ->
+        Ok (Some (int_of_float v))
+      | Some _ ->
+        Error (Printf.sprintf "%s: %S must be an integer >= 1" where field)
+      | None -> Ok None
+    in
+    let* name = str "name" in
+    let* objective = str "metric" in
+    let* op_s = str "op" in
+    let* comparator =
+      match op_s with
+      | ">" | "gt" -> Ok Alert.Gt
+      | ">=" | "ge" -> Ok Alert.Ge
+      | "<" | "lt" -> Ok Alert.Lt
+      | "<=" | "le" -> Ok Alert.Le
+      | s ->
+        Error
+          (Printf.sprintf "%s: unknown op %S (expected >, >=, <, <=)" where s)
+    in
+    let* threshold =
+      match List.assoc_opt "threshold" fields with
+      | Some (Json.Num v) when Float.is_finite v -> Ok v
+      | Some _ ->
+        Error (Printf.sprintf "%s: \"threshold\" must be a finite number" where)
+      | None -> Error (Printf.sprintf "%s: missing \"threshold\"" where)
+    in
+    let* window_days =
+      match List.assoc_opt "window_days" fields with
+      | Some (Json.Num v) when Float.is_integer v && v >= 1.0 ->
+        Ok (int_of_float v)
+      | Some _ ->
+        Error
+          (Printf.sprintf "%s: \"window_days\" must be an integer >= 1" where)
+      | None -> Error (Printf.sprintf "%s: missing \"window_days\"" where)
+    in
+    let* goal = finite "goal" in
+    let* burn_threshold = finite "burn_threshold" in
+    let* fast_days = int_field "fast_days" in
+    let* slow_days = int_field "slow_days" in
+    (match
+       spec ?goal ?fast_days ?slow_days ?burn_threshold ~name
+         ~objective ~window_days comparator threshold
+     with
+    | s -> Ok s
+    | exception Invalid_argument msg ->
+      Error (Printf.sprintf "%s: %s" where msg))
+  | _ -> Error (Printf.sprintf "slo %d: expected an object" i)
+
+let specs_of_json j =
+  let arr =
+    match j with
+    | Json.Obj fields -> (
+      match List.assoc_opt "slos" fields with
+      | Some (Json.Arr items) -> Ok items
+      | Some _ -> Error "\"slos\" must be an array"
+      | None -> Error "expected {\"slos\": [...]} or a top-level array")
+    | Json.Arr items -> Ok items
+    | _ -> Error "expected {\"slos\": [...]} or a top-level array"
+  in
+  let* items = arr in
+  if items = [] then Error "no slos given"
+  else
+    let rec go i acc = function
+      | [] -> Ok (List.rev acc)
+      | item :: rest ->
+        let* s = spec_of_json i item in
+        go (i + 1) (s :: acc) rest
+    in
+    go 0 [] items
+
+let specs_of_file path =
+  match In_channel.with_open_bin path In_channel.input_all with
+  | exception Sys_error msg -> Error msg
+  | text -> (
+    match Json.parse text with
+    | Error e -> Error (Printf.sprintf "%s: %s" path e)
+    | Ok j -> specs_of_json j)

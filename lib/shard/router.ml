@@ -45,7 +45,18 @@ let update_gauges t =
         (float_of_int (Scheme.allocated_bytes a.scheme));
       Metrics.set (g "shard.%d.wave_length")
         (float_of_int (Frame.length (Scheme.frame a.scheme))))
-    t.arms_arr
+    t.arms_arr;
+  (* The registry is process-global: a previous, wider router (or this
+     one before a future shrink) may have published per-arm gauges for
+     indices this router doesn't own.  Retire every contiguous stale
+     index so a snapshot/export never mixes live arms with fossils. *)
+  let rec drop_stale i =
+    let r1 = Metrics.remove (Printf.sprintf "shard.%d.busy_seconds" i) in
+    let r2 = Metrics.remove (Printf.sprintf "shard.%d.space_bytes" i) in
+    let r3 = Metrics.remove (Printf.sprintf "shard.%d.wave_length" i) in
+    if r1 || r2 || r3 then drop_stale (i + 1)
+  in
+  drop_stale (Array.length t.arms_arr)
 
 let create ?(icfg = Index.default_config) ?(technique = Env.In_place)
     ?(allow_deletes = true) ~kind ~partition ~shards ~vocab ~store ~w ~n () =
@@ -285,7 +296,7 @@ let hottest_splittable t =
     t.arms_arr;
   Option.map fst !best
 
-let run ?split_threshold t ~spec ~days =
+let run ?split_threshold ?on_day t ~spec ~days =
   let q_par = ref 0.0 and q_ser = ref 0.0 and m_par = ref 0.0 in
   let nq = ref 0 in
   for _ = 1 to days do
@@ -308,7 +319,8 @@ let run ?split_threshold t ~spec ~days =
         in
         q_par := !q_par +. makespan;
         q_ser := !q_ser +. (total_elapsed t -. before))
-      (Wave_workload.Query_gen.day_queries spec ~day:t.day ~w:t.w)
+      (Wave_workload.Query_gen.day_queries spec ~day:t.day ~w:t.w);
+    match on_day with Some f -> f t.day | None -> ()
   done;
   {
     days_run = days;

@@ -46,7 +46,11 @@ val create :
   t
 (** Build [shards] arms, each [Scheme.start]ed over days [1..w] of its
     filtered store.  Every arm gets its own simulated disk compatible
-    with [icfg]. *)
+    with [icfg].  Publishing the per-arm gauges also {e retires} any
+    stale [shard.<i>.*] names beyond this router's arm count — the
+    metrics registry is process-global, so a previous wider router
+    would otherwise leave fossil gauges in every snapshot and
+    export. *)
 
 val partition : t -> Partition.t
 (** The committed partition (the only one queries ever route by). *)
@@ -123,6 +127,7 @@ type run_result = {
 
 val run :
   ?split_threshold:float ->
+  ?on_day:(int -> unit) ->
   t ->
   spec:Wave_workload.Query_gen.spec ->
   days:int ->
@@ -130,4 +135,6 @@ val run :
 (** Advance [days] days, serving each day's generated queries through
     the router.  With [split_threshold], a day boundary where the busy
     skew ratio exceeds the threshold splits the busiest splittable
-    arm. *)
+    arm.  [on_day] runs at the end of every day (after that day's
+    queries), with the current day number — the hook the CLI uses to
+    sample {!Wave_obs.Series} and redraw the live dashboard. *)

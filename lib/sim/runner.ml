@@ -61,6 +61,8 @@ type config = {
   icfg : Wave_storage.Index.config;
   validate : bool;
   alerts : Wave_obs.Alert.rule list;
+  series : Wave_obs.Series.t option;
+  slos : Wave_obs.Slo.spec list;
   on_env : (Env.t -> unit) option;
 }
 
@@ -78,6 +80,8 @@ let default_config ~scheme ~store ~w ~n =
     icfg = Wave_storage.Index.default_config;
     validate = true;
     alerts = [];
+    series = None;
+    slos = [];
     on_env = None;
   }
 
@@ -200,6 +204,27 @@ let run config =
     match config.alerts with
     | [] -> None
     | rules -> Some (Wave_obs.Alert.create rules)
+  in
+  (* Time-series sampling: record every registry metric into the ring
+     store at each transition step and day boundary.  SLOs need daily
+     history even when the caller didn't ask for a dump, so a spec list
+     without a store conjures an internal one.  All sampling is
+     read-only against the simulation — the disk clock never moves —
+     so day_metrics stay bit-identical with the flags off. *)
+  let series_store =
+    match (config.series, config.slos) with
+    | (Some _ as s), _ -> s
+    | None, [] -> None
+    | None, _ :: _ -> Some (Wave_obs.Series.create ())
+  in
+  let slo_engine =
+    match config.slos with
+    | [] -> None
+    | specs -> Some (Wave_obs.Slo.create specs)
+  in
+  let g_query_p95 = Wave_obs.Metrics.gauge "runner.day.query_p95" in
+  let sample_series ~day =
+    Option.iter (fun st -> Wave_obs.Series.sample st ~day) series_store
   in
   (* Concurrent serving: arm the epoch registry on this disk so
      transitions run under snapshot isolation.  Without the flag the
@@ -389,6 +414,7 @@ let run config =
           (float_of_int (cm.Disk.blocks_read - c0.Disk.blocks_read));
         Wave_obs.Metrics.set g_t_blocks_written
           (float_of_int (cm.Disk.blocks_written - c0.Disk.blocks_written));
+        sample_series ~day:this_day;
         Option.iter
           (fun e ->
             ignore
@@ -461,13 +487,23 @@ let run config =
       Wave_obs.Metrics.set g_query d.query_seconds;
       Wave_obs.Metrics.set g_wave (float_of_int d.wave_length);
       Wave_obs.Metrics.set g_space (float_of_int d.space_bytes);
+      (match Wave_obs.Metrics.hist_summary h_query with
+      | Some s -> Wave_obs.Metrics.set g_query_p95 s.Wave_obs.Metrics.p95
+      | None -> ());
       Option.iter
         (fun p -> Wave_obs.Metrics.set g_dirty (float_of_int (Cache.dirty_frames p)))
         pool;
+      sample_series ~day:d.day;
       Option.iter
         (fun e ->
           ignore (Wave_obs.Alert.eval ~scope:Wave_obs.Alert.Day e ~day:d.day))
-        engine
+        engine;
+      Option.iter
+        (fun eng ->
+          match series_store with
+          | Some st -> ignore (Wave_obs.Slo.eval eng ~series:st ~day:d.day)
+          | None -> ())
+        slo_engine
     | [] -> ())
   done;
   if concurrent_on then Wave_epoch.Epoch.detach disk;
@@ -514,5 +550,6 @@ let run config =
              stopworld_samples = stw;
            });
     alerts =
-      (match engine with None -> [] | Some e -> Wave_obs.Alert.events e);
+      (match engine with None -> [] | Some e -> Wave_obs.Alert.events e)
+      @ (match slo_engine with None -> [] | Some e -> Wave_obs.Slo.events e);
   }

@@ -102,8 +102,10 @@ type result = {
           stop-the-world run *)
   alerts : Wave_obs.Alert.event list;
       (** alert events (active and resolved, oldest first) from the
-          run's {!config.alerts} rules; [[]] when no rules were
-          configured *)
+          run's {!config.alerts} rules, followed by SLO burn-rate
+          episodes from {!config.slos} (their events carry the
+          synthesized rule from {!Wave_obs.Slo.rule_of_spec}); [[]]
+          when neither was configured *)
 }
 
 type config = {
@@ -148,7 +150,22 @@ type config = {
           ["runner.transition.precompute_seconds"],
           ["runner.transition.seeks"],
           ["runner.transition.blocks_read"],
-          ["runner.transition.blocks_written"]. *)
+          ["runner.transition.blocks_written"].  The day boundary also
+          publishes ["runner.day.query_p95"] — the running p95 of the
+          per-day query-seconds histogram — the canonical SLO
+          objective. *)
+  series : Wave_obs.Series.t option;
+      (** when set, {!Wave_obs.Series.sample} is called against the
+          default registry at every transition step and every day
+          boundary, building bounded per-metric histories ([sim
+          --series-out]).  Sampling only reads — the disk clock never
+          moves — so [days] is bit-identical with or without a
+          store. *)
+  slos : Wave_obs.Slo.spec list;
+      (** SLO specs evaluated at every day boundary against the series
+          store (an internal store is created when [series] is [None]
+          so daily history exists); burn-rate episodes are appended to
+          {!result.alerts} *)
   on_env : (Env.t -> unit) option;
       (** called once with the run's environment after it is created
           and before the scheme starts — the hook for arming disk
@@ -160,6 +177,6 @@ val default_config :
   scheme:Scheme.kind -> store:Env.day_store -> w:int -> n:int -> config
 (** 2w run days, in-place updating, default index config, no queries,
     stop-the-world serving (concurrent off, rate 4.0), validation on,
-    no alert rules. *)
+    no alert rules, no series store, no SLOs. *)
 
 val run : config -> result

@@ -745,14 +745,14 @@ let contains ~sub s =
   let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
   n = 0 || go 0
 
-(* A minimal document that satisfies every waveidx-bench/6 rule; the
+(* A minimal document that satisfies every waveidx-bench/7 rule; the
    corpus below perturbs it one field at a time.  [shard_series] lists
    the required scaling-curve series appended after the perturbable
    benchmark (drop one and validation must name it). *)
 let valid_bench_doc ?(schema = Sink.bench_schema) ?(unit_ = "model-seconds")
     ?(p50 = 0.5) ?(runs = 5.0) ?(hit_ratio = 0.9) ?(flushes = 3.0)
     ?(name = Some "probe/DEL") ?(benchmarks = None) ?(profile = None)
-    ?(shard_series = Sink.required_bench_series) () =
+    ?(series_block = None) ?(shard_series = Sink.required_bench_series) () =
   let bench =
     Json.Obj
       ((match name with Some n -> [ ("name", Json.Str n) ] | None -> [])
@@ -807,6 +807,26 @@ let valid_bench_doc ?(schema = Sink.bench_schema) ?(unit_ = "model-seconds")
         ("runs", Json.Num 5.0);
       ]
   in
+  let default_series =
+    Json.Obj
+      [
+        ("schema", Json.Str Sink.series_schema);
+        ("ticks", Json.Num 12.0);
+        ( "tracked",
+          Json.Arr
+            [
+              Json.Obj
+                [
+                  ("name", Json.Str "runner.day.query_seconds");
+                  ("points", Json.Num 12.0);
+                  ("last", Json.Num 1.5);
+                  ("mean", Json.Num 1.4);
+                  ("p95", Json.Num 1.6);
+                  ("trend", Json.Num 0.01);
+                ];
+            ] );
+      ]
+  in
   Json.Obj
     [
       ("schema", Json.Str schema);
@@ -817,6 +837,8 @@ let valid_bench_doc ?(schema = Sink.bench_schema) ?(unit_ = "model-seconds")
         | None -> Json.Arr (bench :: List.map shard_bench shard_series) );
       ( "profile",
         match profile with Some p -> p | None -> default_profile );
+      ( "series",
+        match series_block with Some s -> s | None -> default_series );
     ]
 
 let test_sink_validate_bench_accepts_valid () =
@@ -825,7 +847,7 @@ let test_sink_validate_bench_accepts_valid () =
     Alcotest.(check int) "benchmark count"
       (1 + List.length Sink.required_bench_series)
       n
-  | Error e -> Alcotest.failf "valid /6 document rejected: %s" e
+  | Error e -> Alcotest.failf "valid /7 document rejected: %s" e
 
 let expect_error name doc frags =
   match Sink.validate_bench doc with
@@ -914,7 +936,72 @@ let test_sink_validate_bench_bad_corpus () =
                      ] );
                ]))
        ())
-    [ "profile.top[0]"; "calls" ]
+    [ "profile.top[0]"; "calls" ];
+  expect_error "missing series block"
+    (match valid_bench_doc () with
+    | Json.Obj kvs -> Json.Obj (List.remove_assoc "series" kvs)
+    | _ -> assert false)
+    [ "series" ];
+  expect_error "series block wrong schema"
+    (valid_bench_doc
+       ~series_block:
+         (Some
+            (Json.Obj
+               [
+                 ("schema", Json.Str "waveidx-series/0");
+                 ("ticks", Json.Num 12.0);
+                 ( "tracked",
+                   Json.Arr
+                     [
+                       Json.Obj
+                         [
+                           ("name", Json.Str "runner.day.query_seconds");
+                           ("points", Json.Num 12.0);
+                           ("last", Json.Num 1.5);
+                           ("mean", Json.Num 1.4);
+                           ("p95", Json.Num 1.6);
+                           ("trend", Json.Null);
+                         ];
+                     ] );
+               ]))
+       ())
+    [ "series"; "schema" ];
+  expect_error "series block empty tracked"
+    (valid_bench_doc
+       ~series_block:
+         (Some
+            (Json.Obj
+               [
+                 ("schema", Json.Str Sink.series_schema);
+                 ("ticks", Json.Num 12.0);
+                 ("tracked", Json.Arr []);
+               ]))
+       ())
+    [ "series"; "tracked" ];
+  expect_error "series entry non-finite p95"
+    (valid_bench_doc
+       ~series_block:
+         (Some
+            (Json.Obj
+               [
+                 ("schema", Json.Str Sink.series_schema);
+                 ("ticks", Json.Num 12.0);
+                 ( "tracked",
+                   Json.Arr
+                     [
+                       Json.Obj
+                         [
+                           ("name", Json.Str "runner.day.query_seconds");
+                           ("points", Json.Num 12.0);
+                           ("last", Json.Num 1.5);
+                           ("mean", Json.Num 1.4);
+                           ("p95", Json.Num nan);
+                           ("trend", Json.Num 0.01);
+                         ];
+                     ] );
+               ]))
+       ())
+    [ "series.tracked[0]"; "p95" ]
 
 (* ------------------------------------------------------------------ *)
 (* Flight recorder                                                    *)

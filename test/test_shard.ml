@@ -393,6 +393,59 @@ let test_throughput_scaling () =
 
 let qcheck tests = List.map QCheck_alcotest.to_alcotest tests
 
+(* The metrics registry is process-global: a router with fewer arms
+   than a predecessor must retire the predecessor's per-arm gauges, or
+   every snapshot/export mixes live arms with fossils. *)
+let test_stale_arm_gauges_retired () =
+  let gauge_names snapshot =
+    List.filter
+      (fun (name, _) ->
+        String.length name > 6 && String.sub name 0 6 = "shard.")
+      snapshot
+    |> List.map fst
+  in
+  let has name = List.mem_assoc name (Wave_obs.Metrics.snapshot ()) in
+  (* A 2-arm router that splits publishes shard.2.* gauges... *)
+  let r =
+    Router.create ~kind:Scheme.Del ~partition:Partition.Hash ~shards:2 ~vocab
+      ~store:(store ~vocab ~postings:12) ~w:6 ~n:3 ()
+  in
+  ignore (Router.advance r);
+  ignore (Router.split r ~arm:0);
+  Alcotest.(check bool) "post-split arm gauge live" true
+    (has "shard.2.busy_seconds");
+  (* ...which a fresh, narrower router must retire on creation. *)
+  let r2 =
+    Router.create ~kind:Scheme.Del ~partition:Partition.Hash ~shards:2 ~vocab
+      ~store:(store ~vocab ~postings:12) ~w:6 ~n:3 ()
+  in
+  Alcotest.(check int) "narrow router has 2 arms" 2 (Router.arms r2);
+  List.iter
+    (fun stale ->
+      Alcotest.(check bool) (stale ^ " retired") false (has stale))
+    [
+      "shard.2.busy_seconds"; "shard.2.space_bytes"; "shard.2.wave_length";
+    ];
+  List.iter
+    (fun live -> Alcotest.(check bool) (live ^ " still live") true (has live))
+    [
+      "shard.0.busy_seconds"; "shard.1.busy_seconds"; "shard.arms";
+      "shard.skew_ratio";
+    ];
+  (* No per-arm gauge index at or past the live arm count survives. *)
+  List.iter
+    (fun name ->
+      match String.split_on_char '.' name with
+      | [ "shard"; i; _ ] -> (
+        match int_of_string_opt i with
+        | Some i ->
+          Alcotest.(check bool)
+            (Printf.sprintf "%s within %d arms" name (Router.arms r2))
+            true (i < Router.arms r2)
+        | None -> ())
+      | _ -> ())
+    (gauge_names (Wave_obs.Metrics.snapshot ()))
+
 let suites =
   [
     ( "shard.partition",
@@ -420,6 +473,8 @@ let suites =
           test_router_fanout_costs;
         Alcotest.test_case "multi-disk arms balanced (LPT regression)" `Quick
           test_multidisk_balanced_arms;
+        Alcotest.test_case "stale per-arm gauges retired" `Quick
+          test_stale_arm_gauges_retired;
       ]
       @ qcheck [ prop_router_transparent ] );
     ( "shard.split",
